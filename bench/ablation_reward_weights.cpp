@@ -1,0 +1,69 @@
+/// \file ablation_reward_weights.cpp
+/// Ablation of the reward weights (Eqn 1): the paper fixes α=10, β=5 "to
+/// give more weight to R_BinSize than R_Throughput". This bench trains
+/// small agents under different (α, β) mixes and reports how the deployed
+/// policies trade size against runtime, relative to Oz, on MiBench.
+
+#include <cstdio>
+
+#include "harness.h"
+#include "ir/module.h"
+#include "support/table.h"
+#include "workloads/generator.h"
+
+using namespace posetrl;
+using namespace posetrl::bench;
+
+int main() {
+  const std::size_t budget = std::max<std::size_t>(300, trainBudget() / 3);
+  std::printf("=== Ablation: reward weights alpha/beta (Eqn 1; paper uses "
+              "10/5) — budget %zu steps ===\n\n",
+              budget);
+
+  struct Mix {
+    double alpha;
+    double beta;
+    const char* label;
+  };
+  const Mix mixes[] = {
+      {10.0, 5.0, "paper (10/5)"},
+      {10.0, 0.0, "size only (10/0)"},
+      {0.0, 5.0, "throughput only (0/5)"},
+      {5.0, 10.0, "inverted (5/10)"},
+  };
+
+  const SuiteSpec suite = mibenchSuite();
+  TextTable table;
+  table.addRow({"reward mix", "size red. vs Oz avg %", "time impr. vs Oz "
+                "avg %"});
+
+  for (const Mix& mix : mixes) {
+    // Train with the custom reward weights.
+    const SuiteSpec corpus_spec = trainingCorpus(130);
+    std::vector<std::unique_ptr<Module>> storage;
+    std::vector<const Module*> corpus;
+    for (std::size_t i = 0; i < 24; ++i) {
+      storage.push_back(generateProgram(corpus_spec.programs[i]));
+      corpus.push_back(storage.back().get());
+    }
+    TrainConfig cfg;
+    cfg.env.alpha = mix.alpha;
+    cfg.env.beta = mix.beta;
+    cfg.env.episode_length = kEpisodeLength;
+    cfg.agent.num_actions = odgSubSequences().size();
+    cfg.agent.seed = 23;
+    cfg.agent.epsilon_decay_steps = budget * 3 / 4;
+    cfg.total_steps = budget;
+    TrainResult result = trainAgent(corpus, cfg);
+
+    const auto rows = evaluateSuite(suite, *result.agent, ActionSpace::Odg,
+                                    TargetArch::X86_64, true);
+    table.addRow({mix.label, fmt2(sizeReductionStats(rows).avg),
+                  fmt2(meanTimeImprovement(rows))});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Expected shape: the size-only reward should not beat the "
+              "mixed reward on runtime; the throughput-only reward should "
+              "not beat it on size.\n");
+  return 0;
+}

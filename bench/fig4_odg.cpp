@@ -1,0 +1,68 @@
+/// \file fig4_odg.cpp
+/// Reproduces Fig. 4 + the Section IV-B analysis: builds the Oz Dependence
+/// Graph from the Table I sequence, reports node degrees and critical nodes
+/// (simplifycfg:11, instcombine:10, loop-simplify:8 at k >= 8), and prints
+/// the sub-sequence walks the graph generates alongside Table III.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/odg.h"
+#include "core/oz_sequence.h"
+#include "support/table.h"
+
+using namespace posetrl;
+
+int main() {
+  OzDependenceGraph odg(ozPassNames());
+  std::printf("=== Fig. 4: Oz Dependence Graph ===\n\n");
+  std::printf("nodes: %zu, unique edges: %zu\n\n", odg.nodes().size(),
+              odg.edgeCount());
+
+  // Degree table, highest first.
+  std::vector<std::pair<std::string, std::size_t>> degrees;
+  for (const std::string& n : odg.nodes()) degrees.push_back({n, odg.degree(n)});
+  std::sort(degrees.begin(), degrees.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  TextTable table;
+  table.addRow({"pass", "degree", "critical (k>=8)"});
+  for (const auto& [name, degree] : degrees) {
+    if (degree < 3) continue;
+    table.addRow({name, std::to_string(degree), degree >= 8 ? "yes" : ""});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("critical nodes (paper: simplifycfg=11, instcombine=10, "
+              "loop-simplify=8):\n");
+  for (const std::string& c : odg.criticalNodes(8)) {
+    std::printf("  %-14s degree %zu\n", c.c_str(), odg.degree(c));
+  }
+
+  const auto walks = odg.subSequenceWalks(8);
+  std::printf("\ngenerated critical-to-critical walks: %zu "
+              "(Table III lists 34 sub-sequences)\n\n",
+              walks.size());
+  int shown = 0;
+  for (const auto& walk : walks) {
+    std::string line;
+    for (const auto& p : walk) line += " -" + p;
+    std::printf("  walk%-3d%s\n", ++shown, line.c_str());
+    if (shown >= 40) break;
+  }
+
+  // Overlap with the canonical Table III action space.
+  std::size_t matched = 0;
+  for (const SubSequence& sub : odgSubSequences()) {
+    // Compare against the walk prefix (Table III rows may append cleanup
+    // passes past the next critical node).
+    for (const auto& walk : walks) {
+      if (sub.passes == walk) {
+        ++matched;
+        break;
+      }
+    }
+  }
+  std::printf("\nTable III rows exactly matching a generated walk: %zu/34\n",
+              matched);
+  return 0;
+}

@@ -1,0 +1,179 @@
+#include "harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "interp/interpreter.h"
+#include "ir/module.h"
+#include "support/string_utils.h"
+#include "workloads/generator.h"
+
+namespace posetrl::bench {
+
+const std::vector<SubSequence>& actionsFor(ActionSpace space) {
+  return space == ActionSpace::Manual ? manualSubSequences()
+                                      : odgSubSequences();
+}
+
+const char* actionSpaceName(ActionSpace space) {
+  return space == ActionSpace::Manual ? "Manual" : "ODG";
+}
+
+std::size_t trainBudget() {
+  if (const char* env = std::getenv("POSETRL_TRAIN_STEPS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 10000;
+}
+
+std::unique_ptr<DoubleDqn> trainStandardAgent(ActionSpace space,
+                                              TargetArch arch,
+                                              std::size_t budget,
+                                              std::uint64_t seed) {
+  const SuiteSpec corpus_spec = trainingCorpus(130);
+  // A slice of the corpus keeps training time proportional to the budget:
+  // with B steps and 15-step episodes roughly B/15 programs get visited.
+  // The last few corpus programs are held out for model selection.
+  std::vector<std::unique_ptr<Module>> storage;
+  std::vector<const Module*> corpus;
+  const std::size_t programs =
+      std::min<std::size_t>(corpus_spec.programs.size() - 8,
+                            std::max<std::size_t>(16, budget / 60));
+  for (std::size_t i = 0; i < programs; ++i) {
+    storage.push_back(generateProgram(corpus_spec.programs[i]));
+    corpus.push_back(storage.back().get());
+  }
+  std::vector<std::unique_ptr<Module>> validation;
+  for (std::size_t i = corpus_spec.programs.size() - 8;
+       i < corpus_spec.programs.size(); ++i) {
+    validation.push_back(generateProgram(corpus_spec.programs[i]));
+  }
+
+  // Greedy-rollout validation score of an agent: total combined reward
+  // (the α/β objective of Eqn 1) over the held-out programs.
+  const auto validate = [&](const DoubleDqn& agent, const EnvConfig& env) {
+    double total = 0.0;
+    for (const auto& prog : validation) {
+      PhaseOrderEnv venv(*prog, actionsFor(space), env);
+      Embedding state = venv.reset();
+      bool done = false;
+      while (!done) {
+        const std::size_t a = agent.actGreedy(state);
+        auto sr = venv.step(a);
+        total += sr.reward;
+        state = std::move(sr.state);
+        done = sr.done;
+      }
+    }
+    return total;
+  };
+
+  // Train a small seed ensemble and keep the best on validation — standard
+  // model selection; the paper's 16-hour runs amortize seed variance that
+  // our minute-scale budgets do not.
+  std::unique_ptr<DoubleDqn> best;
+  double best_score = 0.0;
+  for (const std::uint64_t s : {seed, seed + 100}) {
+    TrainConfig cfg;
+    cfg.env.arch = arch;
+    cfg.env.episode_length = kEpisodeLength;
+    cfg.agent.num_actions = actionsFor(space).size();
+    cfg.agent.seed = s;
+    cfg.agent.epsilon_decay_steps = std::max<std::size_t>(200, budget / 2);
+    // The paper anneals to 0.01 over 20k steps of a 16-hour run; at our
+    // reduced budgets a slightly higher exploration floor compensates.
+    cfg.agent.epsilon_end = 0.05;
+    cfg.total_steps = budget;
+    cfg.seed = s * 31 + 7;
+
+    std::fprintf(stderr,
+                 "[harness] training %s agent for %s (%zu steps, seed "
+                 "%llu)...\n",
+                 actionSpaceName(space),
+                 TargetInfo::forArch(arch).name().c_str(), budget,
+                 static_cast<unsigned long long>(s));
+    TrainResult result = trainAgent(corpus, cfg);
+    const double score = validate(*result.agent, cfg.env);
+    std::fprintf(stderr,
+                 "[harness]   %zu episodes, mean reward %.3f, validation "
+                 "%.3f\n",
+                 result.stats.episodes, result.stats.mean_episode_reward,
+                 score);
+    if (best == nullptr || score > best_score) {
+      best = std::move(result.agent);
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+std::vector<EvalRow> evaluateSuite(const SuiteSpec& suite,
+                                   const DoubleDqn& agent,
+                                   ActionSpace space, TargetArch arch,
+                                   bool measure_runtime) {
+  const TargetInfo& target = TargetInfo::forArch(arch);
+  SizeModel size_model(target);
+  EnvConfig env_cfg;
+  env_cfg.arch = arch;
+  env_cfg.episode_length = kEpisodeLength;
+
+  std::vector<EvalRow> rows;
+  for (const ProgramSpec& spec : suite.programs) {
+    auto program = generateProgram(spec);
+    EvalRow row;
+    row.name = spec.name;
+    row.base_size = size_model.objectBytes(*program);
+
+    auto oz = applyPipeline(*program, ozPassNames());
+    row.oz_size = size_model.objectBytes(*oz);
+
+    PolicyRollout rollout =
+        applyPolicy(agent, *program, actionsFor(space), env_cfg);
+    row.pred_size = size_model.objectBytes(*rollout.optimized);
+    row.actions = rollout.action_sequence;
+
+    if (measure_runtime) {
+      ExecOptions opts;
+      opts.arch = arch;
+      const ExecResult oz_run = runModule(*oz, opts);
+      const ExecResult pred_run = runModule(*rollout.optimized, opts);
+      row.oz_cycles = oz_run.ok ? oz_run.cycles : -1.0;
+      row.pred_cycles = pred_run.ok ? pred_run.cycles : -1.0;
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+MinAvgMax sizeReductionStats(const std::vector<EvalRow>& rows) {
+  MinAvgMax s;
+  if (rows.empty()) return s;
+  s.min = rows[0].sizeReductionVsOz();
+  s.max = s.min;
+  double sum = 0.0;
+  for (const EvalRow& r : rows) {
+    const double v = r.sizeReductionVsOz();
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+    sum += v;
+  }
+  s.avg = sum / static_cast<double>(rows.size());
+  return s;
+}
+
+double meanTimeImprovement(const std::vector<EvalRow>& rows) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const EvalRow& r : rows) {
+    if (r.oz_cycles > 0.0 && r.pred_cycles > 0.0) {
+      sum += r.timeImprovementVsOz();
+      ++n;
+    }
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+std::string fmt2(double v) { return formatString("%.2f", v); }
+
+}  // namespace posetrl::bench

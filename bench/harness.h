@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file harness.h
+/// Shared machinery for the paper-reproduction benchmark binaries: builds
+/// the synthetic suites, trains manual/ODG agents for a target, evaluates
+/// policies against the -Oz baseline, and renders min/avg/max tables.
+///
+/// Training budgets scale with the POSETRL_TRAIN_STEPS environment variable
+/// (default 10000 steps — minutes, not the paper's 16 hours; the *shape* of
+/// the results is the reproduction target, per DESIGN.md).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/environment.h"
+#include "core/oz_sequence.h"
+#include "core/policy.h"
+#include "core/trainer.h"
+#include "target/target_info.h"
+#include "workloads/suites.h"
+
+namespace posetrl::bench {
+
+/// Which action space a model was trained on.
+enum class ActionSpace { Manual, Odg };
+
+const std::vector<SubSequence>& actionsFor(ActionSpace space);
+const char* actionSpaceName(ActionSpace space);
+
+/// Training-steps budget from POSETRL_TRAIN_STEPS (default 1500).
+std::size_t trainBudget();
+
+/// Number of episode steps used at deployment (the paper's predicted
+/// sequences are 15 actions long).
+constexpr int kEpisodeLength = 15;
+
+/// Trains one agent on the standard 130-program corpus.
+std::unique_ptr<DoubleDqn> trainStandardAgent(ActionSpace space,
+                                              TargetArch arch,
+                                              std::size_t budget,
+                                              std::uint64_t seed = 17);
+
+/// Per-benchmark evaluation record.
+struct EvalRow {
+  std::string name;
+  double base_size = 0.0;  ///< Unoptimized object bytes.
+  double oz_size = 0.0;    ///< After the stock Oz pipeline.
+  double pred_size = 0.0;  ///< After the policy's predicted sequence.
+  double oz_cycles = 0.0;  ///< Interpreter cycles after Oz.
+  double pred_cycles = 0.0;
+  std::vector<std::size_t> actions;  ///< Predicted sub-sequence ids.
+
+  /// % size reduction of the prediction relative to Oz (positive = smaller
+  /// than Oz), the paper's Table IV metric.
+  double sizeReductionVsOz() const {
+    return 100.0 * (oz_size - pred_size) / oz_size;
+  }
+  /// % execution-time improvement vs Oz (positive = faster), Table V.
+  double timeImprovementVsOz() const {
+    return 100.0 * (oz_cycles - pred_cycles) / oz_cycles;
+  }
+};
+
+/// Evaluates \p agent over a suite on \p arch. Runtime columns are filled
+/// when \p measure_runtime (x86 evaluation in the paper; AArch64 reports
+/// size only).
+std::vector<EvalRow> evaluateSuite(const SuiteSpec& suite,
+                                   const DoubleDqn& agent,
+                                   ActionSpace space, TargetArch arch,
+                                   bool measure_runtime);
+
+/// min/avg/max of EvalRow::sizeReductionVsOz over rows.
+struct MinAvgMax {
+  double min = 0.0;
+  double avg = 0.0;
+  double max = 0.0;
+};
+MinAvgMax sizeReductionStats(const std::vector<EvalRow>& rows);
+double meanTimeImprovement(const std::vector<EvalRow>& rows);
+
+/// Formats a double with two decimals.
+std::string fmt2(double v);
+
+}  // namespace posetrl::bench

@@ -1,0 +1,146 @@
+/// \file micro_benchmarks.cpp
+/// google-benchmark microbenchmarks for the infrastructure itself: pass
+/// throughput, embedding computation, size/MCA models, interpreter speed,
+/// module cloning, and DQN step latency. Useful for tracking performance
+/// regressions in the substrate (not part of the paper's evaluation).
+
+#include <benchmark/benchmark.h>
+
+#include "core/environment.h"
+#include "core/oz_sequence.h"
+#include "embed/embedder.h"
+#include "interp/interpreter.h"
+#include "ir/clone.h"
+#include "ir/module.h"
+#include "passes/pass.h"
+#include "rl/dqn.h"
+#include "target/mca_model.h"
+#include "target/size_model.h"
+#include "workloads/generator.h"
+
+namespace {
+
+using namespace posetrl;
+
+std::unique_ptr<Module> benchProgram(std::uint64_t seed = 11,
+                                     int kernels = 6) {
+  ProgramSpec spec;
+  spec.seed = seed;
+  spec.kernels = kernels;
+  return generateProgram(spec);
+}
+
+void BM_GenerateProgram(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto m = benchProgram(seed++);
+    benchmark::DoNotOptimize(m->instructionCount());
+  }
+}
+BENCHMARK(BM_GenerateProgram);
+
+void BM_CloneModule(benchmark::State& state) {
+  auto m = benchProgram();
+  for (auto _ : state) {
+    auto c = cloneModule(*m);
+    benchmark::DoNotOptimize(c.get());
+  }
+}
+BENCHMARK(BM_CloneModule);
+
+void BM_SinglePass(benchmark::State& state, const char* pass) {
+  auto base = benchProgram();
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto m = cloneModule(*base);
+    state.ResumeTiming();
+    runPassSequence(*m, {pass});
+  }
+}
+BENCHMARK_CAPTURE(BM_SinglePass, simplifycfg, "simplifycfg");
+BENCHMARK_CAPTURE(BM_SinglePass, instcombine, "instcombine");
+BENCHMARK_CAPTURE(BM_SinglePass, sroa, "sroa");
+BENCHMARK_CAPTURE(BM_SinglePass, gvn, "gvn");
+BENCHMARK_CAPTURE(BM_SinglePass, licm, "licm");
+BENCHMARK_CAPTURE(BM_SinglePass, inline, "inline");
+BENCHMARK_CAPTURE(BM_SinglePass, loop_unroll, "loop-unroll");
+
+void BM_FullOzPipeline(benchmark::State& state) {
+  auto base = benchProgram();
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto m = cloneModule(*base);
+    state.ResumeTiming();
+    runPassSequence(*m, ozPassNames());
+  }
+}
+BENCHMARK(BM_FullOzPipeline);
+
+void BM_ProgramEmbedding(benchmark::State& state) {
+  auto m = benchProgram();
+  Embedder e;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.embedProgram(*m));
+  }
+}
+BENCHMARK(BM_ProgramEmbedding);
+
+void BM_SizeModel(benchmark::State& state) {
+  auto m = benchProgram();
+  SizeModel sm(TargetInfo::x86_64());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sm.objectBytes(*m));
+  }
+}
+BENCHMARK(BM_SizeModel);
+
+void BM_McaModel(benchmark::State& state) {
+  auto m = benchProgram();
+  McaModel mca(TargetInfo::x86_64());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mca.moduleEstimate(*m).throughput());
+  }
+}
+BENCHMARK(BM_McaModel);
+
+void BM_Interpreter(benchmark::State& state) {
+  auto m = benchProgram();
+  for (auto _ : state) {
+    const ExecResult r = runModule(*m);
+    benchmark::DoNotOptimize(r.cycles);
+  }
+}
+BENCHMARK(BM_Interpreter);
+
+void BM_EnvStep(benchmark::State& state) {
+  auto m = benchProgram();
+  EnvConfig cfg;
+  PhaseOrderEnv env(*m, odgSubSequences(), cfg);
+  std::size_t action = 0;
+  env.reset();
+  int steps = 0;
+  for (auto _ : state) {
+    if (steps++ % cfg.episode_length == 0) env.reset();
+    benchmark::DoNotOptimize(env.step(action % env.numActions()).reward);
+    ++action;
+  }
+}
+BENCHMARK(BM_EnvStep);
+
+void BM_DqnActAndLearn(benchmark::State& state) {
+  DqnConfig cfg;
+  cfg.state_dim = 300;
+  cfg.num_actions = 34;
+  DoubleDqn agent(cfg);
+  std::vector<double> s(300, 0.1);
+  for (auto _ : state) {
+    const std::size_t a = agent.act(s, true);
+    Transition t{s, a, 0.5, s, false};
+    agent.observe(std::move(t));
+  }
+}
+BENCHMARK(BM_DqnActAndLearn);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,125 @@
+/// \file opt_driver.cpp
+/// A miniature `opt`: reads a MiniIR file, applies a pass sequence given on
+/// the command line (or -Oz / -O3), and prints the optimized module with
+/// before/after statistics.
+///
+/// Usage:
+///   opt_driver <file.mir> [-Oz | -O3 | -pass1 -pass2 ...] [--run]
+///   opt_driver --selftest            (runs on a built-in example)
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "core/oz_sequence.h"
+#include "interp/interpreter.h"
+#include "ir/module.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "passes/pass.h"
+#include "target/mca_model.h"
+#include "target/size_model.h"
+
+using namespace posetrl;
+
+namespace {
+
+const char* kSelfTestProgram = R"(
+module "selftest"
+declare @pr.sink : fn(i64) -> void intrinsic sink
+define @main : fn() -> i64 external {
+block entry:
+  %x : i64 = add i64 20, i64 21
+  %y : i64 = add i64 20, i64 21
+  %sum : i64 = add %x, %y
+  %half : i64 = udiv %sum, i64 2
+  call @pr.sink(%half)
+  ret %half
+}
+)";
+
+void report(const char* label, Module& m, bool run) {
+  SizeModel sm(TargetInfo::x86_64());
+  McaModel mca(TargetInfo::x86_64());
+  std::printf("[%s] %zu instructions, %.0f bytes, throughput %.3f",
+              label, m.instructionCount(), sm.objectBytes(m),
+              mca.moduleEstimate(m).throughput());
+  if (run) {
+    const ExecResult r = runModule(m);
+    if (r.ok) {
+      std::printf(", ran ok: ret=%lld cycles=%.0f",
+                  static_cast<long long>(r.return_value), r.cycles);
+    } else {
+      std::printf(", TRAP: %s", r.trap.c_str());
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string source;
+  std::vector<std::string> passes;
+  bool run = false;
+  bool print_ir = true;
+
+  if (argc >= 2 && std::strcmp(argv[1], "--selftest") == 0) {
+    source = kSelfTestProgram;
+    passes = parsePassSequence("-instcombine -early-cse -simplifycfg");
+    run = true;
+  } else if (argc >= 2) {
+    std::ifstream in(argv[1]);
+    if (!in.good()) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    source = ss.str();
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--run") == 0) {
+        run = true;
+      } else if (std::strcmp(argv[i], "--quiet") == 0) {
+        print_ir = false;
+      } else if (std::strcmp(argv[i], "-Oz") == 0) {
+        for (const auto& p : ozPassNames()) passes.push_back(p);
+      } else if (std::strcmp(argv[i], "-O3") == 0) {
+        for (const auto& p : o3PassNames()) passes.push_back(p);
+      } else {
+        for (const auto& p : parsePassSequence(argv[i])) passes.push_back(p);
+      }
+    }
+  } else {
+    std::fprintf(stderr,
+                 "usage: %s <file.mir> [-Oz | -O3 | -pass ...] [--run]\n"
+                 "       %s --selftest\n",
+                 argv[0], argv[0]);
+    return 1;
+  }
+
+  std::string err;
+  auto m = parseModule(source, &err);
+  if (m == nullptr) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 1;
+  }
+  const VerifyResult v0 = verifyModule(*m);
+  if (!v0.ok()) {
+    std::fprintf(stderr, "input does not verify:\n%s", v0.message().c_str());
+    return 1;
+  }
+
+  report("before", *m, run);
+  runPassSequence(*m, passes);
+  const VerifyResult v1 = verifyModule(*m);
+  if (!v1.ok()) {
+    std::fprintf(stderr, "IR broken after passes:\n%s", v1.message().c_str());
+    return 1;
+  }
+  report("after ", *m, run);
+  if (print_ir) std::printf("\n%s", printModule(*m).c_str());
+  return 0;
+}

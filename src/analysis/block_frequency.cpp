@@ -1,0 +1,117 @@
+#include "analysis/block_frequency.h"
+
+#include <algorithm>
+#include <map>
+
+#include "analysis/cfg.h"
+#include "analysis/dominators.h"
+#include "analysis/loop_info.h"
+#include "ir/basic_block.h"
+#include "ir/function.h"
+#include "ir/instruction.h"
+
+namespace posetrl {
+
+namespace {
+
+/// Estimated executions of a loop body per entry of the loop: the exact
+/// trip count for counted loops with constant bounds (capped), otherwise
+/// the static default. Trip-count awareness keeps the static throughput
+/// model consistent with real execution when unrolling/vectorization
+/// change the iteration structure.
+double loopTripEstimate(Loop* loop, double fallback) {
+  constexpr std::int64_t kSimLimit = 1 << 14;
+  constexpr double kCap = 256.0;
+
+  // Inline counted-loop matching (loop_utils lives in the passes layer;
+  // the analysis layer re-derives the small amount it needs).
+  BasicBlock* preheader = loop->preheader();
+  BasicBlock* latch = loop->singleLatch();
+  if (preheader == nullptr || latch == nullptr) return fallback;
+  PhiInst* iv = nullptr;
+  Instruction* iv_next = nullptr;
+  std::int64_t step = 0;
+  for (PhiInst* phi : loop->header()->phis()) {
+    if (!phi->type()->isInteger() || phi->numIncoming() != 2) continue;
+    const std::size_t latch_idx = phi->indexOfBlock(latch);
+    const std::size_t ph_idx = phi->indexOfBlock(preheader);
+    if (latch_idx == static_cast<std::size_t>(-1) ||
+        ph_idx == static_cast<std::size_t>(-1)) {
+      continue;
+    }
+    auto* next = dynCast<Instruction>(phi->incomingValue(latch_idx));
+    if (next == nullptr || next->opcode() != Opcode::Add) continue;
+    auto* step_c = dynCast<ConstantInt>(next->operand(1));
+    if (step_c == nullptr || step_c->isZero() || next->operand(0) != phi) {
+      continue;
+    }
+    auto* init_c = dynCast<ConstantInt>(phi->incomingValue(ph_idx));
+    if (init_c == nullptr) continue;
+    iv = phi;
+    iv_next = next;
+    step = step_c->value();
+    // Find the exiting conditional branch in header or latch.
+    for (BasicBlock* cand : {loop->header(), latch}) {
+      auto* cbr = dynCast<CondBrInst>(cand->terminator());
+      if (cbr == nullptr) continue;
+      const bool then_in = loop->contains(cbr->thenBlock());
+      const bool else_in = loop->contains(cbr->elseBlock());
+      if (then_in == else_in) continue;
+      auto* cmp = dynCast<ICmpInst>(cbr->condition());
+      if (cmp == nullptr) continue;
+      BasicBlock* exit_bb = then_in ? cbr->elseBlock() : cbr->thenBlock();
+      // Simulate.
+      const unsigned bits = iv->type()->intBits();
+      std::int64_t ivv = init_c->value();
+      for (std::int64_t k = 0; k < kSimLimit; ++k) {
+        const std::int64_t nextv =
+            ConstantInt::canonicalize(ivv + step, bits);
+        bool ok = true;
+        const auto operand_value = [&](const Value* v) -> std::int64_t {
+          if (v == iv) return ivv;
+          if (v == iv_next) return nextv;
+          if (const auto* c = dynCast<ConstantInt>(v)) return c->value();
+          ok = false;
+          return 0;
+        };
+        const std::int64_t lhs = operand_value(cmp->lhs());
+        const std::int64_t rhs = operand_value(cmp->rhs());
+        if (!ok) break;
+        const bool cv = ICmpInst::evaluate(cmp->pred(), lhs, rhs, bits);
+        if ((cbr->thenBlock() == exit_bb) == cv) {
+          return std::min(kCap, static_cast<double>(k + 1));
+        }
+        ivv = nextv;
+      }
+      return fallback;
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+BlockFrequency::BlockFrequency(Function& f, double assumed_trip_count) {
+  if (f.isDeclaration()) return;
+  DominatorTree dt(f);
+  LoopInfo li(f, dt);
+  // Per-loop trip estimates (exact for constant-bound counted loops).
+  std::map<Loop*, double> trips;
+  for (Loop* loop : li.loopsInnermostFirst()) {
+    trips[loop] = loopTripEstimate(loop, assumed_trip_count);
+  }
+  for (BasicBlock* b : dt.rpo()) {
+    double w = 1.0;
+    for (Loop* l = li.loopFor(b); l != nullptr; l = l->parent()) {
+      w *= std::max(1.0, trips[l]);
+    }
+    freq_[b] = w;
+  }
+}
+
+double BlockFrequency::frequency(BasicBlock* b) const {
+  auto it = freq_.find(b);
+  return it == freq_.end() ? 0.0 : it->second;
+}
+
+}  // namespace posetrl

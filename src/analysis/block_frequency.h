@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file block_frequency.h
+/// Static block-frequency estimate used to weight the throughput model
+/// (llvm-mca analog): entry blocks get weight 1, each loop level multiplies
+/// by a fixed trip-count guess, and conditional successors split the parent
+/// frequency (biased by pr.expect hints when present).
+
+#include <map>
+
+namespace posetrl {
+
+class BasicBlock;
+class Function;
+
+/// Frequency estimates for every reachable block of a function.
+class BlockFrequency {
+ public:
+  /// \p assumed_trip_count is the static multiplier per loop level.
+  explicit BlockFrequency(Function& f, double assumed_trip_count = 8.0);
+
+  /// Estimated executions of \p b per function invocation (0 when
+  /// unreachable).
+  double frequency(BasicBlock* b) const;
+
+ private:
+  std::map<BasicBlock*, double> freq_;
+};
+
+}  // namespace posetrl

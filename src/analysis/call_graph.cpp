@@ -1,0 +1,103 @@
+#include "analysis/call_graph.h"
+
+#include "ir/basic_block.h"
+#include "ir/function.h"
+#include "ir/global_variable.h"
+#include "ir/instruction.h"
+#include "ir/module.h"
+
+namespace posetrl {
+
+const std::set<Function*> CallGraph::kEmpty;
+
+CallGraph::CallGraph(Module& m) {
+  for (const auto& f : m.functions()) functions_.push_back(f.get());
+
+  for (const auto& f : m.functions()) {
+    for (const auto& bb : f->blocks()) {
+      for (const auto& inst : bb->insts()) {
+        const auto* call = dynCast<CallInst>(inst.get());
+        if (call == nullptr) continue;
+        if (Function* callee = call->calledFunction()) {
+          callees_[f.get()].insert(callee);
+          callers_[callee].insert(f.get());
+        } else {
+          has_indirect_.insert(f.get());
+        }
+        // A function passed as an argument (not the callee slot) escapes.
+        for (std::size_t i = 0; i < call->numArgs(); ++i) {
+          if (auto* fn = dynCast<Function>(call->arg(i))) {
+            address_taken_.insert(fn);
+          }
+        }
+      }
+    }
+  }
+  // Functions referenced from global initializers escape.
+  for (const auto& g : m.globals()) {
+    if (g->init().kind == GlobalInit::Kind::FuncPtr) {
+      address_taken_.insert(g->init().function);
+    }
+  }
+  // Functions stored by instructions (e.g. store @f, %p) escape.
+  for (const auto& f : m.functions()) {
+    for (const auto& bb : f->blocks()) {
+      for (const auto& inst : bb->insts()) {
+        if (auto* store = dynCast<StoreInst>(inst.get())) {
+          if (auto* fn = dynCast<Function>(store->value())) {
+            address_taken_.insert(fn);
+          }
+        }
+      }
+    }
+  }
+}
+
+const std::set<Function*>& CallGraph::callees(Function* f) const {
+  auto it = callees_.find(f);
+  return it == callees_.end() ? kEmpty : it->second;
+}
+
+const std::set<Function*>& CallGraph::callers(Function* f) const {
+  auto it = callers_.find(f);
+  return it == callers_.end() ? kEmpty : it->second;
+}
+
+std::vector<Function*> CallGraph::bottomUpOrder() const {
+  std::vector<Function*> order;
+  std::set<Function*> done;
+  std::set<Function*> in_progress;
+
+  // Iterative DFS emitting callees before callers; cycles are cut at the
+  // re-entry edge.
+  struct Frame {
+    Function* f;
+    std::vector<Function*> callees;
+    std::size_t next = 0;
+  };
+  for (Function* root : functions_) {
+    if (done.count(root)) continue;
+    std::vector<Frame> stack;
+    const auto push = [&](Function* f) {
+      in_progress.insert(f);
+      const auto& cs = callees(f);
+      stack.push_back({f, {cs.begin(), cs.end()}});
+    };
+    push(root);
+    while (!stack.empty()) {
+      Frame& top = stack.back();
+      if (top.next < top.callees.size()) {
+        Function* c = top.callees[top.next++];
+        if (!done.count(c) && !in_progress.count(c)) push(c);
+      } else {
+        order.push_back(top.f);
+        done.insert(top.f);
+        in_progress.erase(top.f);
+        stack.pop_back();
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace posetrl

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file call_graph.h
+/// Direct call graph with bottom-up (callee-first) traversal order. Used by
+/// the inliner, functionattrs/rpo-functionattrs, deadargelim and globaldce.
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace posetrl {
+
+class Function;
+class Module;
+
+/// Direct (non-indirect) call graph over a module.
+class CallGraph {
+ public:
+  explicit CallGraph(Module& m);
+
+  const std::set<Function*>& callees(Function* f) const;
+  const std::set<Function*>& callers(Function* f) const;
+
+  /// True when \p f's address escapes (stored in a global initializer or
+  /// used as a non-callee operand), so unknown callers must be assumed.
+  bool addressTaken(Function* f) const { return address_taken_.count(f) > 0; }
+
+  /// Whether \p f contains any indirect call (callee unknown).
+  bool hasIndirectCalls(Function* f) const {
+    return has_indirect_.count(f) > 0;
+  }
+
+  /// Functions ordered callees-first; members of call cycles appear in an
+  /// arbitrary order relative to each other.
+  std::vector<Function*> bottomUpOrder() const;
+
+ private:
+  std::map<Function*, std::set<Function*>> callees_;
+  std::map<Function*, std::set<Function*>> callers_;
+  std::set<Function*> address_taken_;
+  std::set<Function*> has_indirect_;
+  std::vector<Function*> functions_;
+  static const std::set<Function*> kEmpty;
+};
+
+}  // namespace posetrl

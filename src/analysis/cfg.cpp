@@ -1,0 +1,61 @@
+#include "analysis/cfg.h"
+
+#include <algorithm>
+
+#include "ir/basic_block.h"
+#include "ir/function.h"
+
+namespace posetrl {
+
+std::vector<BasicBlock*> reachableBlocks(Function& f) {
+  std::vector<BasicBlock*> order;
+  if (f.isDeclaration()) return order;
+  std::set<BasicBlock*> seen;
+  std::vector<BasicBlock*> stack{f.entry()};
+  seen.insert(f.entry());
+  while (!stack.empty()) {
+    BasicBlock* bb = stack.back();
+    stack.pop_back();
+    order.push_back(bb);
+    for (BasicBlock* s : bb->successors()) {
+      if (seen.insert(s).second) stack.push_back(s);
+    }
+  }
+  return order;
+}
+
+std::vector<BasicBlock*> postOrder(Function& f) {
+  std::vector<BasicBlock*> order;
+  if (f.isDeclaration()) return order;
+  std::set<BasicBlock*> seen;
+  // Iterative post-order DFS.
+  struct Frame {
+    BasicBlock* block;
+    std::vector<BasicBlock*> succs;
+    std::size_t next = 0;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({f.entry(), f.entry()->successors()});
+  seen.insert(f.entry());
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next < top.succs.size()) {
+      BasicBlock* s = top.succs[top.next++];
+      if (seen.insert(s).second) {
+        stack.push_back({s, s->successors()});
+      }
+    } else {
+      order.push_back(top.block);
+      stack.pop_back();
+    }
+  }
+  return order;
+}
+
+std::vector<BasicBlock*> reversePostOrder(Function& f) {
+  std::vector<BasicBlock*> order = postOrder(f);
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+}  // namespace posetrl

@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file cfg.h
+/// CFG traversal helpers shared by analyses and passes.
+
+#include <set>
+#include <vector>
+
+namespace posetrl {
+
+class BasicBlock;
+class Function;
+
+/// Blocks reachable from the entry, in depth-first discovery order.
+std::vector<BasicBlock*> reachableBlocks(Function& f);
+
+/// Reverse post-order over reachable blocks (defs-before-uses friendly).
+std::vector<BasicBlock*> reversePostOrder(Function& f);
+
+/// Post-order over reachable blocks.
+std::vector<BasicBlock*> postOrder(Function& f);
+
+}  // namespace posetrl

@@ -1,0 +1,128 @@
+#include "analysis/dominators.h"
+
+#include "analysis/cfg.h"
+#include "ir/basic_block.h"
+#include "ir/function.h"
+#include "ir/instruction.h"
+#include "support/error.h"
+
+namespace posetrl {
+
+const std::vector<BasicBlock*> DominatorTree::kEmptyChildren;
+const std::set<BasicBlock*> DominatorTree::kEmptyFrontier;
+
+DominatorTree::DominatorTree(Function& f) : function_(f) {
+  rpo_ = reversePostOrder(f);
+  for (std::size_t i = 0; i < rpo_.size(); ++i) rpo_index_[rpo_[i]] = i;
+  if (rpo_.empty()) return;
+
+  BasicBlock* entry = rpo_.front();
+  idom_[entry] = nullptr;
+
+  // Cooper–Harvey–Kennedy "engineered" iterative algorithm.
+  const auto intersect = [&](BasicBlock* a, BasicBlock* b) {
+    while (a != b) {
+      while (rpo_index_.at(a) > rpo_index_.at(b)) a = idom_.at(a);
+      while (rpo_index_.at(b) > rpo_index_.at(a)) b = idom_.at(b);
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 1; i < rpo_.size(); ++i) {
+      BasicBlock* b = rpo_[i];
+      BasicBlock* new_idom = nullptr;
+      for (BasicBlock* p : b->predecessors()) {
+        if (!rpo_index_.count(p)) continue;  // Unreachable predecessor.
+        if (!idom_.count(p)) continue;       // Not processed yet.
+        if (new_idom == nullptr) {
+          new_idom = p;
+        } else {
+          new_idom = intersect(p, new_idom);
+        }
+      }
+      POSETRL_CHECK(new_idom != nullptr,
+                    "reachable block without processed predecessor");
+      auto it = idom_.find(b);
+      if (it == idom_.end() || it->second != new_idom) {
+        idom_[b] = new_idom;
+        changed = true;
+      }
+    }
+  }
+
+  for (BasicBlock* b : rpo_) {
+    if (BasicBlock* d = idom_.at(b)) children_[d].push_back(b);
+  }
+
+  // Dominance frontiers (Cooper–Harvey–Kennedy).
+  for (BasicBlock* b : rpo_) {
+    const auto preds = b->predecessors();
+    std::size_t reachable_preds = 0;
+    for (BasicBlock* p : preds) {
+      if (rpo_index_.count(p)) ++reachable_preds;
+    }
+    if (reachable_preds < 2) continue;
+    for (BasicBlock* p : preds) {
+      if (!rpo_index_.count(p)) continue;
+      BasicBlock* runner = p;
+      while (runner != idom_.at(b)) {
+        frontier_[runner].insert(b);
+        runner = idom_.at(runner);
+      }
+    }
+  }
+}
+
+BasicBlock* DominatorTree::idom(BasicBlock* b) const {
+  auto it = idom_.find(b);
+  return it == idom_.end() ? nullptr : it->second;
+}
+
+bool DominatorTree::dominates(BasicBlock* a, BasicBlock* b) const {
+  if (a == b) return true;
+  if (!rpo_index_.count(a) || !rpo_index_.count(b)) return false;
+  const std::size_t limit = rpo_index_.at(a);
+  BasicBlock* runner = b;
+  while (runner != nullptr && rpo_index_.at(runner) > limit) {
+    runner = idom_.at(runner);
+  }
+  return runner == a;
+}
+
+bool DominatorTree::dominatesUse(const Instruction* def,
+                                 const Instruction* user) const {
+  auto* def_bb = def->parent();
+  auto* use_bb = user->parent();
+  if (user->opcode() == Opcode::Phi) {
+    const auto* phi = static_cast<const PhiInst*>(user);
+    // The def must dominate every incoming edge that carries it.
+    for (std::size_t i = 0; i < phi->numIncoming(); ++i) {
+      if (phi->incomingValue(i) != def) continue;
+      if (!dominates(def_bb, phi->incomingBlock(i))) return false;
+    }
+    return true;
+  }
+  if (def_bb == use_bb) {
+    for (const auto& inst : def_bb->insts()) {
+      if (inst.get() == def) return true;
+      if (inst.get() == user) return false;
+    }
+    POSETRL_UNREACHABLE("instructions not found in their block");
+  }
+  return dominates(def_bb, use_bb);
+}
+
+const std::vector<BasicBlock*>& DominatorTree::children(BasicBlock* b) const {
+  auto it = children_.find(b);
+  return it == children_.end() ? kEmptyChildren : it->second;
+}
+
+const std::set<BasicBlock*>& DominatorTree::frontier(BasicBlock* b) const {
+  auto it = frontier_.find(b);
+  return it == frontier_.end() ? kEmptyFrontier : it->second;
+}
+
+}  // namespace posetrl

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file dominators.h
+/// Dominator tree (Cooper–Harvey–Kennedy algorithm) and dominance frontiers.
+/// Used by mem2reg (phi placement), LICM, GVN/early-CSE scoping, and the
+/// loop analyses.
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace posetrl {
+
+class BasicBlock;
+class Function;
+class Instruction;
+class Value;
+
+/// Immutable dominator tree over the reachable blocks of one function.
+class DominatorTree {
+ public:
+  explicit DominatorTree(Function& f);
+
+  /// Immediate dominator; nullptr for the entry block and for blocks not
+  /// reachable from entry.
+  BasicBlock* idom(BasicBlock* b) const;
+
+  /// True when \p a dominates \p b (reflexive).
+  bool dominates(BasicBlock* a, BasicBlock* b) const;
+
+  /// True when instruction \p def dominates the use site \p user. Phi uses
+  /// are checked against the incoming edge's predecessor terminator.
+  bool dominatesUse(const Instruction* def, const Instruction* user) const;
+
+  /// Children in the dominator tree.
+  const std::vector<BasicBlock*>& children(BasicBlock* b) const;
+
+  /// Dominance frontier of \p b.
+  const std::set<BasicBlock*>& frontier(BasicBlock* b) const;
+
+  /// Blocks in reverse post-order (entry first).
+  const std::vector<BasicBlock*>& rpo() const { return rpo_; }
+
+  bool isReachable(BasicBlock* b) const { return rpo_index_.count(b) > 0; }
+
+ private:
+  Function& function_;
+  std::vector<BasicBlock*> rpo_;
+  std::map<BasicBlock*, std::size_t> rpo_index_;
+  std::map<BasicBlock*, BasicBlock*> idom_;
+  std::map<BasicBlock*, std::vector<BasicBlock*>> children_;
+  std::map<BasicBlock*, std::set<BasicBlock*>> frontier_;
+  static const std::vector<BasicBlock*> kEmptyChildren;
+  static const std::set<BasicBlock*> kEmptyFrontier;
+};
+
+}  // namespace posetrl

@@ -1,0 +1,81 @@
+#include "core/environment.h"
+
+#include "ir/clone.h"
+#include "ir/module.h"
+#include "passes/pass.h"
+#include "support/error.h"
+
+namespace posetrl {
+
+PhaseOrderEnv::PhaseOrderEnv(const Module& program,
+                             const std::vector<SubSequence>& actions,
+                             EnvConfig config)
+    : config_(config),
+      actions_(&actions),
+      pristine_(cloneModule(program)),
+      size_model_(TargetInfo::forArch(config.arch)),
+      mca_model_(TargetInfo::forArch(config.arch)),
+      embedder_(config.embedding) {
+  POSETRL_CHECK(!actions.empty(), "environment needs a non-empty action space");
+  base_size_ = size_model_.objectBytes(*pristine_);
+  base_cycles_ = mca_model_.moduleEstimate(*pristine_).weighted_cycles;
+  base_throughput_ = mca_model_.moduleEstimate(*pristine_).throughput();
+  POSETRL_CHECK(base_size_ > 0.0, "program has zero base size");
+}
+
+PhaseOrderEnv::~PhaseOrderEnv() = default;
+
+Embedding PhaseOrderEnv::reset() {
+  working_ = cloneModule(*pristine_);
+  last_size_ = size_model_.objectBytes(*working_);
+  const ThroughputEstimate est = mca_model_.moduleEstimate(*working_);
+  last_cycles_ = est.weighted_cycles;
+  last_throughput_ = est.throughput();
+  steps_in_episode_ = 0;
+  return embedder_.embedProgram(*working_);
+}
+
+PhaseOrderEnv::StepResult PhaseOrderEnv::step(std::size_t index) {
+  POSETRL_CHECK(working_ != nullptr, "step() before reset()");
+  POSETRL_CHECK(index < actions_->size(), "action index out of range");
+
+  runPassSequence(*working_, (*actions_)[index].passes,
+                  /*verify_each=*/false);
+
+  const double size = size_model_.objectBytes(*working_);
+  const ThroughputEstimate est = mca_model_.moduleEstimate(*working_);
+
+  // Paper Eqns 2 & 3: deltas between consecutive states, normalized by the
+  // unoptimized program's metrics. The throughput component is expressed as
+  // estimated-cycle reduction relative to the unoptimized cycles — the
+  // exact mirror of Eqn 2 — so both components live on the same [0,1]-ish
+  // scale and the paper's α=10 > β=5 ordering genuinely weights size more.
+  const double r_binsize = (last_size_ - size) / base_size_;
+  const double r_throughput =
+      base_cycles_ > 0.0
+          ? (last_cycles_ - est.weighted_cycles) / base_cycles_
+          : 0.0;
+  const double reward =
+      config_.alpha * r_binsize + config_.beta * r_throughput;  // Eqn 1.
+
+  last_size_ = size;
+  last_cycles_ = est.weighted_cycles;
+  last_throughput_ = est.throughput();
+  ++steps_in_episode_;
+
+  StepResult result;
+  result.state = embedder_.embedProgram(*working_);
+  result.reward = reward;
+  result.done = steps_in_episode_ >= config_.episode_length;
+  return result;
+}
+
+double PhaseOrderEnv::currentSize() const { return last_size_; }
+double PhaseOrderEnv::currentThroughput() const { return last_throughput_; }
+
+Module& PhaseOrderEnv::workingModule() {
+  POSETRL_CHECK(working_ != nullptr, "no working module before reset()");
+  return *working_;
+}
+
+}  // namespace posetrl

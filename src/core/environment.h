@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file environment.h
+/// The RL environment of Fig. 3: state = IR2Vec-style program embedding,
+/// action = applying one pass sub-sequence with the optimizer, reward =
+/// α·R_BinSize + β·R_Throughput (Eqns 1–3, α=10, β=5) where sizes come
+/// from the object-size model and throughput from the llvm-mca analog.
+
+#include <memory>
+#include <vector>
+
+#include "core/oz_sequence.h"
+#include "embed/embedder.h"
+#include "target/mca_model.h"
+#include "target/size_model.h"
+#include "target/target_info.h"
+
+namespace posetrl {
+
+class Module;
+
+/// Environment parameters (paper defaults).
+struct EnvConfig {
+  TargetArch arch = TargetArch::X86_64;
+  double alpha = 10.0;  ///< Weight of the size reward (paper: 10).
+  double beta = 5.0;    ///< Weight of the throughput reward (paper: 5).
+  int episode_length = 15;
+  EmbeddingConfig embedding;
+};
+
+/// Phase-ordering environment over one program.
+class PhaseOrderEnv {
+ public:
+  /// \p program is the unoptimized module; the environment keeps a pristine
+  /// copy and works on clones, so episodes are independent.
+  PhaseOrderEnv(const Module& program,
+                const std::vector<SubSequence>& actions, EnvConfig config);
+  ~PhaseOrderEnv();
+
+  std::size_t numActions() const { return actions_->size(); }
+  const EnvConfig& config() const { return config_; }
+
+  /// Starts a fresh episode on a pristine clone; returns the initial state.
+  Embedding reset();
+
+  struct StepResult {
+    Embedding state;
+    double reward = 0.0;
+    bool done = false;
+  };
+
+  /// Applies action \p index (one pass sub-sequence) to the working module.
+  StepResult step(std::size_t index);
+
+  // --- metrics of the working module ---
+  double currentSize() const;
+  double currentThroughput() const;
+  /// Metrics of the unoptimized program (reward denominators, Eqns 2–3).
+  double baseSize() const { return base_size_; }
+  double baseThroughput() const { return base_throughput_; }
+  /// The working module (e.g. to measure or print after a rollout).
+  Module& workingModule();
+
+ private:
+  EnvConfig config_;
+  const std::vector<SubSequence>* actions_;
+  std::unique_ptr<Module> pristine_;
+  std::unique_ptr<Module> working_;
+  SizeModel size_model_;
+  McaModel mca_model_;
+  Embedder embedder_;
+  double base_size_ = 0.0;
+  double base_cycles_ = 0.0;
+  double base_throughput_ = 0.0;
+  double last_size_ = 0.0;
+  double last_cycles_ = 0.0;
+  double last_throughput_ = 0.0;
+  int steps_in_episode_ = 0;
+};
+
+}  // namespace posetrl

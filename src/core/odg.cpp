@@ -1,0 +1,87 @@
+#include "core/odg.h"
+
+#include <algorithm>
+
+namespace posetrl {
+
+const std::set<std::string> OzDependenceGraph::kEmpty;
+
+OzDependenceGraph::OzDependenceGraph(
+    const std::vector<std::string>& sequence) {
+  for (const std::string& p : sequence) nodes_.insert(p);
+  for (std::size_t i = 0; i + 1 < sequence.size(); ++i) {
+    const std::string& a = sequence[i];
+    const std::string& b = sequence[i + 1];
+    if (a == b) continue;
+    if (succ_[a].insert(b).second) ++edge_count_;
+    pred_[b].insert(a);
+  }
+}
+
+const std::set<std::string>& OzDependenceGraph::successors(
+    const std::string& pass) const {
+  auto it = succ_.find(pass);
+  return it == succ_.end() ? kEmpty : it->second;
+}
+
+const std::set<std::string>& OzDependenceGraph::predecessors(
+    const std::string& pass) const {
+  auto it = pred_.find(pass);
+  return it == pred_.end() ? kEmpty : it->second;
+}
+
+std::size_t OzDependenceGraph::degree(const std::string& pass) const {
+  return successors(pass).size() + predecessors(pass).size();
+}
+
+std::vector<std::string> OzDependenceGraph::criticalNodes(
+    std::size_t k) const {
+  std::vector<std::string> out;
+  for (const std::string& n : nodes_) {
+    if (degree(n) >= k) out.push_back(n);
+  }
+  return out;
+}
+
+std::vector<std::vector<std::string>> OzDependenceGraph::subSequenceWalks(
+    std::size_t k, std::size_t max_walks) const {
+  const std::vector<std::string> critical_list = criticalNodes(k);
+  const std::set<std::string> critical(critical_list.begin(),
+                                       critical_list.end());
+  std::set<std::vector<std::string>> walks;
+
+  // DFS over simple paths from each critical node; a path is emitted when
+  // it runs into another critical node (exclusive) or a dead end.
+  struct Frame {
+    std::vector<std::string> path;
+  };
+  for (const std::string& start : critical_list) {
+    std::vector<Frame> stack{{std::vector<std::string>{start}}};
+    while (!stack.empty() && walks.size() < max_walks) {
+      Frame frame = std::move(stack.back());
+      stack.pop_back();
+      const std::string& tail = frame.path.back();
+      bool extended = false;
+      for (const std::string& next : successors(tail)) {
+        if (critical.count(next)) {
+          walks.insert(frame.path);
+          continue;
+        }
+        if (std::find(frame.path.begin(), frame.path.end(), next) !=
+            frame.path.end()) {
+          continue;  // Keep walks simple.
+        }
+        Frame child = frame;
+        child.path.push_back(next);
+        stack.push_back(std::move(child));
+        extended = true;
+      }
+      if (!extended && successors(tail).empty()) {
+        walks.insert(frame.path);
+      }
+    }
+  }
+  return {walks.begin(), walks.end()};
+}
+
+}  // namespace posetrl

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file odg.h
+/// The Oz Dependence Graph (ODG) of Section IV-B / Fig. 4: nodes are the
+/// unique passes of the Oz sequence, with an edge for every consecutive
+/// pair. Nodes whose degree exceeds a threshold k are *critical nodes*;
+/// walking the graph from critical node to critical node yields the
+/// sub-sequence action space of Table III.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace posetrl {
+
+/// Builds and queries the ODG for a given pass sequence.
+class OzDependenceGraph {
+ public:
+  /// Constructs the graph from \p sequence (consecutive pairs -> edges).
+  explicit OzDependenceGraph(const std::vector<std::string>& sequence);
+
+  /// Unique pass names (nodes).
+  const std::set<std::string>& nodes() const { return nodes_; }
+
+  /// Unique successors of \p pass (passes that directly follow it in Oz).
+  const std::set<std::string>& successors(const std::string& pass) const;
+
+  /// Unique predecessors of \p pass.
+  const std::set<std::string>& predecessors(const std::string& pass) const;
+
+  /// Node degree: number of distinct neighbours counted per direction
+  /// (|preds| + |succs|) — the measure under which the paper reports
+  /// simplifycfg:11, instcombine:10, loop-simplify:8.
+  std::size_t degree(const std::string& pass) const;
+
+  /// Nodes with degree >= \p k, the paper's critical nodes (k >= 8).
+  std::vector<std::string> criticalNodes(std::size_t k = 8) const;
+
+  /// Enumerates simple walks that start at a critical node, follow
+  /// successor edges through non-critical nodes, and stop on reaching
+  /// another critical node (exclusive) or a dead end. Deduplicated and
+  /// sorted; capped at \p max_walks.
+  std::vector<std::vector<std::string>> subSequenceWalks(
+      std::size_t k = 8, std::size_t max_walks = 256) const;
+
+  std::size_t edgeCount() const { return edge_count_; }
+
+ private:
+  std::set<std::string> nodes_;
+  std::map<std::string, std::set<std::string>> succ_;
+  std::map<std::string, std::set<std::string>> pred_;
+  std::size_t edge_count_ = 0;
+  static const std::set<std::string> kEmpty;
+};
+
+}  // namespace posetrl

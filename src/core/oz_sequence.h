@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file oz_sequence.h
+/// The paper's pass-sequence data: the LLVM-10 -Oz transformation sequence
+/// (Table I), the 15 manually grouped sub-sequences (Table II), and the 34
+/// ODG-derived sub-sequences (Table III). These sub-sequences form the two
+/// RL action spaces evaluated in the paper.
+
+#include <string>
+#include <vector>
+
+namespace posetrl {
+
+/// One action: an ordered list of pass names.
+struct SubSequence {
+  int id = 0;  ///< 1-based row number from the paper's table.
+  std::vector<std::string> passes;
+
+  /// "-pass1 -pass2 ..." rendering.
+  std::string str() const;
+};
+
+/// The -Oz sequence of Table I as pass names, in order.
+const std::vector<std::string>& ozPassNames();
+
+/// Table I rendered as a flag string.
+std::string ozSequenceString();
+
+/// An O3-flavoured pipeline (used by the Fig. 1 baseline): same pass set
+/// with speed-oriented ordering and aggressive loop transforms up front.
+const std::vector<std::string>& o3PassNames();
+
+/// Table II: the 15 manual sub-sequences.
+const std::vector<SubSequence>& manualSubSequences();
+
+/// Table III: the 34 ODG sub-sequences.
+const std::vector<SubSequence>& odgSubSequences();
+
+}  // namespace posetrl

@@ -1,0 +1,35 @@
+#include "core/policy.h"
+
+#include "ir/clone.h"
+#include "ir/module.h"
+#include "passes/pass.h"
+
+namespace posetrl {
+
+PolicyRollout applyPolicy(const DoubleDqn& agent, const Module& program,
+                          const std::vector<SubSequence>& actions,
+                          const EnvConfig& config) {
+  PhaseOrderEnv env(program, actions, config);
+  Embedding state = env.reset();
+  PolicyRollout rollout;
+  bool done = false;
+  while (!done) {
+    const std::size_t action = agent.actGreedy(state);
+    rollout.action_sequence.push_back(action);
+    PhaseOrderEnv::StepResult sr = env.step(action);
+    state = std::move(sr.state);
+    done = sr.done;
+  }
+  rollout.size_bytes = env.currentSize();
+  rollout.optimized = cloneModule(env.workingModule());
+  return rollout;
+}
+
+std::unique_ptr<Module> applyPipeline(
+    const Module& program, const std::vector<std::string>& passes) {
+  std::unique_ptr<Module> m = cloneModule(program);
+  runPassSequence(*m, passes, /*verify_each=*/false);
+  return m;
+}
+
+}  // namespace posetrl

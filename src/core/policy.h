@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file policy.h
+/// Greedy deployment of a trained agent on one program, plus the
+/// size/runtime comparison against the stock -Oz pipeline used throughout
+/// the paper's evaluation (Tables IV & V, Fig. 5).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/environment.h"
+#include "rl/dqn.h"
+
+namespace posetrl {
+
+class Module;
+
+/// Result of applying a trained policy to one program.
+struct PolicyRollout {
+  std::vector<std::size_t> action_sequence;  ///< Chosen sub-sequence ids.
+  std::unique_ptr<Module> optimized;         ///< Program after the rollout.
+  double size_bytes = 0.0;                   ///< Modeled object size.
+};
+
+/// Rolls out the greedy policy for `config.episode_length` actions.
+PolicyRollout applyPolicy(const DoubleDqn& agent, const Module& program,
+                          const std::vector<SubSequence>& actions,
+                          const EnvConfig& config);
+
+/// Applies a fixed pass pipeline (e.g. ozPassNames()) to a clone of
+/// \p program and returns the optimized module.
+std::unique_ptr<Module> applyPipeline(const Module& program,
+                                      const std::vector<std::string>& passes);
+
+}  // namespace posetrl

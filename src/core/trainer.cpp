@@ -1,0 +1,101 @@
+#include "core/trainer.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "ir/module.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace posetrl {
+
+TrainResult trainAgent(const std::vector<const Module*>& corpus,
+                       const TrainConfig& config) {
+  POSETRL_CHECK(!corpus.empty(), "training corpus is empty");
+  TrainResult result;
+  result.agent = std::make_unique<DoubleDqn>(config.agent);
+  DoubleDqn& agent = *result.agent;
+
+  // One environment per program, constructed lazily and cached (the action
+  // space must match the agent's head count).
+  const std::vector<SubSequence>& actions =
+      config.agent.num_actions == manualSubSequences().size()
+          ? manualSubSequences()
+          : odgSubSequences();
+  POSETRL_CHECK(actions.size() == config.agent.num_actions,
+                "agent head count must match an action-space size");
+
+  std::vector<std::unique_ptr<PhaseOrderEnv>> envs(corpus.size());
+  Rng rng(config.seed);
+
+  std::size_t steps = 0;
+  double reward_sum_all = 0.0;
+  while (steps < config.total_steps) {
+    const std::size_t pi = rng.nextBelow(corpus.size());
+    if (envs[pi] == nullptr) {
+      envs[pi] = std::make_unique<PhaseOrderEnv>(*corpus[pi], actions,
+                                                 config.env);
+    }
+    PhaseOrderEnv& env = *envs[pi];
+    Embedding state = env.reset();
+    double episode_reward = 0.0;
+    bool done = false;
+    std::vector<Transition> episode;
+    while (!done && steps < config.total_steps) {
+      const std::size_t action = agent.act(state, /*explore=*/true);
+      PhaseOrderEnv::StepResult sr = env.step(action);
+      Transition t;
+      t.state = std::move(state);
+      t.action = action;
+      t.reward = sr.reward;
+      t.next_state = sr.state;
+      t.done = sr.done;
+      episode.push_back(std::move(t));
+      state = std::move(sr.state);
+      episode_reward += sr.reward;
+      done = sr.done;
+      ++steps;
+    }
+    // Attach Monte-Carlo returns (discounted reward-to-go) when enabled,
+    // then feed the episode into the replay memory.
+    if (config.agent.mc_returns) {
+      double g = 0.0;
+      for (auto it = episode.rbegin(); it != episode.rend(); ++it) {
+        g = it->reward + config.agent.gamma * g;
+        it->mc_return = g;
+        it->use_mc = true;
+      }
+    }
+    for (Transition& t : episode) agent.observe(std::move(t));
+    result.stats.episode_rewards.push_back(episode_reward);
+    reward_sum_all += episode_reward;
+    ++result.stats.episodes;
+    if (config.verbose && result.stats.episodes % 10 == 0) {
+      std::fprintf(stderr,
+                   "[train] episode %zu steps %zu eps %.3f reward %.3f\n",
+                   result.stats.episodes, steps, agent.epsilon(),
+                   episode_reward);
+    }
+  }
+  result.stats.steps = steps;
+  result.stats.mean_episode_reward =
+      result.stats.episodes > 0
+          ? reward_sum_all / static_cast<double>(result.stats.episodes)
+          : 0.0;
+  result.stats.final_epsilon = agent.epsilon();
+  return result;
+}
+
+void saveAgentToFile(const DoubleDqn& agent, const std::string& path) {
+  std::ofstream os(path);
+  POSETRL_CHECK(os.good(), "cannot open model file for writing: ", path);
+  agent.saveModel(os);
+}
+
+void loadAgentFromFile(DoubleDqn& agent, const std::string& path) {
+  std::ifstream is(path);
+  POSETRL_CHECK(is.good(), "cannot open model file: ", path);
+  agent.loadModel(is);
+}
+
+}  // namespace posetrl

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file trainer.h
+/// Training loop of the POSET-RL agent: episodes cycle over the training
+/// corpus (the paper uses 130 llvm-test-suite single-source programs); each
+/// episode rolls the ε-greedy policy for a fixed number of steps, feeding
+/// transitions into the Double DQN's replay memory.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/environment.h"
+#include "rl/dqn.h"
+
+namespace posetrl {
+
+class Module;
+
+/// Training-run parameters.
+struct TrainConfig {
+  EnvConfig env;
+  DqnConfig agent;
+  /// Total environment steps (the paper trains 1005 steps/iteration for
+  /// many iterations; benchmarks here use reduced budgets).
+  std::size_t total_steps = 2000;
+  std::uint64_t seed = 7;
+  bool verbose = false;
+};
+
+/// Summary statistics of a training run.
+struct TrainStats {
+  std::size_t episodes = 0;
+  std::size_t steps = 0;
+  double mean_episode_reward = 0.0;
+  double final_epsilon = 0.0;
+  std::vector<double> episode_rewards;
+};
+
+/// Trains an agent over \p corpus (unoptimized modules). The returned agent
+/// is ready for greedy deployment. Every program must outlive the call.
+struct TrainResult {
+  std::unique_ptr<DoubleDqn> agent;
+  TrainStats stats;
+};
+
+TrainResult trainAgent(const std::vector<const Module*>& corpus,
+                       const TrainConfig& config);
+
+/// Serialization helpers for trained models.
+void saveAgentToFile(const DoubleDqn& agent, const std::string& path);
+void loadAgentFromFile(DoubleDqn& agent, const std::string& path);
+
+}  // namespace posetrl

@@ -1,0 +1,143 @@
+#include "embed/embedder.h"
+
+#include <cmath>
+#include <map>
+#include <string>
+
+#include "ir/basic_block.h"
+#include "ir/function.h"
+#include "ir/global_variable.h"
+#include "ir/instruction.h"
+#include "ir/module.h"
+#include "support/hashing.h"
+#include "support/rng.h"
+
+namespace posetrl {
+
+Embedder::Embedder(EmbeddingConfig config) : config_(config) {}
+
+Embedding Embedder::entityVector(const std::string& entity) const {
+  // Seeded by a stable hash of the entity name: the "vocabulary" needs no
+  // training run to exist (IR2Vec's seed vocabulary plays the same role).
+  Rng rng(fnv1a(entity) ^ config_.vocab_seed);
+  Embedding v(static_cast<std::size_t>(config_.dim));
+  const double scale = 1.0 / std::sqrt(static_cast<double>(config_.dim));
+  for (double& x : v) x = rng.nextGaussian() * scale;
+  return v;
+}
+
+const Embedding& Embedder::cachedEntity(const std::string& entity) const {
+  auto it = entity_cache_.find(entity);
+  if (it != entity_cache_.end()) return it->second;
+  return entity_cache_.emplace(entity, entityVector(entity)).first->second;
+}
+
+void Embedder::accumulate(Embedding& into, const Embedding& from,
+                          double scale) const {
+  for (std::size_t i = 0; i < into.size(); ++i) into[i] += scale * from[i];
+}
+
+const char* Embedder::operandKind(const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::ConstantInt:
+    case Value::Kind::ConstantFloat:
+    case Value::Kind::ConstantNull:
+    case Value::Kind::Undef:
+      return "operand:const";
+    case Value::Kind::Argument:
+      return "operand:arg";
+    case Value::Kind::BasicBlock:
+      return "operand:label";
+    case Value::Kind::GlobalVariable:
+      return "operand:global";
+    case Value::Kind::Function:
+      return "operand:function";
+    case Value::Kind::Instruction:
+      return "operand:var";
+  }
+  return "operand:var";
+}
+
+Embedding Embedder::embedInstruction(const Instruction& inst) const {
+  Embedding v(static_cast<std::size_t>(config_.dim), 0.0);
+  std::string op_entity = std::string("opcode:") + opcodeName(inst.opcode());
+  if (inst.opcode() == Opcode::ICmp) {
+    op_entity += ":";
+    op_entity += ICmpInst::predName(static_cast<const ICmpInst&>(inst).pred());
+  }
+  accumulate(v, cachedEntity(op_entity), config_.weight_opcode);
+  accumulate(v, cachedEntity("type:" + inst.type()->str()),
+             config_.weight_type);
+  for (const Value* operand : inst.operands()) {
+    accumulate(v, cachedEntity(operandKind(*operand)),
+               config_.weight_operand);
+  }
+  if (inst.vectorWidth() > 1) {
+    accumulate(v, cachedEntity("attr:vector"), config_.weight_type);
+  }
+  return v;
+}
+
+Embedding Embedder::embedFunction(const Function& f) const {
+  const std::size_t dim = static_cast<std::size_t>(config_.dim);
+  // Symbolic vectors first.
+  std::map<const Instruction*, Embedding> vec;
+  for (const auto& bb : f.blocks()) {
+    for (const auto& inst : bb->insts()) {
+      vec[inst.get()] = embedInstruction(*inst);
+    }
+  }
+  // Flow-aware refinement along use-def edges: each instruction absorbs a
+  // fraction of its producers' embeddings (reaching-definition flavour).
+  for (int round = 0; round < config_.flow_rounds; ++round) {
+    std::map<const Instruction*, Embedding> next = vec;
+    for (auto& [inst, v] : next) {
+      std::size_t producers = 0;
+      for (const Value* op : inst->operands()) {
+        if (isa<Instruction>(op)) ++producers;
+      }
+      if (producers == 0) continue;
+      const double share = config_.flow_rate / static_cast<double>(producers);
+      for (const Value* op : inst->operands()) {
+        const auto* def = dynCast<Instruction>(op);
+        if (def == nullptr) continue;
+        auto it = vec.find(def);
+        if (it != vec.end()) accumulate(v, it->second, share);
+      }
+    }
+    vec = std::move(next);
+  }
+  // Sum in deterministic (block/instruction) order: map iteration order is
+  // pointer-based and would make the floating-point sum run-dependent.
+  Embedding out(dim, 0.0);
+  for (const auto& bb : f.blocks()) {
+    for (const auto& inst : bb->insts()) {
+      accumulate(out, vec.at(inst.get()), 1.0);
+    }
+  }
+  return out;
+}
+
+Embedding Embedder::embedProgram(const Module& m) const {
+  Embedding out(static_cast<std::size_t>(config_.dim), 0.0);
+  for (const auto& f : m.functions()) {
+    if (f->isDeclaration()) continue;
+    accumulate(out, embedFunction(*f), 1.0);
+  }
+  // Globals contribute a light data-shape signal.
+  for (const auto& g : m.globals()) {
+    accumulate(out, cachedEntity("global:" + g->valueType()->str()), 0.25);
+  }
+  // Normalize magnitude so programs of very different sizes stay in a
+  // comparable numeric range for the Q-network.
+  double norm = 0.0;
+  for (double x : out) norm += x * x;
+  norm = std::sqrt(norm);
+  if (norm > 1e-9) {
+    const double scale = std::log1p(norm) / norm;
+    for (double& x : out) x *= scale;
+  }
+  return out;
+}
+
+}  // namespace posetrl

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file embedder.h
+/// IR2Vec-style program embeddings (the RL state representation). Mirrors
+/// the published IR2Vec structure: a seed vocabulary assigns each
+/// fundamental IR entity (opcode, type, operand kind) a deterministic
+/// d-dimensional vector; instruction embeddings combine opcode/type/operand
+/// vectors with fixed weights; a flow-aware refinement mixes in use-def
+/// producers; function and program embeddings aggregate upwards. Programs
+/// are represented as 300-dimensional vectors, as in the paper.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace posetrl {
+
+class Module;
+class Function;
+class Instruction;
+class Value;
+
+/// Configuration of the embedding space.
+struct EmbeddingConfig {
+  int dim = 300;
+  std::uint64_t vocab_seed = 0x49523256;  // "IR2V"
+  double weight_opcode = 1.0;
+  double weight_type = 0.5;
+  double weight_operand = 0.2;
+  /// Flow refinement: how much of the producers' embeddings flows into a
+  /// consumer, and how many propagation rounds run.
+  double flow_rate = 0.2;
+  int flow_rounds = 2;
+};
+
+using Embedding = std::vector<double>;
+
+/// Computes deterministic, flow-aware embeddings of MiniIR entities.
+class Embedder {
+ public:
+  explicit Embedder(EmbeddingConfig config = {});
+
+  const EmbeddingConfig& config() const { return config_; }
+
+  /// Seed vector of a named vocabulary entity (stable across runs).
+  Embedding entityVector(const std::string& entity) const;
+
+  /// Symbolic (non-flow) embedding of one instruction.
+  Embedding embedInstruction(const Instruction& inst) const;
+
+  /// Flow-aware embedding of a function (sum over refined instructions).
+  Embedding embedFunction(const Function& f) const;
+
+  /// Program-level embedding: the RL observation/state vector.
+  Embedding embedProgram(const Module& m) const;
+
+ private:
+  void accumulate(Embedding& into, const Embedding& from,
+                  double scale) const;
+  /// Operand-kind vocabulary key for a value.
+  static const char* operandKind(const Value& v);
+  /// Memoized entityVector — the vocabulary is tiny (opcodes, types,
+  /// operand kinds) while programs are large, so caching removes the
+  /// dominant cost of embedding computation.
+  const Embedding& cachedEntity(const std::string& entity) const;
+
+  EmbeddingConfig config_;
+  mutable std::map<std::string, Embedding> entity_cache_;
+};
+
+}  // namespace posetrl

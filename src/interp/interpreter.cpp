@@ -1,0 +1,580 @@
+#include "interp/interpreter.h"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "ir/basic_block.h"
+#include "ir/function.h"
+#include "ir/global_variable.h"
+#include "ir/instruction.h"
+#include "ir/module.h"
+#include "support/error.h"
+#include "support/hashing.h"
+
+namespace posetrl {
+
+std::uint64_t ExecResult::fingerprint() const {
+  std::uint64_t h = observed;
+  h = hashCombine(h, has_return ? static_cast<std::uint64_t>(return_value)
+                                : 0x517cc1b727220a95ull);
+  h = hashCombine(h, ok ? 1 : 0);
+  return h;
+}
+
+namespace {
+
+/// A runtime scalar (integers/pointers in `i`, floats in `f`).
+struct RtValue {
+  std::int64_t i = 0;
+  double f = 0.0;
+};
+
+/// Thrown to abort execution with a trap reason.
+struct Trap {
+  std::string reason;
+};
+
+/// Byte-addressable simulated memory made of disjoint regions.
+class SimMemory {
+ public:
+  std::uint64_t allocate(std::uint64_t size) {
+    const std::uint64_t base = next_;
+    next_ += (size + 31) & ~31ull;
+    regions_[base] = std::vector<std::uint8_t>(size, 0);
+    return base;
+  }
+
+  void release(std::uint64_t base) { regions_.erase(base); }
+
+  std::uint8_t* locate(std::uint64_t addr, std::uint64_t size) {
+    if (addr == 0) throw Trap{"null pointer access"};
+    auto it = regions_.upper_bound(addr);
+    if (it == regions_.begin()) throw Trap{"wild pointer access"};
+    --it;
+    const std::uint64_t off = addr - it->first;
+    if (off + size > it->second.size()) {
+      throw Trap{"out-of-bounds memory access"};
+    }
+    return it->second.data() + off;
+  }
+
+ private:
+  std::map<std::uint64_t, std::vector<std::uint8_t>> regions_;
+  std::uint64_t next_ = 0x10000;
+};
+
+class Machine {
+ public:
+  Machine(Module& m, const ExecOptions& opts)
+      : module_(m), opts_(opts), target_(TargetInfo::forArch(opts.arch)) {
+    initGlobals();
+  }
+
+  ExecResult run() {
+    ExecResult result;
+    Function* entry = module_.getFunction(opts_.entry);
+    if (entry == nullptr || entry->isDeclaration()) {
+      result.trap = "entry function not found: " + opts_.entry;
+      return result;
+    }
+    if (entry->numArgs() != 0) {
+      result.trap = "entry function must take no arguments";
+      return result;
+    }
+    try {
+      RtValue ret = callFunction(entry, {}, 0);
+      result.ok = true;
+      if (!entry->returnType()->isVoid()) {
+        result.has_return = true;
+        result.return_value = entry->returnType()->isFloat()
+                                  ? static_cast<std::int64_t>(ret.f * 4096.0)
+                                  : ret.i;
+      }
+    } catch (const Trap& trap) {
+      result.trap = trap.reason;
+    }
+    result.observed = observed_;
+    result.steps = steps_;
+    result.cycles = cycles_;
+    return result;
+  }
+
+ private:
+  using Env = std::unordered_map<const Value*, RtValue>;
+
+  void initGlobals() {
+    for (const auto& g : module_.globals()) {
+      const std::uint64_t size = g->valueType()->byteSize();
+      const std::uint64_t base = memory_.allocate(size == 0 ? 8 : size);
+      global_addr_[g.get()] = base;
+    }
+    // Function "addresses" for indirect calls.
+    std::uint64_t fn_addr = 0x1000;
+    for (const auto& f : module_.functions()) {
+      fn_addr += 16;
+      fn_by_addr_[fn_addr] = f.get();
+      fn_addr_[f.get()] = fn_addr;
+    }
+    // Initializers (may reference function addresses).
+    for (const auto& g : module_.globals()) {
+      const std::uint64_t base = global_addr_.at(g.get());
+      const GlobalInit& init = g->init();
+      Type* vt = g->valueType();
+      switch (init.kind) {
+        case GlobalInit::Kind::Zero:
+          break;
+        case GlobalInit::Kind::Int:
+          storeBits(base, static_cast<std::uint64_t>(init.int_value),
+                    vt->byteSize());
+          break;
+        case GlobalInit::Kind::Float: {
+          std::uint64_t bits = 0;
+          std::memcpy(&bits, &init.float_value, 8);
+          storeBits(base, bits, 8);
+          break;
+        }
+        case GlobalInit::Kind::IntArray: {
+          const std::uint64_t esize = vt->arrayElement()->byteSize();
+          for (std::size_t i = 0; i < init.elements.size(); ++i) {
+            storeBits(base + i * esize,
+                      static_cast<std::uint64_t>(init.elements[i]), esize);
+          }
+          break;
+        }
+        case GlobalInit::Kind::FuncPtr:
+          storeBits(base, fn_addr_.at(init.function), 8);
+          break;
+      }
+    }
+  }
+
+  void storeBits(std::uint64_t addr, std::uint64_t bits, std::uint64_t size) {
+    std::uint8_t* p = memory_.locate(addr, size);
+    for (std::uint64_t i = 0; i < size; ++i) {
+      p[i] = static_cast<std::uint8_t>(bits >> (8 * i));
+    }
+  }
+
+  std::uint64_t loadBits(std::uint64_t addr, std::uint64_t size) {
+    const std::uint8_t* p = memory_.locate(addr, size);
+    std::uint64_t bits = 0;
+    for (std::uint64_t i = 0; i < size; ++i) {
+      bits |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    }
+    return bits;
+  }
+
+  RtValue evaluate(const Value* v, const Env& env) {
+    switch (v->kind()) {
+      case Value::Kind::ConstantInt:
+        return {static_cast<const ConstantInt*>(v)->value(), 0.0};
+      case Value::Kind::ConstantFloat:
+        return {0, static_cast<const ConstantFloat*>(v)->value()};
+      case Value::Kind::ConstantNull:
+        return {0, 0.0};
+      case Value::Kind::Undef:
+        // Deterministic choice keeps equivalence checks stable.
+        return {0, 0.0};
+      case Value::Kind::GlobalVariable:
+        return {static_cast<std::int64_t>(
+                    global_addr_.at(static_cast<const GlobalVariable*>(v))),
+                0.0};
+      case Value::Kind::Function:
+        return {static_cast<std::int64_t>(
+                    fn_addr_.at(const_cast<Function*>(
+                        static_cast<const Function*>(v)))),
+                0.0};
+      case Value::Kind::Argument:
+      case Value::Kind::Instruction: {
+        auto it = env.find(v);
+        if (it == env.end()) throw Trap{"read of unset SSA value"};
+        return it->second;
+      }
+      case Value::Kind::BasicBlock:
+        throw Trap{"block used as data operand"};
+    }
+    POSETRL_UNREACHABLE("bad value kind");
+  }
+
+  static std::int64_t canon(std::int64_t v, Type* t) {
+    return ConstantInt::canonicalize(v, t->intBits());
+  }
+
+  RtValue execBinary(const Instruction& inst, RtValue a, RtValue b) {
+    Type* t = inst.type();
+    switch (inst.opcode()) {
+      case Opcode::Add: return {canon(a.i + b.i, t), 0.0};
+      case Opcode::Sub: return {canon(a.i - b.i, t), 0.0};
+      case Opcode::Mul: return {canon(a.i * b.i, t), 0.0};
+      case Opcode::SDiv:
+        if (b.i == 0) throw Trap{"division by zero"};
+        if (a.i == INT64_MIN && b.i == -1) throw Trap{"division overflow"};
+        return {canon(a.i / b.i, t), 0.0};
+      case Opcode::UDiv: {
+        if (b.i == 0) throw Trap{"division by zero"};
+        const std::uint64_t ua = zextBits(a.i, t);
+        const std::uint64_t ub = zextBits(b.i, t);
+        return {canon(static_cast<std::int64_t>(ua / ub), t), 0.0};
+      }
+      case Opcode::SRem:
+        if (b.i == 0) throw Trap{"remainder by zero"};
+        if (a.i == INT64_MIN && b.i == -1) throw Trap{"remainder overflow"};
+        return {canon(a.i % b.i, t), 0.0};
+      case Opcode::URem: {
+        if (b.i == 0) throw Trap{"remainder by zero"};
+        const std::uint64_t ua = zextBits(a.i, t);
+        const std::uint64_t ub = zextBits(b.i, t);
+        return {canon(static_cast<std::int64_t>(ua % ub), t), 0.0};
+      }
+      case Opcode::Shl: {
+        const std::uint64_t sh = zextBits(b.i, t) % t->intBits();
+        return {canon(static_cast<std::int64_t>(zextBits(a.i, t) << sh), t),
+                0.0};
+      }
+      case Opcode::LShr: {
+        const std::uint64_t sh = zextBits(b.i, t) % t->intBits();
+        return {canon(static_cast<std::int64_t>(zextBits(a.i, t) >> sh), t),
+                0.0};
+      }
+      case Opcode::AShr: {
+        const std::uint64_t sh = zextBits(b.i, t) % t->intBits();
+        return {canon(a.i >> sh, t), 0.0};
+      }
+      case Opcode::And: return {canon(a.i & b.i, t), 0.0};
+      case Opcode::Or: return {canon(a.i | b.i, t), 0.0};
+      case Opcode::Xor: return {canon(a.i ^ b.i, t), 0.0};
+      case Opcode::FAdd: return {0, a.f + b.f};
+      case Opcode::FSub: return {0, a.f - b.f};
+      case Opcode::FMul: return {0, a.f * b.f};
+      case Opcode::FDiv: return {0, a.f / b.f};
+      default:
+        POSETRL_UNREACHABLE("non-binary opcode in execBinary");
+    }
+  }
+
+  static std::uint64_t zextBits(std::int64_t v, Type* t) {
+    const unsigned bits = t->intBits();
+    if (bits == 64) return static_cast<std::uint64_t>(v);
+    return static_cast<std::uint64_t>(v) & ((1ull << bits) - 1);
+  }
+
+  std::uint64_t gepAddress(const GepInst& gep, const Env& env) {
+    const RtValue base = evaluate(gep.base(), env);
+    std::uint64_t addr = static_cast<std::uint64_t>(base.i);
+    Type* cur = gep.sourceElement();
+    for (std::size_t k = 0; k < gep.numIndices(); ++k) {
+      const std::int64_t idx = evaluate(gep.index(k), env).i;
+      if (k == 0) {
+        addr += static_cast<std::uint64_t>(idx) * cur->byteSize();
+      } else if (cur->isArray()) {
+        cur = cur->arrayElement();
+        addr += static_cast<std::uint64_t>(idx) * cur->byteSize();
+      } else if (cur->isStruct()) {
+        addr += cur->structFieldOffset(static_cast<std::size_t>(idx));
+        cur = cur->structFields().at(static_cast<std::size_t>(idx));
+      } else {
+        throw Trap{"gep into non-aggregate"};
+      }
+    }
+    return addr;
+  }
+
+  RtValue loadTyped(std::uint64_t addr, Type* t) {
+    if (t->isFloat()) {
+      const std::uint64_t bits = loadBits(addr, 8);
+      double d = 0.0;
+      std::memcpy(&d, &bits, 8);
+      return {0, d};
+    }
+    if (t->isPointer()) {
+      return {static_cast<std::int64_t>(loadBits(addr, 8)), 0.0};
+    }
+    if (t->isInteger()) {
+      const std::uint64_t size = t->byteSize();
+      const std::uint64_t bits = loadBits(addr, size);
+      return {canon(static_cast<std::int64_t>(bits), t), 0.0};
+    }
+    throw Trap{"load of non-scalar type"};
+  }
+
+  void storeTyped(std::uint64_t addr, Type* t, RtValue v) {
+    if (t->isFloat()) {
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &v.f, 8);
+      storeBits(addr, bits, 8);
+      return;
+    }
+    if (t->isPointer()) {
+      storeBits(addr, static_cast<std::uint64_t>(v.i), 8);
+      return;
+    }
+    if (t->isInteger()) {
+      storeBits(addr, static_cast<std::uint64_t>(v.i), t->byteSize());
+      return;
+    }
+    throw Trap{"store of non-scalar type"};
+  }
+
+  RtValue handleIntrinsic(Function* callee, const std::vector<RtValue>& args) {
+    switch (callee->intrinsicId()) {
+      case IntrinsicId::Input: {
+        const std::uint64_t key = static_cast<std::uint64_t>(args.at(0).i);
+        const std::uint64_t raw =
+            mix64(opts_.input_seed * 0x9e3779b97f4a7c15ull + key);
+        // Keep inputs small and non-negative so trip counts stay bounded.
+        return {static_cast<std::int64_t>(raw % 1024), 0.0};
+      }
+      case IntrinsicId::Sink:
+        observed_ = hashCombine(observed_,
+                                static_cast<std::uint64_t>(args.at(0).i));
+        return {};
+      case IntrinsicId::SinkF64: {
+        // Quantize so algebraically equal results with tiny representation
+        // differences still fingerprint identically.
+        const double q = args.at(0).f * 4096.0;
+        observed_ = hashCombine(
+            observed_, static_cast<std::uint64_t>(static_cast<std::int64_t>(q)));
+        return {};
+      }
+      case IntrinsicId::Memset: {
+        const std::uint64_t addr = static_cast<std::uint64_t>(args.at(0).i);
+        const std::uint8_t byte = static_cast<std::uint8_t>(args.at(1).i);
+        // The count argument is in elements of the pointee type (1 byte for
+        // the plain pr.memset variant).
+        Type* ptr_param = callee->functionType()->funcParams().at(0);
+        const std::uint64_t elem_size = ptr_param->pointee()->byteSize();
+        const std::uint64_t len =
+            static_cast<std::uint64_t>(args.at(2).i) * elem_size;
+        if (len > 0) {
+          std::uint8_t* p = memory_.locate(addr, len);
+          std::memset(p, byte, len);
+        }
+        return {};
+      }
+      case IntrinsicId::Expect:
+        return args.at(0);
+      case IntrinsicId::Assume:
+      case IntrinsicId::AssumeAligned:
+        return {};
+      case IntrinsicId::None:
+        throw Trap{"call to undefined external function @" + callee->name()};
+    }
+    POSETRL_UNREACHABLE("bad intrinsic");
+  }
+
+  RtValue callFunction(Function* f, const std::vector<RtValue>& args,
+                       unsigned depth) {
+    if (depth > opts_.max_call_depth) throw Trap{"call depth exceeded"};
+    Env env;
+    for (std::size_t i = 0; i < f->numArgs(); ++i) env[f->arg(i)] = args[i];
+    std::vector<std::uint64_t> frame_allocas;
+
+    BasicBlock* block = f->entry();
+    BasicBlock* prev = nullptr;
+    for (;;) {
+      // Phase 1: evaluate all phis against the incoming edge.
+      if (prev != nullptr) {
+        std::vector<std::pair<const PhiInst*, RtValue>> phi_values;
+        for (PhiInst* phi : block->phis()) {
+          phi_values.emplace_back(
+              phi, evaluate(phi->incomingForBlock(prev), env));
+        }
+        for (auto& [phi, v] : phi_values) env[phi] = v;
+      } else {
+        for (PhiInst* phi : block->phis()) {
+          if (phi->numIncoming() > 0) {
+            throw Trap{"phi in entry block with incoming edges"};
+          }
+        }
+      }
+
+      for (auto it = block->firstNonPhi(); it != block->end(); ++it) {
+        Instruction* inst = it->get();
+        if (++steps_ > opts_.max_steps) throw Trap{"fuel exhausted"};
+        {
+          const InstCost c = target_.cost(*inst);
+          cycles_ += c.rthroughput + 0.25 * c.latency +
+                     c.uops / target_.dispatchWidth();
+        }
+        switch (inst->opcode()) {
+          case Opcode::Alloca: {
+            const auto* a = static_cast<const AllocaInst*>(inst);
+            const std::uint64_t size = a->allocatedType()->byteSize();
+            const std::uint64_t base = memory_.allocate(size == 0 ? 8 : size);
+            frame_allocas.push_back(base);
+            env[inst] = {static_cast<std::int64_t>(base), 0.0};
+            break;
+          }
+          case Opcode::Load: {
+            const auto* l = static_cast<const LoadInst*>(inst);
+            const RtValue p = evaluate(l->pointer(), env);
+            env[inst] =
+                loadTyped(static_cast<std::uint64_t>(p.i), l->type());
+            break;
+          }
+          case Opcode::Store: {
+            const auto* s = static_cast<const StoreInst*>(inst);
+            const RtValue v = evaluate(s->value(), env);
+            const RtValue p = evaluate(s->pointer(), env);
+            storeTyped(static_cast<std::uint64_t>(p.i), s->value()->type(),
+                       v);
+            break;
+          }
+          case Opcode::Gep: {
+            const auto* g = static_cast<const GepInst*>(inst);
+            env[inst] = {static_cast<std::int64_t>(gepAddress(*g, env)),
+                         0.0};
+            break;
+          }
+          case Opcode::Select: {
+            const auto* s = static_cast<const SelectInst*>(inst);
+            const RtValue c = evaluate(s->condition(), env);
+            env[inst] = evaluate(c.i != 0 ? s->trueValue() : s->falseValue(),
+                                 env);
+            break;
+          }
+          case Opcode::ICmp: {
+            const auto* c = static_cast<const ICmpInst*>(inst);
+            const RtValue a = evaluate(c->lhs(), env);
+            const RtValue b = evaluate(c->rhs(), env);
+            Type* t = c->lhs()->type();
+            const unsigned bits = t->isPointer() ? 64 : t->intBits();
+            env[inst] = {ICmpInst::evaluate(c->pred(), a.i, b.i, bits) ? 1
+                                                                       : 0,
+                         0.0};
+            break;
+          }
+          case Opcode::FCmp: {
+            const auto* c = static_cast<const FCmpInst*>(inst);
+            const RtValue a = evaluate(c->lhs(), env);
+            const RtValue b = evaluate(c->rhs(), env);
+            env[inst] = {FCmpInst::evaluate(c->pred(), a.f, b.f) ? 1 : 0,
+                         0.0};
+            break;
+          }
+          case Opcode::ZExt: {
+            const RtValue v = evaluate(inst->operand(0), env);
+            env[inst] = {canon(static_cast<std::int64_t>(zextBits(
+                                   v.i, inst->operand(0)->type())),
+                               inst->type()),
+                         0.0};
+            break;
+          }
+          case Opcode::SExt:
+            env[inst] = {canon(evaluate(inst->operand(0), env).i,
+                               inst->type()),
+                         0.0};
+            break;
+          case Opcode::Trunc:
+            env[inst] = {canon(evaluate(inst->operand(0), env).i,
+                               inst->type()),
+                         0.0};
+            break;
+          case Opcode::SIToFP:
+            env[inst] = {0, static_cast<double>(
+                                evaluate(inst->operand(0), env).i)};
+            break;
+          case Opcode::FPToSI: {
+            const double d = evaluate(inst->operand(0), env).f;
+            if (!(d >= -9.2e18 && d <= 9.2e18)) {
+              throw Trap{"fptosi out of range"};
+            }
+            env[inst] = {canon(static_cast<std::int64_t>(d), inst->type()),
+                         0.0};
+            break;
+          }
+          case Opcode::Call: {
+            const auto* call = static_cast<const CallInst*>(inst);
+            Function* callee = call->calledFunction();
+            if (callee == nullptr) {
+              const RtValue target = evaluate(call->callee(), env);
+              auto fit = fn_by_addr_.find(
+                  static_cast<std::uint64_t>(target.i));
+              if (fit == fn_by_addr_.end()) {
+                throw Trap{"indirect call to invalid address"};
+              }
+              callee = fit->second;
+            }
+            std::vector<RtValue> call_args;
+            call_args.reserve(call->numArgs());
+            for (std::size_t i = 0; i < call->numArgs(); ++i) {
+              call_args.push_back(evaluate(call->arg(i), env));
+            }
+            RtValue ret;
+            if (callee->isDeclaration()) {
+              ret = handleIntrinsic(callee, call_args);
+            } else {
+              ret = callFunction(callee, call_args, depth + 1);
+            }
+            if (!inst->type()->isVoid()) env[inst] = ret;
+            break;
+          }
+          case Opcode::Ret: {
+            const auto* r = static_cast<const RetInst*>(inst);
+            RtValue ret;
+            if (r->hasValue()) ret = evaluate(r->value(), env);
+            for (std::uint64_t base : frame_allocas) memory_.release(base);
+            return ret;
+          }
+          case Opcode::Br:
+            prev = block;
+            block = inst->successor(0);
+            goto next_block;
+          case Opcode::CondBr: {
+            const auto* cbr = static_cast<const CondBrInst*>(inst);
+            const RtValue c = evaluate(cbr->condition(), env);
+            prev = block;
+            block = c.i != 0 ? cbr->thenBlock() : cbr->elseBlock();
+            goto next_block;
+          }
+          case Opcode::Switch: {
+            const auto* sw = static_cast<const SwitchInst*>(inst);
+            const RtValue c = evaluate(sw->condition(), env);
+            BasicBlock* target = sw->defaultBlock();
+            for (std::size_t i = 0; i < sw->numCases(); ++i) {
+              if (sw->caseValue(i)->value() == c.i) {
+                target = sw->caseBlock(i);
+                break;
+              }
+            }
+            prev = block;
+            block = target;
+            goto next_block;
+          }
+          case Opcode::Unreachable:
+            throw Trap{"executed unreachable"};
+          default:
+            if (inst->isBinaryOp()) {
+              const RtValue a = evaluate(inst->operand(0), env);
+              const RtValue b = evaluate(inst->operand(1), env);
+              env[inst] = execBinary(*inst, a, b);
+              break;
+            }
+            POSETRL_UNREACHABLE("unhandled opcode in interpreter");
+        }
+      }
+      throw Trap{"fell off end of block " + block->name()};
+    next_block:;
+    }
+  }
+
+  Module& module_;
+  const ExecOptions& opts_;
+  const TargetInfo& target_;
+  SimMemory memory_;
+  std::map<const GlobalVariable*, std::uint64_t> global_addr_;
+  std::map<std::uint64_t, Function*> fn_by_addr_;
+  std::map<Function*, std::uint64_t> fn_addr_;
+  std::uint64_t observed_ = kFnvOffset;
+  std::uint64_t steps_ = 0;
+  double cycles_ = 0.0;
+};
+
+}  // namespace
+
+ExecResult runModule(Module& module, const ExecOptions& options) {
+  Machine machine(module, options);
+  return machine.run();
+}
+
+}  // namespace posetrl

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file interpreter.h
+/// Deterministic MiniIR executor. Plays two roles in the reproduction:
+///
+///  1. *Measured execution time*: the paper runs real binaries; we execute
+///     MiniIR under a per-target cycle cost model and report modeled cycles.
+///  2. *Semantics oracle*: every optimization pass must preserve the
+///     observable behaviour (return value + ordered pr.sink effects) of the
+///     program — enforced by property tests that compare fingerprints
+///     before and after each pass.
+///
+/// External input is modeled by the pr.input intrinsic, which returns a
+/// deterministic value derived from the run's input seed, so executions are
+/// exactly reproducible.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "target/target_info.h"
+
+namespace posetrl {
+
+class Module;
+class Function;
+
+/// Options controlling one execution.
+struct ExecOptions {
+  std::string entry = "main";        ///< Entry function (no parameters).
+  std::uint64_t input_seed = 1;      ///< Seed for pr.input values.
+  std::uint64_t max_steps = 5'000'000;  ///< Fuel (instructions).
+  unsigned max_call_depth = 256;
+  TargetArch arch = TargetArch::X86_64;  ///< Cost model for cycle account.
+};
+
+/// Outcome of one execution.
+struct ExecResult {
+  bool ok = false;
+  std::string trap;              ///< Why execution failed (when !ok).
+  bool has_return = false;
+  std::int64_t return_value = 0;
+  std::uint64_t observed = 0;    ///< Hash of ordered pr.sink/pr.sinkf calls.
+  std::uint64_t steps = 0;       ///< Instructions executed.
+  double cycles = 0.0;           ///< Modeled dynamic cycles.
+
+  /// Combined behaviour fingerprint (return value + observations); two
+  /// semantically equivalent programs must produce equal fingerprints for
+  /// the same options.
+  std::uint64_t fingerprint() const;
+};
+
+/// Executes \p module's entry function under \p options.
+ExecResult runModule(Module& module, const ExecOptions& options = {});
+
+}  // namespace posetrl

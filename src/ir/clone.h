@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file clone.h
+/// Cloning utilities: whole-module cloning (used by the RL environment to
+/// restore pristine state at episode boundaries) and intra-module block
+/// cloning (used by the inliner, loop unroller and loop unswitch).
+
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace posetrl {
+
+class Module;
+class Function;
+class BasicBlock;
+class Value;
+class Type;
+class TypeContext;
+
+using ValueMap = std::map<const Value*, Value*>;
+
+/// Re-creates \p src in \p dst's type context (types are per-module interned).
+Type* mapType(TypeContext& dst, const Type* src);
+
+/// Deep-copies a module, including globals, declarations, attributes,
+/// intrinsic ids and all function bodies.
+std::unique_ptr<Module> cloneModule(const Module& src);
+
+/// Clones all basic blocks of \p src into \p dst_func (appended at the end,
+/// source entry first). \p map must already map the values the caller wants
+/// substituted (typically src arguments); on return it additionally maps
+/// every source block and instruction to its clone. Operands not found in
+/// the map are kept as-is (constants, globals, same-module functions).
+/// Returns the cloned blocks in source order.
+std::vector<BasicBlock*> cloneBlocksInto(Function* dst_func,
+                                         const Function& src, ValueMap& map);
+
+}  // namespace posetrl

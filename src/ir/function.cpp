@@ -1,0 +1,101 @@
+#include "ir/function.h"
+
+#include "ir/module.h"
+
+namespace posetrl {
+
+Function::Function(Type* func_type, std::string name, Module* parent)
+    : Value(Kind::Function, func_type, std::move(name)), parent_(parent) {
+  POSETRL_CHECK(func_type->isFunction(), "Function needs a function type");
+  const auto& params = func_type->funcParams();
+  args_.reserve(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    args_.push_back(std::make_unique<Argument>(
+        params[i], "arg" + std::to_string(i), this,
+        static_cast<unsigned>(i)));
+  }
+}
+
+void Function::removeArg(std::size_t i) {
+  POSETRL_CHECK(i < args_.size(), "argument index out of range");
+  POSETRL_CHECK(!args_[i]->hasUses(), "removing argument with uses");
+  args_.erase(args_.begin() + static_cast<std::ptrdiff_t>(i));
+  for (std::size_t j = i; j < args_.size(); ++j) {
+    args_[j]->setIndex(static_cast<unsigned>(j));
+  }
+  // Rebuild the function type without the removed parameter.
+  std::vector<Type*> params;
+  params.reserve(args_.size());
+  for (const auto& a : args_) params.push_back(a->type());
+  Type* new_type = parent_->types().funcType(returnType(), std::move(params));
+  mutateType(new_type);
+}
+
+BasicBlock* Function::addBlock(const std::string& name) {
+  POSETRL_CHECK(parent_ != nullptr, "function has no module");
+  Type* label = parent_->types().voidTy();
+  blocks_.push_back(
+      std::make_unique<BasicBlock>(label, uniqueBlockName(name), this));
+  return blocks_.back().get();
+}
+
+BasicBlock* Function::addBlockAfter(BasicBlock* after,
+                                    const std::string& name) {
+  Type* label = parent_->types().voidTy();
+  auto block =
+      std::make_unique<BasicBlock>(label, uniqueBlockName(name), this);
+  BasicBlock* raw = block.get();
+  for (auto it = blocks_.begin(); it != blocks_.end(); ++it) {
+    if (it->get() == after) {
+      blocks_.insert(std::next(it), std::move(block));
+      return raw;
+    }
+  }
+  POSETRL_UNREACHABLE("addBlockAfter: block not in function");
+}
+
+void Function::eraseBlock(BasicBlock* bb) {
+  // Drop all operand references first so sibling user lists stay valid, then
+  // require all results dead.
+  for (auto& inst : bb->insts_) inst->dropAllOperands();
+  for (auto& inst : bb->insts_) {
+    POSETRL_CHECK(!inst->hasUses(),
+                  "erasing block whose instruction still has uses");
+  }
+  POSETRL_CHECK(!bb->hasUses(), "erasing block that is still referenced");
+  for (auto it = blocks_.begin(); it != blocks_.end(); ++it) {
+    if (it->get() == bb) {
+      blocks_.erase(it);
+      return;
+    }
+  }
+  POSETRL_UNREACHABLE("eraseBlock: block not in function");
+}
+
+void Function::makeEntry(BasicBlock* bb) {
+  for (auto it = blocks_.begin(); it != blocks_.end(); ++it) {
+    if (it->get() == bb) {
+      std::unique_ptr<BasicBlock> owned = std::move(*it);
+      blocks_.erase(it);
+      blocks_.push_front(std::move(owned));
+      return;
+    }
+  }
+  POSETRL_UNREACHABLE("makeEntry: block not in function");
+}
+
+std::string Function::nextValueName() {
+  return "t" + std::to_string(next_value_++);
+}
+
+std::string Function::uniqueBlockName(const std::string& base) {
+  return base + "." + std::to_string(next_block_++);
+}
+
+std::size_t Function::instructionCount() const {
+  std::size_t n = 0;
+  for (const auto& bb : blocks_) n += bb->size();
+  return n;
+}
+
+}  // namespace posetrl

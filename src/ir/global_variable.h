@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file global_variable.h
+/// Module-level global variables with simple initializers. The initializer
+/// forms cover what the Oz-analog passes need: zeroinit, scalar constants,
+/// constant integer arrays (constmerge / globalopt), and function pointers
+/// (called-value-propagation).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/value.h"
+
+namespace posetrl {
+
+class Function;
+
+/// Initializer of a global variable.
+struct GlobalInit {
+  enum class Kind { Zero, Int, Float, IntArray, FuncPtr };
+
+  Kind kind = Kind::Zero;
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+  std::vector<std::int64_t> elements;  ///< For IntArray.
+  Function* function = nullptr;        ///< For FuncPtr.
+
+  static GlobalInit zero() { return {}; }
+  static GlobalInit ofInt(std::int64_t v) {
+    GlobalInit g;
+    g.kind = Kind::Int;
+    g.int_value = v;
+    return g;
+  }
+  static GlobalInit ofFloat(double v) {
+    GlobalInit g;
+    g.kind = Kind::Float;
+    g.float_value = v;
+    return g;
+  }
+  static GlobalInit ofIntArray(std::vector<std::int64_t> elems) {
+    GlobalInit g;
+    g.kind = Kind::IntArray;
+    g.elements = std::move(elems);
+    return g;
+  }
+  static GlobalInit ofFuncPtr(Function* f) {
+    GlobalInit g;
+    g.kind = Kind::FuncPtr;
+    g.function = f;
+    return g;
+  }
+
+  bool operator==(const GlobalInit& other) const {
+    return kind == other.kind && int_value == other.int_value &&
+           float_value == other.float_value && elements == other.elements &&
+           function == other.function;
+  }
+};
+
+/// A global variable; its Value type is ptr<valueType()>.
+class GlobalVariable : public Value {
+ public:
+  enum class Linkage { External, Internal };
+
+  GlobalVariable(Type* ptr_type, Type* value_type, std::string name,
+                 GlobalInit init, Linkage linkage, bool is_const)
+      : Value(Kind::GlobalVariable, ptr_type, std::move(name)),
+        value_type_(value_type),
+        init_(std::move(init)),
+        linkage_(linkage),
+        is_const_(is_const) {}
+
+  Type* valueType() const { return value_type_; }
+  const GlobalInit& init() const { return init_; }
+  void setInit(GlobalInit init) { init_ = std::move(init); }
+  Linkage linkage() const { return linkage_; }
+  void setLinkage(Linkage l) { linkage_ = l; }
+  bool isInternal() const { return linkage_ == Linkage::Internal; }
+  bool isConst() const { return is_const_; }
+  void setConst(bool c) { is_const_ = c; }
+
+  static bool classof(const Value* v) {
+    return v->kind() == Kind::GlobalVariable;
+  }
+
+ private:
+  Type* value_type_;
+  GlobalInit init_;
+  Linkage linkage_;
+  bool is_const_;
+};
+
+}  // namespace posetrl

@@ -1,0 +1,149 @@
+#include "ir/ir_builder.h"
+
+namespace posetrl {
+
+Instruction* IRBuilder::emit(Instruction* inst) {
+  POSETRL_CHECK(block_ != nullptr, "IRBuilder has no insertion point");
+  block_->pushBack(std::unique_ptr<Instruction>(inst));
+  return inst;
+}
+
+std::string IRBuilder::pick(const std::string& name) {
+  if (!name.empty()) return name;
+  POSETRL_CHECK(block_ != nullptr, "IRBuilder has no insertion point");
+  return block_->parent()->nextValueName();
+}
+
+AllocaInst* IRBuilder::alloca_(Type* allocated, const std::string& name) {
+  Type* ptr = module_->types().ptrTo(allocated);
+  return static_cast<AllocaInst*>(
+      emit(new AllocaInst(ptr, allocated, pick(name))));
+}
+
+LoadInst* IRBuilder::load(Value* ptr, const std::string& name) {
+  POSETRL_CHECK(ptr->type()->isPointer(), "load from non-pointer");
+  return static_cast<LoadInst*>(
+      emit(new LoadInst(ptr->type()->pointee(), ptr, pick(name))));
+}
+
+StoreInst* IRBuilder::store(Value* value, Value* ptr) {
+  POSETRL_CHECK(ptr->type()->isPointer(), "store to non-pointer");
+  POSETRL_CHECK(ptr->type()->pointee() == value->type(),
+                "store type mismatch");
+  return static_cast<StoreInst*>(
+      emit(new StoreInst(module_->types().voidTy(), value, ptr)));
+}
+
+GepInst* IRBuilder::gep(Value* base, std::vector<Value*> indices,
+                        const std::string& name) {
+  POSETRL_CHECK(base->type()->isPointer(), "gep base must be a pointer");
+  POSETRL_CHECK(!indices.empty(), "gep needs at least one index");
+  Type* source = base->type()->pointee();
+  // Resolve the result type by stepping through indices (LLVM semantics:
+  // the first index does not change the element type).
+  Type* cur = source;
+  for (std::size_t i = 1; i < indices.size(); ++i) {
+    if (cur->isArray()) {
+      cur = cur->arrayElement();
+    } else if (cur->isStruct()) {
+      auto* c = dynCast<ConstantInt>(indices[i]);
+      POSETRL_CHECK(c != nullptr, "struct gep index must be constant");
+      cur = cur->structFields().at(static_cast<std::size_t>(c->value()));
+    } else {
+      POSETRL_UNREACHABLE("gep steps into non-aggregate type");
+    }
+  }
+  Type* result = module_->types().ptrTo(cur);
+  return static_cast<GepInst*>(
+      emit(new GepInst(result, source, base, std::move(indices), pick(name))));
+}
+
+Value* IRBuilder::binary(Opcode op, Value* lhs, Value* rhs,
+                         const std::string& name) {
+  POSETRL_CHECK(lhs->type() == rhs->type(), "binary operand type mismatch");
+  return emit(new BinaryInst(op, lhs->type(), lhs, rhs, pick(name)));
+}
+
+ICmpInst* IRBuilder::icmp(ICmpInst::Pred pred, Value* lhs, Value* rhs,
+                          const std::string& name) {
+  POSETRL_CHECK(lhs->type() == rhs->type(), "icmp operand type mismatch");
+  return static_cast<ICmpInst*>(
+      emit(new ICmpInst(module_->types().i1(), pred, lhs, rhs, pick(name))));
+}
+
+FCmpInst* IRBuilder::fcmp(FCmpInst::Pred pred, Value* lhs, Value* rhs,
+                          const std::string& name) {
+  POSETRL_CHECK(lhs->type() == rhs->type(), "fcmp operand type mismatch");
+  return static_cast<FCmpInst*>(
+      emit(new FCmpInst(module_->types().i1(), pred, lhs, rhs, pick(name))));
+}
+
+CastInst* IRBuilder::castOp(Opcode op, Type* to, Value* v,
+                            const std::string& name) {
+  return static_cast<CastInst*>(emit(new CastInst(op, to, v, pick(name))));
+}
+
+SelectInst* IRBuilder::select(Value* cond, Value* tval, Value* fval,
+                              const std::string& name) {
+  POSETRL_CHECK(tval->type() == fval->type(), "select arm type mismatch");
+  return static_cast<SelectInst*>(
+      emit(new SelectInst(tval->type(), cond, tval, fval, pick(name))));
+}
+
+CallInst* IRBuilder::call(Function* callee, std::vector<Value*> args,
+                          const std::string& name) {
+  Type* ret = callee->returnType();
+  const std::string result_name = ret->isVoid() ? "" : pick(name);
+  return static_cast<CallInst*>(
+      emit(new CallInst(ret, callee, std::move(args), result_name)));
+}
+
+CallInst* IRBuilder::callIndirect(Type* result, Value* callee,
+                                  std::vector<Value*> args,
+                                  const std::string& name) {
+  const std::string result_name = result->isVoid() ? "" : pick(name);
+  return static_cast<CallInst*>(
+      emit(new CallInst(result, callee, std::move(args), result_name)));
+}
+
+PhiInst* IRBuilder::phi(Type* type, const std::string& name) {
+  POSETRL_CHECK(block_ != nullptr, "IRBuilder has no insertion point");
+  auto owned = std::make_unique<PhiInst>(type, pick(name));
+  PhiInst* raw = owned.get();
+  block_->pushFront(std::move(owned));
+  return raw;
+}
+
+BrInst* IRBuilder::br(BasicBlock* target) {
+  return static_cast<BrInst*>(
+      emit(new BrInst(module_->types().voidTy(), target)));
+}
+
+CondBrInst* IRBuilder::condBr(Value* cond, BasicBlock* then_block,
+                              BasicBlock* else_block) {
+  return static_cast<CondBrInst*>(emit(
+      new CondBrInst(module_->types().voidTy(), cond, then_block,
+                     else_block)));
+}
+
+SwitchInst* IRBuilder::switchOp(Value* cond, BasicBlock* default_block) {
+  return static_cast<SwitchInst*>(
+      emit(new SwitchInst(module_->types().voidTy(), cond, default_block)));
+}
+
+RetInst* IRBuilder::ret(Value* value) {
+  return static_cast<RetInst*>(
+      emit(new RetInst(module_->types().voidTy(), value)));
+}
+
+RetInst* IRBuilder::retVoid() {
+  return static_cast<RetInst*>(
+      emit(new RetInst(module_->types().voidTy(), nullptr)));
+}
+
+UnreachableInst* IRBuilder::unreachable() {
+  return static_cast<UnreachableInst*>(
+      emit(new UnreachableInst(module_->types().voidTy())));
+}
+
+}  // namespace posetrl

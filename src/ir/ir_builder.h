@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file ir_builder.h
+/// Convenience builder for constructing MiniIR. Maintains an insertion point
+/// (end of a block) and auto-names SSA results; used by the workload
+/// generator, the parser, tests, and by passes that materialize new code.
+
+#include <string>
+#include <vector>
+
+#include "ir/basic_block.h"
+#include "ir/function.h"
+#include "ir/instruction.h"
+#include "ir/module.h"
+
+namespace posetrl {
+
+/// Builds instructions at the end of a basic block.
+class IRBuilder {
+ public:
+  explicit IRBuilder(Module* module) : module_(module) {}
+
+  Module* module() const { return module_; }
+  BasicBlock* insertBlock() const { return block_; }
+  void setInsertPoint(BasicBlock* block) { block_ = block; }
+
+  // --- Memory ---
+  AllocaInst* alloca_(Type* allocated, const std::string& name = "");
+  LoadInst* load(Value* ptr, const std::string& name = "");
+  StoreInst* store(Value* value, Value* ptr);
+  GepInst* gep(Value* base, std::vector<Value*> indices,
+               const std::string& name = "");
+
+  // --- Arithmetic ---
+  Value* binary(Opcode op, Value* lhs, Value* rhs,
+                const std::string& name = "");
+  Value* add(Value* l, Value* r) { return binary(Opcode::Add, l, r); }
+  Value* sub(Value* l, Value* r) { return binary(Opcode::Sub, l, r); }
+  Value* mul(Value* l, Value* r) { return binary(Opcode::Mul, l, r); }
+
+  ICmpInst* icmp(ICmpInst::Pred pred, Value* lhs, Value* rhs,
+                 const std::string& name = "");
+  FCmpInst* fcmp(FCmpInst::Pred pred, Value* lhs, Value* rhs,
+                 const std::string& name = "");
+  CastInst* castOp(Opcode op, Type* to, Value* v,
+                   const std::string& name = "");
+  SelectInst* select(Value* cond, Value* tval, Value* fval,
+                     const std::string& name = "");
+
+  // --- Calls ---
+  CallInst* call(Function* callee, std::vector<Value*> args,
+                 const std::string& name = "");
+  CallInst* callIndirect(Type* result, Value* callee,
+                         std::vector<Value*> args,
+                         const std::string& name = "");
+
+  // --- Control flow ---
+  PhiInst* phi(Type* type, const std::string& name = "");
+  BrInst* br(BasicBlock* target);
+  CondBrInst* condBr(Value* cond, BasicBlock* then_block,
+                     BasicBlock* else_block);
+  SwitchInst* switchOp(Value* cond, BasicBlock* default_block);
+  RetInst* ret(Value* value);
+  RetInst* retVoid();
+  UnreachableInst* unreachable();
+
+ private:
+  Instruction* emit(Instruction* inst);
+  std::string pick(const std::string& name);
+
+  Module* module_;
+  BasicBlock* block_ = nullptr;
+};
+
+}  // namespace posetrl

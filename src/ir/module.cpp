@@ -1,0 +1,223 @@
+#include "ir/module.h"
+
+#include <cstring>
+
+namespace posetrl {
+
+Module::Module(std::string name) : name_(std::move(name)) {}
+
+ConstantInt* Module::constantInt(Type* type, std::int64_t value) {
+  POSETRL_CHECK(type->isInteger(), "constantInt needs an integer type");
+  const std::int64_t canon = ConstantInt::canonicalize(value, type->intBits());
+  const auto key = std::make_pair(type, canon);
+  auto it = int_constants_.find(key);
+  if (it != int_constants_.end()) return it->second.get();
+  auto owned = std::make_unique<ConstantInt>(type, canon);
+  ConstantInt* raw = owned.get();
+  int_constants_[key] = std::move(owned);
+  return raw;
+}
+
+ConstantInt* Module::i64Const(std::int64_t value) {
+  return constantInt(types_.i64(), value);
+}
+
+ConstantInt* Module::i32Const(std::int64_t value) {
+  return constantInt(types_.i32(), value);
+}
+
+ConstantInt* Module::i1Const(bool value) {
+  return constantInt(types_.i1(), value ? 1 : 0);
+}
+
+ConstantFloat* Module::constantFloat(double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  auto it = float_constants_.find(bits);
+  if (it != float_constants_.end()) return it->second.get();
+  auto owned = std::make_unique<ConstantFloat>(types_.f64(), value);
+  ConstantFloat* raw = owned.get();
+  float_constants_[bits] = std::move(owned);
+  return raw;
+}
+
+ConstantNull* Module::nullConst(Type* ptr_type) {
+  auto it = null_constants_.find(ptr_type);
+  if (it != null_constants_.end()) return it->second.get();
+  auto owned = std::make_unique<ConstantNull>(ptr_type);
+  ConstantNull* raw = owned.get();
+  null_constants_[ptr_type] = std::move(owned);
+  return raw;
+}
+
+UndefValue* Module::undef(Type* type) {
+  auto it = undef_constants_.find(type);
+  if (it != undef_constants_.end()) return it->second.get();
+  auto owned = std::make_unique<UndefValue>(type);
+  UndefValue* raw = owned.get();
+  undef_constants_[type] = std::move(owned);
+  return raw;
+}
+
+Function* Module::getFunction(const std::string& name) const {
+  for (const auto& f : functions_) {
+    if (f->name() == name) return f.get();
+  }
+  return nullptr;
+}
+
+Function* Module::createFunction(const std::string& name, Type* func_type,
+                                 Function::Linkage linkage) {
+  POSETRL_CHECK(getFunction(name) == nullptr, "duplicate function name: ",
+                name);
+  functions_.push_back(std::make_unique<Function>(func_type, name, this));
+  functions_.back()->setLinkage(linkage);
+  return functions_.back().get();
+}
+
+Function* Module::getOrInsertFunction(const std::string& name,
+                                      Type* func_type) {
+  if (Function* f = getFunction(name)) {
+    POSETRL_CHECK(f->functionType() == func_type,
+                  "function redeclared with different type: ", name);
+    return f;
+  }
+  return createFunction(name, func_type, Function::Linkage::External);
+}
+
+void Module::eraseFunction(Function* f) {
+  POSETRL_CHECK(!f->hasUses(), "erasing function that is still referenced");
+  // Drop every operand reference held by the body so other values' user
+  // lists stay consistent, then require the results themselves unused
+  // outside the function (guaranteed since instructions can only be used
+  // inside their function).
+  for (const auto& bb : f->blocks()) {
+    for (const auto& inst : bb->insts()) inst->dropAllOperands();
+  }
+  for (auto it = functions_.begin(); it != functions_.end(); ++it) {
+    if (it->get() == f) {
+      functions_.erase(it);
+      return;
+    }
+  }
+  POSETRL_UNREACHABLE("eraseFunction: function not in module");
+}
+
+Function* Module::getIntrinsic(IntrinsicId id) {
+  const char* name = nullptr;
+  Type* fty = nullptr;
+  switch (id) {
+    case IntrinsicId::Input:
+      name = "pr.input";
+      fty = types_.funcType(types_.i64(), {types_.i64()});
+      break;
+    case IntrinsicId::Sink:
+      name = "pr.sink";
+      fty = types_.funcType(types_.voidTy(), {types_.i64()});
+      break;
+    case IntrinsicId::SinkF64:
+      name = "pr.sinkf";
+      fty = types_.funcType(types_.voidTy(), {types_.f64()});
+      break;
+    case IntrinsicId::Memset:
+      name = "pr.memset";
+      fty = types_.funcType(types_.voidTy(), {types_.ptrTo(types_.i8()),
+                                              types_.i8(), types_.i64()});
+      break;
+    case IntrinsicId::Expect:
+      name = "pr.expect";
+      fty = types_.funcType(types_.i64(), {types_.i64(), types_.i64()});
+      break;
+    case IntrinsicId::Assume:
+      name = "pr.assume";
+      fty = types_.funcType(types_.voidTy(), {types_.i1()});
+      break;
+    case IntrinsicId::AssumeAligned:
+    case IntrinsicId::None:
+      POSETRL_UNREACHABLE("getIntrinsic on parametric/none intrinsic");
+  }
+  Function* f = getOrInsertFunction(name, fty);
+  f->setIntrinsicId(id);
+  if (id == IntrinsicId::Input || id == IntrinsicId::Expect) {
+    f->addAttr(FnAttr::ReadNone);
+  }
+  f->addAttr(FnAttr::NoUnwind);
+  return f;
+}
+
+namespace {
+
+/// Type spelling restricted to identifier-safe characters, for use inside
+/// intrinsic names (the textual IR format requires plain words).
+std::string mangleType(const Type* t) {
+  std::string out;
+  for (char c : t->str()) {
+    if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) {
+      out += c;
+    } else if (c == '[' || c == '<' || c == '{') {
+      out += '_';
+    }
+    // Everything else (spaces, commas, closers) is dropped.
+  }
+  return out;
+}
+
+}  // namespace
+
+Function* Module::getMemsetFor(Type* elem) {
+  if (elem == types_.i8()) return getIntrinsic(IntrinsicId::Memset);
+  const std::string name = "pr.memset." + mangleType(elem);
+  Type* fty = types_.funcType(
+      types_.voidTy(), {types_.ptrTo(elem), types_.i8(), types_.i64()});
+  Function* f = getOrInsertFunction(name, fty);
+  f->setIntrinsicId(IntrinsicId::Memset);
+  f->addAttr(FnAttr::NoUnwind);
+  return f;
+}
+
+Function* Module::getAssumeAligned(Type* elem) {
+  const std::string name = "pr.assume_aligned." + mangleType(elem);
+  Type* fty = types_.funcType(types_.voidTy(),
+                              {types_.ptrTo(elem), types_.i64()});
+  Function* f = getOrInsertFunction(name, fty);
+  f->setIntrinsicId(IntrinsicId::AssumeAligned);
+  f->addAttr(FnAttr::NoUnwind);
+  return f;
+}
+
+GlobalVariable* Module::getGlobal(const std::string& name) const {
+  for (const auto& g : globals_) {
+    if (g->name() == name) return g.get();
+  }
+  return nullptr;
+}
+
+GlobalVariable* Module::createGlobal(const std::string& name,
+                                     Type* value_type, GlobalInit init,
+                                     GlobalVariable::Linkage linkage,
+                                     bool is_const) {
+  POSETRL_CHECK(getGlobal(name) == nullptr, "duplicate global name: ", name);
+  globals_.push_back(std::make_unique<GlobalVariable>(
+      types_.ptrTo(value_type), value_type, name, std::move(init), linkage,
+      is_const));
+  return globals_.back().get();
+}
+
+void Module::eraseGlobal(GlobalVariable* g) {
+  POSETRL_CHECK(!g->hasUses(), "erasing global that is still referenced");
+  for (auto it = globals_.begin(); it != globals_.end(); ++it) {
+    if (it->get() == g) {
+      globals_.erase(it);
+      return;
+    }
+  }
+  POSETRL_UNREACHABLE("eraseGlobal: global not in module");
+}
+
+std::size_t Module::instructionCount() const {
+  std::size_t n = 0;
+  for (const auto& f : functions_) n += f->instructionCount();
+  return n;
+}
+
+}  // namespace posetrl

@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file module.h
+/// Top-level MiniIR container: owns the type context, interned constants,
+/// global variables, and functions. One Module corresponds to one translation
+/// unit / one RL-environment state in the POSET-RL loop.
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "ir/function.h"
+#include "ir/global_variable.h"
+#include "ir/type.h"
+#include "ir/value.h"
+
+namespace posetrl {
+
+/// A MiniIR translation unit.
+class Module {
+ public:
+  explicit Module(std::string name);
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  const std::string& name() const { return name_; }
+  TypeContext& types() { return types_; }
+
+  // --- Constants (interned; stable for the module's lifetime) ---
+  ConstantInt* constantInt(Type* type, std::int64_t value);
+  ConstantInt* i64Const(std::int64_t value);
+  ConstantInt* i32Const(std::int64_t value);
+  ConstantInt* i1Const(bool value);
+  ConstantFloat* constantFloat(double value);
+  ConstantNull* nullConst(Type* ptr_type);
+  UndefValue* undef(Type* type);
+
+  // --- Functions ---
+  using FuncList = std::list<std::unique_ptr<Function>>;
+  const FuncList& functions() const { return functions_; }
+  FuncList::iterator functionsBegin() { return functions_.begin(); }
+  FuncList::iterator functionsEnd() { return functions_.end(); }
+  Function* getFunction(const std::string& name) const;
+  /// Creates a new function (name must be unused).
+  Function* createFunction(const std::string& name, Type* func_type,
+                           Function::Linkage linkage);
+  /// Returns the existing function of this name or creates a declaration.
+  Function* getOrInsertFunction(const std::string& name, Type* func_type);
+  /// Unlinks and destroys \p f (must have no uses).
+  void eraseFunction(Function* f);
+
+  /// Declaration of a modeled intrinsic (created on demand).
+  Function* getIntrinsic(IntrinsicId id);
+  /// Alignment-assumption intrinsic specialized on pointee type \p elem.
+  Function* getAssumeAligned(Type* elem);
+
+  /// Memset intrinsic specialized on element type \p elem:
+  /// pr.memset.<T>(ptr<T>, i8 byte, i64 count) fills count*sizeof(T) bytes.
+  Function* getMemsetFor(Type* elem);
+
+  // --- Globals ---
+  using GlobalList = std::list<std::unique_ptr<GlobalVariable>>;
+  const GlobalList& globals() const { return globals_; }
+  GlobalVariable* getGlobal(const std::string& name) const;
+  GlobalVariable* createGlobal(const std::string& name, Type* value_type,
+                               GlobalInit init,
+                               GlobalVariable::Linkage linkage,
+                               bool is_const = false);
+  void eraseGlobal(GlobalVariable* g);
+
+  /// Total instruction count over all function bodies.
+  std::size_t instructionCount() const;
+
+ private:
+  std::string name_;
+  TypeContext types_;
+  FuncList functions_;
+  GlobalList globals_;
+
+  std::map<std::pair<Type*, std::int64_t>, std::unique_ptr<ConstantInt>>
+      int_constants_;
+  std::map<std::uint64_t, std::unique_ptr<ConstantFloat>> float_constants_;
+  std::map<Type*, std::unique_ptr<ConstantNull>> null_constants_;
+  std::map<Type*, std::unique_ptr<UndefValue>> undef_constants_;
+};
+
+}  // namespace posetrl

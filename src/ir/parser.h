@@ -1,0 +1,20 @@
+#pragma once
+
+/// \file parser.h
+/// Parser for the MiniIR textual format produced by printer.h. Supports
+/// forward references (phi back-edges, blocks in any order) by declaring
+/// result types explicitly in the text.
+
+#include <memory>
+#include <string>
+
+namespace posetrl {
+
+class Module;
+
+/// Parses \p text into a Module. On failure returns nullptr and, if
+/// \p error is non-null, stores a diagnostic including the line number.
+std::unique_ptr<Module> parseModule(const std::string& text,
+                                    std::string* error = nullptr);
+
+}  // namespace posetrl

@@ -1,0 +1,274 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+#include "ir/basic_block.h"
+#include "ir/function.h"
+#include "ir/global_variable.h"
+#include "ir/instruction.h"
+#include "ir/module.h"
+#include "support/error.h"
+#include "support/string_utils.h"
+
+namespace posetrl {
+
+namespace {
+
+std::string formatDouble(double v) {
+  return formatString("%.17g", v);
+}
+
+/// Prints an operand reference (typed literals for constants, %/@/label
+/// references for named values).
+std::string operandRef(const Value* v) {
+  switch (v->kind()) {
+    case Value::Kind::ConstantInt: {
+      const auto* c = static_cast<const ConstantInt*>(v);
+      return c->type()->str() + " " + std::to_string(c->value());
+    }
+    case Value::Kind::ConstantFloat: {
+      const auto* c = static_cast<const ConstantFloat*>(v);
+      return c->type()->str() + " " + formatDouble(c->value());
+    }
+    case Value::Kind::ConstantNull:
+      return "null " + v->type()->str();
+    case Value::Kind::Undef:
+      return "undef " + v->type()->str();
+    case Value::Kind::Argument:
+    case Value::Kind::Instruction:
+      return "%" + v->name();
+    case Value::Kind::BasicBlock:
+      return "label " + v->name();
+    case Value::Kind::Function:
+    case Value::Kind::GlobalVariable:
+      return "@" + v->name();
+  }
+  POSETRL_UNREACHABLE("bad value kind");
+}
+
+std::string attrList(const Function& f) {
+  std::vector<std::string> names;
+  const auto check = [&](FnAttr a, const char* n) {
+    if (f.hasAttr(a)) names.emplace_back(n);
+  };
+  check(FnAttr::NoInline, "noinline");
+  check(FnAttr::AlwaysInline, "alwaysinline");
+  check(FnAttr::ReadNone, "readnone");
+  check(FnAttr::ReadOnly, "readonly");
+  check(FnAttr::NoUnwind, "nounwind");
+  check(FnAttr::NoReturn, "noreturn");
+  check(FnAttr::Cold, "cold");
+  check(FnAttr::OptSize, "optsize");
+  return joinStrings(names, ", ");
+}
+
+const char* intrinsicName(IntrinsicId id) {
+  switch (id) {
+    case IntrinsicId::None: return "none";
+    case IntrinsicId::Input: return "input";
+    case IntrinsicId::Sink: return "sink";
+    case IntrinsicId::SinkF64: return "sinkf64";
+    case IntrinsicId::Memset: return "memset";
+    case IntrinsicId::Expect: return "expect";
+    case IntrinsicId::Assume: return "assume";
+    case IntrinsicId::AssumeAligned: return "assume_aligned";
+  }
+  POSETRL_UNREACHABLE("bad intrinsic id");
+}
+
+void printGlobal(std::ostringstream& os, const GlobalVariable& g) {
+  os << "global @" << g.name() << " : " << g.valueType()->str() << " = ";
+  const GlobalInit& init = g.init();
+  switch (init.kind) {
+    case GlobalInit::Kind::Zero:
+      os << "zero";
+      break;
+    case GlobalInit::Kind::Int:
+      os << "int " << init.int_value;
+      break;
+    case GlobalInit::Kind::Float:
+      os << "float " << formatDouble(init.float_value);
+      break;
+    case GlobalInit::Kind::IntArray: {
+      os << "array [";
+      for (std::size_t i = 0; i < init.elements.size(); ++i) {
+        if (i) os << ", ";
+        os << init.elements[i];
+      }
+      os << "]";
+      break;
+    }
+    case GlobalInit::Kind::FuncPtr:
+      os << "funcptr @" << init.function->name();
+      break;
+  }
+  os << (g.isInternal() ? ", internal" : ", external");
+  if (g.isConst()) os << ", const";
+  os << "\n";
+}
+
+}  // namespace
+
+std::string printInstruction(const Instruction& inst) {
+  std::ostringstream os;
+  if (!inst.type()->isVoid()) {
+    os << "%" << inst.name() << " : " << inst.type()->str() << " = ";
+  }
+  const Opcode op = inst.opcode();
+  os << opcodeName(op);
+  switch (op) {
+    case Opcode::Alloca:
+      os << " " << static_cast<const AllocaInst&>(inst).allocatedType()->str();
+      break;
+    case Opcode::Load: {
+      const auto& load = static_cast<const LoadInst&>(inst);
+      os << " " << operandRef(load.pointer());
+      if (load.alignment() != 1) os << " align " << load.alignment();
+      break;
+    }
+    case Opcode::Store: {
+      const auto& store = static_cast<const StoreInst&>(inst);
+      os << " " << operandRef(store.value()) << ", "
+         << operandRef(store.pointer());
+      if (store.alignment() != 1) os << " align " << store.alignment();
+      break;
+    }
+    case Opcode::Gep: {
+      const auto& gep = static_cast<const GepInst&>(inst);
+      os << " " << operandRef(gep.base()) << " [";
+      for (std::size_t i = 0; i < gep.numIndices(); ++i) {
+        if (i) os << ", ";
+        os << operandRef(gep.index(i));
+      }
+      os << "]";
+      break;
+    }
+    case Opcode::Phi: {
+      const auto& phi = static_cast<const PhiInst&>(inst);
+      for (std::size_t i = 0; i < phi.numIncoming(); ++i) {
+        os << (i == 0 ? " " : ", ") << "[ " << operandRef(phi.incomingValue(i))
+           << ", " << phi.incomingBlock(i)->name() << " ]";
+      }
+      break;
+    }
+    case Opcode::Call: {
+      const auto& call = static_cast<const CallInst&>(inst);
+      if (Function* f = call.calledFunction()) {
+        os << " @" << f->name();
+      } else {
+        os << " indirect " << operandRef(call.callee());
+      }
+      os << "(";
+      for (std::size_t i = 0; i < call.numArgs(); ++i) {
+        if (i) os << ", ";
+        os << operandRef(call.arg(i));
+      }
+      os << ")";
+      break;
+    }
+    case Opcode::Ret: {
+      const auto& ret = static_cast<const RetInst&>(inst);
+      os << (ret.hasValue() ? " " + operandRef(ret.value()) : " void");
+      break;
+    }
+    case Opcode::Br:
+      os << " label " << inst.successor(0)->name();
+      break;
+    case Opcode::CondBr: {
+      const auto& cbr = static_cast<const CondBrInst&>(inst);
+      os << " " << operandRef(cbr.condition()) << ", label "
+         << cbr.thenBlock()->name() << ", label " << cbr.elseBlock()->name();
+      break;
+    }
+    case Opcode::Switch: {
+      const auto& sw = static_cast<const SwitchInst&>(inst);
+      os << " " << operandRef(sw.condition()) << ", default label "
+         << sw.defaultBlock()->name() << ", [";
+      for (std::size_t i = 0; i < sw.numCases(); ++i) {
+        if (i) os << ", ";
+        os << sw.caseValue(i)->value() << " -> label "
+           << sw.caseBlock(i)->name();
+      }
+      os << "]";
+      break;
+    }
+    case Opcode::Unreachable:
+      break;
+    case Opcode::Select: {
+      const auto& sel = static_cast<const SelectInst&>(inst);
+      os << " " << operandRef(sel.condition()) << ", "
+         << operandRef(sel.trueValue()) << ", "
+         << operandRef(sel.falseValue());
+      break;
+    }
+    case Opcode::ICmp: {
+      const auto& cmp = static_cast<const ICmpInst&>(inst);
+      os << " " << ICmpInst::predName(cmp.pred()) << " "
+         << operandRef(cmp.lhs()) << ", " << operandRef(cmp.rhs());
+      break;
+    }
+    case Opcode::FCmp: {
+      const auto& cmp = static_cast<const FCmpInst&>(inst);
+      os << " " << FCmpInst::predName(cmp.pred()) << " "
+         << operandRef(cmp.lhs()) << ", " << operandRef(cmp.rhs());
+      break;
+    }
+    case Opcode::ZExt:
+    case Opcode::SExt:
+    case Opcode::Trunc:
+    case Opcode::SIToFP:
+    case Opcode::FPToSI:
+      os << " " << operandRef(inst.operand(0));
+      break;
+    default:
+      // Binary ops.
+      os << " " << operandRef(inst.operand(0)) << ", "
+         << operandRef(inst.operand(1));
+      break;
+  }
+  if (inst.vectorWidth() > 1) os << " vec " << inst.vectorWidth();
+  return os.str();
+}
+
+std::string printFunction(const Function& f) {
+  std::ostringstream os;
+  if (f.isDeclaration()) {
+    os << "declare @" << f.name() << " : " << f.functionType()->str();
+    const std::string attrs = attrList(f);
+    if (!attrs.empty()) os << " attrs [" << attrs << "]";
+    if (f.isIntrinsic()) os << " intrinsic " << intrinsicName(f.intrinsicId());
+    os << "\n";
+    return os.str();
+  }
+  os << "define @" << f.name() << " : " << f.functionType()->str();
+  os << (f.isInternal() ? " internal" : " external");
+  const std::string attrs = attrList(f);
+  if (!attrs.empty()) os << " attrs [" << attrs << "]";
+  os << " {\n";
+  for (const auto& bb : f.blocks()) {
+    os << "block " << bb->name() << ":\n";
+    for (const auto& inst : bb->insts()) {
+      os << "  " << printInstruction(*inst) << "\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string printModule(const Module& module) {
+  std::ostringstream os;
+  os << "module \"" << module.name() << "\"\n\n";
+  for (const auto& g : module.globals()) printGlobal(os, *g);
+  if (!module.globals().empty()) os << "\n";
+  // Declarations first for readability.
+  for (const auto& f : module.functions()) {
+    if (f->isDeclaration()) os << printFunction(*f);
+  }
+  os << "\n";
+  for (const auto& f : module.functions()) {
+    if (!f->isDeclaration()) os << printFunction(*f) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace posetrl

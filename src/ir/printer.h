@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file printer.h
+/// Textual serialization of MiniIR modules. The format round-trips through
+/// the parser (see parser.h); result types are printed explicitly so the
+/// parser can pre-register forward references (phi back-edges).
+
+#include <string>
+
+namespace posetrl {
+
+class Module;
+class Function;
+class Instruction;
+
+/// Prints the whole module.
+std::string printModule(const Module& module);
+
+/// Prints one function (definition or declaration line).
+std::string printFunction(const Function& function);
+
+/// Prints a single instruction (one line, no trailing newline).
+std::string printInstruction(const Instruction& inst);
+
+}  // namespace posetrl

@@ -1,0 +1,174 @@
+#include "ir/type.h"
+
+#include "support/error.h"
+
+namespace posetrl {
+
+unsigned Type::intBits() const {
+  switch (kind_) {
+    case Kind::I1: return 1;
+    case Kind::I8: return 8;
+    case Kind::I16: return 16;
+    case Kind::I32: return 32;
+    case Kind::I64: return 64;
+    default: POSETRL_UNREACHABLE("intBits on non-integer type");
+  }
+}
+
+std::uint64_t Type::byteSize() const {
+  switch (kind_) {
+    case Kind::Void: return 0;
+    case Kind::I1: return 1;
+    case Kind::I8: return 1;
+    case Kind::I16: return 2;
+    case Kind::I32: return 4;
+    case Kind::I64: return 8;
+    case Kind::F64: return 8;
+    case Kind::Ptr: return 8;
+    case Kind::Array: return count_ * elem_->byteSize();
+    case Kind::Struct: {
+      std::uint64_t total = 0;
+      for (Type* f : fields_) total += f->byteSize();
+      return total;
+    }
+    case Kind::Func: return 0;
+  }
+  POSETRL_UNREACHABLE("bad type kind");
+}
+
+Type* Type::pointee() const {
+  POSETRL_CHECK(isPointer(), "pointee() on non-pointer");
+  return pointee_;
+}
+
+Type* Type::arrayElement() const {
+  POSETRL_CHECK(isArray(), "arrayElement() on non-array");
+  return elem_;
+}
+
+std::uint64_t Type::arrayCount() const {
+  POSETRL_CHECK(isArray(), "arrayCount() on non-array");
+  return count_;
+}
+
+const std::vector<Type*>& Type::structFields() const {
+  POSETRL_CHECK(isStruct(), "structFields() on non-struct");
+  return fields_;
+}
+
+std::uint64_t Type::structFieldOffset(std::size_t index) const {
+  POSETRL_CHECK(isStruct() && index < fields_.size(), "bad struct field");
+  std::uint64_t off = 0;
+  for (std::size_t i = 0; i < index; ++i) off += fields_[i]->byteSize();
+  return off;
+}
+
+Type* Type::funcReturn() const {
+  POSETRL_CHECK(isFunction(), "funcReturn() on non-function");
+  return ret_;
+}
+
+const std::vector<Type*>& Type::funcParams() const {
+  POSETRL_CHECK(isFunction(), "funcParams() on non-function");
+  return params_;
+}
+
+std::string Type::str() const {
+  switch (kind_) {
+    case Kind::Void: return "void";
+    case Kind::I1: return "i1";
+    case Kind::I8: return "i8";
+    case Kind::I16: return "i16";
+    case Kind::I32: return "i32";
+    case Kind::I64: return "i64";
+    case Kind::F64: return "f64";
+    case Kind::Ptr: return "ptr<" + pointee_->str() + ">";
+    case Kind::Array:
+      return "[" + std::to_string(count_) + " x " + elem_->str() + "]";
+    case Kind::Struct: {
+      std::string s = "{";
+      for (std::size_t i = 0; i < fields_.size(); ++i) {
+        if (i) s += ", ";
+        s += fields_[i]->str();
+      }
+      return s + "}";
+    }
+    case Kind::Func: {
+      std::string s = "fn(";
+      for (std::size_t i = 0; i < params_.size(); ++i) {
+        if (i) s += ", ";
+        s += params_[i]->str();
+      }
+      return s + ") -> " + ret_->str();
+    }
+  }
+  POSETRL_UNREACHABLE("bad type kind");
+}
+
+TypeContext::TypeContext() {
+  void_ = make(Type::Kind::Void);
+  i1_ = make(Type::Kind::I1);
+  i8_ = make(Type::Kind::I8);
+  i16_ = make(Type::Kind::I16);
+  i32_ = make(Type::Kind::I32);
+  i64_ = make(Type::Kind::I64);
+  f64_ = make(Type::Kind::F64);
+}
+
+Type* TypeContext::make(Type::Kind kind) {
+  owned_.push_back(std::unique_ptr<Type>(new Type(kind)));
+  return owned_.back().get();
+}
+
+Type* TypeContext::intType(unsigned bits) {
+  switch (bits) {
+    case 1: return i1_;
+    case 8: return i8_;
+    case 16: return i16_;
+    case 32: return i32_;
+    case 64: return i64_;
+    default: POSETRL_UNREACHABLE("unsupported integer width");
+  }
+}
+
+Type* TypeContext::ptrTo(Type* pointee) {
+  auto it = ptr_cache_.find(pointee);
+  if (it != ptr_cache_.end()) return it->second;
+  Type* t = make(Type::Kind::Ptr);
+  t->pointee_ = pointee;
+  ptr_cache_[pointee] = t;
+  return t;
+}
+
+Type* TypeContext::arrayOf(Type* element, std::uint64_t count) {
+  const auto key = std::make_pair(element, count);
+  auto it = array_cache_.find(key);
+  if (it != array_cache_.end()) return it->second;
+  Type* t = make(Type::Kind::Array);
+  t->elem_ = element;
+  t->count_ = count;
+  array_cache_[key] = t;
+  return t;
+}
+
+Type* TypeContext::structOf(std::vector<Type*> fields) {
+  auto it = struct_cache_.find(fields);
+  if (it != struct_cache_.end()) return it->second;
+  Type* t = make(Type::Kind::Struct);
+  t->fields_ = fields;
+  struct_cache_[std::move(fields)] = t;
+  return t;
+}
+
+Type* TypeContext::funcType(Type* ret, std::vector<Type*> params) {
+  const auto key = std::make_pair(ret, params);
+  auto it = func_cache_.find(key);
+  if (it != func_cache_.end()) return it->second;
+  Type* t = make(Type::Kind::Func);
+  t->ret_ = ret;
+  t->params_ = std::move(params);
+  func_cache_[key] = t;
+  return t;
+}
+
+}  // namespace posetrl

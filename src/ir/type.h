@@ -1,0 +1,131 @@
+#pragma once
+
+/// \file type.h
+/// Type system of MiniIR, the LLVM-IR analog used throughout this
+/// reproduction (see DESIGN.md §2). Types are immutable and interned in a
+/// TypeContext owned by the Module, so pointer equality is type equality.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace posetrl {
+
+class TypeContext;
+
+/// A MiniIR type. Obtain instances only through TypeContext.
+class Type {
+ public:
+  enum class Kind {
+    Void,
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
+    F64,
+    Ptr,     ///< Typed pointer (pointee recorded for GEP/load/store checks).
+    Array,   ///< Fixed-length array.
+    Struct,  ///< Anonymous literal struct.
+    Func,    ///< Function signature.
+  };
+
+  Kind kind() const { return kind_; }
+
+  bool isVoid() const { return kind_ == Kind::Void; }
+  bool isInteger() const {
+    return kind_ == Kind::I1 || kind_ == Kind::I8 || kind_ == Kind::I16 ||
+           kind_ == Kind::I32 || kind_ == Kind::I64;
+  }
+  bool isFloat() const { return kind_ == Kind::F64; }
+  bool isPointer() const { return kind_ == Kind::Ptr; }
+  bool isArray() const { return kind_ == Kind::Array; }
+  bool isStruct() const { return kind_ == Kind::Struct; }
+  bool isFunction() const { return kind_ == Kind::Func; }
+  bool isAggregate() const { return isArray() || isStruct(); }
+  /// True for types a virtual register can hold.
+  bool isFirstClass() const {
+    return isInteger() || isFloat() || isPointer();
+  }
+
+  /// Bit width of an integer type (checked).
+  unsigned intBits() const;
+
+  /// Byte size of the type in the abstract data layout (pointers are 8).
+  std::uint64_t byteSize() const;
+
+  /// Pointee of a pointer type (checked).
+  Type* pointee() const;
+
+  /// Element type of an array (checked).
+  Type* arrayElement() const;
+  std::uint64_t arrayCount() const;
+
+  /// Struct field access (checked).
+  const std::vector<Type*>& structFields() const;
+  /// Byte offset of field \p index inside the struct (packed layout).
+  std::uint64_t structFieldOffset(std::size_t index) const;
+
+  /// Function signature access (checked).
+  Type* funcReturn() const;
+  const std::vector<Type*>& funcParams() const;
+
+  /// Human-readable spelling, e.g. "i32", "ptr<i64>", "[4 x i32]".
+  std::string str() const;
+
+ private:
+  friend class TypeContext;
+  explicit Type(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  // Composite payloads (unused fields left empty for scalar kinds).
+  Type* pointee_ = nullptr;
+  Type* elem_ = nullptr;
+  std::uint64_t count_ = 0;
+  std::vector<Type*> fields_;
+  Type* ret_ = nullptr;
+  std::vector<Type*> params_;
+};
+
+/// Owns and interns all types of a module.
+class TypeContext {
+ public:
+  TypeContext();
+  TypeContext(const TypeContext&) = delete;
+  TypeContext& operator=(const TypeContext&) = delete;
+
+  Type* voidTy() { return void_; }
+  Type* i1() { return i1_; }
+  Type* i8() { return i8_; }
+  Type* i16() { return i16_; }
+  Type* i32() { return i32_; }
+  Type* i64() { return i64_; }
+  Type* f64() { return f64_; }
+  /// Integer type of the given bit width (1/8/16/32/64).
+  Type* intType(unsigned bits);
+
+  Type* ptrTo(Type* pointee);
+  Type* arrayOf(Type* element, std::uint64_t count);
+  Type* structOf(std::vector<Type*> fields);
+  Type* funcType(Type* ret, std::vector<Type*> params);
+
+ private:
+  Type* make(Type::Kind kind);
+
+  std::vector<std::unique_ptr<Type>> owned_;
+  Type* void_;
+  Type* i1_;
+  Type* i8_;
+  Type* i16_;
+  Type* i32_;
+  Type* i64_;
+  Type* f64_;
+  std::map<Type*, Type*> ptr_cache_;
+  std::map<std::pair<Type*, std::uint64_t>, Type*> array_cache_;
+  std::map<std::vector<Type*>, Type*> struct_cache_;
+  std::map<std::pair<Type*, std::vector<Type*>>, Type*> func_cache_;
+};
+
+}  // namespace posetrl

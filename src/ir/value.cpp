@@ -1,0 +1,42 @@
+#include "ir/value.h"
+
+#include <algorithm>
+
+#include "ir/instruction.h"
+
+namespace posetrl {
+
+void Value::replaceAllUsesWith(Value* replacement) {
+  POSETRL_CHECK(replacement != this, "RAUW with self");
+  // Users are mutated as operands change, so iterate over a snapshot.
+  const std::vector<Instruction*> snapshot = users_;
+  for (Instruction* user : snapshot) {
+    for (std::size_t i = 0; i < user->numOperands(); ++i) {
+      if (user->operand(i) == this) user->setOperand(i, replacement);
+    }
+  }
+}
+
+void Value::removeUser(Instruction* user) {
+  auto it = std::find(users_.begin(), users_.end(), user);
+  POSETRL_CHECK(it != users_.end(), "removing non-existent user");
+  users_.erase(it);
+}
+
+std::uint64_t ConstantInt::zextValue() const {
+  const unsigned bits = type()->intBits();
+  if (bits == 64) return static_cast<std::uint64_t>(value_);
+  return static_cast<std::uint64_t>(value_) & ((1ull << bits) - 1);
+}
+
+std::int64_t ConstantInt::canonicalize(std::int64_t v, unsigned bits) {
+  if (bits == 64) return v;
+  const std::uint64_t mask = (1ull << bits) - 1;
+  std::uint64_t u = static_cast<std::uint64_t>(v) & mask;
+  // Sign-extend from `bits`.
+  const std::uint64_t sign = 1ull << (bits - 1);
+  if (u & sign) u |= ~mask;
+  return static_cast<std::int64_t>(u);
+}
+
+}  // namespace posetrl

@@ -1,0 +1,194 @@
+#pragma once
+
+/// \file value.h
+/// Base class of the MiniIR value hierarchy plus constants and function
+/// arguments. Every SSA value (instruction result, argument, constant,
+/// global address, basic-block label, function address) is a Value.
+///
+/// Use-def bookkeeping: every Instruction records its operand Values, and
+/// every Value keeps the (multi-)list of instructions using it, enabling
+/// `replaceAllUsesWith` — the workhorse of nearly every optimization pass.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/type.h"
+#include "support/error.h"
+
+namespace posetrl {
+
+class Instruction;
+
+/// Root of the MiniIR value hierarchy.
+class Value {
+ public:
+  enum class Kind {
+    ConstantInt,
+    ConstantFloat,
+    ConstantNull,
+    Undef,
+    Argument,
+    BasicBlock,
+    GlobalVariable,
+    Function,
+    Instruction,
+  };
+
+  virtual ~Value() = default;
+  Value(const Value&) = delete;
+  Value& operator=(const Value&) = delete;
+
+  Kind kind() const { return kind_; }
+  Type* type() const { return type_; }
+
+  const std::string& name() const { return name_; }
+  void setName(std::string name) { name_ = std::move(name); }
+
+  /// Instructions using this value, one entry per operand slot (so an
+  /// instruction using the value twice appears twice).
+  const std::vector<Instruction*>& users() const { return users_; }
+  bool hasUses() const { return !users_.empty(); }
+  std::size_t numUses() const { return users_.size(); }
+
+  /// Rewrites every use of this value to \p replacement.
+  void replaceAllUsesWith(Value* replacement);
+
+  bool isConstant() const {
+    return kind_ == Kind::ConstantInt || kind_ == Kind::ConstantFloat ||
+           kind_ == Kind::ConstantNull || kind_ == Kind::Undef;
+  }
+
+ protected:
+  Value(Kind kind, Type* type, std::string name)
+      : kind_(kind), type_(type), name_(std::move(name)) {}
+
+  /// Re-seats the value's type. Only Function uses this (dead-argument
+  /// elimination rewrites signatures); all other values have fixed types.
+  void mutateType(Type* t) { type_ = t; }
+
+ private:
+  friend class Instruction;
+  void addUser(Instruction* user) { users_.push_back(user); }
+  void removeUser(Instruction* user);
+
+  Kind kind_;
+  Type* type_;
+  std::string name_;
+  std::vector<Instruction*> users_;
+};
+
+/// LLVM-style lightweight RTTI helpers.
+template <typename T>
+bool isa(const Value* v) {
+  return v != nullptr && T::classof(v);
+}
+
+template <typename T>
+T* dynCast(Value* v) {
+  return isa<T>(v) ? static_cast<T*>(v) : nullptr;
+}
+
+template <typename T>
+const T* dynCast(const Value* v) {
+  return isa<T>(v) ? static_cast<const T*>(v) : nullptr;
+}
+
+template <typename T>
+T* cast(Value* v) {
+  POSETRL_CHECK(isa<T>(v), "bad cast of IR value");
+  return static_cast<T*>(v);
+}
+
+template <typename T>
+const T* cast(const Value* v) {
+  POSETRL_CHECK(isa<T>(v), "bad cast of IR value");
+  return static_cast<const T*>(v);
+}
+
+/// Integer constant. Stored sign-extended to 64 bits; the value is always
+/// kept truncated to the type's width (two's complement).
+class ConstantInt : public Value {
+ public:
+  ConstantInt(Type* type, std::int64_t value)
+      : Value(Kind::ConstantInt, type, ""), value_(value) {
+    POSETRL_CHECK(type->isInteger(), "ConstantInt needs integer type");
+  }
+
+  /// Sign-extended value.
+  std::int64_t value() const { return value_; }
+  /// Zero-extended (bit-pattern) value.
+  std::uint64_t zextValue() const;
+  bool isZero() const { return value_ == 0; }
+  bool isOne() const { return value_ == 1; }
+  bool isAllOnes() const { return value_ == -1; }
+
+  /// Truncates \p v to \p bits and sign-extends back (canonical storage).
+  static std::int64_t canonicalize(std::int64_t v, unsigned bits);
+
+  static bool classof(const Value* v) { return v->kind() == Kind::ConstantInt; }
+
+ private:
+  std::int64_t value_;
+};
+
+/// Floating-point constant (f64).
+class ConstantFloat : public Value {
+ public:
+  ConstantFloat(Type* type, double value)
+      : Value(Kind::ConstantFloat, type, ""), value_(value) {
+    POSETRL_CHECK(type->isFloat(), "ConstantFloat needs float type");
+  }
+
+  double value() const { return value_; }
+
+  static bool classof(const Value* v) {
+    return v->kind() == Kind::ConstantFloat;
+  }
+
+ private:
+  double value_;
+};
+
+/// Null pointer constant.
+class ConstantNull : public Value {
+ public:
+  explicit ConstantNull(Type* type) : Value(Kind::ConstantNull, type, "") {
+    POSETRL_CHECK(type->isPointer(), "ConstantNull needs pointer type");
+  }
+
+  static bool classof(const Value* v) {
+    return v->kind() == Kind::ConstantNull;
+  }
+};
+
+/// Undefined value of a first-class type.
+class UndefValue : public Value {
+ public:
+  explicit UndefValue(Type* type) : Value(Kind::Undef, type, "") {}
+
+  static bool classof(const Value* v) { return v->kind() == Kind::Undef; }
+};
+
+class Function;
+
+/// Formal parameter of a function.
+class Argument : public Value {
+ public:
+  Argument(Type* type, std::string name, Function* parent, unsigned index)
+      : Value(Kind::Argument, type, std::move(name)),
+        parent_(parent),
+        index_(index) {}
+
+  Function* parent() const { return parent_; }
+  unsigned index() const { return index_; }
+  void setIndex(unsigned index) { index_ = index; }
+
+  static bool classof(const Value* v) { return v->kind() == Kind::Argument; }
+
+ private:
+  Function* parent_;
+  unsigned index_;
+};
+
+}  // namespace posetrl

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file verifier.h
+/// Structural and semantic well-formedness checks for MiniIR. Run after
+/// every pass in the test suite's property checks; a failure indicates a
+/// bug in the producing pass, not in user input.
+
+#include <string>
+#include <vector>
+
+namespace posetrl {
+
+class Module;
+class Function;
+
+/// Result of verification: empty error list means the IR is well formed.
+struct VerifyResult {
+  std::vector<std::string> errors;
+
+  bool ok() const { return errors.empty(); }
+  /// All error messages joined with newlines.
+  std::string message() const;
+};
+
+/// Verifies an entire module (globals, declarations, every function body).
+VerifyResult verifyModule(const Module& module);
+
+/// Verifies a single function body.
+VerifyResult verifyFunction(const Function& function);
+
+}  // namespace posetrl

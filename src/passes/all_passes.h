@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file all_passes.h
+/// Factory functions for every implemented pass analog. One factory per
+/// LLVM-10 -Oz pass name (Table I of the paper). See DESIGN.md for the
+/// mapping from each LLVM pass to the behaviour implemented here.
+
+#include <memory>
+
+#include "passes/pass.h"
+
+namespace posetrl {
+
+// --- CFG / scalar ---
+std::unique_ptr<Pass> createSimplifyCfgPass();
+std::unique_ptr<Pass> createInstSimplifyPass();
+std::unique_ptr<Pass> createInstCombinePass();
+std::unique_ptr<Pass> createReassociatePass();
+std::unique_ptr<Pass> createSpeculativeExecutionPass();
+std::unique_ptr<Pass> createJumpThreadingPass();
+std::unique_ptr<Pass> createCorrelatedPropagationPass();
+std::unique_ptr<Pass> createTailCallElimPass();
+std::unique_ptr<Pass> createFloat2IntPass();
+std::unique_ptr<Pass> createDivRemPairsPass();
+std::unique_ptr<Pass> createLowerExpectPass();
+std::unique_ptr<Pass> createLowerConstantIntrinsicsPass();
+std::unique_ptr<Pass> createAlignmentFromAssumptionsPass();
+
+// --- memory ---
+std::unique_ptr<Pass> createMem2RegPass();
+std::unique_ptr<Pass> createSROAPass();
+std::unique_ptr<Pass> createEarlyCSEPass();
+std::unique_ptr<Pass> createEarlyCSEMemSSAPass();
+std::unique_ptr<Pass> createGVNPass();
+std::unique_ptr<Pass> createDSEPass();
+std::unique_ptr<Pass> createMemCpyOptPass();
+std::unique_ptr<Pass> createMLSMPass();  // mldst-motion
+
+// --- dead code ---
+std::unique_ptr<Pass> createDCEPass();
+std::unique_ptr<Pass> createADCEPass();
+std::unique_ptr<Pass> createBDCEPass();
+
+// --- constant propagation ---
+std::unique_ptr<Pass> createSCCPPass();
+std::unique_ptr<Pass> createIPSCCPPass();
+
+// --- loops ---
+std::unique_ptr<Pass> createLoopSimplifyPass();
+std::unique_ptr<Pass> createLCSSAPass();
+std::unique_ptr<Pass> createLICMPass();
+std::unique_ptr<Pass> createLoopRotatePass();
+std::unique_ptr<Pass> createLoopUnswitchPass();
+std::unique_ptr<Pass> createLoopDeletionPass();
+std::unique_ptr<Pass> createLoopUnrollPass();
+std::unique_ptr<Pass> createLoopUnrollO3Pass();
+std::unique_ptr<Pass> createLoopUnswitchO3Pass();
+std::unique_ptr<Pass> createIndVarSimplifyPass();
+std::unique_ptr<Pass> createLoopIdiomPass();
+std::unique_ptr<Pass> createLoopDistributePass();
+std::unique_ptr<Pass> createLoopVectorizePass();
+std::unique_ptr<Pass> createLoopLoadElimPass();
+std::unique_ptr<Pass> createLoopSinkPass();
+
+// --- interprocedural ---
+std::unique_ptr<Pass> createInlinerPass();
+std::unique_ptr<Pass> createInlinerO3Pass();
+std::unique_ptr<Pass> createPruneEHPass();
+std::unique_ptr<Pass> createFunctionAttrsPass();
+std::unique_ptr<Pass> createRPOFunctionAttrsPass();
+std::unique_ptr<Pass> createAttributorPass();
+std::unique_ptr<Pass> createInferAttrsPass();
+std::unique_ptr<Pass> createForceAttrsPass();
+std::unique_ptr<Pass> createCalledValuePropagationPass();
+std::unique_ptr<Pass> createGlobalOptPass();
+std::unique_ptr<Pass> createGlobalDCEPass();
+std::unique_ptr<Pass> createDeadArgElimPass();
+std::unique_ptr<Pass> createStripDeadPrototypesPass();
+std::unique_ptr<Pass> createConstMergePass();
+std::unique_ptr<Pass> createElimAvailExternPass();
+
+// --- structural no-ops (exist in the Oz sequence) ---
+std::unique_ptr<Pass> createBarrierPass();
+std::unique_ptr<Pass> createEEInstrumentPass();
+
+}  // namespace posetrl

@@ -1,0 +1,218 @@
+/// \file dce.cpp
+/// Dead-code elimination family: -dce (trivial sweep), -adce (aggressive,
+/// liveness-seeded from observable effects — removes dead phi cycles), and
+/// -bdce (bit-tracking: values none of whose bits are demanded become zero).
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "ir/basic_block.h"
+#include "ir/function.h"
+#include "ir/instruction.h"
+#include "ir/module.h"
+#include "passes/all_passes.h"
+#include "passes/transform_utils.h"
+
+namespace posetrl {
+namespace {
+
+class DCEPass : public FunctionPass {
+ public:
+  std::string_view name() const override { return "dce"; }
+
+ protected:
+  bool runOnFunction(Function& f) override {
+    return deleteDeadInstructions(f);
+  }
+};
+
+/// Roots of liveness: instructions whose removal would change behaviour.
+bool isLiveRoot(const Instruction& inst) {
+  if (inst.isTerminator()) return true;  // Control structure kept intact.
+  if (!inst.isRemovableIfUnused()) return true;
+  return false;
+}
+
+class ADCEPass : public FunctionPass {
+ public:
+  std::string_view name() const override { return "adce"; }
+
+ protected:
+  bool runOnFunction(Function& f) override {
+    std::set<const Instruction*> live;
+    std::vector<const Instruction*> work;
+    for (const auto& bb : f.blocks()) {
+      for (const auto& inst : bb->insts()) {
+        if (isLiveRoot(*inst)) {
+          live.insert(inst.get());
+          work.push_back(inst.get());
+        }
+      }
+    }
+    while (!work.empty()) {
+      const Instruction* inst = work.back();
+      work.pop_back();
+      for (const Value* op : inst->operands()) {
+        if (const auto* def = dynCast<Instruction>(op)) {
+          if (live.insert(def).second) work.push_back(def);
+        }
+      }
+    }
+    bool changed = false;
+    // Erase dead instructions; phi cycles may be mutually-referencing, so
+    // detach all dead operands first.
+    std::vector<Instruction*> dead;
+    for (const auto& bb : f.blocks()) {
+      for (const auto& inst : bb->insts()) {
+        if (!live.count(inst.get())) dead.push_back(inst.get());
+      }
+    }
+    if (dead.empty()) return false;
+    for (Instruction* inst : dead) inst->dropAllOperands();
+    Module* m = f.parent();
+    for (Instruction* inst : dead) {
+      if (inst->hasUses()) {
+        // Only other dead instructions can still refer to it; make those
+        // references inert before erasing.
+        inst->replaceAllUsesWith(m->undef(inst->type()));
+      }
+    }
+    for (Instruction* inst : dead) {
+      inst->eraseFromParent();
+      changed = true;
+    }
+    return changed;
+  }
+};
+
+/// Demanded-bits DCE. Computes, for each integer instruction, the bit mask
+/// its users actually consume; an instruction with no demanded bits is
+/// replaced by zero.
+class BDCEPass : public FunctionPass {
+ public:
+  std::string_view name() const override { return "bdce"; }
+
+ protected:
+  bool runOnFunction(Function& f) override {
+    Module& m = *f.parent();
+    // demanded[v] accumulates bits demanded by v's users.
+    std::map<const Instruction*, std::uint64_t> demanded;
+    const auto all_bits = [](Type* t) {
+      const unsigned b = t->intBits();
+      return b == 64 ? ~0ull : ((1ull << b) - 1);
+    };
+
+    // Seed: every non-integer-valued or externally observable use demands
+    // all bits of its integer operands, refined by user opcode below.
+    bool changed = true;
+    int iterations = 0;
+    std::map<const Instruction*, std::uint64_t> result;
+    while (changed && ++iterations < 8) {
+      changed = false;
+      for (const auto& bb : f.blocks()) {
+        for (const auto& inst : bb->insts()) {
+          if (!inst->type()->isInteger()) continue;
+          std::uint64_t mask = 0;
+          if (!inst->hasUses()) {
+            mask = 0;
+          }
+          for (const Instruction* user : inst->users()) {
+            mask |= demandFromUser(*user, inst.get(), all_bits, result);
+            if (mask == all_bits(inst->type())) break;
+          }
+          mask &= all_bits(inst->type());
+          auto it = result.find(inst.get());
+          if (it == result.end() || it->second != mask) {
+            result[inst.get()] = mask;
+            changed = true;
+          }
+        }
+      }
+    }
+
+    bool any = false;
+    std::vector<Instruction*> zeroed;
+    for (const auto& bb : f.blocks()) {
+      for (const auto& inst : bb->insts()) {
+        if (!inst->type()->isInteger()) continue;
+        if (!inst->hasUses()) continue;
+        if (!inst->isRemovableIfUnused()) continue;
+        auto it = result.find(inst.get());
+        if (it != result.end() && it->second == 0) {
+          zeroed.push_back(inst.get());
+        }
+      }
+    }
+    for (Instruction* inst : zeroed) {
+      inst->replaceAllUsesWith(m.constantInt(inst->type(), 0));
+      any = true;
+    }
+    any |= deleteDeadInstructions(f);
+    return any;
+  }
+
+ private:
+  template <typename AllBitsFn>
+  std::uint64_t demandFromUser(
+      const Instruction& user, const Instruction* operand,
+      const AllBitsFn& all_bits,
+      const std::map<const Instruction*, std::uint64_t>& result) const {
+    const auto user_demand = [&]() -> std::uint64_t {
+      if (!user.type()->isInteger()) return ~0ull;
+      auto it = result.find(&user);
+      return it == result.end() ? all_bits(user.type()) : it->second;
+    };
+    switch (user.opcode()) {
+      case Opcode::And: {
+        // Bits masked off by a constant are not demanded from the other
+        // operand.
+        const Value* other =
+            user.operand(0) == operand ? user.operand(1) : user.operand(0);
+        if (const auto* c = dynCast<ConstantInt>(other)) {
+          return user_demand() & c->zextValue();
+        }
+        return user_demand();
+      }
+      case Opcode::Trunc:
+        return all_bits(user.type());
+      case Opcode::ZExt:
+        return user_demand() & all_bits(operand->type());
+      case Opcode::Shl: {
+        if (user.operand(0) == operand) {
+          if (const auto* c = dynCast<ConstantInt>(user.operand(1))) {
+            const unsigned bits = user.type()->intBits();
+            const std::uint64_t sh = c->zextValue() % bits;
+            return user_demand() >> sh;
+          }
+        }
+        return ~0ull;
+      }
+      case Opcode::LShr: {
+        if (user.operand(0) == operand) {
+          if (const auto* c = dynCast<ConstantInt>(user.operand(1))) {
+            const unsigned bits = user.type()->intBits();
+            const std::uint64_t sh = c->zextValue() % bits;
+            return (user_demand() << sh) & all_bits(user.type());
+          }
+        }
+        return ~0ull;
+      }
+      case Opcode::Or:
+      case Opcode::Xor:
+        return user_demand();
+      default:
+        return ~0ull;
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> createDCEPass() { return std::make_unique<DCEPass>(); }
+
+std::unique_ptr<Pass> createADCEPass() { return std::make_unique<ADCEPass>(); }
+
+std::unique_ptr<Pass> createBDCEPass() { return std::make_unique<BDCEPass>(); }
+
+}  // namespace posetrl

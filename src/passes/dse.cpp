@@ -1,0 +1,101 @@
+/// \file dse.cpp
+/// -dse analog: kills stores overwritten before any possible read, and all
+/// stores into allocas that are never loaded (write-only locals).
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "ir/basic_block.h"
+#include "ir/function.h"
+#include "ir/instruction.h"
+#include "passes/all_passes.h"
+#include "passes/transform_utils.h"
+
+namespace posetrl {
+namespace {
+
+class DSEPass : public FunctionPass {
+ public:
+  std::string_view name() const override { return "dse"; }
+
+ protected:
+  bool runOnFunction(Function& f) override {
+    bool changed = false;
+    changed |= killOverwrittenStores(f);
+    changed |= killWriteOnlyAllocas(f);
+    return changed;
+  }
+
+ private:
+  /// Within each block, walking backwards: a store to P is dead when a
+  /// later store to P precedes any instruction that might read memory.
+  bool killOverwrittenStores(Function& f) {
+    bool changed = false;
+    for (const auto& bb : f.blocks()) {
+      std::vector<Instruction*> insts;
+      for (const auto& inst : bb->insts()) insts.push_back(inst.get());
+      // overwritten[P] = true while walking backwards until a reader.
+      std::set<const Value*> overwritten;
+      std::vector<Instruction*> dead;
+      for (auto it = insts.rbegin(); it != insts.rend(); ++it) {
+        Instruction* inst = *it;
+        if (auto* store = dynCast<StoreInst>(inst)) {
+          if (overwritten.count(store->pointer())) {
+            dead.push_back(store);
+          } else {
+            overwritten.insert(store->pointer());
+          }
+          continue;
+        }
+        // Any potential read (or call) invalidates everything we know —
+        // there is no alias analysis, so be conservative.
+        if (inst->mayReadMemory() || inst->opcode() == Opcode::Call) {
+          overwritten.clear();
+        }
+      }
+      for (Instruction* store : dead) {
+        store->eraseFromParent();
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  /// Stores into an alloca that is never loaded (and never escapes) are
+  /// unobservable.
+  bool killWriteOnlyAllocas(Function& f) {
+    std::vector<StoreInst*> dead;
+    for (const auto& bb : f.blocks()) {
+      for (const auto& inst : bb->insts()) {
+        auto* alloca = dynCast<AllocaInst>(inst.get());
+        if (alloca == nullptr) continue;
+        bool write_only = true;
+        for (Instruction* user : alloca->users()) {
+          auto* store = dynCast<StoreInst>(user);
+          if (store == nullptr || store->value() == alloca) {
+            write_only = false;
+            break;
+          }
+        }
+        if (!write_only) continue;
+        for (Instruction* user : alloca->users()) {
+          dead.push_back(cast<StoreInst>(static_cast<Value*>(user)));
+        }
+      }
+    }
+    // A store may appear twice (value == pointer impossible here, but the
+    // users list could still repeat); dedupe.
+    std::set<StoreInst*> unique(dead.begin(), dead.end());
+    for (StoreInst* store : unique) store->eraseFromParent();
+    bool changed = !unique.empty();
+    changed |= deleteDeadInstructions(f);
+    return changed;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> createDSEPass() { return std::make_unique<DSEPass>(); }
+
+}  // namespace posetrl

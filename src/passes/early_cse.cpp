@@ -1,0 +1,234 @@
+/// \file early_cse.cpp
+/// -early-cse, -early-cse-memssa and -gvn analogs. All three share a
+/// dominator-scoped value-numbering engine for pure expressions; they differ
+/// in how aggressively they treat memory:
+///   early-cse        : pure ops + same-block load CSE.
+///   early-cse-memssa : + same-block store-to-load forwarding.
+///   gvn              : + cross-block load CSE when the function is
+///                      write-free, + readonly-call CSE.
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "analysis/dominators.h"
+#include "ir/basic_block.h"
+#include "ir/function.h"
+#include "ir/instruction.h"
+#include "ir/module.h"
+#include "passes/all_passes.h"
+#include "passes/transform_utils.h"
+#include "support/hashing.h"
+
+namespace posetrl {
+namespace {
+
+/// Structural key for pure expressions.
+struct ExprKey {
+  Opcode op;
+  int extra;  // Predicate for comparisons, 0 otherwise.
+  std::vector<const Value*> operands;
+
+  bool operator<(const ExprKey& other) const {
+    if (op != other.op) return op < other.op;
+    if (extra != other.extra) return extra < other.extra;
+    return operands < other.operands;
+  }
+};
+
+/// True when \p inst computes a pure value we can number (no memory, no
+/// control, no traps).
+bool isNumberable(const Instruction& inst) {
+  if (inst.isTerminator() || inst.type()->isVoid()) return false;
+  switch (inst.opcode()) {
+    case Opcode::Alloca:
+    case Opcode::Load:
+    case Opcode::Store:
+    case Opcode::Phi:
+      return false;
+    case Opcode::Call: {
+      const auto* call = static_cast<const CallInst*>(&inst);
+      Function* callee = call->calledFunction();
+      return callee != nullptr && callee->hasAttr(FnAttr::ReadNone);
+    }
+    default:
+      return !inst.mayTrap();
+  }
+}
+
+ExprKey makeKey(const Instruction& inst) {
+  ExprKey key;
+  key.op = inst.opcode();
+  key.extra = 0;
+  if (inst.opcode() == Opcode::ICmp) {
+    key.extra = static_cast<int>(static_cast<const ICmpInst&>(inst).pred());
+  } else if (inst.opcode() == Opcode::FCmp) {
+    key.extra =
+        100 + static_cast<int>(static_cast<const FCmpInst&>(inst).pred());
+  }
+  for (const Value* op : inst.operands()) key.operands.push_back(op);
+  // Canonical operand order for commutative ops.
+  if (inst.isCommutative() && key.operands.size() == 2 &&
+      key.operands[1] < key.operands[0]) {
+    std::swap(key.operands[0], key.operands[1]);
+  }
+  return key;
+}
+
+struct CseConfig {
+  bool forward_stores = false;     ///< store x,p ; load p -> x (in block).
+  bool cross_block_loads = false;  ///< Requires a write-free function.
+};
+
+class CseEngine {
+ public:
+  CseEngine(Function& f, const CseConfig& cfg) : f_(f), cfg_(cfg) {}
+
+  bool run() {
+    removeUnreachableBlocks(f_);
+    // Cross-block load reuse is only sound when nothing in the function
+    // (or its callees) writes memory.
+    bool function_writes = false;
+    for (const auto& bb : f_.blocks()) {
+      for (const auto& inst : bb->insts()) {
+        if (inst->mayWriteMemory()) function_writes = true;
+      }
+    }
+    allow_global_loads_ = cfg_.cross_block_loads && !function_writes;
+
+    DominatorTree dt(f_);
+    dfs(f_.entry(), dt);
+    changed_ |= deleteDeadInstructions(f_);
+    return changed_;
+  }
+
+ private:
+  using AvailMap = std::map<ExprKey, Instruction*>;
+
+  void dfs(BasicBlock* bb, const DominatorTree& dt) {
+    // Scope bookkeeping: record insertions to undo on exit.
+    std::vector<ExprKey> inserted_exprs;
+    std::vector<const Value*> inserted_loads;
+
+    // Block-local memory state.
+    std::map<const Value*, Value*> local_loads;  // ptr -> known value
+
+    std::vector<Instruction*> insts;
+    for (const auto& inst : bb->insts()) insts.push_back(inst.get());
+    for (Instruction* inst : insts) {
+      if (Value* s = simplifyInstruction(inst, *f_.parent())) {
+        replaceAndErase(inst, s);
+        changed_ = true;
+        continue;
+      }
+      if (auto* load = dynCast<LoadInst>(inst)) {
+        const Value* ptr = load->pointer();
+        // 1. Block-local availability (load or forwarded store).
+        auto lit = local_loads.find(ptr);
+        if (lit != local_loads.end()) {
+          replaceAndErase(load, lit->second);
+          changed_ = true;
+          continue;
+        }
+        // 2. Dominator-scoped availability (write-free functions only).
+        if (allow_global_loads_) {
+          auto git = global_loads_.find(ptr);
+          if (git != global_loads_.end()) {
+            replaceAndErase(load, git->second);
+            changed_ = true;
+            continue;
+          }
+          global_loads_[ptr] = load;
+          inserted_loads.push_back(ptr);
+        }
+        local_loads[ptr] = load;
+        continue;
+      }
+      if (auto* store = dynCast<StoreInst>(inst)) {
+        // A store invalidates local knowledge about all other pointers
+        // (no alias analysis) but establishes the stored value for its own.
+        local_loads.clear();
+        if (cfg_.forward_stores) {
+          local_loads[store->pointer()] = store->value();
+        }
+        continue;
+      }
+      if (inst->mayWriteMemory()) {
+        local_loads.clear();
+        continue;
+      }
+      if (!isNumberable(*inst)) continue;
+      const ExprKey key = makeKey(*inst);
+      auto it = avail_.find(key);
+      if (it != avail_.end()) {
+        replaceAndErase(inst, it->second);
+        changed_ = true;
+      } else {
+        avail_[key] = inst;
+        inserted_exprs.push_back(key);
+      }
+    }
+
+    for (BasicBlock* child : dt.children(bb)) dfs(child, dt);
+
+    for (const ExprKey& key : inserted_exprs) avail_.erase(key);
+    for (const Value* ptr : inserted_loads) global_loads_.erase(ptr);
+  }
+
+  Function& f_;
+  CseConfig cfg_;
+  AvailMap avail_;
+  std::map<const Value*, Instruction*> global_loads_;
+  bool allow_global_loads_ = false;
+  bool changed_ = false;
+};
+
+class EarlyCSEPass : public FunctionPass {
+ public:
+  std::string_view name() const override { return "early-cse"; }
+
+ protected:
+  bool runOnFunction(Function& f) override {
+    CseConfig cfg;
+    return CseEngine(f, cfg).run();
+  }
+};
+
+class EarlyCSEMemSSAPass : public FunctionPass {
+ public:
+  std::string_view name() const override { return "early-cse-memssa"; }
+
+ protected:
+  bool runOnFunction(Function& f) override {
+    CseConfig cfg;
+    cfg.forward_stores = true;
+    return CseEngine(f, cfg).run();
+  }
+};
+
+class GVNPass : public FunctionPass {
+ public:
+  std::string_view name() const override { return "gvn"; }
+
+ protected:
+  bool runOnFunction(Function& f) override {
+    CseConfig cfg;
+    cfg.forward_stores = true;
+    cfg.cross_block_loads = true;
+    return CseEngine(f, cfg).run();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> createEarlyCSEPass() {
+  return std::make_unique<EarlyCSEPass>();
+}
+
+std::unique_ptr<Pass> createEarlyCSEMemSSAPass() {
+  return std::make_unique<EarlyCSEMemSSAPass>();
+}
+
+std::unique_ptr<Pass> createGVNPass() { return std::make_unique<GVNPass>(); }
+
+}  // namespace posetrl

@@ -1,0 +1,767 @@
+/// \file ipo.cpp
+/// Interprocedural passes: -inline, -functionattrs / -rpo-functionattrs /
+/// -attributor / -inferattrs / -forceattrs / -prune-eh (attribute
+/// deduction), -called-value-propagation, -globalopt, -globaldce,
+/// -deadargelim, -strip-dead-prototypes, -constmerge,
+/// -elim-avail-extern / -barrier / -ee-instrument (structural no-ops in
+/// this substrate; they exist so Oz sequences resolve every flag).
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "analysis/call_graph.h"
+#include "analysis/cfg.h"
+#include "ir/basic_block.h"
+#include "ir/clone.h"
+#include "ir/function.h"
+#include "ir/global_variable.h"
+#include "ir/instruction.h"
+#include "ir/ir_builder.h"
+#include "ir/module.h"
+#include "passes/all_passes.h"
+#include "passes/transform_utils.h"
+
+namespace posetrl {
+namespace {
+
+// --------------------------------------------------------------------------
+// Inliner
+// --------------------------------------------------------------------------
+
+class InlinerPass : public Pass {
+ public:
+  /// Oz-flavoured thresholds: tiny callees always; modest callees when the
+  /// call is the only site of an internal function (inlining then deletes
+  /// the body, a net size win). The -o3 variant inlines far more
+  /// aggressively, trading size for call-overhead removal.
+  InlinerPass(std::size_t tiny, std::size_t single_site, bool o3)
+      : tiny_(tiny), single_site_(single_site), o3_(o3) {}
+
+  std::string_view name() const override {
+    return o3_ ? "inline-o3" : "inline";
+  }
+
+  bool run(Module& m) override {
+    bool changed = false;
+    CallGraph cg(m);
+    for (Function* caller : cg.bottomUpOrder()) {
+      if (caller->isDeclaration()) continue;
+      // Budget caps runaway growth through (mutual) recursion cycles that
+      // the direct self-recursion check below cannot see.
+      int budget = 32;
+      bool local = true;
+      while (local && budget-- > 0) {
+        local = false;
+        CallInst* site = pickCallSite(*caller);
+        if (site != nullptr) {
+          inlineCall(site);
+          changed = true;
+          local = true;
+        }
+      }
+    }
+    if (changed) {
+      // Inlining away the last call site leaves dead internal functions.
+      runGlobalDCE(m);
+    }
+    return changed;
+  }
+
+  static bool runGlobalDCE(Module& m);
+
+ private:
+  static bool isSelfRecursive(Function& f) {
+    for (const auto& bb : f.blocks()) {
+      for (const auto& inst : bb->insts()) {
+        if (auto* call = dynCast<CallInst>(inst.get())) {
+          if (call->calledFunction() == &f) return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  CallInst* pickCallSite(Function& caller) {
+    for (const auto& bb : caller.blocks()) {
+      for (const auto& inst : bb->insts()) {
+        auto* call = dynCast<CallInst>(inst.get());
+        if (call == nullptr) continue;
+        Function* callee = call->calledFunction();
+        if (callee == nullptr || callee->isDeclaration()) continue;
+        if (callee == &caller) continue;
+        if (callee->hasAttr(FnAttr::NoInline)) continue;
+        // Inlining a self-recursive callee re-creates a call to it,
+        // looping forever; LLVM's inliner refuses these too.
+        if (isSelfRecursive(*callee)) continue;
+        if (callee->hasAttr(FnAttr::AlwaysInline)) return call;
+        const std::size_t size = callee->instructionCount();
+        if (size <= tiny_) return call;
+        if (callee->isInternal() && callee->numUses() == 1 &&
+            size <= single_site_) {
+          return call;
+        }
+      }
+    }
+    return nullptr;
+  }
+
+  void inlineCall(CallInst* call) {
+    Function* callee = call->calledFunction();
+    Function* caller = call->function();
+    Module& m = *caller->parent();
+    BasicBlock* bb = call->parent();
+
+    // Split: bb keeps everything before the call; `cont` holds the call
+    // and the rest.
+    BasicBlock* cont = bb->splitAt(call, "inl.cont");
+
+    // Clone the callee body, substituting arguments.
+    ValueMap map;
+    for (std::size_t i = 0; i < callee->numArgs(); ++i) {
+      map[callee->arg(i)] = call->arg(i);
+    }
+    std::vector<BasicBlock*> body = cloneBlocksInto(caller, *callee, map);
+
+    IRBuilder b(&m);
+    b.setInsertPoint(bb);
+    b.br(body.front());
+
+    // Rewire cloned returns to `cont`, collecting return values.
+    std::vector<std::pair<Value*, BasicBlock*>> returns;
+    for (BasicBlock* nb : body) {
+      auto* ret = dynCast<RetInst>(nb->terminator());
+      if (ret == nullptr) continue;
+      Value* rv = ret->hasValue() ? ret->value() : nullptr;
+      ret->eraseFromParent();
+      b.setInsertPoint(nb);
+      b.br(cont);
+      returns.emplace_back(rv, nb);
+    }
+
+    // Substitute the call result.
+    Value* result = nullptr;
+    if (!call->type()->isVoid()) {
+      if (returns.size() == 1) {
+        result = returns[0].first;
+      } else if (returns.size() > 1) {
+        auto phi = std::make_unique<PhiInst>(call->type(),
+                                             caller->nextValueName());
+        auto* phi_raw =
+            static_cast<PhiInst*>(cont->pushFront(std::move(phi)));
+        for (auto& [rv, rb] : returns) phi_raw->addIncoming(rv, rb);
+        result = phi_raw;
+      } else {
+        result = m.undef(call->type());  // Callee never returns.
+      }
+    }
+    if (result != nullptr && call->hasUses()) {
+      call->replaceAllUsesWith(result);
+    }
+    call->eraseFromParent();
+    removeUnreachableBlocks(*caller);
+    foldTrivialPhis(*caller);
+  }
+
+  std::size_t tiny_;
+  std::size_t single_site_;
+  bool o3_;
+};
+
+// --------------------------------------------------------------------------
+// Attribute deduction
+// --------------------------------------------------------------------------
+
+/// Base pointer of a chain of geps.
+const Value* pointerRoot(const Value* ptr) {
+  const Value* cur = ptr;
+  while (const auto* gep = dynCast<GepInst>(cur)) cur = gep->base();
+  return cur;
+}
+
+/// Deduction shared by functionattrs / rpo-functionattrs / attributor.
+/// Marks ReadNone/ReadOnly only when the function is additionally loop-free
+/// and trap-free, so the CSE/DCE client transformations stay semantics
+/// preserving (removal or deduplication cannot change traps/termination).
+bool deduceMemoryAttrs(Module& m) {
+  bool changed = false;
+  CallGraph cg(m);
+  for (Function* f : cg.bottomUpOrder()) {
+    if (f->isDeclaration()) continue;
+    if (f->hasAttr(FnAttr::ReadNone)) continue;
+    bool reads = false;
+    bool writes = false;
+    bool opaque = false;
+    bool has_backedge = false;
+    bool may_trap = false;
+    std::set<const BasicBlock*> seen;
+    for (const auto& bb : f->blocks()) {
+      for (BasicBlock* s : bb->successors()) {
+        if (seen.count(s) || s == bb.get()) has_backedge = true;
+      }
+      seen.insert(bb.get());
+      for (const auto& inst : bb->insts()) {
+        if (inst->mayTrap()) may_trap = true;
+        if (inst->opcode() == Opcode::Unreachable) may_trap = true;
+        switch (inst->opcode()) {
+          case Opcode::Load:
+            if (!isa<AllocaInst>(
+                    pointerRoot(static_cast<LoadInst*>(inst.get())
+                                    ->pointer()))) {
+              reads = true;
+            }
+            break;
+          case Opcode::Store:
+            if (!isa<AllocaInst>(
+                    pointerRoot(static_cast<StoreInst*>(inst.get())
+                                    ->pointer()))) {
+              writes = true;
+            }
+            // Storing a pointer anywhere may leak a local's address.
+            if (static_cast<StoreInst*>(inst.get())
+                    ->value()
+                    ->type()
+                    ->isPointer()) {
+              opaque = true;
+            }
+            break;
+          case Opcode::Call: {
+            Function* callee =
+                static_cast<CallInst*>(inst.get())->calledFunction();
+            if (callee == nullptr) {
+              opaque = true;
+            } else if (callee->hasAttr(FnAttr::ReadNone)) {
+              // Nothing.
+            } else if (callee->hasAttr(FnAttr::ReadOnly)) {
+              reads = true;
+            } else {
+              opaque = true;
+            }
+            break;
+          }
+          default:
+            break;
+        }
+      }
+    }
+    // The simple backedge scan above is ordering-dependent; double-check
+    // with a real cycle test only when it claims loop-freedom.
+    if (opaque || may_trap || has_backedge || writes) continue;
+    if (!reads) {
+      f->addAttr(FnAttr::ReadNone);
+      changed = true;
+    } else if (!f->hasAttr(FnAttr::ReadOnly)) {
+      f->addAttr(FnAttr::ReadOnly);
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+class FunctionAttrsPass : public Pass {
+ public:
+  std::string_view name() const override { return "functionattrs"; }
+  bool run(Module& m) override { return deduceMemoryAttrs(m); }
+};
+
+class RPOFunctionAttrsPass : public Pass {
+ public:
+  std::string_view name() const override { return "rpo-functionattrs"; }
+  bool run(Module& m) override {
+    // Two sweeps approximate the RPO-over-SCC refinement.
+    bool changed = deduceMemoryAttrs(m);
+    changed |= deduceMemoryAttrs(m);
+    return changed;
+  }
+};
+
+/// prune-eh analog: derives nounwind bottom-up. MiniIR has no exceptions,
+/// so every defined function whose calls are all nounwind becomes nounwind.
+class PruneEHPass : public Pass {
+ public:
+  std::string_view name() const override { return "prune-eh"; }
+  bool run(Module& m) override {
+    bool changed = false;
+    CallGraph cg(m);
+    for (Function* f : cg.bottomUpOrder()) {
+      if (f->isDeclaration() || f->hasAttr(FnAttr::NoUnwind)) continue;
+      bool all_nounwind = true;
+      for (const auto& bb : f->blocks()) {
+        for (const auto& inst : bb->insts()) {
+          if (auto* call = dynCast<CallInst>(inst.get())) {
+            Function* callee = call->calledFunction();
+            if (callee == nullptr || !callee->hasAttr(FnAttr::NoUnwind)) {
+              all_nounwind = false;
+            }
+          }
+        }
+      }
+      if (all_nounwind) {
+        f->addAttr(FnAttr::NoUnwind);
+        changed = true;
+      }
+    }
+    return changed;
+  }
+};
+
+/// attributor analog: memory attrs plus dead-return elimination — internal
+/// functions whose results no caller consumes are rewritten to return void.
+class AttributorPass : public Pass {
+ public:
+  std::string_view name() const override { return "attributor"; }
+  bool run(Module& m) override {
+    bool changed = deduceMemoryAttrs(m);
+    CallGraph cg(m);
+    std::vector<Function*> victims;
+    for (auto it = m.functionsBegin(); it != m.functionsEnd(); ++it) {
+      Function* f = it->get();
+      if (f->isDeclaration() || !f->isInternal()) continue;
+      if (cg.addressTaken(f)) continue;
+      if (f->returnType()->isVoid()) continue;
+      bool any_result_used = false;
+      bool only_direct_calls = true;
+      for (Instruction* user : f->users()) {
+        auto* call = dynCast<CallInst>(user);
+        if (call == nullptr || call->callee() != f) {
+          only_direct_calls = false;
+          break;
+        }
+        if (call->hasUses()) any_result_used = true;
+      }
+      if (only_direct_calls && !any_result_used) victims.push_back(f);
+    }
+    for (Function* f : victims) {
+      rewriteToVoid(*f, m);
+      changed = true;
+    }
+    return changed;
+  }
+
+ private:
+  static void rewriteToVoid(Function& f, Module& m) {
+    // Rewrite returns.
+    for (const auto& bb : f.blocks()) {
+      if (auto* ret = dynCast<RetInst>(bb->terminator())) {
+        if (ret->hasValue()) {
+          BasicBlock* rb = ret->parent();
+          ret->eraseFromParent();
+          IRBuilder b(&m);
+          b.setInsertPoint(rb);
+          b.retVoid();
+        }
+      }
+    }
+    // Rewrite the type.
+    std::vector<Type*> params;
+    for (const auto& a : f.args()) params.push_back(a->type());
+    f.setFunctionTypeUnchecked(
+        m.types().funcType(m.types().voidTy(), params));
+    // Rewrite call sites (results were unused).
+    std::vector<Instruction*> users(f.users().begin(), f.users().end());
+    for (Instruction* user : users) {
+      auto* call = cast<CallInst>(static_cast<Value*>(user));
+      std::vector<Value*> args;
+      for (std::size_t i = 0; i < call->numArgs(); ++i) {
+        args.push_back(call->arg(i));
+      }
+      auto replacement = std::make_unique<CallInst>(
+          m.types().voidTy(), &f, std::move(args), "");
+      call->parent()->insertBefore(call, std::move(replacement));
+      call->eraseFromParent();
+    }
+    deleteDeadInstructions(f);
+  }
+};
+
+/// inferattrs analog: (re)stamps attributes on known intrinsic
+/// declarations — meaningful when IR came from the textual parser without
+/// attribute annotations.
+class InferAttrsPass : public Pass {
+ public:
+  std::string_view name() const override { return "inferattrs"; }
+  bool run(Module& m) override {
+    bool changed = false;
+    for (auto it = m.functionsBegin(); it != m.functionsEnd(); ++it) {
+      Function* f = it->get();
+      if (!f->isDeclaration()) continue;
+      const std::uint32_t before = f->rawAttrs();
+      switch (f->intrinsicId()) {
+        case IntrinsicId::Input:
+        case IntrinsicId::Expect:
+          f->addAttr(FnAttr::ReadNone);
+          f->addAttr(FnAttr::NoUnwind);
+          break;
+        case IntrinsicId::Sink:
+        case IntrinsicId::SinkF64:
+        case IntrinsicId::Memset:
+        case IntrinsicId::Assume:
+        case IntrinsicId::AssumeAligned:
+          f->addAttr(FnAttr::NoUnwind);
+          break;
+        case IntrinsicId::None:
+          break;
+      }
+      changed |= f->rawAttrs() != before;
+    }
+    return changed;
+  }
+};
+
+class ForceAttrsPass : public Pass {
+ public:
+  std::string_view name() const override { return "forceattrs"; }
+  // Applies -force-attribute command-line overrides in LLVM; none here.
+  bool run(Module&) override { return false; }
+};
+
+// --------------------------------------------------------------------------
+// Global optimizations
+// --------------------------------------------------------------------------
+
+class CalledValuePropagationPass : public Pass {
+ public:
+  std::string_view name() const override {
+    return "called-value-propagation";
+  }
+  bool run(Module& m) override {
+    bool changed = false;
+    for (const auto& g : m.globals()) {
+      if (g->init().kind != GlobalInit::Kind::FuncPtr) continue;
+      if (!g->isInternal()) continue;
+      // The global must never be overwritten.
+      bool stored = false;
+      for (Instruction* user : g->users()) {
+        if (auto* st = dynCast<StoreInst>(user)) {
+          if (st->pointer() == g.get()) stored = true;
+        }
+      }
+      if (stored && !g->isConst()) continue;
+      Function* target = g->init().function;
+      // Devirtualize calls through loads of this global.
+      for (Instruction* user : g->users()) {
+        auto* load = dynCast<LoadInst>(user);
+        if (load == nullptr) continue;
+        std::vector<Instruction*> load_users(load->users().begin(),
+                                             load->users().end());
+        for (Instruction* lu : load_users) {
+          auto* call = dynCast<CallInst>(lu);
+          if (call != nullptr && call->callee() == load) {
+            call->setOperand(0, target);
+            changed = true;
+          }
+        }
+      }
+    }
+    return changed;
+  }
+};
+
+class GlobalOptPass : public Pass {
+ public:
+  std::string_view name() const override { return "globalopt"; }
+  bool run(Module& m) override {
+    bool changed = false;
+    std::vector<GlobalVariable*> to_erase;
+    for (const auto& g : m.globals()) {
+      if (!g->isInternal()) continue;
+      if (!g->hasUses()) {
+        to_erase.push_back(g.get());
+        continue;
+      }
+      bool stored = false;
+      for (Instruction* user : g->users()) {
+        auto* st = dynCast<StoreInst>(user);
+        if (st != nullptr && st->pointer() == g.get()) stored = true;
+        // Escaping as data (stored elsewhere / passed to a call)?
+        if (st != nullptr && st->value() == g.get()) stored = true;
+        if (auto* call = dynCast<CallInst>(user)) {
+          for (std::size_t i = 0; i < call->numArgs(); ++i) {
+            if (call->arg(i) == g.get()) stored = true;
+          }
+        }
+        if (isa<GepInst>(user) || isa<PhiInst>(user) ||
+            isa<SelectInst>(user)) {
+          stored = true;  // Conservative: address flows onward.
+        }
+      }
+      if (stored) continue;
+      // Never written: mark const and fold scalar loads.
+      if (!g->isConst()) {
+        g->setConst(true);
+        changed = true;
+      }
+      Value* folded = nullptr;
+      if (g->init().kind == GlobalInit::Kind::Int) {
+        folded = m.constantInt(g->valueType(), g->init().int_value);
+      } else if (g->init().kind == GlobalInit::Kind::Float) {
+        folded = m.constantFloat(g->init().float_value);
+      } else if (g->init().kind == GlobalInit::Kind::Zero &&
+                 g->valueType()->isInteger()) {
+        folded = m.constantInt(g->valueType(), 0);
+      }
+      if (folded != nullptr) {
+        std::vector<Instruction*> users(g->users().begin(),
+                                        g->users().end());
+        for (Instruction* user : users) {
+          if (auto* load = dynCast<LoadInst>(user)) {
+            replaceAndErase(load, folded);
+            changed = true;
+          }
+        }
+        if (!g->hasUses()) to_erase.push_back(g.get());
+      }
+    }
+    for (GlobalVariable* g : to_erase) {
+      m.eraseGlobal(g);
+      changed = true;
+    }
+    return changed;
+  }
+};
+
+bool globalDceImpl(Module& m) {
+  // Roots: externally visible functions and globals.
+  std::set<Function*> live_fns;
+  std::set<GlobalVariable*> live_globals;
+  std::vector<Function*> work;
+  for (auto it = m.functionsBegin(); it != m.functionsEnd(); ++it) {
+    Function* f = it->get();
+    if (!f->isInternal() && !f->isDeclaration()) {
+      live_fns.insert(f);
+      work.push_back(f);
+    }
+  }
+  for (const auto& g : m.globals()) {
+    if (!g->isInternal()) live_globals.insert(g.get());
+  }
+  // Propagate: scan live bodies for references.
+  std::set<Function*> scanned;
+  bool global_changed = true;
+  while (global_changed) {
+    global_changed = false;
+    while (!work.empty()) {
+      Function* f = work.back();
+      work.pop_back();
+      if (!scanned.insert(f).second) continue;
+      for (const auto& bb : f->blocks()) {
+        for (const auto& inst : bb->insts()) {
+          for (Value* op : inst->operands()) {
+            if (auto* fn = dynCast<Function>(op)) {
+              if (live_fns.insert(fn).second) work.push_back(fn);
+            } else if (auto* g = dynCast<GlobalVariable>(op)) {
+              live_globals.insert(g);
+            }
+          }
+        }
+      }
+    }
+    // Live globals' initializers keep functions alive.
+    for (GlobalVariable* g : live_globals) {
+      if (g->init().kind == GlobalInit::Kind::FuncPtr) {
+        Function* fn = g->init().function;
+        if (live_fns.insert(fn).second) {
+          work.push_back(fn);
+          global_changed = true;
+        }
+      }
+    }
+    if (!work.empty()) global_changed = true;
+  }
+
+  std::vector<Function*> dead_fns;
+  for (auto it = m.functionsBegin(); it != m.functionsEnd(); ++it) {
+    Function* f = it->get();
+    if (f->isDeclaration()) continue;
+    if (!live_fns.count(f)) dead_fns.push_back(f);
+  }
+  std::vector<GlobalVariable*> dead_globals;
+  for (const auto& g : m.globals()) {
+    if (!live_globals.count(g.get())) dead_globals.push_back(g.get());
+  }
+  if (dead_fns.empty() && dead_globals.empty()) return false;
+  // Drop bodies first so mutual references disappear.
+  for (Function* f : dead_fns) {
+    for (const auto& bb : f->blocks()) {
+      for (const auto& inst : bb->insts()) inst->dropAllOperands();
+    }
+  }
+  for (GlobalVariable* g : dead_globals) {
+    // Dead-global initializers may pin functions: clear them.
+    g->setInit(GlobalInit::zero());
+    if (!g->hasUses()) m.eraseGlobal(g);
+  }
+  for (Function* f : dead_fns) {
+    if (!f->hasUses()) m.eraseFunction(f);
+  }
+  return true;
+}
+
+class GlobalDCEPass : public Pass {
+ public:
+  std::string_view name() const override { return "globaldce"; }
+  bool run(Module& m) override { return globalDceImpl(m); }
+};
+
+bool InlinerPass::runGlobalDCE(Module& m) { return globalDceImpl(m); }
+
+class DeadArgElimPass : public Pass {
+ public:
+  std::string_view name() const override { return "deadargelim"; }
+  bool run(Module& m) override {
+    bool changed = false;
+    CallGraph cg(m);
+    for (auto it = m.functionsBegin(); it != m.functionsEnd(); ++it) {
+      Function* f = it->get();
+      if (f->isDeclaration() || !f->isInternal()) continue;
+      if (cg.addressTaken(f)) continue;
+      // All users must be direct calls.
+      bool ok = true;
+      for (Instruction* user : f->users()) {
+        auto* call = dynCast<CallInst>(user);
+        if (call == nullptr || call->callee() != f) ok = false;
+      }
+      if (!ok) continue;
+      for (std::size_t i = f->numArgs(); i-- > 0;) {
+        if (f->arg(i)->hasUses()) continue;
+        std::vector<Instruction*> users(f->users().begin(),
+                                        f->users().end());
+        std::set<Instruction*> done;
+        for (Instruction* user : users) {
+          if (!done.insert(user).second) continue;
+          static_cast<CallInst*>(user)->removeArg(i);
+        }
+        f->removeArg(i);
+        changed = true;
+      }
+    }
+    return changed;
+  }
+};
+
+class StripDeadPrototypesPass : public Pass {
+ public:
+  std::string_view name() const override { return "strip-dead-prototypes"; }
+  bool run(Module& m) override {
+    std::vector<Function*> dead;
+    for (auto it = m.functionsBegin(); it != m.functionsEnd(); ++it) {
+      Function* f = it->get();
+      if (f->isDeclaration() && !f->hasUses()) {
+        bool referenced = false;
+        for (const auto& g : m.globals()) {
+          if (g->init().kind == GlobalInit::Kind::FuncPtr &&
+              g->init().function == f) {
+            referenced = true;
+          }
+        }
+        if (!referenced) dead.push_back(f);
+      }
+    }
+    for (Function* f : dead) m.eraseFunction(f);
+    return !dead.empty();
+  }
+};
+
+class ConstMergePass : public Pass {
+ public:
+  std::string_view name() const override { return "constmerge"; }
+  bool run(Module& m) override {
+    bool changed = false;
+    std::vector<GlobalVariable*> globals;
+    for (const auto& g : m.globals()) {
+      if (g->isInternal() && g->isConst()) globals.push_back(g.get());
+    }
+    for (std::size_t i = 0; i < globals.size(); ++i) {
+      if (globals[i] == nullptr) continue;
+      for (std::size_t j = i + 1; j < globals.size(); ++j) {
+        if (globals[j] == nullptr) continue;
+        if (globals[i]->valueType() == globals[j]->valueType() &&
+            globals[i]->init() == globals[j]->init()) {
+          globals[j]->replaceAllUsesWith(globals[i]);
+          m.eraseGlobal(globals[j]);
+          globals[j] = nullptr;
+          changed = true;
+        }
+      }
+    }
+    return changed;
+  }
+};
+
+class ElimAvailExternPass : public Pass {
+ public:
+  std::string_view name() const override { return "elim-avail-extern"; }
+  // MiniIR has no available_externally linkage; structurally a no-op.
+  bool run(Module&) override { return false; }
+};
+
+class BarrierPass : public Pass {
+ public:
+  std::string_view name() const override { return "barrier"; }
+  // Pass-manager boundary marker in LLVM; no IR effect.
+  bool run(Module&) override { return false; }
+};
+
+class EEInstrumentPass : public Pass {
+ public:
+  std::string_view name() const override { return "ee-instrument"; }
+  // Inserts mcount-style instrumentation only under explicit flags in
+  // LLVM-10; at -Oz it performs no IR change.
+  bool run(Module&) override { return false; }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> createInlinerPass() {
+  return std::make_unique<InlinerPass>(12, 80, /*o3=*/false);
+}
+std::unique_ptr<Pass> createInlinerO3Pass() {
+  return std::make_unique<InlinerPass>(64, 512, /*o3=*/true);
+}
+std::unique_ptr<Pass> createPruneEHPass() {
+  return std::make_unique<PruneEHPass>();
+}
+std::unique_ptr<Pass> createFunctionAttrsPass() {
+  return std::make_unique<FunctionAttrsPass>();
+}
+std::unique_ptr<Pass> createRPOFunctionAttrsPass() {
+  return std::make_unique<RPOFunctionAttrsPass>();
+}
+std::unique_ptr<Pass> createAttributorPass() {
+  return std::make_unique<AttributorPass>();
+}
+std::unique_ptr<Pass> createInferAttrsPass() {
+  return std::make_unique<InferAttrsPass>();
+}
+std::unique_ptr<Pass> createForceAttrsPass() {
+  return std::make_unique<ForceAttrsPass>();
+}
+std::unique_ptr<Pass> createCalledValuePropagationPass() {
+  return std::make_unique<CalledValuePropagationPass>();
+}
+std::unique_ptr<Pass> createGlobalOptPass() {
+  return std::make_unique<GlobalOptPass>();
+}
+std::unique_ptr<Pass> createGlobalDCEPass() {
+  return std::make_unique<GlobalDCEPass>();
+}
+std::unique_ptr<Pass> createDeadArgElimPass() {
+  return std::make_unique<DeadArgElimPass>();
+}
+std::unique_ptr<Pass> createStripDeadPrototypesPass() {
+  return std::make_unique<StripDeadPrototypesPass>();
+}
+std::unique_ptr<Pass> createConstMergePass() {
+  return std::make_unique<ConstMergePass>();
+}
+std::unique_ptr<Pass> createElimAvailExternPass() {
+  return std::make_unique<ElimAvailExternPass>();
+}
+std::unique_ptr<Pass> createBarrierPass() {
+  return std::make_unique<BarrierPass>();
+}
+std::unique_ptr<Pass> createEEInstrumentPass() {
+  return std::make_unique<EEInstrumentPass>();
+}
+
+}  // namespace posetrl

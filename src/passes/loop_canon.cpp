@@ -1,0 +1,444 @@
+/// \file loop_canon.cpp
+/// Loop canonicalization: -loop-simplify (preheaders, single latches,
+/// dedicated exits), -lcssa (loop-closed SSA phis at exits), and
+/// -loop-rotate (while -> do-while with a guard in the old preheader).
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "analysis/dominators.h"
+#include "analysis/loop_info.h"
+#include "ir/basic_block.h"
+#include "ir/function.h"
+#include "ir/instruction.h"
+#include "ir/ir_builder.h"
+#include "ir/module.h"
+#include "passes/all_passes.h"
+#include "passes/loop_utils.h"
+#include "passes/transform_utils.h"
+
+namespace posetrl {
+namespace {
+
+/// Reroutes the \p preds edges into \p target through a fresh block, moving
+/// the matching phi entries of \p target into new phis in that block.
+/// Shared machinery for preheader insertion and latch unification.
+BasicBlock* funnelEdges(BasicBlock* target,
+                        const std::vector<BasicBlock*>& preds,
+                        const std::string& name) {
+  Function* f = target->parent();
+  Module* m = f->parent();
+  BasicBlock* funnel = f->addBlock(name);
+  IRBuilder b(m);
+  b.setInsertPoint(funnel);
+  b.br(target);
+
+  for (PhiInst* phi : target->phis()) {
+    if (preds.size() == 1) {
+      // Just retarget the incoming block.
+      const std::size_t idx = phi->indexOfBlock(preds[0]);
+      POSETRL_CHECK(idx != static_cast<std::size_t>(-1),
+                    "phi missing funneled pred");
+      phi->setOperand(2 * idx + 1, funnel);
+      continue;
+    }
+    auto merged = std::make_unique<PhiInst>(phi->type(), f->nextValueName());
+    auto* merged_raw = static_cast<PhiInst*>(
+        funnel->pushFront(std::move(merged)));
+    for (BasicBlock* p : preds) {
+      const std::size_t idx = phi->indexOfBlock(p);
+      POSETRL_CHECK(idx != static_cast<std::size_t>(-1),
+                    "phi missing funneled pred");
+      merged_raw->addIncoming(phi->incomingValue(idx), p);
+      phi->removeIncoming(p);
+    }
+    phi->addIncoming(merged_raw, funnel);
+  }
+  for (BasicBlock* p : preds) {
+    Instruction* term = p->terminator();
+    for (std::size_t i = 0; i < term->numSuccessors(); ++i) {
+      if (term->successor(i) == target) term->setSuccessor(i, funnel);
+    }
+  }
+  return funnel;
+}
+
+class LoopSimplifyPass : public FunctionPass {
+ public:
+  std::string_view name() const override { return "loop-simplify"; }
+
+ protected:
+  bool runOnFunction(Function& f) override {
+    bool changed = removeUnreachableBlocks(f);
+    // Loop structures change as we edit; iterate until stable.
+    for (int round = 0; round < 8; ++round) {
+      DominatorTree dt(f);
+      LoopInfo li(f, dt);
+      bool local = false;
+      for (Loop* loop : li.loopsInnermostFirst()) {
+        // 1. Preheader.
+        if (loop->preheader() == nullptr) {
+          const auto outside = loop->outsidePredecessors();
+          if (!outside.empty()) {
+            funnelEdges(loop->header(), outside, "preheader");
+            local = true;
+            break;  // Analyses stale.
+          }
+        }
+        // 2. Single latch.
+        if (loop->singleLatch() == nullptr) {
+          const auto latches = loop->latches();
+          if (latches.size() > 1) {
+            funnelEdges(loop->header(), latches, "latch");
+            local = true;
+            break;
+          }
+        }
+        // 3. Dedicated exits.
+        bool split_any = false;
+        for (BasicBlock* exit : loop->exitBlocks()) {
+          bool outside_pred = false;
+          for (BasicBlock* p : exit->predecessors()) {
+            if (!loop->contains(p)) outside_pred = true;
+          }
+          if (!outside_pred) continue;
+          for (BasicBlock* p : exit->predecessors()) {
+            if (loop->contains(p)) {
+              splitEdge(p, exit);
+              split_any = true;
+            }
+          }
+        }
+        if (split_any) {
+          local = true;
+          break;
+        }
+      }
+      changed |= local;
+      if (!local) break;
+    }
+    return changed;
+  }
+};
+
+class LCSSAPass : public FunctionPass {
+ public:
+  std::string_view name() const override { return "lcssa"; }
+
+ protected:
+  bool runOnFunction(Function& f) override {
+    bool changed = false;
+    DominatorTree dt(f);
+    LoopInfo li(f, dt);
+    for (Loop* loop : li.loopsInnermostFirst()) {
+      changed |= runOnLoop(*loop, dt, f);
+    }
+    return changed;
+  }
+
+ private:
+  bool runOnLoop(Loop& loop, const DominatorTree& dt, Function& f) {
+    bool changed = false;
+    const auto exits = loop.exitBlocks();
+    if (exits.empty()) return false;
+    for (BasicBlock* bb : loop.blocks()) {
+      std::vector<Instruction*> defs;
+      for (const auto& inst : bb->insts()) {
+        if (!inst->type()->isVoid()) defs.push_back(inst.get());
+      }
+      for (Instruction* def : defs) {
+        // Uses outside the loop (for phis: the incoming block must be
+        // outside).
+        std::vector<Instruction*> outside_users;
+        for (Instruction* user : def->users()) {
+          if (auto* phi = dynCast<PhiInst>(user)) {
+            bool outside = false;
+            for (std::size_t i = 0; i < phi->numIncoming(); ++i) {
+              if (phi->incomingValue(i) == def &&
+                  !loop.contains(phi->incomingBlock(i))) {
+                outside = true;
+              }
+            }
+            if (outside) outside_users.push_back(user);
+          } else if (!loop.contains(user->parent())) {
+            outside_users.push_back(user);
+          }
+        }
+        if (outside_users.empty()) continue;
+        // Insert a closing phi at each exit the def dominates; rewrite the
+        // uses that a single closing phi dominates.
+        std::map<BasicBlock*, PhiInst*> closing;
+        for (BasicBlock* exit : exits) {
+          if (!dt.isReachable(exit)) continue;
+          if (!dt.dominates(def->parent(), exit)) continue;
+          if (!loop.hasDedicatedExits()) continue;
+          auto phi = std::make_unique<PhiInst>(def->type(),
+                                               f.nextValueName());
+          auto* raw = static_cast<PhiInst*>(exit->pushFront(std::move(phi)));
+          for (BasicBlock* p : exit->predecessors()) {
+            raw->addIncoming(def, p);
+          }
+          closing[exit] = raw;
+        }
+        if (closing.empty()) continue;
+        for (Instruction* user : outside_users) {
+          PhiInst* replacement = nullptr;
+          if (auto* uphi = dynCast<PhiInst>(user)) {
+            // Use the closing phi that dominates the incoming edge.
+            for (std::size_t i = 0; i < uphi->numIncoming(); ++i) {
+              if (uphi->incomingValue(i) != def) continue;
+              BasicBlock* in_bb = uphi->incomingBlock(i);
+              for (auto& [exit, cphi] : closing) {
+                if (cphi == uphi) continue;
+                if (dt.dominates(exit, in_bb)) {
+                  uphi->setIncomingValue(i, cphi);
+                  changed = true;
+                  break;
+                }
+              }
+            }
+            continue;
+          }
+          for (auto& [exit, cphi] : closing) {
+            if (dt.dominates(exit, user->parent()) && cphi != user) {
+              replacement = cphi;
+              break;
+            }
+          }
+          if (replacement != nullptr) {
+            for (std::size_t i = 0; i < user->numOperands(); ++i) {
+              if (user->operand(i) == def) user->setOperand(i, replacement);
+            }
+            changed = true;
+          }
+        }
+        // Drop closing phis that ended up unused.
+        for (auto& [exit, cphi] : closing) {
+          if (!cphi->hasUses()) cphi->eraseFromParent();
+        }
+      }
+    }
+    return changed;
+  }
+};
+
+class LoopRotatePass : public FunctionPass {
+ public:
+  std::string_view name() const override { return "loop-rotate"; }
+
+ protected:
+  bool runOnFunction(Function& f) override {
+    bool changed = false;
+    for (int round = 0; round < 4; ++round) {
+      DominatorTree dt(f);
+      LoopInfo li(f, dt);
+      bool local = false;
+      for (Loop* loop : li.loopsInnermostFirst()) {
+        if (rotate(*loop, f)) {
+          local = true;
+          break;  // Analyses stale.
+        }
+      }
+      changed |= local;
+      if (!local) break;
+    }
+    return changed;
+  }
+
+ private:
+  static constexpr std::size_t kMaxHeaderSize = 24;
+
+  bool rotate(Loop& loop, Function& f) {
+    BasicBlock* ph = loop.preheader();
+    BasicBlock* header = loop.header();
+    BasicBlock* latch = loop.singleLatch();
+    if (ph == nullptr || latch == nullptr) return false;
+    if (header == latch) return false;  // Already do-while shaped.
+    auto* cbr = dynCast<CondBrInst>(header->terminator());
+    if (cbr == nullptr) return false;
+    const bool then_in = loop.contains(cbr->thenBlock());
+    const bool else_in = loop.contains(cbr->elseBlock());
+    if (then_in == else_in) return false;  // Header must be exiting.
+    BasicBlock* body = then_in ? cbr->thenBlock() : cbr->elseBlock();
+    BasicBlock* exit = then_in ? cbr->elseBlock() : cbr->thenBlock();
+    if (body == header || exit == header || body == exit) return false;
+    // Require the simple shape produced by loop-simplify: the body entry
+    // and the exit are reached only from the header, and the header is the
+    // only exiting block.
+    if (body->singlePredecessor() != header) return false;
+    if (exit->singlePredecessor() != header) return false;
+    for (BasicBlock* bb : loop.blocks()) {
+      if (bb == header) continue;
+      for (BasicBlock* s : bb->successors()) {
+        if (!loop.contains(s)) return false;
+      }
+    }
+    if (header->size() > kMaxHeaderSize) return false;
+
+    Module& m = *f.parent();
+
+    std::vector<PhiInst*> header_phis = header->phis();
+    // A latch-incoming value defined in the header itself (another phi or a
+    // header-resident computation) would need shifted-by-one plumbing after
+    // rotation (the phi's value at iteration k is the header computation of
+    // iteration k-1, but the SSA name would refer to iteration k's); this
+    // simplified rotation bails out on those.
+    for (PhiInst* phi : header_phis) {
+      Value* latch_in = phi->incomingForBlock(latch);
+      if (auto* li = dynCast<Instruction>(latch_in)) {
+        if (li->parent() == header) return false;
+      }
+    }
+
+    // Map from header values to their first-iteration equivalents in ph.
+    std::map<const Value*, Value*> first_iter;
+    for (PhiInst* phi : header_phis) {
+      first_iter[phi] = phi->incomingForBlock(ph);
+    }
+    // Clone non-phi, non-terminator instructions into ph (before its br).
+    Instruction* ph_term = ph->terminator();
+    std::vector<Instruction*> header_body;
+    for (auto it = header->firstNonPhi(); it != header->end(); ++it) {
+      if (!(*it)->isTerminator()) header_body.push_back(it->get());
+    }
+    for (Instruction* inst : header_body) {
+      Instruction* clone = inst->clone();
+      if (!clone->type()->isVoid()) clone->setName(f.nextValueName());
+      ph->insertBefore(ph_term, std::unique_ptr<Instruction>(clone));
+      for (std::size_t i = 0; i < clone->numOperands(); ++i) {
+        auto it = first_iter.find(clone->operand(i));
+        if (it != first_iter.end()) clone->setOperand(i, it->second);
+      }
+      first_iter[inst] = clone;
+    }
+
+    // Latch-side (iteration >= 2) values of header defs.
+    std::map<const Value*, Value*> from_latch;
+    for (PhiInst* phi : header_phis) {
+      from_latch[phi] = phi->incomingForBlock(latch);
+    }
+    for (Instruction* inst : header_body) from_latch[inst] = inst;
+
+    // Values needing merge phis in body/exit.
+    std::vector<Value*> defs;
+    for (PhiInst* phi : header_phis) defs.push_back(phi);
+    for (Instruction* inst : header_body) {
+      if (!inst->type()->isVoid()) defs.push_back(inst);
+    }
+
+    // Collect external uses before rewiring (snapshot).
+    struct UseSite {
+      Instruction* user;
+      std::size_t index;
+    };
+    std::map<Value*, std::vector<UseSite>> body_uses;
+    std::map<Value*, std::vector<UseSite>> exit_uses;
+    for (Value* def : defs) {
+      for (Instruction* user : def->users()) {
+        if (user->parent() == header) continue;
+        // Phis in body/exit with an incoming edge from the header are
+        // patched directly below (their edge values must dominate the
+        // header, not the phi's block).
+        if (user->opcode() == Opcode::Phi &&
+            (user->parent() == body || user->parent() == exit)) {
+          continue;
+        }
+        for (std::size_t i = 0; i < user->numOperands(); ++i) {
+          if (user->operand(i) != def) continue;
+          const bool in_loop = loop.contains(user->parent());
+          if (in_loop) {
+            body_uses[def].push_back({user, i});
+          } else {
+            exit_uses[def].push_back({user, i});
+          }
+        }
+      }
+    }
+
+    // Patch pre-existing phis in body/exit: the header edge now carries the
+    // latch-side value, and a fresh edge from ph carries the
+    // first-iteration value.
+    const auto patch_phis = [&](BasicBlock* target) {
+      for (PhiInst* phi : target->phis()) {
+        const std::size_t idx = phi->indexOfBlock(header);
+        if (idx == static_cast<std::size_t>(-1)) continue;
+        Value* v = phi->incomingValue(idx);
+        Value* v_first = first_iter.count(v) ? first_iter.at(v) : v;
+        Value* v_latch = from_latch.count(v) ? from_latch.at(v) : v;
+        phi->setIncomingValue(idx, v_latch);
+        phi->addIncoming(v_first, ph);
+      }
+    };
+    patch_phis(body);
+    patch_phis(exit);
+
+    // Rewire the CFG: ph now tests the first-iteration condition.
+    Value* guard_cond = cbr->condition();
+    auto git = first_iter.find(guard_cond);
+    Value* ph_cond = git != first_iter.end() ? git->second : guard_cond;
+    ph_term->eraseFromParent();
+    {
+      IRBuilder b(&m);
+      b.setInsertPoint(ph);
+      if (then_in) {
+        b.condBr(ph_cond, body, exit);
+      } else {
+        b.condBr(ph_cond, exit, body);
+      }
+    }
+
+    // Merge phis at body and exit for every header def with uses there.
+    const auto make_merge = [&](BasicBlock* at, Value* def) -> PhiInst* {
+      auto phi = std::make_unique<PhiInst>(def->type(), f.nextValueName());
+      auto* raw = static_cast<PhiInst*>(at->pushFront(std::move(phi)));
+      raw->addIncoming(first_iter.at(def), ph);
+      raw->addIncoming(from_latch.count(def) ? from_latch.at(def) : def,
+                       header);
+      return raw;
+    };
+    for (Value* def : defs) {
+      if (auto uit = body_uses.find(def); uit != body_uses.end()) {
+        PhiInst* merge = make_merge(body, def);
+        for (const UseSite& site : uit->second) {
+          if (site.user == merge) continue;
+          site.user->setOperand(site.index, merge);
+        }
+      }
+      if (auto uit = exit_uses.find(def); uit != exit_uses.end()) {
+        PhiInst* merge = make_merge(exit, def);
+        for (const UseSite& site : uit->second) {
+          if (site.user == merge) continue;
+          site.user->setOperand(site.index, merge);
+        }
+      }
+    }
+
+    // Header phis now see a single predecessor (the latch): fold them to
+    // their latch values.
+    for (PhiInst* phi : header_phis) {
+      Value* latch_value = phi->incomingForBlock(latch);
+      phi->replaceAllUsesWith(latch_value);
+      phi->eraseFromParent();
+    }
+    foldTrivialPhis(f);
+    deleteDeadInstructions(f);
+    return true;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> createLoopSimplifyPass() {
+  return std::make_unique<LoopSimplifyPass>();
+}
+
+std::unique_ptr<Pass> createLCSSAPass() {
+  return std::make_unique<LCSSAPass>();
+}
+
+std::unique_ptr<Pass> createLoopRotatePass() {
+  return std::make_unique<LoopRotatePass>();
+}
+
+}  // namespace posetrl

@@ -1,0 +1,418 @@
+/// \file loop_opt.cpp
+/// Counted-loop optimizations: -loop-deletion (removes side-effect-free
+/// finite loops whose values are unused), -indvars (replaces escaped
+/// induction-variable values of constant-trip loops with their closed
+/// forms), -loop-idiom (rewrites memset-shaped store loops into the memset
+/// intrinsic), and -loop-load-elim (cross-iteration store-to-load
+/// forwarding in single-block loops).
+
+#include <set>
+#include <vector>
+
+#include "analysis/dominators.h"
+#include "analysis/loop_info.h"
+#include "ir/basic_block.h"
+#include "ir/function.h"
+#include "ir/instruction.h"
+#include "ir/ir_builder.h"
+#include "ir/module.h"
+#include "passes/all_passes.h"
+#include "passes/loop_utils.h"
+#include "passes/transform_utils.h"
+
+namespace posetrl {
+namespace {
+
+constexpr std::int64_t kTripSimLimit = 1 << 16;
+
+/// True when no instruction in the loop writes memory or has observable
+/// effects (calls are rejected wholesale unless readnone).
+bool loopIsSideEffectFree(const Loop& loop) {
+  for (BasicBlock* bb : loop.blocks()) {
+    for (const auto& inst : bb->insts()) {
+      if (inst->opcode() == Opcode::Store) return false;
+      if (inst->opcode() == Opcode::Call) {
+        const auto* call = static_cast<const CallInst*>(inst.get());
+        Function* callee = call->calledFunction();
+        if (callee == nullptr || !callee->hasAttr(FnAttr::ReadNone)) {
+          return false;
+        }
+      }
+      if (inst->opcode() == Opcode::Unreachable) return false;
+      if (inst->mayTrap()) return false;
+    }
+  }
+  return true;
+}
+
+/// True when no value defined in the loop is used outside it.
+bool loopValuesUnusedOutside(const Loop& loop) {
+  for (BasicBlock* bb : loop.blocks()) {
+    for (const auto& inst : bb->insts()) {
+      for (Instruction* user : inst->users()) {
+        if (auto* phi = dynCast<PhiInst>(user)) {
+          // A phi use counts as outside when the phi lives outside.
+          if (!loop.contains(phi->parent())) return false;
+          continue;
+        }
+        if (!loop.contains(user->parent())) return false;
+      }
+    }
+  }
+  return true;
+}
+
+class LoopDeletionPass : public FunctionPass {
+ public:
+  std::string_view name() const override { return "loop-deletion"; }
+
+ protected:
+  bool runOnFunction(Function& f) override {
+    bool changed = false;
+    for (int round = 0; round < 8; ++round) {
+      DominatorTree dt(f);
+      LoopInfo li(f, dt);
+      bool local = false;
+      for (Loop* loop : li.loopsInnermostFirst()) {
+        if (tryDelete(*loop, f)) {
+          local = true;
+          break;  // Structures stale.
+        }
+      }
+      changed |= local;
+      if (!local) break;
+    }
+    return changed;
+  }
+
+ private:
+  bool tryDelete(Loop& loop, Function& f) {
+    CountedLoop cl;
+    if (!matchCountedLoop(&loop, cl)) return false;
+    // Provably finite (bounded simulation succeeds).
+    if (cl.simulateTripCount(kTripSimLimit) < 0) return false;
+    if (!loopIsSideEffectFree(loop)) return false;
+    if (!loopValuesUnusedOutside(loop)) return false;
+    if (loop.subLoops().size() > 0) return false;
+    const auto exits = loop.exitBlocks();
+    if (exits.size() != 1) return false;
+    BasicBlock* exit = exits[0];
+    // Exit phis must not distinguish where the loop left from.
+    for (PhiInst* phi : exit->phis()) {
+      Value* uniform = nullptr;
+      for (std::size_t i = 0; i < phi->numIncoming(); ++i) {
+        if (!loop.contains(phi->incomingBlock(i))) continue;
+        Value* v = phi->incomingValue(i);
+        if (!isLoopInvariant(loop, v)) return false;
+        if (uniform == nullptr) uniform = v;
+        if (uniform != v) return false;
+      }
+    }
+
+    // Redirect the preheader straight to the exit.
+    BasicBlock* ph = cl.preheader;
+    Instruction* ph_term = ph->terminator();
+    Module& m = *f.parent();
+    for (PhiInst* phi : exit->phis()) {
+      Value* uniform = nullptr;
+      for (std::size_t i = phi->numIncoming(); i-- > 0;) {
+        if (loop.contains(phi->incomingBlock(i))) {
+          uniform = phi->incomingValue(i);
+          phi->removeIncoming(phi->incomingBlock(i));
+        }
+      }
+      if (uniform != nullptr) phi->addIncoming(uniform, ph);
+    }
+    ph_term->eraseFromParent();
+    IRBuilder b(&m);
+    b.setInsertPoint(ph);
+    b.br(exit);
+    removeUnreachableBlocks(f);
+    foldTrivialPhis(f);
+    deleteDeadInstructions(f);
+    return true;
+  }
+};
+
+class IndVarSimplifyPass : public FunctionPass {
+ public:
+  std::string_view name() const override { return "indvars"; }
+
+ protected:
+  bool runOnFunction(Function& f) override {
+    bool changed = false;
+    DominatorTree dt(f);
+    LoopInfo li(f, dt);
+    Module& m = *f.parent();
+    for (Loop* loop : li.loopsInnermostFirst()) {
+      CountedLoop cl;
+      if (!matchCountedLoop(loop, cl)) continue;
+      const std::int64_t branch_execs = cl.simulateTripCount(kTripSimLimit);
+      if (branch_execs <= 0) continue;
+      // Closed-form final values of iv / iv_next at loop exit.
+      const auto* init_c = dynCast<ConstantInt>(cl.init);
+      if (init_c == nullptr) continue;
+      const unsigned bits = cl.iv->type()->intBits();
+      const std::int64_t iv_exit = ConstantInt::canonicalize(
+          init_c->value() + (branch_execs - 1) * cl.step, bits);
+      const std::int64_t ivn_exit =
+          ConstantInt::canonicalize(iv_exit + cl.step, bits);
+      // Replace uses outside the loop.
+      for (auto [def, val] :
+           {std::pair<Instruction*, std::int64_t>{cl.iv, iv_exit},
+            std::pair<Instruction*, std::int64_t>{cl.iv_next, ivn_exit}}) {
+        std::vector<Instruction*> users(def->users().begin(),
+                                        def->users().end());
+        for (Instruction* user : users) {
+          bool outside;
+          if (auto* phi = dynCast<PhiInst>(user)) {
+            outside = !loop->contains(phi->parent());
+          } else {
+            outside = !loop->contains(user->parent());
+          }
+          if (!outside) continue;
+          ConstantInt* c = m.constantInt(def->type(), val);
+          for (std::size_t i = 0; i < user->numOperands(); ++i) {
+            if (user->operand(i) == def) user->setOperand(i, c);
+          }
+          changed = true;
+        }
+      }
+    }
+    changed |= deleteDeadInstructions(f);
+    return changed;
+  }
+};
+
+class LoopIdiomPass : public FunctionPass {
+ public:
+  std::string_view name() const override { return "loop-idiom"; }
+
+ protected:
+  bool runOnFunction(Function& f) override {
+    bool changed = false;
+    for (int round = 0; round < 4; ++round) {
+      DominatorTree dt(f);
+      LoopInfo li(f, dt);
+      bool local = false;
+      for (Loop* loop : li.loopsInnermostFirst()) {
+        if (tryMemset(*loop, f)) {
+          local = true;
+          break;
+        }
+      }
+      changed |= local;
+      if (!local) break;
+    }
+    return changed;
+  }
+
+ private:
+  /// Matches single-block loops of the shape
+  ///   for (i = 0; i < N; ++i) buf[i] = C;   (C constant, same-byte pattern)
+  /// and rewrites them to pr.memset.<T>.
+  bool tryMemset(Loop& loop, Function& f) {
+    if (loop.blocks().size() != 1) return false;
+    CountedLoop cl;
+    if (!matchCountedLoop(&loop, cl)) return false;
+    if (cl.step != 1) return false;
+    const auto* init_c = dynCast<ConstantInt>(cl.init);
+    if (init_c == nullptr || !init_c->isZero()) return false;
+    const std::int64_t trips = cl.simulateTripCount(kTripSimLimit);
+    if (trips <= 0) return false;
+    if (!loopValuesUnusedOutside(loop)) return false;
+
+    BasicBlock* body = cl.header;
+    // Expected contents: iv phi, gep, store, iv_next, cond, condbr. Allow
+    // no other instructions.
+    StoreInst* store = nullptr;
+    GepInst* gep = nullptr;
+    for (const auto& inst : body->insts()) {
+      Instruction* i = inst.get();
+      if (i == cl.iv || i == cl.iv_next || i == cl.cond ||
+          i == cl.exit_branch) {
+        continue;
+      }
+      if (auto* s = dynCast<StoreInst>(i)) {
+        if (store != nullptr) return false;
+        store = s;
+        continue;
+      }
+      if (auto* g = dynCast<GepInst>(i)) {
+        if (gep != nullptr) return false;
+        gep = g;
+        continue;
+      }
+      return false;
+    }
+    if (store == nullptr || gep == nullptr) return false;
+    if (store->pointer() != gep) return false;
+    auto* value_c = dynCast<ConstantInt>(store->value());
+    if (value_c == nullptr) return false;
+    Type* elem = store->value()->type();
+    // The byte pattern must be uniform (zero, or any value for i8).
+    std::uint8_t byte = 0;
+    if (elem->byteSize() == 1) {
+      byte = static_cast<std::uint8_t>(value_c->zextValue());
+    } else {
+      const std::uint64_t raw = value_c->zextValue();
+      byte = static_cast<std::uint8_t>(raw & 0xff);
+      for (std::uint64_t b = 0; b < elem->byteSize(); ++b) {
+        if (((raw >> (8 * b)) & 0xff) != byte) return false;
+      }
+    }
+    // gep must be buf[0][iv] (or buf[iv]) with an invariant base.
+    if (!isLoopInvariant(loop, gep->base())) return false;
+    Value* idx = nullptr;
+    if (gep->numIndices() == 1) {
+      idx = gep->index(0);
+      if (gep->sourceElement() != elem) return false;
+    } else if (gep->numIndices() == 2) {
+      auto* zero = dynCast<ConstantInt>(gep->index(0));
+      if (zero == nullptr || !zero->isZero()) return false;
+      idx = gep->index(1);
+      if (!gep->sourceElement()->isArray() ||
+          gep->sourceElement()->arrayElement() != elem) {
+        return false;
+      }
+    } else {
+      return false;
+    }
+    if (idx != cl.iv) return false;
+    // Exit phis must carry loop-invariant values (validated before any
+    // mutation below).
+    for (PhiInst* phi : cl.exit_block->phis()) {
+      for (std::size_t i = 0; i < phi->numIncoming(); ++i) {
+        if (loop.contains(phi->incomingBlock(i)) &&
+            !isLoopInvariant(loop, phi->incomingValue(i))) {
+          return false;
+        }
+      }
+    }
+
+    // Build the replacement in the preheader.
+    Module& m = *f.parent();
+    BasicBlock* ph = cl.preheader;
+    Instruction* ph_term = ph->terminator();
+    IRBuilder b(&m);
+    // Base pointer of element type.
+    Value* base_elem_ptr = nullptr;
+    if (gep->numIndices() == 1) {
+      base_elem_ptr = gep->base();
+    } else {
+      auto first = std::make_unique<GepInst>(
+          m.types().ptrTo(elem), gep->sourceElement(), gep->base(),
+          std::vector<Value*>{m.i64Const(0), m.i64Const(0)},
+          f.nextValueName());
+      base_elem_ptr = ph->insertBefore(ph_term, std::move(first));
+    }
+    // Count in elements; the IV may be narrower than i64.
+    Value* count = m.i64Const(trips);
+    Function* memset_fn = m.getMemsetFor(elem);
+    auto call = std::make_unique<CallInst>(
+        m.types().voidTy(), memset_fn,
+        std::vector<Value*>{base_elem_ptr,
+                            m.constantInt(m.types().i8(),
+                                          static_cast<std::int64_t>(byte)),
+                            count},
+        "");
+    ph->insertBefore(ph_term, std::move(call));
+
+    // Delete the loop: preheader jumps straight to the exit.
+    BasicBlock* exit = cl.exit_block;
+    for (PhiInst* phi : exit->phis()) {
+      for (std::size_t i = phi->numIncoming(); i-- > 0;) {
+        if (loop.contains(phi->incomingBlock(i))) {
+          Value* v = phi->incomingValue(i);
+          phi->removeIncoming(phi->incomingBlock(i));
+          phi->addIncoming(v, ph);
+        }
+      }
+    }
+    ph_term->eraseFromParent();
+    b.setInsertPoint(ph);
+    b.br(exit);
+    removeUnreachableBlocks(f);
+    deleteDeadInstructions(f);
+    return true;
+  }
+};
+
+class LoopLoadElimPass : public FunctionPass {
+ public:
+  std::string_view name() const override { return "loop-load-elim"; }
+
+ protected:
+  bool runOnFunction(Function& f) override {
+    bool changed = false;
+    DominatorTree dt(f);
+    LoopInfo li(f, dt);
+    Module& m = *f.parent();
+    for (Loop* loop : li.loopsInnermostFirst()) {
+      if (loop->blocks().size() != 1) continue;
+      BasicBlock* body = loop->header();
+      BasicBlock* ph = loop->preheader();
+      if (ph == nullptr || loop->singleLatch() != body) continue;
+      // Find a load-before-store pair on the same invariant pointer with no
+      // other memory writers in the block.
+      LoadInst* load = nullptr;
+      StoreInst* store = nullptr;
+      bool other_writes = false;
+      for (const auto& inst : body->insts()) {
+        if (auto* ld = dynCast<LoadInst>(inst.get())) {
+          if (load == nullptr && store == nullptr &&
+              isLoopInvariant(*loop, ld->pointer())) {
+            load = ld;
+          }
+          continue;
+        }
+        if (auto* st = dynCast<StoreInst>(inst.get())) {
+          if (store == nullptr && load != nullptr &&
+              st->pointer() == load->pointer()) {
+            store = st;
+          } else {
+            other_writes = true;
+          }
+          continue;
+        }
+        if (inst->mayWriteMemory()) other_writes = true;
+      }
+      if (load == nullptr || store == nullptr || other_writes) continue;
+
+      // Initial value read once in the preheader; thereafter the stored
+      // value flows around the back edge.
+      Instruction* ph_term = ph->terminator();
+      auto init = std::make_unique<LoadInst>(load->type(), load->pointer(),
+                                             f.nextValueName());
+      Instruction* init_raw = ph->insertBefore(ph_term, std::move(init));
+      auto phi = std::make_unique<PhiInst>(load->type(), f.nextValueName());
+      auto* phi_raw = static_cast<PhiInst*>(body->pushFront(std::move(phi)));
+      phi_raw->addIncoming(init_raw, ph);
+      phi_raw->addIncoming(store->value(), body);
+      replaceAndErase(load, phi_raw);
+      changed = true;
+      (void)m;
+    }
+    return changed;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> createLoopDeletionPass() {
+  return std::make_unique<LoopDeletionPass>();
+}
+
+std::unique_ptr<Pass> createIndVarSimplifyPass() {
+  return std::make_unique<IndVarSimplifyPass>();
+}
+
+std::unique_ptr<Pass> createLoopIdiomPass() {
+  return std::make_unique<LoopIdiomPass>();
+}
+
+std::unique_ptr<Pass> createLoopLoadElimPass() {
+  return std::make_unique<LoopLoadElimPass>();
+}
+
+}  // namespace posetrl

@@ -1,0 +1,296 @@
+/// \file loop_unroll.cpp
+/// -loop-unroll analog. Two registered flavours mirror LLVM's
+/// threshold-driven behaviour:
+///   loop-unroll     (Oz thresholds)  — full unrolling of tiny
+///                   constant-trip loops only (size-neutral or shrinking).
+///   loop-unroll-o3  (O3 thresholds)  — additionally unrolls mid-size
+///                   counted loops by a factor of 4, trading code size for
+///                   branch/IV overhead (the classic O3 speed-for-size
+///                   trade that Fig. 1 of the paper measures).
+
+#include <map>
+#include <vector>
+
+#include "analysis/dominators.h"
+#include "analysis/loop_info.h"
+#include "ir/basic_block.h"
+#include "ir/function.h"
+#include "ir/instruction.h"
+#include "ir/ir_builder.h"
+#include "ir/module.h"
+#include "passes/all_passes.h"
+#include "passes/loop_utils.h"
+#include "passes/transform_utils.h"
+
+namespace posetrl {
+namespace {
+
+class LoopUnrollPass : public FunctionPass {
+ public:
+  explicit LoopUnrollPass(bool aggressive) : aggressive_(aggressive) {}
+
+  std::string_view name() const override {
+    return aggressive_ ? "loop-unroll-o3" : "loop-unroll";
+  }
+
+  /// Trip-count and size thresholds tuned for size-oriented unrolling.
+  static constexpr std::int64_t kMaxTrips = 8;
+  static constexpr std::size_t kMaxBodySize = 24;
+  /// Partial-unroll parameters (aggressive mode only).
+  static constexpr unsigned kPartialFactor = 4;
+  static constexpr std::size_t kPartialBodyMax = 32;
+  static constexpr std::int64_t kPartialTripMax = 1 << 14;
+
+ protected:
+  bool runOnFunction(Function& f) override {
+    bool changed = false;
+    for (int round = 0; round < 8; ++round) {
+      DominatorTree dt(f);
+      LoopInfo li(f, dt);
+      bool local = false;
+      for (Loop* loop : li.loopsInnermostFirst()) {
+        if (fullyUnroll(*loop, f)) {
+          local = true;
+          break;
+        }
+        if (aggressive_ && partiallyUnroll(*loop, f)) {
+          local = true;
+          break;
+        }
+      }
+      changed |= local;
+      if (!local) break;
+    }
+    return changed;
+  }
+
+ private:
+  bool aggressive_;
+
+  /// Unrolls a single-block counted loop by kPartialFactor: lanes are
+  /// emitted sequentially (lane k re-derives the IV as iv + k*step and
+  /// threads non-IV phis through the previous lane's latch values), so
+  /// memory-operation order — and therefore semantics — is exactly the
+  /// original iteration order.
+  bool partiallyUnroll(Loop& loop, Function& f) {
+    if (loop.blocks().size() != 1) return false;
+    CountedLoop cl;
+    if (!matchCountedLoop(&loop, cl)) return false;
+    BasicBlock* body = cl.header;
+    if (cl.exit_branch->parent() != body) return false;
+    const std::int64_t trips = cl.simulateTripCount(kPartialTripMax);
+    if (trips < 2 * kPartialFactor || trips % kPartialFactor != 0) {
+      return false;
+    }
+    if (body->size() > kPartialBodyMax) return false;
+    // All loop values must stay inside (exit users would need final-value
+    // plumbing per lane).
+    for (const auto& inst : body->insts()) {
+      for (Instruction* user : inst->users()) {
+        if (user->parent() != body) return false;
+      }
+    }
+    // The exit test must still fire exactly at `trips` with the widened
+    // step.
+    {
+      CountedLoop widened = cl;
+      widened.step = cl.step * kPartialFactor;
+      if (widened.simulateTripCount(kPartialTripMax) !=
+          trips / kPartialFactor) {
+        return false;
+      }
+    }
+    // The exit condition must depend only on the IV (a condition over
+    // another phi would be evaluated once per group instead of per lane).
+    const auto iv_only = [&](const Value* v) {
+      return v == cl.iv || v == cl.iv_next || isLoopInvariant(loop, v);
+    };
+    if (!iv_only(cl.cond->lhs()) || !iv_only(cl.cond->rhs())) return false;
+    // iv_next will jump by factor*step; any other consumer of it would see
+    // the group-stride value instead of the per-lane one.
+    for (Instruction* user : cl.iv_next->users()) {
+      if (user != cl.cond && user != cl.iv) return false;
+    }
+
+    Module& m = *f.parent();
+    std::vector<PhiInst*> phis = body->phis();
+    // Lane-local instructions: everything except phis, iv_next, cond,
+    // terminator.
+    std::vector<Instruction*> lane_insts;
+    for (auto it = body->firstNonPhi(); it != body->end(); ++it) {
+      Instruction* i = it->get();
+      if (i == cl.iv_next || i == cl.cond || i->isTerminator()) continue;
+      lane_insts.push_back(i);
+    }
+
+    Instruction* insert_pos = cl.exit_branch;
+    // prev_latch maps each phi to the value flowing around the back edge
+    // from the previous lane.
+    std::map<PhiInst*, Value*> prev_latch;
+    for (PhiInst* phi : phis) {
+      prev_latch[phi] = phi->incomingForBlock(body);
+    }
+    for (unsigned k = 1; k < kPartialFactor; ++k) {
+      std::map<const Value*, Value*> vmap;
+      // IV of lane k.
+      auto* lane_iv = new BinaryInst(
+          Opcode::Add, cl.iv->type(), cl.iv,
+          m.constantInt(cl.iv->type(), cl.step * static_cast<int>(k)),
+          f.nextValueName());
+      body->insertBefore(insert_pos, std::unique_ptr<Instruction>(lane_iv));
+      vmap[cl.iv] = lane_iv;
+      // Non-IV phis enter lane k holding the previous lane's latch value.
+      for (PhiInst* phi : phis) {
+        if (phi == cl.iv) continue;
+        vmap[phi] = prev_latch.at(phi);
+      }
+      for (Instruction* i : lane_insts) {
+        Instruction* clone = i->clone();
+        if (!clone->type()->isVoid()) clone->setName(f.nextValueName());
+        body->insertBefore(insert_pos, std::unique_ptr<Instruction>(clone));
+        for (std::size_t oi = 0; oi < clone->numOperands(); ++oi) {
+          auto vit = vmap.find(clone->operand(oi));
+          if (vit != vmap.end()) clone->setOperand(oi, vit->second);
+        }
+        vmap[i] = clone;
+      }
+      // Latch values leaving lane k.
+      for (PhiInst* phi : phis) {
+        if (phi == cl.iv) continue;
+        Value* lv = phi->incomingForBlock(body);
+        auto vit = vmap.find(lv);
+        prev_latch[phi] = vit != vmap.end() ? vit->second : lv;
+      }
+    }
+    // Back-edge updates: the IV steps by factor*step; other phis take the
+    // final lane's values.
+    cl.iv_next->setOperand(
+        1, m.constantInt(cl.iv->type(),
+                         cl.step * static_cast<int>(kPartialFactor)));
+    for (PhiInst* phi : phis) {
+      if (phi == cl.iv) continue;
+      const std::size_t idx = phi->indexOfBlock(body);
+      phi->setIncomingValue(idx, prev_latch.at(phi));
+    }
+    return true;
+  }
+
+  bool fullyUnroll(Loop& loop, Function& f) {
+    if (loop.blocks().size() != 1) return false;
+    CountedLoop cl;
+    if (!matchCountedLoop(&loop, cl)) return false;
+    BasicBlock* body = cl.header;  // Single block: header == latch.
+    if (cl.exit_branch->parent() != body) return false;
+    const std::int64_t trips = cl.simulateTripCount(kMaxTrips + 1);
+    if (trips <= 0 || trips > kMaxTrips) return false;
+    if (body->size() > kMaxBodySize) return false;
+
+    Module& m = *f.parent();
+    BasicBlock* ph = cl.preheader;
+    BasicBlock* exit = cl.exit_block;
+
+    // Values carried around the back edge: all header phis.
+    std::vector<PhiInst*> phis = body->phis();
+    // Current value of each phi entering iteration k.
+    std::map<PhiInst*, Value*> cur;
+    for (PhiInst* phi : phis) {
+      cur[phi] = phi->incomingForBlock(ph);
+    }
+
+    // Non-phi, non-terminator body instructions in order.
+    std::vector<Instruction*> body_insts;
+    for (auto it = body->firstNonPhi(); it != body->end(); ++it) {
+      if (!(*it)->isTerminator()) body_insts.push_back(it->get());
+    }
+
+    // Unrolled copies are emitted straight into a chain of new blocks (one
+    // per iteration keeps the printer readable and the blocks mergeable).
+    Instruction* ph_term = ph->terminator();
+    std::vector<BasicBlock*> copies;
+    std::map<const Value*, Value*> last_map;
+    for (std::int64_t k = 0; k < trips; ++k) {
+      BasicBlock* uk = f.addBlock("unroll");
+      copies.push_back(uk);
+      std::map<const Value*, Value*> vmap;
+      for (PhiInst* phi : phis) vmap[phi] = cur[phi];
+      for (Instruction* inst : body_insts) {
+        Instruction* clone = inst->clone();
+        if (!clone->type()->isVoid()) clone->setName(f.nextValueName());
+        uk->pushBack(std::unique_ptr<Instruction>(clone));
+        for (std::size_t i = 0; i < clone->numOperands(); ++i) {
+          auto it = vmap.find(clone->operand(i));
+          if (it != vmap.end()) clone->setOperand(i, it->second);
+        }
+        vmap[inst] = clone;
+      }
+      // Next iteration's phi inputs come from this copy's latch values.
+      for (PhiInst* phi : phis) {
+        Value* latch_v = phi->incomingForBlock(body);
+        auto it = vmap.find(latch_v);
+        cur[phi] = it != vmap.end() ? it->second : latch_v;
+      }
+      last_map = std::move(vmap);
+    }
+    // Wire the chain: ph -> u0 -> ... -> u_{trips-1} -> exit.
+    ph_term->setSuccessor(0, copies.front());
+    IRBuilder b(&m);
+    for (std::size_t k = 0; k + 1 < copies.size(); ++k) {
+      b.setInsertPoint(copies[k]);
+      b.br(copies[k + 1]);
+    }
+    b.setInsertPoint(copies.back());
+    b.br(exit);
+
+    // Rewrite external references to loop-defined values with their final
+    // copies, and retarget exit phis.
+    const auto final_value = [&](Value* v) -> Value* {
+      auto it = last_map.find(v);
+      return it != last_map.end() ? it->second : v;
+    };
+    for (PhiInst* phi : exit->phis()) {
+      const std::size_t idx = phi->indexOfBlock(body);
+      if (idx == static_cast<std::size_t>(-1)) continue;
+      Value* v = phi->incomingValue(idx);
+      // The value leaving the loop is the one live during the final
+      // iteration: last_map holds both the phis' entry values and the body
+      // defs' final clones for that iteration.
+      Value* out = final_value(v);
+      phi->removeIncoming(body);
+      phi->addIncoming(out, copies.back());
+    }
+    // Direct external uses (lcssa may be absent).
+    std::vector<std::pair<Instruction*, Value*>> replacements;
+    for (PhiInst* phi : phis) {
+      replacements.emplace_back(phi, final_value(phi));
+    }
+    for (Instruction* inst : body_insts) {
+      replacements.emplace_back(inst, final_value(inst));
+    }
+    for (auto& [def, out] : replacements) {
+      std::vector<Instruction*> users(def->users().begin(),
+                                      def->users().end());
+      for (Instruction* user : users) {
+        if (user->parent() == body) continue;
+        for (std::size_t i = 0; i < user->numOperands(); ++i) {
+          if (user->operand(i) == def) user->setOperand(i, out);
+        }
+      }
+    }
+    removeUnreachableBlocks(f);
+    foldTrivialPhis(f);
+    deleteDeadInstructions(f);
+    return true;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> createLoopUnrollPass() {
+  return std::make_unique<LoopUnrollPass>(/*aggressive=*/false);
+}
+
+std::unique_ptr<Pass> createLoopUnrollO3Pass() {
+  return std::make_unique<LoopUnrollPass>(/*aggressive=*/true);
+}
+
+}  // namespace posetrl

@@ -1,0 +1,211 @@
+/// \file loop_unswitch.cpp
+/// -loop-unswitch analog: hoists a loop-invariant conditional branch out of
+/// the loop by cloning the loop body into a "condition true" and a
+/// "condition false" version. A classic size-for-speed trade, which is why
+/// its placement inside Oz orderings matters to the RL agent.
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "analysis/dominators.h"
+#include "analysis/loop_info.h"
+#include "ir/basic_block.h"
+#include "ir/clone.h"
+#include "ir/function.h"
+#include "ir/instruction.h"
+#include "ir/ir_builder.h"
+#include "ir/module.h"
+#include "passes/all_passes.h"
+#include "passes/loop_utils.h"
+#include "passes/transform_utils.h"
+
+namespace posetrl {
+namespace {
+
+class LoopUnswitchPass : public FunctionPass {
+ public:
+  LoopUnswitchPass(std::size_t max_loop_size, int max_unswitches, bool o3)
+      : max_loop_size_(max_loop_size),
+        max_unswitches_(max_unswitches),
+        o3_(o3) {}
+
+  std::string_view name() const override {
+    return o3_ ? "loop-unswitch-o3" : "loop-unswitch";
+  }
+
+ protected:
+  bool runOnFunction(Function& f) override {
+    // Cost-capped like LLVM: at most a few unswitches per run, bounding
+    // size growth.
+    bool changed = false;
+    for (int round = 0; round < max_unswitches_; ++round) {
+      DominatorTree dt(f);
+      LoopInfo li(f, dt);
+      bool local = false;
+      for (Loop* loop : li.loopsInnermostFirst()) {
+        if (unswitch(*loop, f)) {
+          local = true;
+          break;
+        }
+      }
+      changed |= local;
+      if (!local) break;
+    }
+    return changed;
+  }
+
+ private:
+  std::size_t max_loop_size_;
+  int max_unswitches_;
+  bool o3_;
+  bool unswitch(Loop& loop, Function& f) {
+    if (!loop.subLoops().empty()) return false;
+    if (loop.instructionCount() > max_loop_size_) return false;
+    BasicBlock* ph = loop.preheader();
+    if (ph == nullptr) return false;
+    if (!loop.hasDedicatedExits()) return false;
+
+    // Find an invariant conditional branch that is not the only exit test.
+    CondBrInst* invariant_branch = nullptr;
+    for (BasicBlock* bb : loop.blocks()) {
+      auto* cbr = dynCast<CondBrInst>(bb->terminator());
+      if (cbr == nullptr) continue;
+      if (isa<ConstantInt>(cbr->condition())) continue;  // simplifycfg's job.
+      if (!isLoopInvariant(loop, cbr->condition())) continue;
+      if (cbr->thenBlock() == cbr->elseBlock()) continue;
+      invariant_branch = cbr;
+      break;
+    }
+    if (invariant_branch == nullptr) return false;
+    Value* cond = invariant_branch->condition();
+
+    // Every outside use of a loop value must flow through an exit-block phi
+    // (loop-closed SSA); otherwise the cloned path would bypass the def.
+    const auto exit_blocks = loop.exitBlocks();
+    const std::set<BasicBlock*> exits(exit_blocks.begin(),
+                                      exit_blocks.end());
+    for (BasicBlock* bb : loop.blocks()) {
+      for (const auto& inst : bb->insts()) {
+        for (Instruction* user : inst->users()) {
+          if (loop.contains(user->parent())) continue;
+          if (user->opcode() != Opcode::Phi ||
+              !exits.count(user->parent())) {
+            return false;
+          }
+        }
+      }
+    }
+
+    // Clone the whole loop.
+    ValueMap map;
+    // Build a temporary function-like clone source: clone only loop blocks.
+    // cloneBlocksInto clones entire functions, so do it manually here.
+    std::vector<BasicBlock*> originals(loop.blocks().begin(),
+                                       loop.blocks().end());
+    for (BasicBlock* bb : originals) {
+      BasicBlock* nb = f.addBlock(bb->name() + ".us");
+      map[bb] = nb;
+    }
+    std::vector<Instruction*> new_insts;
+    for (BasicBlock* bb : originals) {
+      auto* nb = cast<BasicBlock>(map.at(bb));
+      for (const auto& inst : bb->insts()) {
+        Instruction* clone = inst->clone();
+        if (!clone->type()->isVoid()) clone->setName(f.nextValueName());
+        nb->pushBack(std::unique_ptr<Instruction>(clone));
+        map[inst.get()] = clone;
+        new_insts.push_back(clone);
+      }
+    }
+    for (Instruction* inst : new_insts) {
+      for (std::size_t i = 0; i < inst->numOperands(); ++i) {
+        auto it = map.find(inst->operand(i));
+        if (it != map.end()) inst->setOperand(i, it->second);
+      }
+    }
+
+    auto* new_header = cast<BasicBlock>(map.at(loop.header()));
+
+    // Cloned header phis still name `ph` as an incoming block; a fresh
+    // pre-header for the clone takes that role.
+    BasicBlock* ph2 = f.addBlock("preheader.us");
+    {
+      IRBuilder b(f.parent());
+      b.setInsertPoint(ph2);
+      b.br(new_header);
+    }
+    for (PhiInst* phi : new_header->phis()) {
+      const std::size_t idx = phi->indexOfBlock(ph);
+      if (idx != static_cast<std::size_t>(-1)) {
+        phi->setOperand(2 * idx + 1, ph2);
+      }
+    }
+
+    // Exit blocks gain predecessors from the cloned exiting blocks: extend
+    // their phis with the mapped values.
+    for (BasicBlock* bb : originals) {
+      for (BasicBlock* succ : bb->successors()) {
+        if (loop.contains(succ)) continue;
+        for (PhiInst* phi : succ->phis()) {
+          const std::size_t idx = phi->indexOfBlock(bb);
+          if (idx == static_cast<std::size_t>(-1)) continue;
+          Value* v = phi->incomingValue(idx);
+          auto it = map.find(v);
+          phi->addIncoming(it != map.end() ? it->second : v,
+                           cast<BasicBlock>(map.at(bb)));
+        }
+      }
+    }
+
+    // Split the entry: ph picks a version by the invariant condition.
+    Instruction* ph_term = ph->terminator();
+    BasicBlock* orig_header = loop.header();
+    ph_term->eraseFromParent();
+    {
+      IRBuilder b(f.parent());
+      b.setInsertPoint(ph);
+      b.condBr(cond, orig_header, ph2);
+    }
+
+    // Specialize both versions: in the original the condition is true; in
+    // the clone it is false.
+    specializeBranch(invariant_branch, /*taken=*/true);
+    auto* cloned_branch = cast<CondBrInst>(map.at(invariant_branch));
+    specializeBranch(cloned_branch, /*taken=*/false);
+
+    removeUnreachableBlocks(f);
+    foldTrivialPhis(f);
+    deleteDeadInstructions(f);
+    return true;
+  }
+
+  static void specializeBranch(CondBrInst* cbr, bool taken) {
+    BasicBlock* live = taken ? cbr->thenBlock() : cbr->elseBlock();
+    BasicBlock* dead = taken ? cbr->elseBlock() : cbr->thenBlock();
+    BasicBlock* bb = cbr->parent();
+    Module* m = bb->parent()->parent();
+    auto* br = new BrInst(m->types().voidTy(), live);
+    bb->insertBefore(cbr, std::unique_ptr<Instruction>(br));
+    cbr->eraseFromParent();
+    if (dead != live) {
+      for (PhiInst* phi : dead->phis()) {
+        if (phi->indexOfBlock(bb) != static_cast<std::size_t>(-1)) {
+          phi->removeIncoming(bb);
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> createLoopUnswitchPass() {
+  return std::make_unique<LoopUnswitchPass>(48, 1, /*o3=*/false);
+}
+
+std::unique_ptr<Pass> createLoopUnswitchO3Pass() {
+  return std::make_unique<LoopUnswitchPass>(160, 3, /*o3=*/true);
+}
+
+}  // namespace posetrl

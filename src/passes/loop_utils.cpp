@@ -1,0 +1,108 @@
+#include "passes/loop_utils.h"
+
+#include "ir/basic_block.h"
+#include "ir/function.h"
+#include "ir/value.h"
+
+namespace posetrl {
+
+bool isLoopInvariant(const Loop& loop, const Value* v) {
+  const auto* inst = dynCast<Instruction>(v);
+  if (inst == nullptr) return true;  // Constants, args, globals, functions.
+  return !loop.contains(inst->parent());
+}
+
+std::int64_t CountedLoop::simulateTripCount(std::int64_t limit) const {
+  const auto* init_c = dynCast<ConstantInt>(init);
+  if (init_c == nullptr) return -1;
+  const unsigned bits = iv->type()->intBits();
+  std::int64_t ivv = init_c->value();
+  for (std::int64_t k = 0; k < limit; ++k) {
+    const std::int64_t next =
+        ConstantInt::canonicalize(ivv + step, bits);
+    // Evaluate the exit condition for this iteration.
+    const auto eval_operand = [&](const Value* v, bool& ok) -> std::int64_t {
+      if (v == iv) return ivv;
+      if (v == iv_next) return next;
+      if (const auto* c = dynCast<ConstantInt>(v)) return c->value();
+      ok = false;
+      return 0;
+    };
+    bool ok = true;
+    const std::int64_t lhs = eval_operand(cond->lhs(), ok);
+    const std::int64_t rhs = eval_operand(cond->rhs(), ok);
+    if (!ok) return -1;
+    const bool cond_val = ICmpInst::evaluate(cond->pred(), lhs, rhs, bits);
+    const bool exits = (exit_branch->thenBlock() == exit_block) == cond_val;
+    // Returns the number of times the branch's block executes.
+    if (exits) return k + 1;
+    ivv = next;
+  }
+  return -1;
+}
+
+bool matchCountedLoop(Loop* loop, CountedLoop& out) {
+  out = CountedLoop();
+  out.loop = loop;
+  out.preheader = loop->preheader();
+  if (out.preheader == nullptr) return false;
+  out.header = loop->header();
+  out.latch = loop->singleLatch();
+  if (out.latch == nullptr) return false;
+
+  // Find the IV: a header phi of integer type whose latch incoming is
+  // `add iv, const`.
+  for (PhiInst* phi : out.header->phis()) {
+    if (!phi->type()->isInteger()) continue;
+    if (phi->numIncoming() != 2) continue;
+    const std::size_t ph_idx = phi->indexOfBlock(out.preheader);
+    const std::size_t latch_idx = phi->indexOfBlock(out.latch);
+    if (ph_idx == static_cast<std::size_t>(-1) ||
+        latch_idx == static_cast<std::size_t>(-1)) {
+      continue;
+    }
+    auto* next = dynCast<Instruction>(phi->incomingValue(latch_idx));
+    if (next == nullptr || next->opcode() != Opcode::Add) continue;
+    if (!loop->contains(next->parent())) continue;
+    auto* step_c = dynCast<ConstantInt>(next->operand(1));
+    if (next->operand(0) != phi || step_c == nullptr || step_c->isZero()) {
+      continue;
+    }
+    out.iv = phi;
+    out.iv_next = next;
+    out.step = step_c->value();
+    out.init = phi->incomingValue(ph_idx);
+    break;
+  }
+  if (out.iv == nullptr) return false;
+
+  // The exiting branch: a condbr in the header or the latch with exactly
+  // one successor outside the loop, conditioned on an icmp over the IV.
+  for (BasicBlock* candidate : {out.header, out.latch}) {
+    auto* cbr = dynCast<CondBrInst>(candidate->terminator());
+    if (cbr == nullptr) continue;
+    const bool then_in = loop->contains(cbr->thenBlock());
+    const bool else_in = loop->contains(cbr->elseBlock());
+    if (then_in == else_in) continue;
+    auto* cmp = dynCast<ICmpInst>(cbr->condition());
+    if (cmp == nullptr) continue;
+    const auto involves_iv = [&](const Value* v) {
+      return v == out.iv || v == out.iv_next;
+    };
+    const auto invariant_or_iv = [&](const Value* v) {
+      return involves_iv(v) || isLoopInvariant(*loop, v);
+    };
+    if (!involves_iv(cmp->lhs()) && !involves_iv(cmp->rhs())) continue;
+    if (!invariant_or_iv(cmp->lhs()) || !invariant_or_iv(cmp->rhs())) {
+      continue;
+    }
+    out.cond = cmp;
+    out.exit_branch = cbr;
+    out.exit_block = then_in ? cbr->elseBlock() : cbr->thenBlock();
+    out.continue_block = then_in ? cbr->thenBlock() : cbr->elseBlock();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace posetrl

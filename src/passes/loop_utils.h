@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file loop_utils.h
+/// Shared helpers for the loop passes: invariance queries and the
+/// counted-loop pattern matcher (a miniature SCEV) used by indvars,
+/// loop-unroll, loop-idiom, loop-vectorize and loop-deletion.
+
+#include <cstdint>
+
+#include "analysis/loop_info.h"
+#include "ir/instruction.h"
+
+namespace posetrl {
+
+class Value;
+class Module;
+
+/// True when \p v is defined outside \p loop (constants/args/globals count).
+bool isLoopInvariant(const Loop& loop, const Value* v);
+
+/// A canonical counted loop:
+///   iv   = phi [init, preheader], [iv_next, latch]
+///   iv_next = add iv, step        (constant step)
+///   cond = icmp pred, X, Y        with {X, Y} drawn from {iv, iv_next,
+///                                  loop-invariant values}
+///   condbr cond, A, B             where exactly one successor leaves the
+///                                  loop; the branch sits in the header or
+///                                  the (single) latch.
+struct CountedLoop {
+  Loop* loop = nullptr;
+  BasicBlock* preheader = nullptr;
+  BasicBlock* header = nullptr;
+  BasicBlock* latch = nullptr;
+  PhiInst* iv = nullptr;
+  Instruction* iv_next = nullptr;
+  std::int64_t step = 0;
+  Value* init = nullptr;          ///< Incoming value from the preheader.
+  ICmpInst* cond = nullptr;
+  CondBrInst* exit_branch = nullptr;
+  BasicBlock* exit_block = nullptr;      ///< Successor outside the loop.
+  BasicBlock* continue_block = nullptr;  ///< Successor inside the loop.
+
+  /// Exact trip count when init and the compared bound are constants and
+  /// simulation exits within \p limit iterations; -1 otherwise.
+  std::int64_t simulateTripCount(std::int64_t limit) const;
+};
+
+/// Matches \p loop against the counted pattern; requires a preheader and a
+/// single latch. Returns false when the loop is not in that shape.
+bool matchCountedLoop(Loop* loop, CountedLoop& out);
+
+}  // namespace posetrl

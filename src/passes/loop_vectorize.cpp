@@ -1,0 +1,415 @@
+/// \file loop_vectorize.cpp
+/// -loop-vectorize and -loop-distribute analogs.
+///
+/// Vectorization is modeled as exact unroll-by-VF with SIMD marking: the
+/// loop is unrolled four-wide, every data-processing copy is tagged with
+/// vectorWidth(4), and the size/throughput models treat each 4-group as one
+/// SIMD instruction. Semantics are bit-exact (it *is* an unroll), so the
+/// interpreter-based equivalence tests hold, while the cost models see
+/// the speed/size profile of vector code.
+///
+/// Distribution splits a single-block loop whose body contains independent
+/// store computations into consecutive loops (one per store slice), the
+/// enabling transform the Oz pipeline runs right before vectorization.
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "analysis/dominators.h"
+#include "analysis/loop_info.h"
+#include "ir/basic_block.h"
+#include "ir/function.h"
+#include "ir/global_variable.h"
+#include "ir/instruction.h"
+#include "ir/ir_builder.h"
+#include "ir/module.h"
+#include "passes/all_passes.h"
+#include "passes/loop_utils.h"
+#include "passes/transform_utils.h"
+
+namespace posetrl {
+namespace {
+
+constexpr std::int64_t kSimLimit = 1 << 16;
+
+/// The base object of a pointer chain, when it is provably a distinct
+/// object (alloca or global); nullptr otherwise.
+const Value* baseObject(const Value* ptr) {
+  const Value* cur = ptr;
+  while (const auto* gep = dynCast<GepInst>(cur)) cur = gep->base();
+  if (isa<AllocaInst>(cur) || isa<GlobalVariable>(cur)) return cur;
+  return nullptr;
+}
+
+bool loopValuesUnusedOutsideLocal(const Loop& loop) {
+  for (BasicBlock* bb : loop.blocks()) {
+    for (const auto& inst : bb->insts()) {
+      for (Instruction* user : inst->users()) {
+        if (!loop.contains(user->parent())) return false;
+      }
+    }
+  }
+  return true;
+}
+
+class LoopVectorizePass : public FunctionPass {
+ public:
+  std::string_view name() const override { return "loop-vectorize"; }
+
+  static constexpr unsigned kVF = 4;
+  static constexpr std::size_t kMaxBodySize = 32;
+
+ protected:
+  bool runOnFunction(Function& f) override {
+    bool changed = false;
+    for (int round = 0; round < 4; ++round) {
+      DominatorTree dt(f);
+      LoopInfo li(f, dt);
+      bool local = false;
+      for (Loop* loop : li.loopsInnermostFirst()) {
+        if (vectorize(*loop, f)) {
+          local = true;
+          break;
+        }
+      }
+      changed |= local;
+      if (!local) break;
+    }
+    return changed;
+  }
+
+ private:
+  bool vectorize(Loop& loop, Function& f) {
+    if (loop.blocks().size() != 1) return false;
+    CountedLoop cl;
+    if (!matchCountedLoop(&loop, cl)) return false;
+    BasicBlock* body = cl.header;
+    if (cl.exit_branch->parent() != body) return false;
+    if (cl.step != 1) return false;
+    if (body->size() > kMaxBodySize) return false;
+    if (body->phis().size() != 1) return false;  // Only the IV.
+    const std::int64_t trips = cl.simulateTripCount(kSimLimit);
+    if (trips < 8 || trips % kVF != 0) return false;
+    if (!loopValuesUnusedOutsideLocal(loop)) return false;
+    // Already vectorized (LLVM records llvm.loop.isvectorized metadata and
+    // refuses to re-vectorize; the vector marks play that role here).
+    for (const auto& inst : body->insts()) {
+      if (inst->vectorWidth() > 1) return false;
+    }
+
+    // Body instructions (excluding IV machinery) must be vectorizable:
+    // pure arithmetic/casts/selects, geps indexed by the IV with distinct
+    // base objects, and loads/stores whose base objects don't overlap.
+    std::vector<Instruction*> lane_insts;
+    std::set<const Value*> load_bases;
+    std::set<const Value*> store_bases;
+    for (const auto& inst : body->insts()) {
+      Instruction* i = inst.get();
+      if (i == cl.iv || i == cl.iv_next || i == cl.cond ||
+          i == cl.exit_branch) {
+        continue;
+      }
+      switch (i->opcode()) {
+        case Opcode::Gep: {
+          if (!isLoopInvariant(loop, static_cast<GepInst*>(i)->base())) {
+            return false;
+          }
+          lane_insts.push_back(i);
+          break;
+        }
+        case Opcode::Load: {
+          const Value* base =
+              baseObject(static_cast<LoadInst*>(i)->pointer());
+          if (base == nullptr) return false;
+          load_bases.insert(base);
+          lane_insts.push_back(i);
+          break;
+        }
+        case Opcode::Store: {
+          const Value* base =
+              baseObject(static_cast<StoreInst*>(i)->pointer());
+          if (base == nullptr) return false;
+          store_bases.insert(base);
+          lane_insts.push_back(i);
+          break;
+        }
+        case Opcode::Select:
+        case Opcode::ICmp:
+        case Opcode::FCmp:
+          lane_insts.push_back(i);
+          break;
+        default:
+          if (i->isBinaryOp() || i->isCast()) {
+            if (i->mayTrap()) return false;
+            lane_insts.push_back(i);
+            break;
+          }
+          return false;
+      }
+    }
+    for (const Value* sb : store_bases) {
+      if (load_bases.count(sb)) return false;
+    }
+    if (lane_insts.empty()) return false;
+
+    // The exit test must still fire exactly after trips iterations with the
+    // widened step.
+    {
+      CountedLoop widened = cl;
+      widened.step = kVF;
+      const std::int64_t wide_trips = widened.simulateTripCount(kSimLimit);
+      if (wide_trips != trips / kVF) return false;
+    }
+
+    // Build lanes 1..VF-1 just before the terminator (everything they use —
+    // the IV, invariants, and their own lane-local clones — dominates that
+    // point; cross-lane memory order is irrelevant because store targets
+    // are disjoint from load targets and lane addresses never collide).
+    Module& m = *f.parent();
+    Instruction* insert_pos = cl.exit_branch;
+    std::vector<Value*> lane_iv(kVF);
+    lane_iv[0] = cl.iv;
+    for (unsigned k = 1; k < kVF; ++k) {
+      auto* add = new BinaryInst(Opcode::Add, cl.iv->type(), cl.iv,
+                                 m.constantInt(cl.iv->type(), k),
+                                 f.nextValueName());
+      body->insertBefore(insert_pos, std::unique_ptr<Instruction>(add));
+      lane_iv[k] = add;
+    }
+    // Mark lane 0.
+    for (Instruction* i : lane_insts) i->setVectorWidth(kVF);
+    for (unsigned k = 1; k < kVF; ++k) {
+      std::map<const Value*, Value*> vmap;
+      vmap[cl.iv] = lane_iv[k];
+      for (Instruction* i : lane_insts) {
+        Instruction* clone = i->clone();
+        if (!clone->type()->isVoid()) clone->setName(f.nextValueName());
+        clone->setVectorWidth(kVF);
+        body->insertBefore(insert_pos, std::unique_ptr<Instruction>(clone));
+        for (std::size_t oi = 0; oi < clone->numOperands(); ++oi) {
+          auto it = vmap.find(clone->operand(oi));
+          if (it != vmap.end()) clone->setOperand(oi, it->second);
+        }
+        vmap[i] = clone;
+      }
+    }
+    // Widen the IV step.
+    cl.iv_next->setOperand(1, m.constantInt(cl.iv->type(), kVF));
+    return true;
+  }
+};
+
+class LoopDistributePass : public FunctionPass {
+ public:
+  std::string_view name() const override { return "loop-distribute"; }
+
+  static constexpr std::size_t kMaxBodySize = 48;
+
+ protected:
+  bool runOnFunction(Function& f) override {
+    DominatorTree dt(f);
+    LoopInfo li(f, dt);
+    for (Loop* loop : li.loopsInnermostFirst()) {
+      if (distribute(*loop, f)) return true;  // One split per run.
+    }
+    return false;
+  }
+
+ private:
+  bool distribute(Loop& loop, Function& f) {
+    if (loop.blocks().size() != 1) return false;
+    CountedLoop cl;
+    if (!matchCountedLoop(&loop, cl)) return false;
+    BasicBlock* body = cl.header;
+    if (cl.exit_branch->parent() != body) return false;
+    if (body->size() > kMaxBodySize) return false;
+    if (body->phis().size() != 1) return false;
+    if (!loopValuesUnusedOutsideLocal(loop)) return false;
+
+    // Gather stores and ensure there are no loads or calls (no aliasing
+    // reasoning needed then — store slices are trivially independent when
+    // they write distinct base objects).
+    std::vector<StoreInst*> stores;
+    for (const auto& inst : body->insts()) {
+      if (auto* st = dynCast<StoreInst>(inst.get())) {
+        if (baseObject(st->pointer()) == nullptr) return false;
+        stores.push_back(st);
+      } else if (inst->mayReadMemory() ||
+                 inst->opcode() == Opcode::Call) {
+        return false;
+      }
+    }
+    if (stores.size() < 2) return false;
+    std::set<const Value*> bases;
+    for (StoreInst* st : stores) {
+      if (!bases.insert(baseObject(st->pointer())).second) return false;
+    }
+
+    // Backward slice per store (within the block), excluding IV machinery.
+    const std::set<Instruction*> shared{cl.iv, cl.iv_next, cl.cond,
+                                        cl.exit_branch};
+    std::vector<std::set<Instruction*>> slices;
+    for (StoreInst* st : stores) {
+      std::set<Instruction*> slice;
+      std::vector<Instruction*> work{st};
+      while (!work.empty()) {
+        Instruction* i = work.back();
+        work.pop_back();
+        if (shared.count(i) || !slice.insert(i).second) continue;
+        for (Value* op : i->operands()) {
+          auto* d = dynCast<Instruction>(op);
+          if (d != nullptr && d->parent() == body && !shared.count(d)) {
+            work.push_back(d);
+          }
+        }
+      }
+      slices.push_back(std::move(slice));
+    }
+    // Every non-shared instruction must belong to at least one slice
+    // (nothing unaccounted, e.g. an effectful stray op).
+    for (const auto& inst : body->insts()) {
+      if (shared.count(inst.get())) continue;
+      bool in_any = false;
+      for (const auto& s : slices) {
+        if (s.count(inst.get())) in_any = true;
+      }
+      if (!in_any) return false;
+    }
+    // Require at least two disjoint slices (shared arithmetic gets
+    // duplicated, which is fine; fully-overlapping slices mean no benefit).
+    bool any_disjoint = false;
+    for (std::size_t i = 0; i < slices.size(); ++i) {
+      for (std::size_t j = i + 1; j < slices.size(); ++j) {
+        bool overlap = false;
+        for (Instruction* x : slices[i]) {
+          if (slices[j].count(x)) overlap = true;
+        }
+        if (!overlap) any_disjoint = true;
+      }
+    }
+    if (!any_disjoint) return false;
+
+    // Exit phi incomings from the loop must be invariant (the exit edge
+    // will come from the last copy).
+    for (PhiInst* phi : cl.exit_block->phis()) {
+      const std::size_t idx = phi->indexOfBlock(body);
+      if (idx != static_cast<std::size_t>(-1) &&
+          !isLoopInvariant(loop, phi->incomingValue(idx))) {
+        return false;
+      }
+    }
+
+    // Build one loop per slice: the original keeps slice 0; each further
+    // slice gets a cloned block chained after the previous loop's exit.
+    Module& m = *f.parent();
+    BasicBlock* prev_exit_src = body;  // Block whose exit edge we re-route.
+    BasicBlock* final_exit = cl.exit_block;
+    for (std::size_t s = 1; s < slices.size(); ++s) {
+      BasicBlock* copy = f.addBlock("dist");
+      std::map<const Value*, Value*> vmap;
+      std::vector<Instruction*> clones;
+      for (const auto& inst : body->insts()) {
+        Instruction* clone = inst->clone();
+        if (!clone->type()->isVoid()) clone->setName(f.nextValueName());
+        copy->pushBack(std::unique_ptr<Instruction>(clone));
+        vmap[inst.get()] = clone;
+        clones.push_back(clone);
+      }
+      for (Instruction* clone : clones) {
+        for (std::size_t oi = 0; oi < clone->numOperands(); ++oi) {
+          auto it = vmap.find(clone->operand(oi));
+          if (it != vmap.end()) clone->setOperand(oi, it->second);
+        }
+      }
+      // Self-edges: the cloned branch still targets `body`; retarget to the
+      // copy, and the cloned phi's incoming blocks likewise.
+      auto* cbr = cast<CondBrInst>(vmap.at(cl.exit_branch));
+      for (std::size_t i = 0; i < cbr->numSuccessors(); ++i) {
+        if (cbr->successor(i) == body) cbr->setSuccessor(i, copy);
+      }
+      auto* iv_copy = cast<PhiInst>(vmap.at(cl.iv));
+      for (std::size_t i = 0; i < iv_copy->numIncoming(); ++i) {
+        if (iv_copy->incomingBlock(i) == body) {
+          iv_copy->setOperand(2 * i + 1, copy);
+        }
+        if (iv_copy->incomingBlock(i) == cl.preheader) {
+          // A bridge block becomes this loop's preheader.
+          // (Patched below once the bridge exists.)
+        }
+      }
+      // Bridge: previous loop exits into it; it enters this copy.
+      BasicBlock* bridge = f.addBlock("dist.ph");
+      {
+        IRBuilder b(&m);
+        b.setInsertPoint(bridge);
+        b.br(copy);
+      }
+      const std::size_t ph_idx = iv_copy->indexOfBlock(cl.preheader);
+      POSETRL_CHECK(ph_idx != static_cast<std::size_t>(-1),
+                    "distribute: iv phi lost preheader edge");
+      iv_copy->setOperand(2 * ph_idx + 1, bridge);
+
+      // Re-route the previous exit edge into the bridge.
+      Instruction* prev_term = prev_exit_src->terminator();
+      for (std::size_t i = 0; i < prev_term->numSuccessors(); ++i) {
+        if (prev_term->successor(i) == final_exit) {
+          prev_term->setSuccessor(i, bridge);
+        }
+      }
+      // Delete the other slices' instructions from this copy, and slice s
+      // from all previous loops... (handled after the loop for clarity).
+      pruneCopy(copy, clones, vmap, slices, s, shared);
+      prev_exit_src = copy;
+    }
+    // Final copy exits to the original exit: move phi incomings.
+    for (PhiInst* phi : final_exit->phis()) {
+      const std::size_t idx = phi->indexOfBlock(body);
+      if (idx != static_cast<std::size_t>(-1)) {
+        Value* v = phi->incomingValue(idx);
+        phi->removeIncoming(body);
+        phi->addIncoming(v, prev_exit_src);
+      }
+    }
+    // Prune the original body down to slice 0.
+    std::vector<Instruction*> to_erase;
+    for (const auto& inst : body->insts()) {
+      if (shared.count(inst.get())) continue;
+      if (!slices[0].count(inst.get())) to_erase.push_back(inst.get());
+    }
+    for (auto it = to_erase.rbegin(); it != to_erase.rend(); ++it) {
+      if (!(*it)->hasUses()) (*it)->eraseFromParent();
+    }
+    deleteDeadInstructions(f);
+    return true;
+  }
+
+  static void pruneCopy(BasicBlock* copy,
+                        const std::vector<Instruction*>& clones,
+                        const std::map<const Value*, Value*>& vmap,
+                        const std::vector<std::set<Instruction*>>& slices,
+                        std::size_t keep, const std::set<Instruction*>& shared) {
+    (void)copy;
+    // Erase clones whose originals are neither shared nor in slice `keep`.
+    std::set<const Value*> keep_set;
+    for (Instruction* i : slices[keep]) keep_set.insert(vmap.at(i));
+    for (Instruction* i : shared) keep_set.insert(vmap.at(i));
+    for (auto it = clones.rbegin(); it != clones.rend(); ++it) {
+      if (!keep_set.count(*it) && !(*it)->hasUses()) {
+        (*it)->eraseFromParent();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> createLoopVectorizePass() {
+  return std::make_unique<LoopVectorizePass>();
+}
+
+std::unique_ptr<Pass> createLoopDistributePass() {
+  return std::make_unique<LoopDistributePass>();
+}
+
+}  // namespace posetrl

@@ -1,0 +1,280 @@
+/// \file mem2reg.cpp
+/// -mem2reg and -sroa analogs. mem2reg promotes scalar allocas whose address
+/// never escapes into SSA values with classic IDF phi placement; sroa first
+/// splits aggregate allocas into scalar pieces (via constant-index GEPs) and
+/// then promotes the pieces.
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "analysis/dominators.h"
+#include "ir/basic_block.h"
+#include "ir/function.h"
+#include "ir/instruction.h"
+#include "ir/ir_builder.h"
+#include "ir/module.h"
+#include "passes/all_passes.h"
+#include "passes/transform_utils.h"
+
+namespace posetrl {
+namespace {
+
+/// True when \p alloca is promotable: first-class payload and every use is
+/// a load from it or a store *to* it (address never escapes).
+bool isPromotable(AllocaInst* alloca) {
+  if (!alloca->allocatedType()->isFirstClass()) return false;
+  for (Instruction* user : alloca->users()) {
+    if (auto* load = dynCast<LoadInst>(user)) {
+      (void)load;
+      continue;
+    }
+    if (auto* store = dynCast<StoreInst>(user)) {
+      if (store->value() == alloca) return false;  // Address escapes.
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+/// Promotes one alloca to SSA form. Assumes the function has no
+/// unreachable blocks (the caller cleans those first).
+void promoteOne(Function& f, AllocaInst* alloca, const DominatorTree& dt) {
+  Module& m = *f.parent();
+  Type* ty = alloca->allocatedType();
+
+  // Blocks containing stores (definitions).
+  std::set<BasicBlock*> def_blocks;
+  for (Instruction* user : alloca->users()) {
+    if (user->opcode() == Opcode::Store) def_blocks.insert(user->parent());
+  }
+
+  // Iterated dominance frontier -> phi placement.
+  std::set<BasicBlock*> phi_blocks;
+  std::vector<BasicBlock*> work(def_blocks.begin(), def_blocks.end());
+  while (!work.empty()) {
+    BasicBlock* b = work.back();
+    work.pop_back();
+    for (BasicBlock* frontier : dt.frontier(b)) {
+      if (phi_blocks.insert(frontier).second) work.push_back(frontier);
+    }
+  }
+  std::map<BasicBlock*, PhiInst*> phis;
+  for (BasicBlock* b : phi_blocks) {
+    auto phi = std::make_unique<PhiInst>(ty, f.nextValueName());
+    phis[b] = static_cast<PhiInst*>(b->pushFront(std::move(phi)));
+  }
+
+  // Renaming: DFS over the dominator tree carrying the current value.
+  struct Frame {
+    BasicBlock* block;
+    Value* incoming;
+  };
+  std::vector<Frame> stack{{f.entry(), nullptr}};
+  std::set<BasicBlock*> visited;
+  while (!stack.empty()) {
+    auto [block, cur] = stack.back();
+    stack.pop_back();
+    if (!visited.insert(block).second) continue;
+
+    if (auto it = phis.find(block); it != phis.end()) cur = it->second;
+
+    std::vector<Instruction*> insts;
+    for (const auto& inst : block->insts()) insts.push_back(inst.get());
+    for (Instruction* inst : insts) {
+      if (auto* load = dynCast<LoadInst>(inst)) {
+        if (load->pointer() == alloca) {
+          Value* v = cur != nullptr ? cur : m.undef(ty);
+          replaceAndErase(load, v);
+        }
+      } else if (auto* store = dynCast<StoreInst>(inst)) {
+        if (store->pointer() == alloca) {
+          cur = store->value();
+          store->eraseFromParent();
+        }
+      }
+    }
+
+    // Feed successors' phis; then recurse into dominator children.
+    std::set<BasicBlock*> fed;
+    for (BasicBlock* succ : block->successors()) {
+      if (!fed.insert(succ).second) continue;
+      auto it = phis.find(succ);
+      if (it != phis.end()) {
+        it->second->addIncoming(cur != nullptr ? cur : m.undef(ty), block);
+      }
+    }
+    for (BasicBlock* child : dt.children(block)) {
+      stack.push_back({child, cur});
+    }
+  }
+
+  POSETRL_CHECK(!alloca->hasUses(), "promoted alloca still has uses");
+  alloca->eraseFromParent();
+}
+
+/// Shared engine: promotes every promotable alloca in \p f.
+bool promoteAllocas(Function& f) {
+  bool changed = removeUnreachableBlocks(f);
+  std::vector<AllocaInst*> promotable;
+  for (const auto& bb : f.blocks()) {
+    for (const auto& inst : bb->insts()) {
+      if (auto* a = dynCast<AllocaInst>(inst.get())) {
+        if (isPromotable(a)) promotable.push_back(a);
+      }
+    }
+  }
+  if (promotable.empty()) return changed;
+  DominatorTree dt(f);
+  for (AllocaInst* a : promotable) promoteOne(f, a, dt);
+  foldTrivialPhis(f);
+  deleteDeadInstructions(f);
+  return true;
+}
+
+class Mem2RegPass : public FunctionPass {
+ public:
+  std::string_view name() const override { return "mem2reg"; }
+
+ protected:
+  bool runOnFunction(Function& f) override { return promoteAllocas(f); }
+};
+
+/// Leaf scalar pieces of an aggregate type.
+void collectLeaves(Type* t, std::uint64_t offset,
+                   std::vector<std::pair<std::uint64_t, Type*>>& out) {
+  if (t->isFirstClass()) {
+    out.emplace_back(offset, t);
+    return;
+  }
+  if (t->isArray()) {
+    Type* e = t->arrayElement();
+    for (std::uint64_t i = 0; i < t->arrayCount(); ++i) {
+      collectLeaves(e, offset + i * e->byteSize(), out);
+    }
+    return;
+  }
+  if (t->isStruct()) {
+    const auto& fields = t->structFields();
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      collectLeaves(fields[i], offset + t->structFieldOffset(i), out);
+    }
+  }
+}
+
+/// Byte offset addressed by an all-constant-index gep, or -1 when the first
+/// index is non-zero / indices don't resolve to a first-class leaf.
+std::int64_t constantGepOffset(GepInst* gep) {
+  auto* first = dynCast<ConstantInt>(gep->index(0));
+  if (first == nullptr || !first->isZero()) return -1;
+  std::uint64_t offset = 0;
+  Type* cur = gep->sourceElement();
+  for (std::size_t i = 1; i < gep->numIndices(); ++i) {
+    auto* c = dynCast<ConstantInt>(gep->index(i));
+    if (c == nullptr || c->value() < 0) return -1;
+    if (cur->isArray()) {
+      cur = cur->arrayElement();
+      offset += static_cast<std::uint64_t>(c->value()) * cur->byteSize();
+    } else if (cur->isStruct()) {
+      const auto idx = static_cast<std::size_t>(c->value());
+      if (idx >= cur->structFields().size()) return -1;
+      offset += cur->structFieldOffset(idx);
+      cur = cur->structFields()[idx];
+    } else {
+      return -1;
+    }
+  }
+  if (!cur->isFirstClass()) return -1;
+  return static_cast<std::int64_t>(offset);
+}
+
+/// Splits one aggregate alloca into scalar allocas; true on success.
+bool splitAggregateAlloca(Function& f, AllocaInst* alloca) {
+  Type* agg = alloca->allocatedType();
+  std::vector<std::pair<std::uint64_t, Type*>> leaves;
+  collectLeaves(agg, 0, leaves);
+  if (leaves.empty() || leaves.size() > 64) return false;
+
+  // Every user must be a constant-offset gep whose users are loads/stores
+  // of the leaf exactly at that offset.
+  struct Rewrite {
+    GepInst* gep;
+    std::size_t leaf;
+  };
+  std::vector<Rewrite> rewrites;
+  for (Instruction* user : alloca->users()) {
+    auto* gep = dynCast<GepInst>(user);
+    if (gep == nullptr || gep->base() != alloca) return false;
+    const std::int64_t off = constantGepOffset(gep);
+    if (off < 0) return false;
+    std::size_t leaf = leaves.size();
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+      if (leaves[i].first == static_cast<std::uint64_t>(off) &&
+          gep->type()->pointee() == leaves[i].second) {
+        leaf = i;
+        break;
+      }
+    }
+    if (leaf == leaves.size()) return false;
+    for (Instruction* gu : gep->users()) {
+      if (auto* st = dynCast<StoreInst>(gu)) {
+        if (st->value() == gep) return false;
+      } else if (!isa<LoadInst>(gu)) {
+        return false;
+      }
+    }
+    rewrites.push_back({gep, leaf});
+  }
+
+  // Materialize the scalar allocas next to the original.
+  Module& m = *f.parent();
+  std::vector<AllocaInst*> pieces(leaves.size(), nullptr);
+  for (const Rewrite& rw : rewrites) {
+    if (pieces[rw.leaf] == nullptr) {
+      auto piece = std::make_unique<AllocaInst>(
+          m.types().ptrTo(leaves[rw.leaf].second), leaves[rw.leaf].second,
+          f.nextValueName());
+      pieces[rw.leaf] = static_cast<AllocaInst*>(
+          alloca->parent()->insertBefore(alloca, std::move(piece)));
+    }
+  }
+  for (const Rewrite& rw : rewrites) {
+    replaceAndErase(rw.gep, pieces[rw.leaf]);
+  }
+  POSETRL_CHECK(!alloca->hasUses(), "split alloca still has uses");
+  alloca->eraseFromParent();
+  return true;
+}
+
+class SROAPass : public FunctionPass {
+ public:
+  std::string_view name() const override { return "sroa"; }
+
+ protected:
+  bool runOnFunction(Function& f) override {
+    bool changed = false;
+    std::vector<AllocaInst*> aggregates;
+    for (const auto& bb : f.blocks()) {
+      for (const auto& inst : bb->insts()) {
+        if (auto* a = dynCast<AllocaInst>(inst.get())) {
+          if (a->allocatedType()->isAggregate()) aggregates.push_back(a);
+        }
+      }
+    }
+    for (AllocaInst* a : aggregates) changed |= splitAggregateAlloca(f, a);
+    // LLVM's SROA also performs promotion of the (new and old) scalars.
+    changed |= promoteAllocas(f);
+    return changed;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> createMem2RegPass() {
+  return std::make_unique<Mem2RegPass>();
+}
+
+std::unique_ptr<Pass> createSROAPass() { return std::make_unique<SROAPass>(); }
+
+}  // namespace posetrl

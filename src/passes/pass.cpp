@@ -1,0 +1,150 @@
+#include "passes/pass.h"
+
+#include <functional>
+#include <map>
+
+#include "ir/function.h"
+#include "ir/module.h"
+#include "ir/verifier.h"
+#include "passes/all_passes.h"
+#include "support/error.h"
+#include "support/string_utils.h"
+
+namespace posetrl {
+
+bool FunctionPass::run(Module& module) {
+  bool changed = false;
+  for (auto it = module.functionsBegin(); it != module.functionsEnd(); ++it) {
+    Function& f = **it;
+    if (f.isDeclaration()) continue;
+    changed |= runOnFunction(f);
+  }
+  return changed;
+}
+
+namespace {
+
+using Factory = std::function<std::unique_ptr<Pass>()>;
+
+const std::map<std::string, Factory, std::less<>>& factoryTable() {
+  static const std::map<std::string, Factory, std::less<>> table = {
+      {"simplifycfg", createSimplifyCfgPass},
+      {"instsimplify", createInstSimplifyPass},
+      {"instcombine", createInstCombinePass},
+      {"reassociate", createReassociatePass},
+      {"speculative-execution", createSpeculativeExecutionPass},
+      {"jump-threading", createJumpThreadingPass},
+      {"correlated-propagation", createCorrelatedPropagationPass},
+      {"tailcallelim", createTailCallElimPass},
+      {"float2int", createFloat2IntPass},
+      {"div-rem-pairs", createDivRemPairsPass},
+      {"lower-expect", createLowerExpectPass},
+      {"lower-constant-intrinsics", createLowerConstantIntrinsicsPass},
+      {"alignment-from-assumptions", createAlignmentFromAssumptionsPass},
+      {"mem2reg", createMem2RegPass},
+      {"sroa", createSROAPass},
+      {"early-cse", createEarlyCSEPass},
+      {"early-cse-memssa", createEarlyCSEMemSSAPass},
+      {"gvn", createGVNPass},
+      {"dse", createDSEPass},
+      {"memcpyopt", createMemCpyOptPass},
+      {"mldst-motion", createMLSMPass},
+      {"dce", createDCEPass},
+      {"adce", createADCEPass},
+      {"bdce", createBDCEPass},
+      {"sccp", createSCCPPass},
+      {"ipsccp", createIPSCCPPass},
+      {"loop-simplify", createLoopSimplifyPass},
+      {"lcssa", createLCSSAPass},
+      {"licm", createLICMPass},
+      {"loop-rotate", createLoopRotatePass},
+      {"loop-unswitch", createLoopUnswitchPass},
+      {"loop-deletion", createLoopDeletionPass},
+      {"loop-unroll", createLoopUnrollPass},
+      {"loop-unroll-o3", createLoopUnrollO3Pass},
+      {"loop-unswitch-o3", createLoopUnswitchO3Pass},
+      {"inline-o3", createInlinerO3Pass},
+      {"indvars", createIndVarSimplifyPass},
+      {"loop-idiom", createLoopIdiomPass},
+      {"loop-distribute", createLoopDistributePass},
+      {"loop-vectorize", createLoopVectorizePass},
+      {"loop-load-elim", createLoopLoadElimPass},
+      {"loop-sink", createLoopSinkPass},
+      {"inline", createInlinerPass},
+      {"prune-eh", createPruneEHPass},
+      {"functionattrs", createFunctionAttrsPass},
+      {"rpo-functionattrs", createRPOFunctionAttrsPass},
+      {"attributor", createAttributorPass},
+      {"inferattrs", createInferAttrsPass},
+      {"forceattrs", createForceAttrsPass},
+      {"called-value-propagation", createCalledValuePropagationPass},
+      {"globalopt", createGlobalOptPass},
+      {"globaldce", createGlobalDCEPass},
+      {"deadargelim", createDeadArgElimPass},
+      {"strip-dead-prototypes", createStripDeadPrototypesPass},
+      {"constmerge", createConstMergePass},
+      {"elim-avail-extern", createElimAvailExternPass},
+      {"barrier", createBarrierPass},
+      {"ee-instrument", createEEInstrumentPass},
+  };
+  return table;
+}
+
+/// Alternate spellings seen in the paper's tables.
+std::string canonicalName(std::string_view name) {
+  while (!name.empty() && name.front() == '-') name.remove_prefix(1);
+  std::string n(name);
+  if (n == "alignmentfromassumptions") return "alignment-from-assumptions";
+  if (n == "early-cse-memssa" || n == "early-cse-mem-ssa") return n == "early-cse-mem-ssa" ? "early-cse-memssa" : n;
+  if (n == "licm") return "licm";
+  return n;
+}
+
+}  // namespace
+
+std::unique_ptr<Pass> createPass(std::string_view name) {
+  const std::string canon = canonicalName(name);
+  auto it = factoryTable().find(canon);
+  if (it == factoryTable().end()) return nullptr;
+  return it->second();
+}
+
+std::vector<std::string> allPassNames() {
+  std::vector<std::string> names;
+  for (const auto& [name, factory] : factoryTable()) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> parsePassSequence(std::string_view sequence,
+                                           bool strict) {
+  std::vector<std::string> out;
+  for (const std::string& token : splitString(sequence, ' ')) {
+    const std::string name = canonicalName(trimString(token));
+    if (name.empty()) continue;
+    if (factoryTable().count(name) == 0) {
+      POSETRL_CHECK(!strict, "unknown pass in sequence: ", name);
+      continue;
+    }
+    out.push_back(name);
+  }
+  return out;
+}
+
+bool runPassSequence(Module& module,
+                     const std::vector<std::string>& pass_names,
+                     bool verify_each) {
+  bool changed = false;
+  for (const std::string& name : pass_names) {
+    std::unique_ptr<Pass> pass = createPass(name);
+    POSETRL_CHECK(pass != nullptr, "unknown pass: ", name);
+    changed |= pass->run(module);
+    if (verify_each) {
+      const VerifyResult r = verifyModule(module);
+      POSETRL_CHECK(r.ok(), "IR broken after pass -", name, ":\n",
+                    r.message());
+    }
+  }
+  return changed;
+}
+
+}  // namespace posetrl

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file pass.h
+/// Pass interface and registry. Passes are keyed by the exact flag names
+/// LLVM-10's -Oz pipeline uses (Table I of the paper), so the Oz sequence,
+/// the manual sub-sequences (Table II) and the ODG sub-sequences (Table III)
+/// can be expressed as strings of those names.
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace posetrl {
+
+class Module;
+class Function;
+
+/// A transformation over a whole module.
+class Pass {
+ public:
+  virtual ~Pass() = default;
+
+  /// Flag name without the leading dash, e.g. "simplifycfg".
+  virtual std::string_view name() const = 0;
+
+  /// Runs the transformation; returns true when the IR changed.
+  virtual bool run(Module& module) = 0;
+};
+
+/// Convenience base for per-function transformations.
+class FunctionPass : public Pass {
+ public:
+  bool run(Module& module) final;
+
+ protected:
+  virtual bool runOnFunction(Function& f) = 0;
+};
+
+/// Creates the pass registered under \p name (aliases like
+/// "alignmentfromassumptions" vs "alignment-from-assumptions" both resolve);
+/// returns nullptr for unknown names.
+std::unique_ptr<Pass> createPass(std::string_view name);
+
+/// All canonical registered pass names.
+std::vector<std::string> allPassNames();
+
+/// Parses a pass-sequence string like "-simplifycfg -sroa -early-cse" into
+/// pass names (leading dashes optional). Aborts on unknown passes when
+/// \p strict, otherwise skips them.
+std::vector<std::string> parsePassSequence(std::string_view sequence,
+                                           bool strict = true);
+
+/// Runs \p pass_names over \p module in order; returns true if any changed
+/// the IR. With \p verify_each, runs the IR verifier after every pass and
+/// aborts with the offending pass name on failure (used by tests).
+bool runPassSequence(Module& module,
+                     const std::vector<std::string>& pass_names,
+                     bool verify_each = false);
+
+}  // namespace posetrl

@@ -1,0 +1,363 @@
+/// \file scalar_simplify.cpp
+/// Peephole passes: -instsimplify (fold-only), -instcombine (canonicalizing
+/// rewrites), and -reassociate (commutative chain re-association to expose
+/// constant folding).
+
+#include <algorithm>
+#include <vector>
+
+#include "ir/basic_block.h"
+#include "ir/function.h"
+#include "ir/instruction.h"
+#include "ir/module.h"
+#include "passes/all_passes.h"
+#include "passes/transform_utils.h"
+
+namespace posetrl {
+namespace {
+
+bool isPowerOfTwo(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+unsigned log2u(std::uint64_t v) {
+  unsigned n = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++n;
+  }
+  return n;
+}
+
+/// Applies simplifyInstruction to a fixpoint across the function.
+bool simplifyAll(Function& f) {
+  Module& m = *f.parent();
+  bool changed = false;
+  bool local = true;
+  while (local) {
+    local = false;
+    for (const auto& bb : f.blocks()) {
+      std::vector<Instruction*> insts;
+      for (const auto& inst : bb->insts()) insts.push_back(inst.get());
+      for (Instruction* inst : insts) {
+        if (Value* v = simplifyInstruction(inst, m)) {
+          replaceAndErase(inst, v);
+          changed = true;
+          local = true;
+        }
+      }
+    }
+  }
+  return changed;
+}
+
+class InstSimplifyPass : public FunctionPass {
+ public:
+  std::string_view name() const override { return "instsimplify"; }
+
+ protected:
+  bool runOnFunction(Function& f) override {
+    bool changed = simplifyAll(f);
+    changed |= deleteDeadInstructions(f);
+    return changed;
+  }
+};
+
+/// One canonicalizing rewrite of \p inst; returns true if anything changed.
+bool combineOnce(Instruction* inst, Module& m) {
+  // Canonicalize constants to the right-hand side of commutative ops.
+  if (inst->isCommutative() && inst->operand(0)->isConstant() &&
+      !inst->operand(1)->isConstant()) {
+    Value* l = inst->operand(0);
+    inst->setOperand(0, inst->operand(1));
+    inst->setOperand(1, l);
+    return true;
+  }
+  if (auto* cmp = dynCast<ICmpInst>(inst)) {
+    if (cmp->lhs()->isConstant() && !cmp->rhs()->isConstant()) {
+      Value* l = cmp->lhs();
+      cmp->setOperand(0, cmp->rhs());
+      cmp->setOperand(1, l);
+      cmp->setPred(ICmpInst::swapped(cmp->pred()));
+      return true;
+    }
+    // icmp eq/ne (sub x, y), 0  ->  icmp eq/ne x, y
+    if ((cmp->pred() == ICmpInst::Pred::EQ ||
+         cmp->pred() == ICmpInst::Pred::NE)) {
+      auto* rz = dynCast<ConstantInt>(cmp->rhs());
+      auto* sub = dynCast<Instruction>(cmp->lhs());
+      if (rz != nullptr && rz->isZero() && sub != nullptr &&
+          sub->opcode() == Opcode::Sub) {
+        cmp->setOperand(0, sub->operand(0));
+        cmp->setOperand(1, sub->operand(1));
+        return true;
+      }
+    }
+    return false;
+  }
+
+  auto* cr = dynCast<ConstantInt>(
+      inst->numOperands() == 2 ? inst->operand(1) : nullptr);
+  Type* t = inst->type();
+
+  switch (inst->opcode()) {
+    case Opcode::Mul:
+      if (cr != nullptr && cr->value() > 0 &&
+          isPowerOfTwo(static_cast<std::uint64_t>(cr->value()))) {
+        // x * 2^k -> x << k
+        auto* shl = new BinaryInst(
+            Opcode::Shl, t, inst->operand(0),
+            m.constantInt(t, log2u(static_cast<std::uint64_t>(cr->value()))),
+            inst->name());
+        inst->parent()->insertBefore(inst,
+                                     std::unique_ptr<Instruction>(shl));
+        replaceAndErase(inst, shl);
+        return true;
+      }
+      break;
+    case Opcode::UDiv:
+      if (cr != nullptr && isPowerOfTwo(cr->zextValue())) {
+        auto* shr = new BinaryInst(Opcode::LShr, t, inst->operand(0),
+                                   m.constantInt(t, log2u(cr->zextValue())),
+                                   inst->name());
+        inst->parent()->insertBefore(inst,
+                                     std::unique_ptr<Instruction>(shr));
+        replaceAndErase(inst, shr);
+        return true;
+      }
+      break;
+    case Opcode::URem:
+      if (cr != nullptr && isPowerOfTwo(cr->zextValue())) {
+        auto* mask = new BinaryInst(
+            Opcode::And, t, inst->operand(0),
+            m.constantInt(t, static_cast<std::int64_t>(cr->zextValue() - 1)),
+            inst->name());
+        inst->parent()->insertBefore(inst,
+                                     std::unique_ptr<Instruction>(mask));
+        replaceAndErase(inst, mask);
+        return true;
+      }
+      break;
+    case Opcode::Add:
+      if (inst->operand(0) == inst->operand(1)) {
+        auto* shl = new BinaryInst(Opcode::Shl, t, inst->operand(0),
+                                   m.constantInt(t, 1), inst->name());
+        inst->parent()->insertBefore(inst,
+                                     std::unique_ptr<Instruction>(shl));
+        replaceAndErase(inst, shl);
+        return true;
+      }
+      [[fallthrough]];
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor: {
+      // (x op c1) op c2 -> x op (c1 op c2)
+      if (cr == nullptr) break;
+      auto* inner = dynCast<Instruction>(inst->operand(0));
+      if (inner == nullptr || inner->opcode() != inst->opcode()) break;
+      auto* ci = dynCast<ConstantInt>(inner->operand(1));
+      if (ci == nullptr) break;
+      std::int64_t combined = 0;
+      switch (inst->opcode()) {
+        case Opcode::Add: combined = ci->value() + cr->value(); break;
+        case Opcode::And: combined = ci->value() & cr->value(); break;
+        case Opcode::Or: combined = ci->value() | cr->value(); break;
+        case Opcode::Xor: combined = ci->value() ^ cr->value(); break;
+        default: return false;
+      }
+      inst->setOperand(0, inner->operand(0));
+      inst->setOperand(1, m.constantInt(t, combined));
+      return true;
+    }
+    case Opcode::ZExt:
+    case Opcode::SExt: {
+      auto* inner = dynCast<Instruction>(inst->operand(0));
+      if (inner != nullptr && inner->opcode() == inst->opcode()) {
+        // ext(ext x) -> ext x (single wider extension).
+        inst->setOperand(0, inner->operand(0));
+        return true;
+      }
+      break;
+    }
+    case Opcode::FAdd:
+    case Opcode::FSub: {
+      auto* cf = dynCast<ConstantFloat>(inst->operand(1));
+      if (cf != nullptr && cf->value() == 0.0) {
+        replaceAndErase(inst, inst->operand(0));
+        return true;
+      }
+      break;
+    }
+    case Opcode::FMul:
+    case Opcode::FDiv: {
+      auto* cf = dynCast<ConstantFloat>(inst->operand(1));
+      if (cf != nullptr && cf->value() == 1.0) {
+        replaceAndErase(inst, inst->operand(0));
+        return true;
+      }
+      break;
+    }
+    case Opcode::CondBr: {
+      // condbr (xor c, true), A, B -> condbr c, B, A
+      auto* cbr = static_cast<CondBrInst*>(inst);
+      auto* x = dynCast<Instruction>(cbr->condition());
+      if (x != nullptr && x->opcode() == Opcode::Xor) {
+        auto* c1 = dynCast<ConstantInt>(x->operand(1));
+        if (c1 != nullptr && c1->isOne() && x->type()->intBits() == 1) {
+          BasicBlock* then_bb = cbr->thenBlock();
+          BasicBlock* else_bb = cbr->elseBlock();
+          cbr->setOperand(0, x->operand(0));
+          cbr->setSuccessor(0, else_bb);
+          cbr->setSuccessor(1, then_bb);
+          return true;
+        }
+      }
+      break;
+    }
+    case Opcode::Select: {
+      // select (xor c, true), a, b -> select c, b, a
+      auto* sel = static_cast<SelectInst*>(inst);
+      auto* x = dynCast<Instruction>(sel->condition());
+      if (x != nullptr && x->opcode() == Opcode::Xor) {
+        auto* c1 = dynCast<ConstantInt>(x->operand(1));
+        if (c1 != nullptr && c1->isOne() && x->type()->intBits() == 1) {
+          Value* tv = sel->trueValue();
+          Value* fv = sel->falseValue();
+          sel->setOperand(0, x->operand(0));
+          sel->setOperand(1, fv);
+          sel->setOperand(2, tv);
+          return true;
+        }
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return false;
+}
+
+class InstCombinePass : public FunctionPass {
+ public:
+  std::string_view name() const override { return "instcombine"; }
+
+ protected:
+  bool runOnFunction(Function& f) override {
+    Module& m = *f.parent();
+    bool changed = false;
+    bool local = true;
+    while (local) {
+      local = simplifyAll(f);
+      for (const auto& bb : f.blocks()) {
+        std::vector<Instruction*> insts;
+        for (const auto& inst : bb->insts()) insts.push_back(inst.get());
+        for (Instruction* inst : insts) {
+          local |= combineOnce(inst, m);
+        }
+      }
+      changed |= local;
+    }
+    changed |= deleteDeadInstructions(f);
+    return changed;
+  }
+};
+
+/// Re-associates chains of a commutative, associative opcode so constants
+/// cluster together: ((x + 1) + y) + 2  ->  x + y + (1 + 2).
+class ReassociatePass : public FunctionPass {
+ public:
+  std::string_view name() const override { return "reassociate"; }
+
+ protected:
+  bool runOnFunction(Function& f) override {
+    Module& m = *f.parent();
+    bool changed = false;
+    for (const auto& bb : f.blocks()) {
+      std::vector<Instruction*> insts;
+      for (const auto& inst : bb->insts()) insts.push_back(inst.get());
+      for (Instruction* inst : insts) {
+        changed |= reassociate(inst, m);
+      }
+    }
+    changed |= deleteDeadInstructions(f);
+    return changed;
+  }
+
+ private:
+  static bool isReassociable(Opcode op) {
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Mul:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  /// Collects the flattened leaf operands of a same-opcode tree rooted at
+  /// \p inst, restricted to single-use internal nodes in the same block.
+  void collectLeaves(Instruction* root, Instruction* node,
+                     std::vector<Value*>& leaves) {
+    for (std::size_t i = 0; i < 2; ++i) {
+      Value* op = node->operand(i);
+      auto* op_inst = dynCast<Instruction>(op);
+      if (op_inst != nullptr && op_inst->opcode() == root->opcode() &&
+          op_inst->numUses() == 1 && op_inst->parent() == root->parent()) {
+        collectLeaves(root, op_inst, leaves);
+      } else {
+        leaves.push_back(op);
+      }
+    }
+  }
+
+  bool reassociate(Instruction* inst, Module& m) {
+    if (!isReassociable(inst->opcode())) return false;
+    std::vector<Value*> leaves;
+    collectLeaves(inst, inst, leaves);
+    if (leaves.size() < 3) return false;
+    // Count constants; only rebuild when at least two can be merged.
+    std::size_t n_const = 0;
+    for (Value* v : leaves) {
+      if (isa<ConstantInt>(v)) ++n_const;
+    }
+    if (n_const < 2) return false;
+    // Partition: non-constants first, constants last (folded by
+    // simplifyInstruction on a later sweep or right here).
+    std::stable_partition(leaves.begin(), leaves.end(), [](Value* v) {
+      return !isa<ConstantInt>(v);
+    });
+    // Rebuild a left-leaning chain before `inst`.
+    Value* acc = leaves[0];
+    for (std::size_t i = 1; i < leaves.size(); ++i) {
+      auto* node =
+          new BinaryInst(inst->opcode(), inst->type(), acc, leaves[i],
+                         inst->function()->nextValueName());
+      inst->parent()->insertBefore(inst, std::unique_ptr<Instruction>(node));
+      if (Value* s = simplifyInstruction(node, m)) {
+        node->eraseFromParent();
+        acc = s;
+      } else {
+        acc = node;
+      }
+    }
+    replaceAndErase(inst, acc);
+    return true;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> createInstSimplifyPass() {
+  return std::make_unique<InstSimplifyPass>();
+}
+
+std::unique_ptr<Pass> createInstCombinePass() {
+  return std::make_unique<InstCombinePass>();
+}
+
+std::unique_ptr<Pass> createReassociatePass() {
+  return std::make_unique<ReassociatePass>();
+}
+
+}  // namespace posetrl

@@ -1,0 +1,411 @@
+/// \file sccp.cpp
+/// -sccp and -ipsccp analogs. Sparse conditional constant propagation with
+/// the classic three-level lattice (unknown / constant / overdefined) over
+/// executable edges; the interprocedural variant additionally propagates
+/// uniform constant arguments into internal, non-address-taken functions and
+/// folds calls whose callee provably returns a constant.
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "analysis/call_graph.h"
+#include "ir/basic_block.h"
+#include "ir/function.h"
+#include "ir/instruction.h"
+#include "ir/module.h"
+#include "passes/all_passes.h"
+#include "passes/transform_utils.h"
+
+namespace posetrl {
+namespace {
+
+/// Lattice cell.
+struct Cell {
+  enum class State { Unknown, Constant, Over } state = State::Unknown;
+  Value* constant = nullptr;  // ConstantInt/ConstantFloat when Constant.
+};
+
+/// Intraprocedural SCCP over one function. Produces per-instruction lattice
+/// values and the executable block set; `apply` rewrites the IR.
+class SccpSolver {
+ public:
+  SccpSolver(Function& f, Module& m) : f_(f), m_(m) {}
+
+  /// Seeds argument lattice cells (used by ipsccp); unseeded arguments are
+  /// overdefined.
+  void seedArgument(Argument* arg, Value* constant) {
+    Cell c;
+    if (constant != nullptr) {
+      c.state = Cell::State::Constant;
+      c.constant = constant;
+    } else {
+      c.state = Cell::State::Over;
+    }
+    cells_[arg] = c;
+  }
+
+  void solve() {
+    for (const auto& a : f_.args()) {
+      if (!cells_.count(a.get())) {
+        cells_[a.get()] = {Cell::State::Over, nullptr};
+      }
+    }
+    markExecutable(f_.entry());
+    while (!block_work_.empty() || !inst_work_.empty()) {
+      while (!inst_work_.empty()) {
+        const Instruction* inst = inst_work_.back();
+        inst_work_.pop_back();
+        visit(inst);
+      }
+      while (!block_work_.empty()) {
+        BasicBlock* bb = block_work_.back();
+        block_work_.pop_back();
+        for (const auto& inst : bb->insts()) visit(inst.get());
+      }
+    }
+  }
+
+  bool isExecutable(BasicBlock* bb) const { return executable_.count(bb); }
+
+  /// Lattice value of \p v (constants are their own value).
+  Cell cellOf(const Value* v) const {
+    if (v->isConstant()) {
+      return {Cell::State::Constant, const_cast<Value*>(v)};
+    }
+    auto it = cells_.find(v);
+    if (it == cells_.end()) return {Cell::State::Unknown, nullptr};
+    return it->second;
+  }
+
+  /// Lattice value of the function return (meet over executable rets).
+  Cell returnCell() const { return return_cell_; }
+
+  /// Rewrites the IR: replaces constant instructions, folds branches on
+  /// constants. Returns true on change.
+  bool apply() {
+    bool changed = false;
+    for (const auto& bb : f_.blocks()) {
+      if (!executable_.count(bb.get())) continue;
+      std::vector<Instruction*> insts;
+      for (const auto& inst : bb->insts()) insts.push_back(inst.get());
+      for (Instruction* inst : insts) {
+        if (inst->type()->isVoid() || inst->isTerminator()) continue;
+        const Cell c = cellOf(inst);
+        if (c.state == Cell::State::Constant && c.constant != inst &&
+            inst->isRemovableIfUnused()) {
+          replaceAndErase(inst, c.constant);
+          changed = true;
+        }
+      }
+    }
+    // Fold branches whose condition became constant; unreachable blocks are
+    // cleaned by the follow-up sweep.
+    for (const auto& bb : f_.blocks()) {
+      if (!executable_.count(bb.get())) continue;
+      Instruction* term = bb->terminator();
+      BasicBlock* live = nullptr;
+      std::vector<BasicBlock*> dropped;
+      if (auto* cbr = dynCast<CondBrInst>(term)) {
+        if (auto* c = dynCast<ConstantInt>(cbr->condition())) {
+          live = c->isZero() ? cbr->elseBlock() : cbr->thenBlock();
+          dropped.push_back(c->isZero() ? cbr->thenBlock()
+                                        : cbr->elseBlock());
+        }
+      } else if (auto* sw = dynCast<SwitchInst>(term)) {
+        if (auto* c = dynCast<ConstantInt>(sw->condition())) {
+          live = sw->defaultBlock();
+          for (std::size_t i = 0; i < sw->numCases(); ++i) {
+            if (sw->caseValue(i)->value() == c->value()) {
+              live = sw->caseBlock(i);
+              break;
+            }
+          }
+          dropped.push_back(sw->defaultBlock());
+          for (std::size_t i = 0; i < sw->numCases(); ++i) {
+            dropped.push_back(sw->caseBlock(i));
+          }
+        }
+      }
+      if (live == nullptr) continue;
+      auto* br = new BrInst(m_.types().voidTy(), live);
+      bb->insertBefore(term, std::unique_ptr<Instruction>(br));
+      term->eraseFromParent();
+      for (BasicBlock* dead : dropped) {
+        if (dead == live) continue;
+        for (PhiInst* phi : dead->phis()) {
+          if (phi->indexOfBlock(bb.get()) != static_cast<std::size_t>(-1)) {
+            phi->removeIncoming(bb.get());
+          }
+        }
+      }
+      changed = true;
+    }
+    changed |= removeUnreachableBlocks(f_);
+    changed |= foldTrivialPhis(f_);
+    changed |= deleteDeadInstructions(f_);
+    return changed;
+  }
+
+ private:
+  void markExecutable(BasicBlock* bb) {
+    if (executable_.insert(bb).second) {
+      block_work_.push_back(bb);
+      // New edges may refine phis in bb's successors.
+      for (BasicBlock* succ : bb->successors()) {
+        for (PhiInst* phi : succ->phis()) inst_work_.push_back(phi);
+      }
+    }
+  }
+
+  void setCell(const Instruction* inst, Cell next) {
+    Cell& cur = cells_[inst];
+    // Lattice can only lower: Unknown -> Constant -> Over.
+    if (cur.state == Cell::State::Over) return;
+    if (next.state == Cell::State::Unknown) return;
+    if (cur.state == Cell::State::Constant &&
+        next.state == Cell::State::Constant &&
+        cur.constant != next.constant) {
+      next = {Cell::State::Over, nullptr};
+    }
+    if (cur.state == next.state && cur.constant == next.constant) return;
+    cur = next;
+    for (Instruction* user : inst->users()) inst_work_.push_back(user);
+  }
+
+  static Cell meet(const Cell& a, const Cell& b) {
+    if (a.state == Cell::State::Unknown) return b;
+    if (b.state == Cell::State::Unknown) return a;
+    if (a.state == Cell::State::Constant &&
+        b.state == Cell::State::Constant && a.constant == b.constant) {
+      return a;
+    }
+    return {Cell::State::Over, nullptr};
+  }
+
+  void visit(const Instruction* inst) {
+    if (!executable_.count(inst->parent())) return;
+    switch (inst->opcode()) {
+      case Opcode::Phi: {
+        const auto* phi = static_cast<const PhiInst*>(inst);
+        Cell acc;
+        for (std::size_t i = 0; i < phi->numIncoming(); ++i) {
+          if (!executable_.count(phi->incomingBlock(i))) continue;
+          acc = meet(acc, cellOf(phi->incomingValue(i)));
+          if (acc.state == Cell::State::Over) break;
+        }
+        setCell(inst, acc);
+        return;
+      }
+      case Opcode::Br:
+        markExecutable(inst->successor(0));
+        return;
+      case Opcode::CondBr: {
+        const auto* cbr = static_cast<const CondBrInst*>(inst);
+        const Cell c = cellOf(cbr->condition());
+        if (c.state == Cell::State::Constant) {
+          auto* ci = dynCast<ConstantInt>(c.constant);
+          if (ci != nullptr) {
+            markExecutable(ci->isZero() ? cbr->elseBlock()
+                                        : cbr->thenBlock());
+            return;
+          }
+        }
+        if (c.state == Cell::State::Over) {
+          markExecutable(cbr->thenBlock());
+          markExecutable(cbr->elseBlock());
+        }
+        return;
+      }
+      case Opcode::Switch: {
+        const auto* sw = static_cast<const SwitchInst*>(inst);
+        const Cell c = cellOf(sw->condition());
+        if (c.state == Cell::State::Constant) {
+          auto* ci = dynCast<ConstantInt>(c.constant);
+          if (ci != nullptr) {
+            BasicBlock* target = sw->defaultBlock();
+            for (std::size_t i = 0; i < sw->numCases(); ++i) {
+              if (sw->caseValue(i)->value() == ci->value()) {
+                target = sw->caseBlock(i);
+                break;
+              }
+            }
+            markExecutable(target);
+            return;
+          }
+        }
+        if (c.state == Cell::State::Over) {
+          markExecutable(sw->defaultBlock());
+          for (std::size_t i = 0; i < sw->numCases(); ++i) {
+            markExecutable(sw->caseBlock(i));
+          }
+        }
+        return;
+      }
+      case Opcode::Ret: {
+        const auto* ret = static_cast<const RetInst*>(inst);
+        if (ret->hasValue()) {
+          return_cell_ = meet(return_cell_, cellOf(ret->value()));
+        }
+        return;
+      }
+      case Opcode::Load:
+      case Opcode::Alloca:
+      case Opcode::Gep:
+      case Opcode::Call:
+      case Opcode::Store:
+      case Opcode::Unreachable:
+        if (!inst->type()->isVoid()) {
+          setCell(inst, {Cell::State::Over, nullptr});
+        }
+        return;
+      default: {
+        // Pure data instruction: fold when all operands constant.
+        bool any_unknown = false;
+        for (const Value* op : inst->operands()) {
+          const Cell c = cellOf(op);
+          if (c.state == Cell::State::Unknown) any_unknown = true;
+          if (c.state == Cell::State::Over) {
+            setCell(inst, {Cell::State::Over, nullptr});
+            return;
+          }
+        }
+        if (any_unknown) return;  // Wait for operands to resolve.
+        // Clone with constant operands and try to fold.
+        Instruction* probe = inst->clone();
+        for (std::size_t i = 0; i < probe->numOperands(); ++i) {
+          probe->setOperand(i, cellOf(inst->operand(i)).constant);
+        }
+        Value* folded = simplifyInstruction(probe, m_);
+        probe->dropAllOperands();
+        delete probe;
+        if (folded != nullptr && folded->isConstant()) {
+          setCell(inst, {Cell::State::Constant, folded});
+        } else {
+          setCell(inst, {Cell::State::Over, nullptr});
+        }
+        return;
+      }
+    }
+  }
+
+  Function& f_;
+  Module& m_;
+  std::map<const Value*, Cell> cells_;
+  std::set<BasicBlock*> executable_;
+  std::vector<BasicBlock*> block_work_;
+  std::vector<const Instruction*> inst_work_;
+  Cell return_cell_;
+};
+
+class SCCPPass : public FunctionPass {
+ public:
+  std::string_view name() const override { return "sccp"; }
+
+ protected:
+  bool runOnFunction(Function& f) override {
+    Module& m = *f.parent();
+    SccpSolver solver(f, m);
+    solver.solve();
+    return solver.apply();
+  }
+};
+
+class IPSCCPPass : public Pass {
+ public:
+  std::string_view name() const override { return "ipsccp"; }
+
+  bool run(Module& m) override {
+    bool changed = false;
+    CallGraph cg(m);
+
+    // 1. For internal, non-address-taken functions: find arguments that are
+    //    the same constant at every direct call site.
+    std::map<Function*, std::vector<Value*>> arg_constants;
+    for (auto it = m.functionsBegin(); it != m.functionsEnd(); ++it) {
+      Function* f = it->get();
+      if (f->isDeclaration() || !f->isInternal() || cg.addressTaken(f)) {
+        continue;
+      }
+      std::vector<CallInst*> sites = callSites(m, f);
+      if (sites.empty()) continue;
+      std::vector<Value*> consts(f->numArgs(), nullptr);
+      for (std::size_t i = 0; i < f->numArgs(); ++i) {
+        Value* uniform = nullptr;
+        bool ok = true;
+        for (CallInst* call : sites) {
+          Value* a = call->arg(i);
+          if (!a->isConstant()) {
+            ok = false;
+            break;
+          }
+          if (uniform == nullptr) {
+            uniform = a;
+          } else if (uniform != a) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) consts[i] = uniform;
+      }
+      arg_constants[f] = std::move(consts);
+    }
+
+    // 2. Solve each function with seeded arguments; rewrite bodies and
+    //    replace call results when returns are constant.
+    for (auto it = m.functionsBegin(); it != m.functionsEnd(); ++it) {
+      Function* f = it->get();
+      if (f->isDeclaration()) continue;
+      SccpSolver solver(*f, m);
+      auto ac = arg_constants.find(f);
+      if (ac != arg_constants.end()) {
+        for (std::size_t i = 0; i < f->numArgs(); ++i) {
+          solver.seedArgument(f->arg(i), ac->second[i]);
+        }
+      }
+      solver.solve();
+      // Substitute provably-constant arguments inside the body.
+      if (ac != arg_constants.end()) {
+        for (std::size_t i = 0; i < f->numArgs(); ++i) {
+          if (ac->second[i] != nullptr && f->arg(i)->hasUses()) {
+            f->arg(i)->replaceAllUsesWith(ac->second[i]);
+            changed = true;
+          }
+        }
+      }
+      const Cell ret = solver.returnCell();
+      changed |= solver.apply();
+      if (ret.state == Cell::State::Constant && f->isInternal() &&
+          !cg.addressTaken(f)) {
+        for (CallInst* call : callSites(m, f)) {
+          if (!call->type()->isVoid() && call->hasUses()) {
+            call->replaceAllUsesWith(ret.constant);
+            changed = true;
+          }
+        }
+      }
+    }
+    return changed;
+  }
+
+ private:
+  static std::vector<CallInst*> callSites(Module& m, Function* f) {
+    std::vector<CallInst*> sites;
+    for (Instruction* user : f->users()) {
+      auto* call = dynCast<CallInst>(user);
+      if (call != nullptr && call->calledFunction() == f) sites.push_back(call);
+    }
+    (void)m;
+    return sites;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> createSCCPPass() { return std::make_unique<SCCPPass>(); }
+
+std::unique_ptr<Pass> createIPSCCPPass() {
+  return std::make_unique<IPSCCPPass>();
+}
+
+}  // namespace posetrl

@@ -1,0 +1,222 @@
+/// \file simplifycfg.cpp
+/// CFG cleanup analog of LLVM's -simplifycfg: folds constant branches,
+/// removes unreachable blocks, merges straight-line block chains, bypasses
+/// empty forwarding blocks, and simplifies degenerate switches.
+
+#include <vector>
+
+#include "ir/basic_block.h"
+#include "ir/function.h"
+#include "ir/instruction.h"
+#include "ir/ir_builder.h"
+#include "ir/module.h"
+#include "passes/all_passes.h"
+#include "passes/transform_utils.h"
+
+namespace posetrl {
+namespace {
+
+/// Rewrites \p pred's terminator edge set after one of its conditional
+/// targets was proven dead: successor phis of the dropped target lose the
+/// incoming edge from \p pred unless another edge remains.
+void fixPhisAfterEdgeRemoval(BasicBlock* pred, BasicBlock* dropped) {
+  // Does pred still branch to `dropped`?
+  Instruction* term = pred->terminator();
+  bool still_edge = false;
+  if (term != nullptr) {
+    for (std::size_t i = 0; i < term->numSuccessors(); ++i) {
+      if (term->successor(i) == dropped) still_edge = true;
+    }
+  }
+  if (still_edge) return;
+  for (PhiInst* phi : dropped->phis()) {
+    if (phi->indexOfBlock(pred) != static_cast<std::size_t>(-1)) {
+      phi->removeIncoming(pred);
+    }
+  }
+}
+
+/// condbr const/identical-successor folding and switch simplification.
+bool foldBranches(Function& f) {
+  Module* m = f.parent();
+  bool changed = false;
+  for (const auto& bb : f.blocks()) {
+    Instruction* term = bb->terminator();
+    if (term == nullptr) continue;
+    if (auto* cbr = dynCast<CondBrInst>(term)) {
+      BasicBlock* then_bb = cbr->thenBlock();
+      BasicBlock* else_bb = cbr->elseBlock();
+      BasicBlock* target = nullptr;
+      BasicBlock* dead = nullptr;
+      if (auto* c = dynCast<ConstantInt>(cbr->condition())) {
+        target = c->isZero() ? else_bb : then_bb;
+        dead = c->isZero() ? then_bb : else_bb;
+      } else if (then_bb == else_bb) {
+        target = then_bb;
+      }
+      if (target != nullptr) {
+        cbr->eraseFromParent();
+        IRBuilder b(m);
+        b.setInsertPoint(bb.get());
+        b.br(target);
+        if (dead != nullptr && dead != target) {
+          fixPhisAfterEdgeRemoval(bb.get(), dead);
+        }
+        changed = true;
+      }
+      continue;
+    }
+    if (auto* sw = dynCast<SwitchInst>(term)) {
+      // Constant scrutinee: pick the target directly.
+      if (auto* c = dynCast<ConstantInt>(sw->condition())) {
+        BasicBlock* target = sw->defaultBlock();
+        for (std::size_t i = 0; i < sw->numCases(); ++i) {
+          if (sw->caseValue(i)->value() == c->value()) {
+            target = sw->caseBlock(i);
+            break;
+          }
+        }
+        std::vector<BasicBlock*> all_targets{sw->defaultBlock()};
+        for (std::size_t i = 0; i < sw->numCases(); ++i) {
+          all_targets.push_back(sw->caseBlock(i));
+        }
+        sw->eraseFromParent();
+        IRBuilder b(m);
+        b.setInsertPoint(bb.get());
+        b.br(target);
+        for (BasicBlock* t : all_targets) {
+          if (t != target) fixPhisAfterEdgeRemoval(bb.get(), t);
+        }
+        changed = true;
+        continue;
+      }
+      // All destinations identical: plain branch.
+      bool uniform = true;
+      for (std::size_t i = 0; i < sw->numCases(); ++i) {
+        if (sw->caseBlock(i) != sw->defaultBlock()) uniform = false;
+      }
+      if (uniform) {
+        BasicBlock* target = sw->defaultBlock();
+        sw->eraseFromParent();
+        IRBuilder b(m);
+        b.setInsertPoint(bb.get());
+        b.br(target);
+        changed = true;
+        continue;
+      }
+      // Cases that go to the default block are redundant.
+      for (std::size_t i = sw->numCases(); i-- > 0;) {
+        if (sw->caseBlock(i) == sw->defaultBlock()) {
+          sw->removeCase(i);
+          changed = true;
+        }
+      }
+    }
+  }
+  return changed;
+}
+
+/// Bypasses blocks that contain only an unconditional branch.
+bool removeForwardingBlocks(Function& f) {
+  bool changed = false;
+  std::vector<BasicBlock*> candidates;
+  for (const auto& bb : f.blocks()) {
+    if (bb.get() == f.entry()) continue;
+    if (bb->size() != 1) continue;
+    Instruction* term = bb->terminator();
+    if (term == nullptr || term->opcode() != Opcode::Br) continue;
+    BasicBlock* target = term->successor(0);
+    if (target == bb.get()) continue;
+    candidates.push_back(bb.get());
+  }
+  for (BasicBlock* bb : candidates) {
+    BasicBlock* target = bb->terminator()->successor(0);
+    const auto preds = bb->predecessors();
+    if (preds.empty()) continue;  // Unreachable; handled elsewhere.
+    // Legality: for any pred P that is already a predecessor of target, the
+    // phi values flowing from P and from bb must agree.
+    bool legal = true;
+    for (PhiInst* phi : target->phis()) {
+      Value* via_bb = phi->incomingForBlock(bb);
+      for (BasicBlock* p : preds) {
+        const std::size_t pidx = phi->indexOfBlock(p);
+        if (pidx != static_cast<std::size_t>(-1) &&
+            phi->incomingValue(pidx) != via_bb) {
+          legal = false;
+        }
+        // Phi values defined as the bypassed block's phis can't be remapped
+        // (we have none: bb has size 1), but a value defined elsewhere must
+        // dominate the new edges; conservatively require non-instruction or
+        // dominance via pred — here we only allow when via_bb is not defined
+        // in bb (always true, bb has no defs).
+      }
+    }
+    if (!legal) continue;
+    for (PhiInst* phi : target->phis()) {
+      Value* via_bb = phi->incomingForBlock(bb);
+      phi->removeIncoming(bb);
+      for (BasicBlock* p : preds) {
+        if (phi->indexOfBlock(p) == static_cast<std::size_t>(-1)) {
+          phi->addIncoming(via_bb, p);
+        }
+      }
+    }
+    // Redirect predecessors.
+    for (BasicBlock* p : preds) {
+      Instruction* pterm = p->terminator();
+      for (std::size_t i = 0; i < pterm->numSuccessors(); ++i) {
+        if (pterm->successor(i) == bb) pterm->setSuccessor(i, target);
+      }
+    }
+    // bb is now unreachable; removeUnreachableBlocks will collect it.
+    changed = true;
+  }
+  return changed;
+}
+
+bool mergeChains(Function& f) {
+  bool changed = true;
+  bool any = false;
+  while (changed) {
+    changed = false;
+    for (const auto& bb : f.blocks()) {
+      if (bb.get() == f.entry()) continue;
+      if (mergeBlockIntoPredecessor(bb.get())) {
+        changed = true;
+        any = true;
+        break;  // Iterator invalidated.
+      }
+    }
+  }
+  return any;
+}
+
+class SimplifyCfgPass : public FunctionPass {
+ public:
+  std::string_view name() const override { return "simplifycfg"; }
+
+ protected:
+  bool runOnFunction(Function& f) override {
+    bool changed = false;
+    bool local = true;
+    while (local) {
+      local = false;
+      local |= foldBranches(f);
+      local |= removeUnreachableBlocks(f);
+      local |= foldTrivialPhis(f);
+      local |= removeForwardingBlocks(f);
+      local |= removeUnreachableBlocks(f);
+      local |= mergeChains(f);
+      changed |= local;
+    }
+    return changed;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> createSimplifyCfgPass() {
+  return std::make_unique<SimplifyCfgPass>();
+}
+
+}  // namespace posetrl

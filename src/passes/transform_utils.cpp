@@ -1,0 +1,382 @@
+#include "passes/transform_utils.h"
+
+#include <set>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "ir/basic_block.h"
+#include "ir/function.h"
+#include "ir/instruction.h"
+#include "ir/ir_builder.h"
+#include "ir/module.h"
+#include "support/error.h"
+
+namespace posetrl {
+
+bool deleteDeadInstructions(Function& f) {
+  bool changed = false;
+  bool local_change = true;
+  while (local_change) {
+    local_change = false;
+    for (const auto& bb : f.blocks()) {
+      // Collect first: erasing invalidates iteration.
+      std::vector<Instruction*> dead;
+      for (const auto& inst : bb->insts()) {
+        if (!inst->hasUses() && inst->isRemovableIfUnused()) {
+          dead.push_back(inst.get());
+        }
+      }
+      for (Instruction* inst : dead) {
+        inst->eraseFromParent();
+        local_change = true;
+        changed = true;
+      }
+    }
+  }
+  return changed;
+}
+
+void replaceAndErase(Instruction* inst, Value* replacement) {
+  inst->replaceAllUsesWith(replacement);
+  inst->eraseFromParent();
+}
+
+bool removeUnreachableBlocks(Function& f) {
+  if (f.isDeclaration()) return false;
+  std::set<BasicBlock*> reachable;
+  for (BasicBlock* b : reachableBlocks(f)) reachable.insert(b);
+  std::vector<BasicBlock*> dead;
+  for (const auto& bb : f.blocks()) {
+    if (!reachable.count(bb.get())) dead.push_back(bb.get());
+  }
+  if (dead.empty()) return false;
+  // 1. Remove incoming phi edges from dead predecessors (terminators must
+  //    still be intact here).
+  for (BasicBlock* bb : dead) bb->removeFromSuccessorPhis();
+  // 2. Drop all operand references held by dead code.
+  for (BasicBlock* bb : dead) {
+    for (const auto& inst : bb->insts()) inst->dropAllOperands();
+  }
+  // 3. Defensively detach any remaining uses (cannot occur in verified IR).
+  Module* m = f.parent();
+  for (BasicBlock* bb : dead) {
+    for (const auto& inst : bb->insts()) {
+      if (inst->hasUses()) {
+        inst->replaceAllUsesWith(m->undef(inst->type()));
+      }
+    }
+  }
+  for (BasicBlock* bb : dead) f.eraseBlock(bb);
+  return true;
+}
+
+namespace {
+
+/// Evaluates an integer binary op over canonical constants; returns false
+/// when the operation cannot be folded (division by zero / overflow).
+bool foldIntBinary(Opcode op, std::int64_t a, std::int64_t b, unsigned bits,
+                   std::int64_t& out) {
+  const auto zext = [bits](std::int64_t v) {
+    return bits == 64 ? static_cast<std::uint64_t>(v)
+                      : static_cast<std::uint64_t>(v) & ((1ull << bits) - 1);
+  };
+  switch (op) {
+    case Opcode::Add: out = a + b; return true;
+    case Opcode::Sub: out = a - b; return true;
+    case Opcode::Mul: out = a * b; return true;
+    case Opcode::SDiv:
+      if (b == 0 || (a == INT64_MIN && b == -1)) return false;
+      out = a / b;
+      return true;
+    case Opcode::UDiv:
+      if (b == 0) return false;
+      out = static_cast<std::int64_t>(zext(a) / zext(b));
+      return true;
+    case Opcode::SRem:
+      if (b == 0 || (a == INT64_MIN && b == -1)) return false;
+      out = a % b;
+      return true;
+    case Opcode::URem:
+      if (b == 0) return false;
+      out = static_cast<std::int64_t>(zext(a) % zext(b));
+      return true;
+    case Opcode::Shl:
+      out = static_cast<std::int64_t>(zext(a) << (zext(b) % bits));
+      return true;
+    case Opcode::LShr:
+      out = static_cast<std::int64_t>(zext(a) >> (zext(b) % bits));
+      return true;
+    case Opcode::AShr:
+      out = a >> (zext(b) % bits);
+      return true;
+    case Opcode::And: out = a & b; return true;
+    case Opcode::Or: out = a | b; return true;
+    case Opcode::Xor: out = a ^ b; return true;
+    default: return false;
+  }
+}
+
+Value* simplifyIntBinary(Instruction* inst, Module& m) {
+  Value* lhs = inst->operand(0);
+  Value* rhs = inst->operand(1);
+  auto* cl = dynCast<ConstantInt>(lhs);
+  auto* cr = dynCast<ConstantInt>(rhs);
+  Type* t = inst->type();
+
+  if (cl != nullptr && cr != nullptr) {
+    std::int64_t out = 0;
+    if (foldIntBinary(inst->opcode(), cl->value(), cr->value(), t->intBits(),
+                      out)) {
+      return m.constantInt(t, out);
+    }
+    return nullptr;
+  }
+
+  switch (inst->opcode()) {
+    case Opcode::Add:
+      if (cr != nullptr && cr->isZero()) return lhs;
+      if (cl != nullptr && cl->isZero()) return rhs;
+      break;
+    case Opcode::Sub:
+      if (cr != nullptr && cr->isZero()) return lhs;
+      if (lhs == rhs) return m.constantInt(t, 0);
+      break;
+    case Opcode::Mul:
+      if (cr != nullptr && cr->isOne()) return lhs;
+      if (cl != nullptr && cl->isOne()) return rhs;
+      if ((cr != nullptr && cr->isZero()) || (cl != nullptr && cl->isZero())) {
+        return m.constantInt(t, 0);
+      }
+      break;
+    case Opcode::SDiv:
+    case Opcode::UDiv:
+      if (cr != nullptr && cr->isOne()) return lhs;
+      break;
+    case Opcode::SRem:
+    case Opcode::URem:
+      if (cr != nullptr && cr->isOne()) return m.constantInt(t, 0);
+      break;
+    case Opcode::Shl:
+    case Opcode::LShr:
+    case Opcode::AShr:
+      if (cr != nullptr && cr->isZero()) return lhs;
+      if (cl != nullptr && cl->isZero()) return m.constantInt(t, 0);
+      break;
+    case Opcode::And:
+      if (lhs == rhs) return lhs;
+      if ((cr != nullptr && cr->isZero()) || (cl != nullptr && cl->isZero())) {
+        return m.constantInt(t, 0);
+      }
+      if (cr != nullptr && cr->isAllOnes()) return lhs;
+      if (cl != nullptr && cl->isAllOnes()) return rhs;
+      break;
+    case Opcode::Or:
+      if (lhs == rhs) return lhs;
+      if (cr != nullptr && cr->isZero()) return lhs;
+      if (cl != nullptr && cl->isZero()) return rhs;
+      if (cr != nullptr && cr->isAllOnes()) return rhs;
+      if (cl != nullptr && cl->isAllOnes()) return lhs;
+      break;
+    case Opcode::Xor:
+      if (lhs == rhs) return m.constantInt(t, 0);
+      if (cr != nullptr && cr->isZero()) return lhs;
+      if (cl != nullptr && cl->isZero()) return rhs;
+      break;
+    default:
+      break;
+  }
+  return nullptr;
+}
+
+Value* simplifyFloatBinary(Instruction* inst, Module& m) {
+  auto* cl = dynCast<ConstantFloat>(inst->operand(0));
+  auto* cr = dynCast<ConstantFloat>(inst->operand(1));
+  if (cl == nullptr || cr == nullptr) return nullptr;
+  switch (inst->opcode()) {
+    case Opcode::FAdd: return m.constantFloat(cl->value() + cr->value());
+    case Opcode::FSub: return m.constantFloat(cl->value() - cr->value());
+    case Opcode::FMul: return m.constantFloat(cl->value() * cr->value());
+    case Opcode::FDiv: return m.constantFloat(cl->value() / cr->value());
+    default: return nullptr;
+  }
+}
+
+Value* simplifyCast(Instruction* inst, Module& m) {
+  auto* c = dynCast<ConstantInt>(inst->operand(0));
+  Type* to = inst->type();
+  switch (inst->opcode()) {
+    case Opcode::SExt:
+    case Opcode::Trunc:
+      if (c != nullptr) return m.constantInt(to, c->value());
+      return nullptr;
+    case Opcode::ZExt:
+      if (c != nullptr) {
+        return m.constantInt(to, static_cast<std::int64_t>(c->zextValue()));
+      }
+      return nullptr;
+    case Opcode::SIToFP:
+      if (c != nullptr) {
+        return m.constantFloat(static_cast<double>(c->value()));
+      }
+      return nullptr;
+    case Opcode::FPToSI: {
+      auto* cf = dynCast<ConstantFloat>(inst->operand(0));
+      if (cf != nullptr && cf->value() >= -9.2e18 && cf->value() <= 9.2e18) {
+        return m.constantInt(to, static_cast<std::int64_t>(cf->value()));
+      }
+      return nullptr;
+    }
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace
+
+Value* simplifyInstruction(Instruction* inst, Module& m) {
+  if (inst->isIntBinaryOp()) return simplifyIntBinary(inst, m);
+  if (inst->isFloatBinaryOp()) return simplifyFloatBinary(inst, m);
+  if (inst->isCast()) return simplifyCast(inst, m);
+  switch (inst->opcode()) {
+    case Opcode::ICmp: {
+      auto* cmp = static_cast<ICmpInst*>(inst);
+      auto* cl = dynCast<ConstantInt>(cmp->lhs());
+      auto* cr = dynCast<ConstantInt>(cmp->rhs());
+      Type* ot = cmp->lhs()->type();
+      if (cl != nullptr && cr != nullptr && ot->isInteger()) {
+        return m.i1Const(ICmpInst::evaluate(cmp->pred(), cl->value(),
+                                            cr->value(), ot->intBits()));
+      }
+      if (cmp->lhs() == cmp->rhs()) {
+        switch (cmp->pred()) {
+          case ICmpInst::Pred::EQ:
+          case ICmpInst::Pred::SLE:
+          case ICmpInst::Pred::SGE:
+          case ICmpInst::Pred::ULE:
+          case ICmpInst::Pred::UGE:
+            return m.i1Const(true);
+          default:
+            return m.i1Const(false);
+        }
+      }
+      return nullptr;
+    }
+    case Opcode::FCmp: {
+      auto* cmp = static_cast<FCmpInst*>(inst);
+      auto* cl = dynCast<ConstantFloat>(cmp->lhs());
+      auto* cr = dynCast<ConstantFloat>(cmp->rhs());
+      if (cl != nullptr && cr != nullptr) {
+        return m.i1Const(
+            FCmpInst::evaluate(cmp->pred(), cl->value(), cr->value()));
+      }
+      return nullptr;
+    }
+    case Opcode::Select: {
+      auto* sel = static_cast<SelectInst*>(inst);
+      if (auto* c = dynCast<ConstantInt>(sel->condition())) {
+        return c->isZero() ? sel->falseValue() : sel->trueValue();
+      }
+      if (sel->trueValue() == sel->falseValue()) return sel->trueValue();
+      return nullptr;
+    }
+    case Opcode::Phi: {
+      auto* phi = static_cast<PhiInst*>(inst);
+      if (phi->numIncoming() == 0) return m.undef(phi->type());
+      return phi->uniformValue();
+    }
+    case Opcode::Gep: {
+      auto* gep = static_cast<GepInst*>(inst);
+      if (gep->type() != gep->base()->type()) return nullptr;
+      for (std::size_t i = 0; i < gep->numIndices(); ++i) {
+        auto* c = dynCast<ConstantInt>(gep->index(i));
+        if (c == nullptr || !c->isZero()) return nullptr;
+      }
+      return gep->base();
+    }
+    default:
+      return nullptr;
+  }
+}
+
+BasicBlock* splitEdge(BasicBlock* pred, BasicBlock* succ) {
+  Function* f = pred->parent();
+  Module* m = f->parent();
+  BasicBlock* mid = f->addBlockAfter(pred, "split");
+  IRBuilder b(m);
+  b.setInsertPoint(mid);
+  b.br(succ);
+  Instruction* term = pred->terminator();
+  POSETRL_CHECK(term != nullptr, "splitEdge on unterminated block");
+  bool redirected = false;
+  for (std::size_t i = 0; i < term->numSuccessors(); ++i) {
+    if (term->successor(i) == succ) {
+      term->setSuccessor(i, mid);
+      redirected = true;
+    }
+  }
+  POSETRL_CHECK(redirected, "splitEdge: no edge pred->succ");
+  for (PhiInst* phi : succ->phis()) {
+    const std::size_t idx = phi->indexOfBlock(pred);
+    if (idx != static_cast<std::size_t>(-1)) {
+      phi->setOperand(2 * idx + 1, mid);
+    }
+  }
+  return mid;
+}
+
+bool mergeBlockIntoPredecessor(BasicBlock* bb) {
+  BasicBlock* pred = bb->singlePredecessor();
+  if (pred == nullptr || pred == bb) return false;
+  if (pred->singleSuccessor() != bb) return false;
+  Instruction* pterm = pred->terminator();
+  if (pterm == nullptr || pterm->opcode() != Opcode::Br) return false;
+
+  // Phis in bb have exactly one incoming (from pred): fold them.
+  for (PhiInst* phi : bb->phis()) {
+    POSETRL_CHECK(phi->numIncoming() == 1, "phi arity in merge");
+    Value* in = phi->incomingValue(0);
+    phi->replaceAllUsesWith(in);
+  }
+  while (!bb->empty() && bb->front()->opcode() == Opcode::Phi) {
+    bb->front()->eraseFromParent();
+  }
+
+  pterm->eraseFromParent();
+  while (!bb->empty()) {
+    Instruction* inst = bb->front();
+    std::unique_ptr<Instruction> owned = inst->removeFromParent();
+    pred->pushBack(std::move(owned));
+  }
+  // Successor phis (and nothing else) still refer to bb; repoint to pred.
+  bb->replaceAllUsesWith(pred);
+  bb->eraseFromParent();
+  return true;
+}
+
+bool foldTrivialPhis(Function& f) {
+  bool changed = false;
+  bool local = true;
+  Module* m = f.parent();
+  while (local) {
+    local = false;
+    for (const auto& bb : f.blocks()) {
+      std::vector<PhiInst*> phis = bb->phis();
+      for (PhiInst* phi : phis) {
+        Value* repl = nullptr;
+        if (phi->numIncoming() == 0) {
+          repl = m->undef(phi->type());
+        } else {
+          repl = phi->uniformValue();
+        }
+        if (repl != nullptr && repl != phi) {
+          replaceAndErase(phi, repl);
+          changed = true;
+          local = true;
+        }
+      }
+    }
+  }
+  return changed;
+}
+
+}  // namespace posetrl

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file transform_utils.h
+/// Building blocks shared by many passes: dead-code sweeps, unreachable
+/// block removal, constant folding / instruction simplification, edge
+/// splitting and block merging.
+
+#include <cstdint>
+
+namespace posetrl {
+
+class Module;
+class Function;
+class BasicBlock;
+class Instruction;
+class Value;
+
+/// Removes trivially dead instructions (no uses, removable) to a fixpoint.
+bool deleteDeadInstructions(Function& f);
+
+/// Replaces all uses of \p inst with \p replacement and erases \p inst.
+void replaceAndErase(Instruction* inst, Value* replacement);
+
+/// Deletes blocks unreachable from the entry (fixing phis; values defined
+/// in removed blocks are replaced by undef in any remaining — necessarily
+/// unreachable-handled — users).
+bool removeUnreachableBlocks(Function& f);
+
+/// Attempts to fold \p inst to an existing Value (constant or operand).
+/// Returns nullptr if no fold applies. Never creates new instructions.
+Value* simplifyInstruction(Instruction* inst, Module& m);
+
+/// Splits the CFG edge pred->succ by inserting a forwarding block; updates
+/// phis in \p succ. Returns the new block.
+BasicBlock* splitEdge(BasicBlock* pred, BasicBlock* succ);
+
+/// Merges \p bb into its single predecessor when legal (pred has single
+/// successor bb, bb has single predecessor pred, no phis in bb that can't be
+/// resolved). Returns true on success.
+bool mergeBlockIntoPredecessor(BasicBlock* bb);
+
+/// Folds phis with a single incoming value or all-identical incoming values
+/// throughout the function.
+bool foldTrivialPhis(Function& f);
+
+}  // namespace posetrl

@@ -1,0 +1,104 @@
+#include "rl/dqn.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace posetrl {
+
+namespace {
+
+std::vector<std::size_t> layerSizes(const DqnConfig& c) {
+  std::vector<std::size_t> sizes{c.state_dim};
+  for (std::size_t h : c.hidden) sizes.push_back(h);
+  sizes.push_back(c.num_actions);
+  return sizes;
+}
+
+std::size_t argmax(const std::vector<double>& v) {
+  POSETRL_CHECK(!v.empty(), "argmax of empty vector");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i] > v[best]) best = i;
+  }
+  return best;
+}
+
+}  // namespace
+
+DoubleDqn::DoubleDqn(const DqnConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      online_(layerSizes(config), rng_),
+      target_(layerSizes(config), rng_),
+      replay_(config.replay_capacity) {
+  target_.copyParametersFrom(online_);
+}
+
+double DoubleDqn::epsilon() const {
+  const double progress = std::min(
+      1.0, static_cast<double>(steps_) /
+               static_cast<double>(config_.epsilon_decay_steps));
+  return config_.epsilon_start +
+         (config_.epsilon_end - config_.epsilon_start) * progress;
+}
+
+std::size_t DoubleDqn::act(const std::vector<double>& state, bool explore) {
+  const double eps = epsilon();
+  if (explore) ++steps_;
+  if (explore && rng_.nextBool(eps)) {
+    return rng_.nextBelow(config_.num_actions);
+  }
+  return actGreedy(state);
+}
+
+std::size_t DoubleDqn::actGreedy(const std::vector<double>& state) const {
+  return argmax(online_.forward(state));
+}
+
+std::vector<double> DoubleDqn::qValues(
+    const std::vector<double>& state) const {
+  return online_.forward(state);
+}
+
+void DoubleDqn::observe(Transition t) {
+  replay_.push(std::move(t));
+  if (replay_.size() < config_.learn_start) return;
+  if (steps_ % config_.train_every == 0) trainBatch();
+  if (updates_ > 0 && updates_ % config_.target_sync_every == 0) {
+    target_.copyParametersFrom(online_);
+  }
+}
+
+void DoubleDqn::trainBatch() {
+  const auto batch = replay_.sample(config_.batch_size, rng_);
+  double loss = 0.0;
+  for (const Transition* t : batch) {
+    if (t->use_mc) {
+      // Monte-Carlo target: the observed discounted return to episode end.
+      loss += online_.accumulateGradient(t->state, t->action, t->mc_return);
+      continue;
+    }
+    double target = t->reward;
+    if (!t->done) {
+      // Double DQN: the online net selects the best next action; the
+      // target net evaluates it.
+      const std::size_t best_next = argmax(online_.forward(t->next_state));
+      const std::vector<double> target_q = target_.forward(t->next_state);
+      target += config_.gamma * target_q[best_next];
+    }
+    loss += online_.accumulateGradient(t->state, t->action, target);
+  }
+  online_.adamStep(config_.lr, batch.size());
+  last_loss_ = loss / static_cast<double>(batch.size());
+  ++updates_;
+}
+
+void DoubleDqn::saveModel(std::ostream& os) const { online_.save(os); }
+
+void DoubleDqn::loadModel(std::istream& is) {
+  online_.load(is);
+  target_.copyParametersFrom(online_);
+}
+
+}  // namespace posetrl

@@ -1,0 +1,28 @@
+#include "rl/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace posetrl {
+
+Matrix Matrix::randomInit(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  const double scale = std::sqrt(2.0 / static_cast<double>(cols));
+  for (double& x : m.data_) x = rng.nextGaussian() * scale;
+  return m;
+}
+
+std::vector<double> Matrix::matVec(const std::vector<double>& v,
+                                   const std::vector<double>* bias) const {
+  POSETRL_CHECK(v.size() == cols_, "matVec dimension mismatch");
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = data_.data() + r * cols_;
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * v[c];
+    out[r] = acc + (bias != nullptr ? (*bias)[r] : 0.0);
+  }
+  return out;
+}
+
+}  // namespace posetrl

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file matrix.h
+/// Minimal dense row-major matrix used by the neural-network layers. The
+/// paper's agent is a small MLP, so a straightforward implementation with
+/// no BLAS dependency is more than sufficient.
+
+#include <cstddef>
+#include <vector>
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace posetrl {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix zeros(std::size_t rows, std::size_t cols) {
+    return Matrix(rows, cols, 0.0);
+  }
+
+  /// Kaiming-style initialization for ReLU networks.
+  static Matrix randomInit(std::size_t rows, std::size_t cols, Rng& rng);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+
+  double& at(std::size_t r, std::size_t c) {
+    POSETRL_CHECK(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+  double at(std::size_t r, std::size_t c) const {
+    POSETRL_CHECK(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  std::vector<double>& raw() { return data_; }
+  const std::vector<double>& raw() const { return data_; }
+
+  /// out = this (rows x cols) * v (cols) + bias (rows, optional).
+  std::vector<double> matVec(const std::vector<double>& v,
+                             const std::vector<double>* bias) const;
+
+  void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace posetrl

@@ -1,0 +1,161 @@
+#include "rl/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+namespace posetrl {
+
+Mlp::Mlp(const std::vector<std::size_t>& sizes, Rng& rng) : sizes_(sizes) {
+  POSETRL_CHECK(sizes.size() >= 2, "MLP needs at least input and output");
+  for (std::size_t i = 0; i + 1 < sizes.size(); ++i) {
+    Layer layer;
+    layer.w = Matrix::randomInit(sizes[i + 1], sizes[i], rng);
+    layer.b.assign(sizes[i + 1], 0.0);
+    layer.gw = Matrix::zeros(sizes[i + 1], sizes[i]);
+    layer.gb.assign(sizes[i + 1], 0.0);
+    layer.mw = Matrix::zeros(sizes[i + 1], sizes[i]);
+    layer.vw = Matrix::zeros(sizes[i + 1], sizes[i]);
+    layer.mb.assign(sizes[i + 1], 0.0);
+    layer.vb.assign(sizes[i + 1], 0.0);
+    layers_.push_back(std::move(layer));
+  }
+}
+
+std::vector<double> Mlp::forward(const std::vector<double>& x) const {
+  std::vector<double> a = x;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    a = layers_[l].w.matVec(a, &layers_[l].b);
+    if (l + 1 < layers_.size()) {
+      for (double& v : a) v = std::max(0.0, v);
+    }
+  }
+  return a;
+}
+
+double Mlp::accumulateGradient(const std::vector<double>& x,
+                               std::size_t action, double target) {
+  // Forward, storing activations.
+  std::vector<std::vector<double>> acts{x};
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    std::vector<double> a = layers_[l].w.matVec(acts.back(), &layers_[l].b);
+    if (l + 1 < layers_.size()) {
+      for (double& v : a) v = std::max(0.0, v);
+    }
+    acts.push_back(std::move(a));
+  }
+  const std::vector<double>& q = acts.back();
+  POSETRL_CHECK(action < q.size(), "action index out of range");
+  const double td = q[action] - target;
+  // Huber (delta=1): dL/dq = clamp(td, -1, 1).
+  const double dq = std::clamp(td, -1.0, 1.0);
+
+  // Backward: only the chosen head has a non-zero output gradient.
+  std::vector<double> grad(q.size(), 0.0);
+  grad[action] = dq;
+  for (std::size_t li = layers_.size(); li-- > 0;) {
+    Layer& layer = layers_[li];
+    const std::vector<double>& input = acts[li];
+    // dW += grad ⊗ input; db += grad.
+    for (std::size_t r = 0; r < layer.w.rows(); ++r) {
+      if (grad[r] == 0.0) continue;
+      double* grow = layer.gw.data() + r * layer.w.cols();
+      const double g = grad[r];
+      for (std::size_t c = 0; c < layer.w.cols(); ++c) {
+        grow[c] += g * input[c];
+      }
+      layer.gb[r] += g;
+    }
+    if (li == 0) break;
+    // Propagate: dInput = W^T grad, masked by the ReLU of layer li-1.
+    std::vector<double> next(layer.w.cols(), 0.0);
+    for (std::size_t r = 0; r < layer.w.rows(); ++r) {
+      if (grad[r] == 0.0) continue;
+      const double* row = layer.w.data() + r * layer.w.cols();
+      const double g = grad[r];
+      for (std::size_t c = 0; c < layer.w.cols(); ++c) {
+        next[c] += g * row[c];
+      }
+    }
+    for (std::size_t c = 0; c < next.size(); ++c) {
+      if (acts[li][c] <= 0.0) next[c] = 0.0;  // ReLU mask.
+    }
+    grad = std::move(next);
+  }
+  return std::abs(td);
+}
+
+void Mlp::adamStep(double lr, std::size_t batch_size) {
+  constexpr double kBeta1 = 0.9;
+  constexpr double kBeta2 = 0.999;
+  constexpr double kEps = 1e-8;
+  ++adam_t_;
+  const double bc1 = 1.0 - std::pow(kBeta1, static_cast<double>(adam_t_));
+  const double bc2 = 1.0 - std::pow(kBeta2, static_cast<double>(adam_t_));
+  const double inv_batch =
+      1.0 / static_cast<double>(std::max<std::size_t>(1, batch_size));
+  for (Layer& layer : layers_) {
+    auto update = [&](double& w, double& g, double& m, double& v) {
+      const double grad = g * inv_batch;
+      m = kBeta1 * m + (1.0 - kBeta1) * grad;
+      v = kBeta2 * v + (1.0 - kBeta2) * grad * grad;
+      const double mh = m / bc1;
+      const double vh = v / bc2;
+      w -= lr * mh / (std::sqrt(vh) + kEps);
+      g = 0.0;
+    };
+    for (std::size_t i = 0; i < layer.w.size(); ++i) {
+      update(layer.w.raw()[i], layer.gw.raw()[i], layer.mw.raw()[i],
+             layer.vw.raw()[i]);
+    }
+    for (std::size_t i = 0; i < layer.b.size(); ++i) {
+      update(layer.b[i], layer.gb[i], layer.mb[i], layer.vb[i]);
+    }
+  }
+}
+
+void Mlp::copyParametersFrom(const Mlp& other) {
+  POSETRL_CHECK(sizes_ == other.sizes_, "MLP architecture mismatch");
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    layers_[l].w = other.layers_[l].w;
+    layers_[l].b = other.layers_[l].b;
+  }
+}
+
+std::size_t Mlp::parameterCount() const {
+  std::size_t n = 0;
+  for (const Layer& layer : layers_) n += layer.w.size() + layer.b.size();
+  return n;
+}
+
+void Mlp::save(std::ostream& os) const {
+  os << "mlp " << sizes_.size();
+  for (std::size_t s : sizes_) os << " " << s;
+  os << "\n";
+  os.precision(17);
+  for (const Layer& layer : layers_) {
+    for (double v : layer.w.raw()) os << v << " ";
+    for (double v : layer.b) os << v << " ";
+    os << "\n";
+  }
+}
+
+void Mlp::load(std::istream& is) {
+  std::string tag;
+  std::size_t n = 0;
+  is >> tag >> n;
+  POSETRL_CHECK(tag == "mlp" && n == sizes_.size(), "bad MLP header");
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t s = 0;
+    is >> s;
+    POSETRL_CHECK(s == sizes_[i], "MLP architecture mismatch on load");
+  }
+  for (Layer& layer : layers_) {
+    for (double& v : layer.w.raw()) is >> v;
+    for (double& v : layer.b) is >> v;
+  }
+  POSETRL_CHECK(static_cast<bool>(is), "truncated MLP payload");
+}
+
+}  // namespace posetrl

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file mlp.h
+/// Fully-connected ReLU network with Adam — the Q-function approximator of
+/// the paper's Double DQN agent. Supports single-output-head regression
+/// training (Q-learning updates touch one action's head per sample) with
+/// Huber loss, gradient accumulation over minibatches, target-network
+/// cloning, and text serialization.
+
+#include <iosfwd>
+#include <vector>
+
+#include "rl/matrix.h"
+#include "support/rng.h"
+
+namespace posetrl {
+
+/// Multi-layer perceptron: Linear -> ReLU -> ... -> Linear.
+class Mlp {
+ public:
+  /// \p sizes = {input, hidden..., output}.
+  Mlp(const std::vector<std::size_t>& sizes, Rng& rng);
+
+  std::size_t inputSize() const { return sizes_.front(); }
+  std::size_t outputSize() const { return sizes_.back(); }
+
+  /// Forward pass.
+  std::vector<double> forward(const std::vector<double>& x) const;
+
+  /// Accumulates gradients for regressing output \p action toward
+  /// \p target under Huber loss (delta = 1). Returns the absolute TD error.
+  double accumulateGradient(const std::vector<double>& x, std::size_t action,
+                            double target);
+
+  /// Applies one Adam step using the accumulated gradients (averaged over
+  /// \p batch_size) and clears them.
+  void adamStep(double lr, std::size_t batch_size);
+
+  /// Copies all parameters from \p other (target-network sync).
+  void copyParametersFrom(const Mlp& other);
+
+  /// Parameter count (for tests/reporting).
+  std::size_t parameterCount() const;
+
+  void save(std::ostream& os) const;
+  /// Loads parameters saved by save(); the architecture must match.
+  void load(std::istream& is);
+
+ private:
+  struct Layer {
+    Matrix w;
+    std::vector<double> b;
+    // Accumulated gradients.
+    Matrix gw;
+    std::vector<double> gb;
+    // Adam first/second moments.
+    Matrix mw, vw;
+    std::vector<double> mb, vb;
+  };
+
+  std::vector<std::size_t> sizes_;
+  std::vector<Layer> layers_;
+  std::uint64_t adam_t_ = 0;
+};
+
+}  // namespace posetrl

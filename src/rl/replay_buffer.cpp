@@ -1,0 +1,27 @@
+#include "rl/replay_buffer.h"
+
+#include "support/error.h"
+
+namespace posetrl {
+
+void ReplayBuffer::push(Transition t) {
+  if (items_.size() < capacity_) {
+    items_.push_back(std::move(t));
+  } else {
+    items_[next_] = std::move(t);
+    next_ = (next_ + 1) % capacity_;
+  }
+}
+
+std::vector<const Transition*> ReplayBuffer::sample(std::size_t n,
+                                                    Rng& rng) const {
+  POSETRL_CHECK(!items_.empty(), "sampling from empty replay buffer");
+  std::vector<const Transition*> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(&items_[rng.nextBelow(items_.size())]);
+  }
+  return out;
+}
+
+}  // namespace posetrl

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file replay_buffer.h
+/// Experience replay memory for the DQN agent (Section V-A of the paper:
+/// random batches are sampled from the replay memory every µ steps).
+
+#include <cstddef>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace posetrl {
+
+/// One transition (s, a, r, s', done). When `use_mc` is set, `mc_return`
+/// carries the full discounted return observed from this state to the end
+/// of its episode (Monte-Carlo target) — a sample-efficient alternative to
+/// bootstrapped TD targets in deterministic environments.
+struct Transition {
+  std::vector<double> state;
+  std::size_t action = 0;
+  double reward = 0.0;
+  std::vector<double> next_state;
+  bool done = false;
+  double mc_return = 0.0;
+  bool use_mc = false;
+};
+
+/// Fixed-capacity ring buffer with uniform random sampling.
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(std::size_t capacity) : capacity_(capacity) {}
+
+  void push(Transition t);
+  std::size_t size() const { return items_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Samples \p n transitions uniformly with replacement.
+  std::vector<const Transition*> sample(std::size_t n, Rng& rng) const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t next_ = 0;
+  std::vector<Transition> items_;
+};
+
+}  // namespace posetrl

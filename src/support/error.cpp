@@ -1,0 +1,14 @@
+#include "support/error.h"
+
+#include <cstdio>
+
+namespace posetrl {
+
+void fatalError(const std::string& message, const char* file, int line) {
+  std::fprintf(stderr, "posetrl fatal error at %s:%d: %s\n", file, line,
+               message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace posetrl

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file error.h
+/// Fatal-error and assertion helpers used across the library.
+///
+/// The library treats internal invariant violations as unrecoverable: a
+/// failed check prints a diagnostic (with file/line) and aborts. This mirrors
+/// the behaviour of compiler infrastructure (e.g. LLVM's report_fatal_error)
+/// where continuing after a broken invariant would corrupt the IR.
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace posetrl {
+
+/// Prints \p message to stderr with a "posetrl fatal error" banner and aborts.
+[[noreturn]] void fatalError(const std::string& message, const char* file,
+                             int line);
+
+namespace detail {
+
+/// Builds the textual message for a failed check from a variadic pack.
+template <typename... Args>
+std::string formatCheckMessage(const char* expr, Args&&... args) {
+  std::ostringstream os;
+  os << "check failed: " << expr;
+  if constexpr (sizeof...(Args) > 0) {
+    os << " — ";
+    (os << ... << args);
+  }
+  return os.str();
+}
+
+}  // namespace detail
+
+}  // namespace posetrl
+
+/// Always-on invariant check. Usage: POSETRL_CHECK(x > 0, "x was ", x);
+#define POSETRL_CHECK(expr, ...)                                         \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::posetrl::fatalError(                                             \
+          ::posetrl::detail::formatCheckMessage(#expr, ##__VA_ARGS__),   \
+          __FILE__, __LINE__);                                           \
+    }                                                                    \
+  } while (false)
+
+/// Marks unreachable code paths.
+#define POSETRL_UNREACHABLE(msg) \
+  ::posetrl::fatalError(std::string("unreachable: ") + (msg), __FILE__, __LINE__)

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file hashing.h
+/// Small stable hashing utilities (FNV-1a and hash combining).
+///
+/// Used wherever the library needs hashes that are stable across runs and
+/// platforms — e.g. the embedding vocabulary derives each entity's seed
+/// vector from a stable hash of its name, and the interpreter fingerprints
+/// observable program behaviour.
+
+#include <cstdint>
+#include <string_view>
+
+namespace posetrl {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+/// FNV-1a over a byte string.
+constexpr std::uint64_t fnv1a(std::string_view data,
+                              std::uint64_t seed = kFnvOffset) {
+  std::uint64_t h = seed;
+  for (char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Strong 64-bit mixer (final avalanche of SplitMix64).
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Order-dependent hash combiner.
+constexpr std::uint64_t hashCombine(std::uint64_t a, std::uint64_t b) {
+  return mix64(a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2)));
+}
+
+}  // namespace posetrl

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file rng.h
+/// Deterministic pseudo-random number generation.
+///
+/// All stochastic components in the library (workload generation, embedding
+/// vocabulary seeding, epsilon-greedy exploration, replay sampling, network
+/// initialization) draw from this RNG so that every experiment is exactly
+/// reproducible from a seed. The generator is xoshiro256** seeded via
+/// SplitMix64, following the reference implementations of Blackman & Vigna.
+
+#include <cstdint>
+#include <vector>
+
+namespace posetrl {
+
+/// SplitMix64 step; also usable as a standalone integer mixer.
+std::uint64_t splitMix64(std::uint64_t& state);
+
+/// Deterministic, seedable random number generator (xoshiro256**).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound) — bound must be > 0.
+  std::uint64_t nextBelow(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t nextInt(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double nextDouble();
+
+  /// Uniform double in [lo, hi).
+  double nextDouble(double lo, double hi);
+
+  /// Standard normal variate (Box–Muller; one cached value).
+  double nextGaussian();
+
+  /// True with probability \p p.
+  bool nextBool(double p = 0.5);
+
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  std::size_t nextWeighted(const std::vector<double>& weights);
+
+  /// Derives an independent child generator (stable given call order).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace posetrl

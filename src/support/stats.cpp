@@ -1,0 +1,40 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+
+namespace posetrl {
+
+SampleStats computeStats(const std::vector<double>& values) {
+  SampleStats s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  s.min = *std::min_element(values.begin(), values.end());
+  s.max = *std::max_element(values.begin(), values.end());
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(values.size());
+  double sq = 0.0;
+  for (double v : values) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(sq / static_cast<double>(values.size()));
+  return s;
+}
+
+double geometricMean(const std::vector<double>& values) {
+  POSETRL_CHECK(!values.empty(), "geometricMean of empty sample");
+  double log_sum = 0.0;
+  for (double v : values) {
+    POSETRL_CHECK(v > 0.0, "geometricMean requires positive values");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double percentReduction(double base, double now) {
+  POSETRL_CHECK(base != 0.0, "percentReduction with zero base");
+  return 100.0 * (base - now) / base;
+}
+
+}  // namespace posetrl

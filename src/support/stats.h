@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file stats.h
+/// Descriptive statistics helpers used by the benchmark harnesses when
+/// aggregating per-program results into the paper's min/avg/max tables.
+
+#include <cstddef>
+#include <vector>
+
+namespace posetrl {
+
+/// Summary of a sample (all values are 0 for an empty sample except count).
+struct SampleStats {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// Computes count/min/max/mean/population-stddev of \p values.
+SampleStats computeStats(const std::vector<double>& values);
+
+/// Geometric mean; requires all values > 0 (checked).
+double geometricMean(const std::vector<double>& values);
+
+/// Percentage change helper: positive when \p now improved (shrank) relative
+/// to \p base, i.e. 100 * (base - now) / base.
+double percentReduction(double base, double now);
+
+}  // namespace posetrl

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file string_utils.h
+/// Minimal string helpers shared by the IR parser, pass-name parsing and the
+/// benchmark table printers.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace posetrl {
+
+/// Splits \p text on \p sep; empty pieces are dropped when \p keep_empty is
+/// false (the default).
+std::vector<std::string> splitString(std::string_view text, char sep,
+                                     bool keep_empty = false);
+
+/// Joins \p parts with \p sep between consecutive elements.
+std::string joinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view trimString(std::string_view text);
+
+bool startsWith(std::string_view text, std::string_view prefix);
+bool endsWith(std::string_view text, std::string_view suffix);
+
+/// printf-style formatting into a std::string.
+std::string formatString(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace posetrl

@@ -1,0 +1,40 @@
+#include "support/table.h"
+
+#include <algorithm>
+
+namespace posetrl {
+
+void TextTable::addRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  if (rows_.empty()) return "";
+  std::vector<std::size_t> widths;
+  for (const auto& row : rows_) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::string out;
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      out += "| ";
+      out += cell;
+      out.append(widths[i] - cell.size() + 1, ' ');
+    }
+    out += "|\n";
+  };
+  emit_row(rows_[0]);
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    out += "|";
+    out.append(widths[i] + 2, '-');
+  }
+  out += "|\n";
+  for (std::size_t r = 1; r < rows_.size(); ++r) emit_row(rows_[r]);
+  return out;
+}
+
+}  // namespace posetrl

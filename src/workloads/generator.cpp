@@ -1,0 +1,723 @@
+#include "workloads/generator.h"
+
+#include <vector>
+
+#include "ir/basic_block.h"
+#include "ir/function.h"
+#include "ir/global_variable.h"
+#include "ir/instruction.h"
+#include "ir/ir_builder.h"
+#include "ir/module.h"
+#include "support/rng.h"
+
+namespace posetrl {
+namespace {
+
+/// Builds one synthetic program; all helpers keep the invariants listed in
+/// generator.h (verifier-clean, trap-free, terminating, observable).
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(const ProgramSpec& spec)
+      : spec_(spec),
+        rng_(spec.seed ^ 0x706f7365u),  // Decorrelate from other users.
+        module_(std::make_unique<Module>(spec.name)),
+        b_(module_.get()) {}
+
+  std::unique_ptr<Module> build() {
+    tc_ = &module_->types();
+    input_fn_ = module_->getIntrinsic(IntrinsicId::Input);
+    sink_fn_ = module_->getIntrinsic(IntrinsicId::Sink);
+    sinkf_fn_ = module_->getIntrinsic(IntrinsicId::SinkF64);
+    if (spec_.hints) {
+      expect_fn_ = module_->getIntrinsic(IntrinsicId::Expect);
+      assume_fn_ = module_->getIntrinsic(IntrinsicId::Assume);
+    }
+    makeGlobals();
+    makeHelpers();
+    if (spec_.mix.recursion > 0.0) makeRecursiveHelper();
+
+    std::vector<Function*> kernels;
+    for (int k = 0; k < spec_.kernels; ++k) {
+      kernels.push_back(makeKernel(k));
+    }
+    makeMain(kernels);
+    return std::move(module_);
+  }
+
+ private:
+  using Pool = std::vector<Value*>;
+
+  // ---- small utilities ------------------------------------------------
+
+  Value* c64(std::int64_t v) { return module_->i64Const(v); }
+
+  Value* pick(const Pool& pool) {
+    return pool[rng_.nextBelow(pool.size())];
+  }
+
+  /// A random arithmetic combination of pool values; never traps.
+  Value* randomExpr(Pool& pool, int depth) {
+    if (depth <= 0 || rng_.nextBool(0.3)) return pick(pool);
+    Value* lhs = randomExpr(pool, depth - 1);
+    Value* rhs = rng_.nextBool(0.35)
+                     ? c64(rng_.nextInt(1, 13))
+                     : randomExpr(pool, depth - 1);
+    switch (rng_.nextBelow(8)) {
+      case 0: return b_.binary(Opcode::Add, lhs, rhs);
+      case 1: return b_.binary(Opcode::Sub, lhs, rhs);
+      case 2: return b_.binary(Opcode::Mul, lhs, rhs);
+      case 3: return b_.binary(Opcode::And, lhs, rhs);
+      case 4: return b_.binary(Opcode::Or, lhs, rhs);
+      case 5: return b_.binary(Opcode::Xor, lhs, rhs);
+      case 6: {
+        // Safe division: divisor forced odd-positive.
+        Value* div = b_.binary(Opcode::Or, rhs, c64(1));
+        Value* pos = b_.binary(Opcode::And, div, c64(0xffff));
+        Value* nz = b_.binary(Opcode::Or, pos, c64(1));
+        return b_.binary(Opcode::SDiv, lhs, nz);
+      }
+      default: {
+        Value* amount = c64(rng_.nextInt(0, 7));
+        return b_.binary(rng_.nextBool() ? Opcode::Shl : Opcode::AShr, lhs,
+                         amount);
+      }
+    }
+  }
+
+  /// Emits `sink(v)`.
+  void sink(Value* v) { b_.call(sink_fn_, {v}); }
+
+  /// Wraps \p v with an expect hint occasionally.
+  Value* maybeExpect(Value* v) {
+    if (expect_fn_ != nullptr && rng_.nextBool(0.15)) {
+      return b_.call(expect_fn_, {v, c64(rng_.nextInt(0, 3))});
+    }
+    return v;
+  }
+
+  // ---- module-level furniture -----------------------------------------
+
+  void makeGlobals() {
+    for (int i = 0; i < spec_.globals; ++i) {
+      const std::string name = "g" + std::to_string(i);
+      switch (rng_.nextBelow(4)) {
+        case 0:
+          globals_.push_back(module_->createGlobal(
+              name, tc_->i64(), GlobalInit::ofInt(rng_.nextInt(1, 99)),
+              GlobalVariable::Linkage::Internal));
+          break;
+        case 1: {
+          // Constant lookup table, power-of-two sized.
+          std::vector<std::int64_t> elems;
+          for (int e = 0; e < 16; ++e) elems.push_back(rng_.nextInt(0, 255));
+          tables_.push_back(module_->createGlobal(
+              name, tc_->arrayOf(tc_->i64(), 16),
+              GlobalInit::ofIntArray(std::move(elems)),
+              GlobalVariable::Linkage::Internal, /*is_const=*/true));
+          break;
+        }
+        case 2:
+          globals_.push_back(module_->createGlobal(
+              name, tc_->i64(), GlobalInit::zero(),
+              GlobalVariable::Linkage::Internal));
+          break;
+        default:
+          // Deliberately unused (globaldce fodder).
+          module_->createGlobal(name + ".unused", tc_->i64(),
+                                GlobalInit::ofInt(7),
+                                GlobalVariable::Linkage::Internal);
+          break;
+      }
+    }
+    if (spec_.redundancy) {
+      // Duplicate constant tables (constmerge fodder).
+      std::vector<std::int64_t> elems{3, 1, 4, 1, 5, 9, 2, 6};
+      for (int d = 0; d < 2; ++d) {
+        tables_.push_back(module_->createGlobal(
+            "dup" + std::to_string(d), tc_->arrayOf(tc_->i64(), 8),
+            GlobalInit::ofIntArray(elems),
+            GlobalVariable::Linkage::Internal, /*is_const=*/true));
+      }
+    }
+  }
+
+  void makeHelpers() {
+    Type* fty = tc_->funcType(tc_->i64(), {tc_->i64()});
+    for (int i = 0; i < spec_.helpers; ++i) {
+      Function* h = module_->createFunction("helper" + std::to_string(i),
+                                            fty,
+                                            Function::Linkage::Internal);
+      if (rng_.nextBool(0.25)) h->addAttr(FnAttr::NoInline);
+      BasicBlock* entry = h->addBlock("entry");
+      b_.setInsertPoint(entry);
+      Pool pool{h->arg(0), c64(rng_.nextInt(1, 9)), c64(rng_.nextInt(2, 17))};
+      Value* r = randomExpr(pool, 2);
+      Value* r2 = b_.binary(Opcode::Xor, r, c64(rng_.nextInt(0, 127)));
+      b_.ret(r2);
+      helpers_.push_back(h);
+    }
+    if (spec_.funcptr && !helpers_.empty()) {
+      funcptr_global_ = module_->createGlobal(
+          "fp.helper", tc_->ptrTo(fty),
+          GlobalInit::ofFuncPtr(helpers_[0]),
+          GlobalVariable::Linkage::Internal, /*is_const=*/true);
+    }
+  }
+
+  void makeRecursiveHelper() {
+    Type* fty = tc_->funcType(tc_->i64(), {tc_->i64(), tc_->i64()});
+    Function* rec = module_->createFunction("rec_accum", fty,
+                                            Function::Linkage::Internal);
+    BasicBlock* entry = rec->addBlock("entry");
+    BasicBlock* base = rec->addBlock("base");
+    BasicBlock* step = rec->addBlock("step");
+    b_.setInsertPoint(entry);
+    Value* done = b_.icmp(ICmpInst::Pred::SLE, rec->arg(0), c64(0));
+    b_.condBr(done, base, step);
+    b_.setInsertPoint(base);
+    b_.ret(rec->arg(1));
+    b_.setInsertPoint(step);
+    Value* n1 = b_.binary(Opcode::Sub, rec->arg(0), c64(1));
+    Value* acc = b_.binary(Opcode::Add, rec->arg(1), rec->arg(0));
+    Value* r = b_.call(rec, {n1, acc});
+    b_.ret(r);
+    recursive_ = rec;
+  }
+
+  // ---- kernels ----------------------------------------------------------
+
+  Function* makeKernel(int index) {
+    // Some kernels carry an extra, unused parameter (deadargelim fodder).
+    const bool dead_arg = spec_.redundancy && rng_.nextBool(0.3);
+    std::vector<Type*> params{tc_->i64(), tc_->i64()};
+    if (dead_arg) params.push_back(tc_->i64());
+    Function* f = module_->createFunction(
+        "kernel" + std::to_string(index),
+        tc_->funcType(tc_->i64(), params), Function::Linkage::Internal);
+    BasicBlock* entry = f->addBlock("entry");
+    b_.setInsertPoint(entry);
+
+    // Bound the raw arguments so every derived trip count / index is safe.
+    Value* x = b_.binary(Opcode::And, f->arg(0), c64(1023));
+    Value* y = b_.binary(Opcode::And, f->arg(1), c64(1023));
+    Pool pool{x, y, c64(rng_.nextInt(1, 9)), c64(rng_.nextInt(10, 99))};
+
+    std::vector<Value*> results;
+    const KernelMix& mix = spec_.mix;
+    const std::vector<std::pair<double, int>> weighted{
+        {mix.straightline, 0}, {mix.reduce_loop, 1}, {mix.array_loop, 2},
+        {mix.two_array, 3},    {mix.memset_loop, 4}, {mix.branchy, 5},
+        {mix.state_machine, 6}, {mix.struct_local, 7}, {mix.fp_kernel, 8},
+        {mix.divrem, 9},       {mix.invariant, 10},  {mix.recursion, 11},
+        {mix.nested_loop, 12},
+    };
+    std::vector<double> weights;
+    for (auto& [w, id] : weighted) weights.push_back(w);
+
+    const int pieces = 1 + static_cast<int>(rng_.nextBelow(3));
+    for (int p = 0; p < pieces; ++p) {
+      switch (weighted[rng_.nextWeighted(weights)].second) {
+        case 0: results.push_back(straightline(pool, f)); break;
+        case 1: results.push_back(reduceLoop(pool, f)); break;
+        case 2: results.push_back(arrayLoop(pool, f)); break;
+        case 3: results.push_back(twoArrayLoop(pool, f)); break;
+        case 4: results.push_back(memsetLoop(pool, f)); break;
+        case 5: results.push_back(branchy(pool, f)); break;
+        case 6: results.push_back(stateMachine(pool, f)); break;
+        case 7: results.push_back(structLocal(pool, f)); break;
+        case 8: results.push_back(fpKernel(pool, f)); break;
+        case 9: results.push_back(divRem(pool, f)); break;
+        case 10: results.push_back(invariantLoop(pool, f)); break;
+        case 11: results.push_back(recursionCall(pool, f)); break;
+        default: results.push_back(nestedLoop(pool, f)); break;
+      }
+      // Results feed later pieces.
+      pool.push_back(results.back());
+    }
+
+    // Optional helper / table / global spice.
+    if (!helpers_.empty() && rng_.nextBool(0.7)) {
+      Function* h = helpers_[rng_.nextBelow(helpers_.size())];
+      results.push_back(b_.call(h, {pick(pool)}));
+    }
+    if (!tables_.empty() && rng_.nextBool(0.6)) {
+      GlobalVariable* t = tables_[rng_.nextBelow(tables_.size())];
+      const std::int64_t n =
+          static_cast<std::int64_t>(t->valueType()->arrayCount());
+      Value* idx = b_.binary(Opcode::And, pick(pool), c64(n - 1));
+      Value* p = b_.gep(t, {c64(0), idx});
+      results.push_back(b_.load(p));
+    }
+    if (!globals_.empty() && rng_.nextBool(0.5)) {
+      GlobalVariable* g = globals_[rng_.nextBelow(globals_.size())];
+      Value* old = b_.load(g);
+      Value* next = b_.binary(Opcode::Add, old, pick(pool));
+      b_.store(next, g);
+      results.push_back(next);
+    }
+    if (funcptr_global_ != nullptr && rng_.nextBool(0.5)) {
+      Value* fp = b_.load(funcptr_global_);
+      results.push_back(b_.callIndirect(tc_->i64(), fp, {pick(pool)}));
+    }
+    if (spec_.redundancy) {
+      // Dead computation chain.
+      Value* dead = randomExpr(pool, 2);
+      b_.binary(Opcode::Mul, dead, c64(3));
+    }
+
+    Value* acc = results[0];
+    for (std::size_t i = 1; i < results.size(); ++i) {
+      acc = b_.binary(Opcode::Xor, acc, results[i]);
+    }
+    b_.ret(acc);
+    return f;
+  }
+
+  /// Redundant arithmetic chain (CSE/GVN/reassociate fodder).
+  Value* straightline(Pool& pool, Function*) {
+    Value* a = randomExpr(pool, 3);
+    Value* b1 = b_.binary(Opcode::Add, a, c64(5));
+    // Exact duplicate of b1.
+    Value* b2 = b_.binary(Opcode::Add, a, c64(5));
+    Value* c = b_.binary(Opcode::Mul, b1, b2);
+    // Constants scattered for reassociation: ((x + 1) + y) + 2.
+    Value* r1 = b_.binary(Opcode::Add, pick(pool), c64(1));
+    Value* r2 = b_.binary(Opcode::Add, r1, c);
+    Value* r3 = b_.binary(Opcode::Add, r2, c64(2));
+    if (spec_.redundancy) {
+      b_.binary(Opcode::Sub, r3, r3);  // Dead, folds to 0.
+    }
+    return b_.binary(Opcode::Xor, r3, pick(pool));
+  }
+
+  /// While-shaped counted loop (rotate fodder) reducing f(i).
+  Value* reduceLoop(Pool& pool, Function* f) {
+    const std::int64_t n = rng_.nextInt(4, spec_.max_trip);
+    Value* bound = rng_.nextBool(0.5)
+                       ? c64(n)
+                       : b_.binary(Opcode::And, pick(pool), c64(31));
+    BasicBlock* pre = b_.insertBlock();
+    BasicBlock* header = f->addBlock("loop.h");
+    BasicBlock* body = f->addBlock("loop.b");
+    BasicBlock* exit = f->addBlock("loop.x");
+    Value* seed = pick(pool);
+    b_.br(header);
+
+    b_.setInsertPoint(header);
+    PhiInst* iv = b_.phi(tc_->i64());
+    PhiInst* acc = b_.phi(tc_->i64());
+    Value* cond = b_.icmp(ICmpInst::Pred::SLT, iv, bound);
+    b_.condBr(cond, body, exit);
+
+    b_.setInsertPoint(body);
+    Value* term = b_.binary(Opcode::Mul, iv, c64(rng_.nextInt(1, 7)));
+    Value* mixed = b_.binary(Opcode::Add, term, seed);
+    Value* acc_next = b_.binary(Opcode::Add, acc, mixed);
+    Value* iv_next = b_.binary(Opcode::Add, iv, c64(1));
+    b_.br(header);
+
+    iv->addIncoming(c64(0), pre);
+    iv->addIncoming(iv_next, body);
+    acc->addIncoming(c64(0), pre);
+    acc->addIncoming(acc_next, body);
+
+    b_.setInsertPoint(exit);
+    return acc;
+  }
+
+  /// Do-while-shaped fill + reduce over a local array.
+  Value* arrayLoop(Pool& pool, Function* f) {
+    const std::int64_t n = rng_.nextBool(0.4) ? 64 : 16;
+    AllocaInst* buf = b_.alloca_(tc_->arrayOf(tc_->i64(), n));
+    if (spec_.hints && rng_.nextBool(0.5)) {
+      // Alignment fact for alignment-from-assumptions to harvest.
+      Function* aa = module_->getAssumeAligned(buf->allocatedType());
+      b_.call(aa, {buf, c64(16)});
+    }
+    Value* seed = pick(pool);
+    BasicBlock* pre = b_.insertBlock();
+
+    // Fill loop (single block, vectorize candidate).
+    BasicBlock* fill = f->addBlock("fill");
+    BasicBlock* mid = f->addBlock("mid");
+    b_.br(fill);
+    b_.setInsertPoint(fill);
+    PhiInst* i1 = b_.phi(tc_->i64());
+    Value* p = b_.gep(buf, {c64(0), i1});
+    Value* v = b_.binary(Opcode::Add, b_.binary(Opcode::Mul, i1, c64(3)),
+                         seed);
+    b_.store(v, p);
+    Value* i1n = b_.binary(Opcode::Add, i1, c64(1));
+    Value* d1 = b_.icmp(ICmpInst::Pred::SGE, i1n, c64(n));
+    b_.condBr(d1, mid, fill);
+    i1->addIncoming(c64(0), pre);
+    i1->addIncoming(i1n, fill);
+
+    // Reduce loop.
+    b_.setInsertPoint(mid);
+    BasicBlock* red = f->addBlock("reduce");
+    BasicBlock* out = f->addBlock("out");
+    b_.br(red);
+    b_.setInsertPoint(red);
+    PhiInst* i2 = b_.phi(tc_->i64());
+    PhiInst* s = b_.phi(tc_->i64());
+    Value* p2 = b_.gep(buf, {c64(0), i2});
+    Value* lv = b_.load(p2);
+    Value* s_next = b_.binary(Opcode::Add, s, lv);
+    Value* i2n = b_.binary(Opcode::Add, i2, c64(1));
+    Value* d2 = b_.icmp(ICmpInst::Pred::SGE, i2n, c64(n));
+    b_.condBr(d2, out, red);
+    i2->addIncoming(c64(0), mid);
+    i2->addIncoming(i2n, red);
+    s->addIncoming(c64(0), mid);
+    s->addIncoming(s_next, red);
+
+    b_.setInsertPoint(out);
+    if (spec_.redundancy) {
+      // Dead local array: stored to, never read (DSE fodder).
+      AllocaInst* dead = b_.alloca_(tc_->arrayOf(tc_->i64(), 4));
+      Value* dp = b_.gep(dead, {c64(0), c64(1)});
+      b_.store(s_next, dp);
+      b_.store(c64(0), dp);
+    }
+    return s_next;
+  }
+
+  /// Single-block loop writing two independent arrays (distribute fodder).
+  Value* twoArrayLoop(Pool& pool, Function* f) {
+    const std::int64_t n = rng_.nextBool(0.4) ? 64 : 32;
+    AllocaInst* a = b_.alloca_(tc_->arrayOf(tc_->i64(), n));
+    AllocaInst* c = b_.alloca_(tc_->arrayOf(tc_->i64(), n));
+    Value* seed = pick(pool);
+    BasicBlock* pre = b_.insertBlock();
+    BasicBlock* loop = f->addBlock("two");
+    BasicBlock* out = f->addBlock("two.x");
+    b_.br(loop);
+    b_.setInsertPoint(loop);
+    PhiInst* iv = b_.phi(tc_->i64());
+    Value* pa = b_.gep(a, {c64(0), iv});
+    Value* va = b_.binary(Opcode::Mul, iv, c64(5));
+    b_.store(va, pa);
+    Value* pc = b_.gep(c, {c64(0), iv});
+    Value* vc = b_.binary(Opcode::Add, iv, seed);
+    b_.store(vc, pc);
+    Value* ivn = b_.binary(Opcode::Add, iv, c64(1));
+    Value* done = b_.icmp(ICmpInst::Pred::SGE, ivn, c64(n));
+    b_.condBr(done, out, loop);
+    iv->addIncoming(c64(0), pre);
+    iv->addIncoming(ivn, loop);
+
+    b_.setInsertPoint(out);
+    Value* p1 = b_.gep(a, {c64(0), c64(7)});
+    Value* p2 = b_.gep(c, {c64(0), c64(3)});
+    return b_.binary(Opcode::Add, b_.load(p1), b_.load(p2));
+  }
+
+  /// Zero-fill loop (loop-idiom fodder) followed by a couple of reads.
+  Value* memsetLoop(Pool& pool, Function* f) {
+    const std::int64_t n = 1 << rng_.nextInt(3, 6);
+    AllocaInst* buf = b_.alloca_(tc_->arrayOf(tc_->i64(), n));
+    BasicBlock* pre = b_.insertBlock();
+    BasicBlock* loop = f->addBlock("mset");
+    BasicBlock* out = f->addBlock("mset.x");
+    b_.br(loop);
+    b_.setInsertPoint(loop);
+    PhiInst* iv = b_.phi(tc_->i64());
+    Value* p = b_.gep(buf, {c64(0), iv});
+    b_.store(c64(0), p);
+    Value* ivn = b_.binary(Opcode::Add, iv, c64(1));
+    Value* done = b_.icmp(ICmpInst::Pred::SGE, ivn, c64(n));
+    b_.condBr(done, out, loop);
+    iv->addIncoming(c64(0), pre);
+    iv->addIncoming(ivn, loop);
+
+    b_.setInsertPoint(out);
+    Value* idx = b_.binary(Opcode::And, pick(pool), c64(n - 1));
+    Value* pr = b_.gep(buf, {c64(0), idx});
+    Value* r = b_.load(pr);
+    // Store something non-zero afterwards so the buffer isn't dead.
+    b_.store(b_.binary(Opcode::Add, r, c64(1)), pr);
+    Value* r2 = b_.load(pr);
+    return b_.binary(Opcode::Add, r, r2);
+  }
+
+  /// Branch ladder with duplicated subexpressions and a correlated
+  /// recomparison (jump-threading / correlated-propagation fodder).
+  Value* branchy(Pool& pool, Function* f) {
+    Value* x = pick(pool);
+    Value* y = pick(pool);
+    Value* cond = b_.icmp(ICmpInst::Pred::SLT, x, y);
+    BasicBlock* t = f->addBlock("br.t");
+    BasicBlock* e = f->addBlock("br.e");
+    BasicBlock* join = f->addBlock("br.j");
+    BasicBlock* head = b_.insertBlock();
+    b_.condBr(cond, t, e);
+
+    b_.setInsertPoint(t);
+    Value* vt = b_.binary(Opcode::Add, b_.binary(Opcode::Mul, x, c64(3)),
+                          y);
+    b_.br(join);
+    b_.setInsertPoint(e);
+    Value* ve = b_.binary(Opcode::Sub, b_.binary(Opcode::Mul, x, c64(3)),
+                          y);
+    b_.br(join);
+
+    b_.setInsertPoint(join);
+    PhiInst* merged = b_.phi(tc_->i64());
+    merged->addIncoming(vt, t);
+    merged->addIncoming(ve, e);
+    // Correlated re-test of the same condition.
+    Value* cond2 = b_.icmp(ICmpInst::Pred::SLT, x, y);
+    Value* sel = b_.select(maybeExpectI1(cond2), merged,
+                           b_.binary(Opcode::Add, merged, c64(9)));
+    (void)head;
+    return sel;
+  }
+
+  Value* maybeExpectI1(Value* v) { return v; }
+
+  /// Switch-driven bounded state machine.
+  Value* stateMachine(Pool& pool, Function* f) {
+    Value* steps = b_.binary(Opcode::And, pick(pool), c64(15));
+    BasicBlock* pre = b_.insertBlock();
+    BasicBlock* header = f->addBlock("sm.h");
+    BasicBlock* dispatch = f->addBlock("sm.d");
+    BasicBlock* s0 = f->addBlock("sm.s0");
+    BasicBlock* s1 = f->addBlock("sm.s1");
+    BasicBlock* s2 = f->addBlock("sm.s2");
+    BasicBlock* latch = f->addBlock("sm.l");
+    BasicBlock* out = f->addBlock("sm.x");
+    b_.br(header);
+
+    b_.setInsertPoint(header);
+    PhiInst* iv = b_.phi(tc_->i64());
+    PhiInst* state = b_.phi(tc_->i64());
+    PhiInst* acc = b_.phi(tc_->i64());
+    Value* cond = b_.icmp(ICmpInst::Pred::SLT, iv, steps);
+    b_.condBr(cond, dispatch, out);
+
+    b_.setInsertPoint(dispatch);
+    SwitchInst* sw = b_.switchOp(state, s2);
+    sw->addCase(module_->i64Const(0), s0);
+    sw->addCase(module_->i64Const(1), s1);
+
+    b_.setInsertPoint(s0);
+    Value* a0 = b_.binary(Opcode::Add, acc, c64(1));
+    b_.br(latch);
+    b_.setInsertPoint(s1);
+    Value* a1 = b_.binary(Opcode::Add, acc, c64(10));
+    b_.br(latch);
+    b_.setInsertPoint(s2);
+    Value* a2 = b_.binary(Opcode::Xor, acc, c64(0x5a));
+    b_.br(latch);
+
+    b_.setInsertPoint(latch);
+    PhiInst* acc_next = b_.phi(tc_->i64());
+    acc_next->addIncoming(a0, s0);
+    acc_next->addIncoming(a1, s1);
+    acc_next->addIncoming(a2, s2);
+    PhiInst* st_next = b_.phi(tc_->i64());
+    st_next->addIncoming(c64(1), s0);
+    st_next->addIncoming(c64(2), s1);
+    st_next->addIncoming(c64(0), s2);
+    Value* ivn = b_.binary(Opcode::Add, iv, c64(1));
+    b_.br(header);
+
+    iv->addIncoming(c64(0), pre);
+    iv->addIncoming(ivn, latch);
+    state->addIncoming(c64(0), pre);
+    state->addIncoming(st_next, latch);
+    acc->addIncoming(c64(0), pre);
+    acc->addIncoming(acc_next, latch);
+
+    b_.setInsertPoint(out);
+    return acc;
+  }
+
+  /// Aggregate local traffic (SROA fodder).
+  Value* structLocal(Pool& pool, Function*) {
+    Type* st = tc_->structOf({tc_->i64(), tc_->i64(), tc_->i32()});
+    AllocaInst* s = b_.alloca_(st);
+    Value* f0 = b_.gep(s, {c64(0), module_->i64Const(0)});
+    Value* f1 = b_.gep(s, {c64(0), module_->i64Const(1)});
+    Value* f2 = b_.gep(s, {c64(0), module_->i64Const(2)});
+    Value* x = pick(pool);
+    b_.store(x, f0);
+    b_.store(b_.binary(Opcode::Add, x, c64(11)), f1);
+    Value* narrow = b_.castOp(Opcode::Trunc, tc_->i32(), pick(pool));
+    b_.store(narrow, f2);
+    Value* v0 = b_.load(f0);
+    Value* v1 = b_.load(f1);
+    Value* v2 = b_.load(f2);
+    Value* wide = b_.castOp(Opcode::SExt, tc_->i64(), v2);
+    return b_.binary(Opcode::Add, b_.binary(Opcode::Mul, v0, v1), wide);
+  }
+
+  /// Float round-trip on narrow integers (float2int fodder).
+  Value* fpKernel(Pool& pool, Function*) {
+    Value* narrow = b_.castOp(Opcode::Trunc, tc_->i16(), pick(pool));
+    Value* fa = b_.castOp(Opcode::SIToFP, tc_->f64(), narrow);
+    Value* fm = b_.binary(Opcode::FMul, fa,
+                          module_->constantFloat(rng_.nextInt(2, 9)));
+    Value* fs = b_.binary(Opcode::FAdd, fm,
+                          module_->constantFloat(rng_.nextInt(1, 5)));
+    if (rng_.nextBool(0.3)) {
+      b_.call(sinkf_fn_, {fs});
+    }
+    Value* back = b_.castOp(Opcode::FPToSI, tc_->i64(), fs);
+    return back;
+  }
+
+  /// Paired division and remainder by the same operands.
+  Value* divRem(Pool& pool, Function*) {
+    Value* x = pick(pool);
+    Value* den = c64(rng_.nextInt(3, 17));
+    Value* q = b_.binary(Opcode::SDiv, x, den);
+    Value* r = b_.binary(Opcode::SRem, x, den);
+    return b_.binary(Opcode::Add, b_.binary(Opcode::Mul, q, c64(2)), r);
+  }
+
+  /// Loop with a hoistable invariant subexpression.
+  Value* invariantLoop(Pool& pool, Function* f) {
+    const std::int64_t n = rng_.nextInt(6, spec_.max_trip);
+    Value* a = pick(pool);
+    Value* b2 = pick(pool);
+    BasicBlock* pre = b_.insertBlock();
+    BasicBlock* header = f->addBlock("inv.h");
+    BasicBlock* body = f->addBlock("inv.b");
+    BasicBlock* exit = f->addBlock("inv.x");
+    b_.br(header);
+
+    b_.setInsertPoint(header);
+    PhiInst* iv = b_.phi(tc_->i64());
+    PhiInst* acc = b_.phi(tc_->i64());
+    Value* cond = b_.icmp(ICmpInst::Pred::SLT, iv, c64(n));
+    b_.condBr(cond, body, exit);
+
+    b_.setInsertPoint(body);
+    // Invariant computation recomputed every iteration.
+    Value* inv1 = b_.binary(Opcode::Mul, a, b2);
+    Value* inv2 = b_.binary(Opcode::Add, inv1, c64(17));
+    Value* acc_next = b_.binary(
+        Opcode::Add, acc, b_.binary(Opcode::Xor, inv2, iv));
+    Value* ivn = b_.binary(Opcode::Add, iv, c64(1));
+    b_.br(header);
+
+    iv->addIncoming(c64(0), pre);
+    iv->addIncoming(ivn, body);
+    acc->addIncoming(c64(0), pre);
+    acc->addIncoming(acc_next, body);
+
+    b_.setInsertPoint(exit);
+    return acc;
+  }
+
+  Value* recursionCall(Pool& pool, Function*) {
+    if (recursive_ == nullptr) return pick(pool);
+    Value* n = b_.binary(Opcode::And, pick(pool), c64(31));
+    return b_.call(recursive_, {n, c64(0)});
+  }
+
+  /// Two-level nest with an inner reduction.
+  Value* nestedLoop(Pool& pool, Function* f) {
+    const std::int64_t outer_n = rng_.nextInt(3, 8);
+    const std::int64_t inner_n = rng_.nextInt(3, 8);
+    Value* seed = pick(pool);
+    BasicBlock* pre = b_.insertBlock();
+    BasicBlock* oh = f->addBlock("n.oh");
+    BasicBlock* ih = f->addBlock("n.ih");
+    BasicBlock* ib = f->addBlock("n.ib");
+    BasicBlock* ol = f->addBlock("n.ol");
+    BasicBlock* out = f->addBlock("n.x");
+    b_.br(oh);
+
+    b_.setInsertPoint(oh);
+    PhiInst* i = b_.phi(tc_->i64());
+    PhiInst* acc = b_.phi(tc_->i64());
+    Value* ocond = b_.icmp(ICmpInst::Pred::SLT, i, c64(outer_n));
+    b_.condBr(ocond, ih, out);
+
+    b_.setInsertPoint(ih);
+    PhiInst* j = b_.phi(tc_->i64());
+    PhiInst* inner_acc = b_.phi(tc_->i64());
+    Value* icond = b_.icmp(ICmpInst::Pred::SLT, j, c64(inner_n));
+    b_.condBr(icond, ib, ol);
+
+    b_.setInsertPoint(ib);
+    Value* prod = b_.binary(Opcode::Mul, i, j);
+    Value* mixed = b_.binary(Opcode::Add, prod, seed);
+    Value* ia_next = b_.binary(Opcode::Add, inner_acc, mixed);
+    Value* jn = b_.binary(Opcode::Add, j, c64(1));
+    b_.br(ih);
+
+    b_.setInsertPoint(ol);
+    Value* acc_next = b_.binary(Opcode::Add, acc, inner_acc);
+    Value* in = b_.binary(Opcode::Add, i, c64(1));
+    b_.br(oh);
+
+    j->addIncoming(c64(0), oh);
+    j->addIncoming(jn, ib);
+    inner_acc->addIncoming(c64(0), oh);
+    inner_acc->addIncoming(ia_next, ib);
+    i->addIncoming(c64(0), pre);
+    i->addIncoming(in, ol);
+    acc->addIncoming(c64(0), pre);
+    acc->addIncoming(acc_next, ol);
+
+    b_.setInsertPoint(out);
+    return acc;
+  }
+
+  // ---- main --------------------------------------------------------------
+
+  void makeMain(const std::vector<Function*>& kernels) {
+    Function* main_fn = module_->createFunction(
+        "main", tc_->funcType(tc_->i64(), {}),
+        Function::Linkage::External);
+    BasicBlock* entry = main_fn->addBlock("entry");
+    b_.setInsertPoint(entry);
+    Value* acc = c64(0);
+    int input_idx = 0;
+    for (Function* k : kernels) {
+      Value* in1 = b_.call(input_fn_, {c64(input_idx++)});
+      Value* in2 = b_.call(input_fn_, {c64(input_idx++)});
+      std::vector<Value*> args{in1, in2};
+      while (args.size() < k->numArgs()) args.push_back(c64(input_idx * 7));
+      Value* r = b_.call(k, args);
+      sink(r);
+      acc = b_.binary(Opcode::Xor, acc, r);
+      acc = b_.binary(Opcode::Add, acc, c64(1));
+    }
+    // Fold in mutable global state so cross-kernel stores are observable.
+    for (GlobalVariable* g : globals_) {
+      Value* gv = b_.load(g);
+      acc = b_.binary(Opcode::Xor, acc, gv);
+    }
+    b_.ret(acc);
+  }
+
+  const ProgramSpec& spec_;
+  Rng rng_;
+  std::unique_ptr<Module> module_;
+  IRBuilder b_;
+  TypeContext* tc_ = nullptr;
+  Function* input_fn_ = nullptr;
+  Function* sink_fn_ = nullptr;
+  Function* sinkf_fn_ = nullptr;
+  Function* expect_fn_ = nullptr;
+  Function* assume_fn_ = nullptr;
+  Function* recursive_ = nullptr;
+  std::vector<Function*> helpers_;
+  std::vector<GlobalVariable*> globals_;
+  std::vector<GlobalVariable*> tables_;
+  GlobalVariable* funcptr_global_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<Module> generateProgram(const ProgramSpec& spec) {
+  ProgramBuilder builder(spec);
+  return builder.build();
+}
+
+}  // namespace posetrl

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file generator.h
+/// Synthetic MiniIR program generator — the stand-in for SPEC CPU
+/// 2006/2017, MiBench and the llvm-test-suite single-source corpus (see
+/// DESIGN.md §2). Programs are seeded and deterministic, verifier-clean,
+/// trap-free and terminating, with observable behaviour (pr.sink calls and
+/// a checksum return) so the interpreter can compare semantics before and
+/// after optimization.
+///
+/// Each program is assembled from weighted kernel templates that are
+/// deliberate "fodder" for specific Oz passes: redundant expression chains
+/// (CSE/GVN), memset-shaped loops (loop-idiom), independent-array loops
+/// (distribute/vectorize), struct locals (SROA), branch ladders
+/// (jump-threading / correlated-propagation), tiny helpers (inliner),
+/// self-recursive accumulators (tailcallelim), float round-trips
+/// (float2int), div+rem pairs, dead stores/locals (DSE/DCE), and
+/// loop-invariant subexpressions (LICM).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace posetrl {
+
+class Module;
+
+/// Tunable mix of kernel templates; weights need not sum to anything.
+struct KernelMix {
+  double straightline = 1.0;  ///< Redundant arithmetic chains.
+  double reduce_loop = 1.0;   ///< Counted accumulation loops.
+  double array_loop = 1.0;    ///< Fill + reduce over a local array.
+  double two_array = 0.6;     ///< Independent store loops (distribute).
+  double memset_loop = 0.6;   ///< Zero-fill loops (loop-idiom).
+  double branchy = 1.0;       ///< If/else ladders with shared subexprs.
+  double state_machine = 0.6; ///< Switch-driven loops.
+  double struct_local = 0.7;  ///< Aggregate locals (SROA).
+  double fp_kernel = 0.6;     ///< sitofp/arith/fptosi round trips.
+  double divrem = 0.5;        ///< Paired division/remainder.
+  double invariant = 0.8;     ///< Loop-invariant subexpressions (LICM).
+  double recursion = 0.4;     ///< Self-recursive accumulators (TCE).
+  double nested_loop = 0.8;   ///< Two-level loop nests.
+};
+
+/// Full specification of one synthetic program.
+struct ProgramSpec {
+  std::string name = "prog";
+  std::uint64_t seed = 1;
+  /// Overall size knob: roughly the number of kernels in the program.
+  int kernels = 6;
+  /// Upper bound on constant loop trip counts.
+  int max_trip = 48;
+  /// Number of small helper functions shared by kernels.
+  int helpers = 3;
+  /// Number of module-level globals.
+  int globals = 4;
+  /// Emit extra dead / redundant code (optimization headroom).
+  bool redundancy = true;
+  /// Emit expect/assume hints.
+  bool hints = true;
+  /// Emit an indirect call through a constant function-pointer global.
+  bool funcptr = true;
+  KernelMix mix;
+};
+
+/// Generates the program described by \p spec. The module verifies cleanly
+/// and its @main runs trap-free under the interpreter for any input seed.
+std::unique_ptr<Module> generateProgram(const ProgramSpec& spec);
+
+}  // namespace posetrl

@@ -1,0 +1,157 @@
+#include "workloads/suites.h"
+
+#include "support/rng.h"
+
+namespace posetrl {
+
+namespace {
+
+/// Kernel-mix archetypes named after the dominant character of the codes
+/// they imitate.
+KernelMix loopScience() {
+  KernelMix mix;
+  mix.reduce_loop = 2.0;
+  mix.array_loop = 2.0;
+  mix.two_array = 1.6;
+  mix.nested_loop = 2.0;
+  mix.fp_kernel = 1.5;
+  mix.invariant = 1.5;
+  mix.branchy = 0.4;
+  mix.state_machine = 0.1;
+  mix.recursion = 0.1;
+  return mix;
+}
+
+KernelMix branchyInteger() {
+  KernelMix mix;
+  mix.branchy = 2.2;
+  mix.state_machine = 1.8;
+  mix.straightline = 1.4;
+  mix.divrem = 1.0;
+  mix.recursion = 0.8;
+  mix.reduce_loop = 0.8;
+  mix.array_loop = 0.6;
+  mix.fp_kernel = 0.2;
+  return mix;
+}
+
+KernelMix mediaKernel() {
+  KernelMix mix;
+  mix.array_loop = 2.2;
+  mix.two_array = 2.0;
+  mix.memset_loop = 1.4;
+  mix.struct_local = 1.2;
+  mix.reduce_loop = 1.2;
+  mix.invariant = 1.0;
+  mix.branchy = 0.8;
+  return mix;
+}
+
+KernelMix embeddedTiny() {
+  KernelMix mix;
+  mix.straightline = 1.6;
+  mix.reduce_loop = 1.4;
+  mix.divrem = 1.2;
+  mix.memset_loop = 1.0;
+  mix.struct_local = 0.8;
+  mix.branchy = 1.2;
+  mix.nested_loop = 0.5;
+  mix.fp_kernel = 0.6;
+  return mix;
+}
+
+ProgramSpec make(const std::string& name, std::uint64_t seed, int kernels,
+                 int helpers, int globals, const KernelMix& mix) {
+  ProgramSpec spec;
+  spec.name = name;
+  spec.seed = seed;
+  spec.kernels = kernels;
+  spec.helpers = helpers;
+  spec.globals = globals;
+  spec.mix = mix;
+  return spec;
+}
+
+}  // namespace
+
+SuiteSpec spec2017Suite() {
+  SuiteSpec suite;
+  suite.name = "SPEC-2017";
+  suite.programs = {
+      make("508.namd", 170801, 12, 4, 5, loopScience()),
+      make("510.parest", 171002, 14, 5, 6, loopScience()),
+      make("511.povray", 171103, 13, 5, 5, mediaKernel()),
+      make("519.lbm", 171904, 10, 3, 4, loopScience()),
+      make("520.omnetpp", 172005, 14, 6, 7, branchyInteger()),
+      make("523.xalancbmk", 172306, 15, 6, 7, branchyInteger()),
+      make("525.x264", 172507, 13, 4, 5, mediaKernel()),
+      make("526.blender", 172608, 15, 5, 6, mediaKernel()),
+      make("531.deepsjeng", 173109, 12, 5, 5, branchyInteger()),
+      make("538.imagick", 173810, 14, 4, 5, mediaKernel()),
+      make("541.leela", 174111, 12, 5, 5, branchyInteger()),
+      make("544.nab", 174412, 11, 4, 4, loopScience()),
+      make("557.xz", 175713, 12, 4, 5, branchyInteger()),
+  };
+  return suite;
+}
+
+SuiteSpec spec2006Suite() {
+  SuiteSpec suite;
+  suite.name = "SPEC-2006";
+  suite.programs = {
+      make("401.bzip2", 640101, 11, 4, 5, branchyInteger()),
+      make("403.gcc", 640302, 15, 6, 7, branchyInteger()),
+      make("429.mcf", 642903, 9, 3, 4, branchyInteger()),
+      make("433.milc", 643304, 11, 4, 4, loopScience()),
+      make("445.gobmk", 644505, 13, 5, 6, branchyInteger()),
+      make("450.soplex", 645006, 12, 4, 5, loopScience()),
+      make("456.hmmer", 645607, 11, 4, 5, loopScience()),
+      make("458.sjeng", 645808, 12, 5, 5, branchyInteger()),
+      make("462.libquantum", 646209, 9, 3, 4, loopScience()),
+      make("464.h264ref", 646410, 13, 4, 5, mediaKernel()),
+      make("470.lbm", 647011, 9, 3, 4, loopScience()),
+      make("473.astar", 647312, 10, 4, 4, branchyInteger()),
+  };
+  return suite;
+}
+
+SuiteSpec mibenchSuite() {
+  SuiteSpec suite;
+  suite.name = "MiBench";
+  suite.programs = {
+      make("basicmath", 900101, 5, 2, 2, embeddedTiny()),
+      make("bitcount", 900202, 4, 2, 2, embeddedTiny()),
+      make("qsort", 900303, 5, 2, 3, branchyInteger()),
+      make("susan", 900404, 6, 2, 3, mediaKernel()),
+      make("jpeg", 900505, 7, 3, 3, mediaKernel()),
+      make("dijkstra", 900606, 5, 2, 3, branchyInteger()),
+      make("patricia", 900707, 5, 2, 3, branchyInteger()),
+      make("stringsearch", 900808, 4, 2, 2, embeddedTiny()),
+      make("blowfish", 900909, 6, 2, 2, embeddedTiny()),
+      make("sha", 901010, 5, 2, 2, embeddedTiny()),
+      make("crc32", 901111, 4, 2, 2, embeddedTiny()),
+      make("fft", 901212, 6, 2, 3, loopScience()),
+  };
+  return suite;
+}
+
+SuiteSpec trainingCorpus(int count, std::uint64_t seed) {
+  SuiteSpec suite;
+  suite.name = "llvm-test-suite";
+  Rng rng(seed);
+  const KernelMix archetypes[4] = {loopScience(), branchyInteger(),
+                                   mediaKernel(), embeddedTiny()};
+  for (int i = 0; i < count; ++i) {
+    ProgramSpec spec;
+    spec.name = "ts/prog" + std::to_string(i);
+    spec.seed = rng.next();
+    spec.kernels = static_cast<int>(rng.nextInt(2, 7));
+    spec.helpers = static_cast<int>(rng.nextInt(1, 4));
+    spec.globals = static_cast<int>(rng.nextInt(1, 5));
+    spec.mix = archetypes[rng.nextBelow(4)];
+    suite.programs.push_back(spec);
+  }
+  return suite;
+}
+
+}  // namespace posetrl

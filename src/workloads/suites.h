@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file suites.h
+/// Benchmark-suite definitions mirroring the paper's evaluation setup:
+/// SPEC CPU 2017, SPEC CPU 2006 and MiBench suites for validation, and a
+/// 130-program llvm-test-suite-style corpus for training. Each named
+/// benchmark is a seeded synthetic program whose kernel mix loosely matches
+/// the real benchmark's character (loop-dense scientific codes, branchy
+/// integer codes, small embedded kernels, ...).
+
+#include <string>
+#include <vector>
+
+#include "workloads/generator.h"
+
+namespace posetrl {
+
+/// A named set of program specifications.
+struct SuiteSpec {
+  std::string name;
+  std::vector<ProgramSpec> programs;
+};
+
+/// SPEC CPU 2017 analog (13 benchmarks, larger programs).
+SuiteSpec spec2017Suite();
+
+/// SPEC CPU 2006 analog (12 benchmarks).
+SuiteSpec spec2006Suite();
+
+/// MiBench analog (12 small embedded kernels).
+SuiteSpec mibenchSuite();
+
+/// Training corpus in the style of llvm-test-suite single-source programs.
+SuiteSpec trainingCorpus(int count = 130, std::uint64_t seed = 2022);
+
+}  // namespace posetrl

@@ -1,0 +1,276 @@
+// Unit tests for the analysis library: CFG orders, dominator tree, loop
+// detection, call graph, and block frequency.
+
+#include <gtest/gtest.h>
+
+#include "analysis/block_frequency.h"
+#include "analysis/call_graph.h"
+#include "analysis/cfg.h"
+#include "analysis/dominators.h"
+#include "analysis/loop_info.h"
+#include "ir/basic_block.h"
+#include "ir/function.h"
+#include "ir/ir_builder.h"
+#include "ir/module.h"
+#include "ir/parser.h"
+#include "ir/verifier.h"
+
+namespace posetrl {
+namespace {
+
+/// Diamond CFG: entry -> {a, b} -> join -> exit(ret).
+struct Diamond {
+  std::unique_ptr<Module> m;
+  Function* f;
+  BasicBlock* entry;
+  BasicBlock* a;
+  BasicBlock* b;
+  BasicBlock* join;
+};
+
+Diamond makeDiamond() {
+  Diamond d;
+  d.m = std::make_unique<Module>("diamond");
+  TypeContext& tc = d.m->types();
+  d.f = d.m->createFunction("f", tc.funcType(tc.i64(), {tc.i1()}),
+                            Function::Linkage::Internal);
+  d.entry = d.f->addBlock("entry");
+  d.a = d.f->addBlock("a");
+  d.b = d.f->addBlock("b");
+  d.join = d.f->addBlock("join");
+  IRBuilder ib(d.m.get());
+  ib.setInsertPoint(d.entry);
+  ib.condBr(d.f->arg(0), d.a, d.b);
+  ib.setInsertPoint(d.a);
+  ib.br(d.join);
+  ib.setInsertPoint(d.b);
+  ib.br(d.join);
+  ib.setInsertPoint(d.join);
+  PhiInst* phi = ib.phi(tc.i64());
+  phi->addIncoming(d.m->i64Const(1), d.a);
+  phi->addIncoming(d.m->i64Const(2), d.b);
+  ib.ret(phi);
+  return d;
+}
+
+/// Two-level loop nest built from text.
+const char* kLoopNest = R"(
+module "loops"
+define @f : fn(i64) -> i64 internal {
+block entry:
+  br label outer_header
+block outer_header:
+  %i : i64 = phi [ i64 0, entry ], [ %inext, outer_latch ]
+  br label inner_header
+block inner_header:
+  %j : i64 = phi [ i64 0, outer_header ], [ %jnext, inner_header ]
+  %jnext : i64 = add %j, i64 1
+  %jdone : i1 = icmp sge %jnext, i64 4
+  condbr %jdone, label outer_latch, label inner_header
+block outer_latch:
+  %inext : i64 = add %i, i64 1
+  %idone : i1 = icmp sge %inext, %arg0
+  condbr %idone, label exit, label outer_header
+block exit:
+  ret %inext
+}
+)";
+
+TEST(CfgTest, ReversePostOrderStartsAtEntry) {
+  Diamond d = makeDiamond();
+  const auto rpo = reversePostOrder(*d.f);
+  ASSERT_EQ(rpo.size(), 4u);
+  EXPECT_EQ(rpo.front(), d.entry);
+  EXPECT_EQ(rpo.back(), d.join);
+}
+
+TEST(CfgTest, PostOrderEndsAtEntry) {
+  Diamond d = makeDiamond();
+  const auto po = postOrder(*d.f);
+  ASSERT_EQ(po.size(), 4u);
+  EXPECT_EQ(po.back(), d.entry);
+  EXPECT_EQ(po.front(), d.join);
+}
+
+TEST(CfgTest, UnreachableBlocksExcluded) {
+  Diamond d = makeDiamond();
+  BasicBlock* dead = d.f->addBlock("dead");
+  IRBuilder ib(d.m.get());
+  ib.setInsertPoint(dead);
+  ib.br(d.join);
+  EXPECT_EQ(reachableBlocks(*d.f).size(), 4u);
+}
+
+TEST(DomTest, DiamondDominators) {
+  Diamond d = makeDiamond();
+  DominatorTree dt(*d.f);
+  EXPECT_EQ(dt.idom(d.entry), nullptr);
+  EXPECT_EQ(dt.idom(d.a), d.entry);
+  EXPECT_EQ(dt.idom(d.b), d.entry);
+  EXPECT_EQ(dt.idom(d.join), d.entry);
+  EXPECT_TRUE(dt.dominates(d.entry, d.join));
+  EXPECT_FALSE(dt.dominates(d.a, d.join));
+  EXPECT_TRUE(dt.dominates(d.a, d.a));
+}
+
+TEST(DomTest, DiamondFrontiers) {
+  Diamond d = makeDiamond();
+  DominatorTree dt(*d.f);
+  EXPECT_TRUE(dt.frontier(d.a).count(d.join));
+  EXPECT_TRUE(dt.frontier(d.b).count(d.join));
+  EXPECT_TRUE(dt.frontier(d.entry).empty());
+}
+
+TEST(DomTest, DominatesUseThroughPhi) {
+  Diamond d = makeDiamond();
+  // Define a value in block `a` and feed it into the phi via both edges:
+  // the edge from `a` is dominated, the edge from `b` is not.
+  Instruction* br_a = d.a->terminator();
+  IRBuilder ib(d.m.get());
+  ib.setInsertPoint(d.a);
+  Value* va = ib.add(d.m->i64Const(3), d.m->i64Const(4));
+  cast<Instruction>(va)->moveBefore(br_a);
+  PhiInst* phi = d.join->phis()[0];
+  DominatorTree dt(*d.f);
+  Instruction* ret = d.join->terminator();
+  EXPECT_TRUE(dt.dominatesUse(phi, ret));
+
+  phi->setIncomingValue(phi->indexOfBlock(d.a), va);
+  EXPECT_TRUE(dt.dominatesUse(cast<Instruction>(va), phi));
+  phi->setIncomingValue(phi->indexOfBlock(d.b), va);
+  EXPECT_FALSE(dt.dominatesUse(cast<Instruction>(va), phi));
+}
+
+TEST(LoopTest, DetectsNest) {
+  std::string err;
+  auto m = parseModule(kLoopNest, &err);
+  ASSERT_NE(m, nullptr) << err;
+  ASSERT_TRUE(verifyModule(*m).ok()) << verifyModule(*m).message();
+  Function* f = m->getFunction("f");
+  DominatorTree dt(*f);
+  LoopInfo li(*f, dt);
+  ASSERT_EQ(li.loopCount(), 2u);
+  const auto inner_first = li.loopsInnermostFirst();
+  Loop* inner = inner_first[0];
+  Loop* outer = inner_first[1];
+  EXPECT_EQ(inner->depth(), 2u);
+  EXPECT_EQ(outer->depth(), 1u);
+  EXPECT_EQ(inner->parent(), outer);
+  EXPECT_EQ(inner->header()->name(), "inner_header");
+  EXPECT_EQ(outer->header()->name(), "outer_header");
+  EXPECT_EQ(inner->blocks().size(), 1u);
+  EXPECT_EQ(outer->blocks().size(), 3u);
+  // Preheaders: inner loop's unique outside pred is outer_header and it
+  // branches only to inner_header.
+  ASSERT_NE(inner->preheader(), nullptr);
+  EXPECT_EQ(inner->preheader()->name(), "outer_header");
+  ASSERT_NE(outer->preheader(), nullptr);
+  EXPECT_EQ(outer->preheader()->name(), "entry");
+  EXPECT_EQ(inner->singleLatch(), inner->header());
+  EXPECT_TRUE(outer->hasDedicatedExits());
+}
+
+TEST(LoopTest, ExitBlocks) {
+  std::string err;
+  auto m = parseModule(kLoopNest, &err);
+  ASSERT_NE(m, nullptr) << err;
+  Function* f = m->getFunction("f");
+  DominatorTree dt(*f);
+  LoopInfo li(*f, dt);
+  Loop* outer = li.loopsInnermostFirst()[1];
+  const auto exits = outer->exitBlocks();
+  ASSERT_EQ(exits.size(), 1u);
+  EXPECT_EQ(exits[0]->name(), "exit");
+}
+
+TEST(LoopTest, NoLoopsInDiamond) {
+  Diamond d = makeDiamond();
+  DominatorTree dt(*d.f);
+  LoopInfo li(*d.f, dt);
+  EXPECT_EQ(li.loopCount(), 0u);
+  EXPECT_EQ(li.loopFor(d.join), nullptr);
+  EXPECT_EQ(li.loopDepth(d.a), 0u);
+}
+
+TEST(FreqTest, LoopDepthScalesFrequency) {
+  std::string err;
+  auto m = parseModule(kLoopNest, &err);
+  ASSERT_NE(m, nullptr) << err;
+  Function* f = m->getFunction("f");
+  BlockFrequency bf(*f, 8.0);
+  BasicBlock* entry = nullptr;
+  BasicBlock* outer = nullptr;
+  BasicBlock* inner = nullptr;
+  for (const auto& bb : f->blocks()) {
+    if (bb->name() == "entry") entry = bb.get();
+    if (bb->name() == "outer_header") outer = bb.get();
+    if (bb->name() == "inner_header") inner = bb.get();
+  }
+  EXPECT_DOUBLE_EQ(bf.frequency(entry), 1.0);
+  // The outer loop's bound is runtime-dependent -> static default (8);
+  // the inner loop is a constant-bound counted loop -> exact trips (4).
+  EXPECT_DOUBLE_EQ(bf.frequency(outer), 8.0);
+  EXPECT_DOUBLE_EQ(bf.frequency(inner), 32.0);
+}
+
+const char* kCallGraphModule = R"(
+module "cg"
+declare @pr.sink : fn(i64) -> void intrinsic sink
+define @leaf : fn(i64) -> i64 internal {
+block e:
+  %r : i64 = add %arg0, i64 1
+  ret %r
+}
+define @mid : fn(i64) -> i64 internal {
+block e:
+  %a : i64 = call @leaf(%arg0)
+  %b : i64 = call @leaf(%a)
+  ret %b
+}
+define @main : fn() -> i64 external {
+block e:
+  %v : i64 = call @mid(i64 3)
+  call @pr.sink(%v)
+  ret %v
+}
+)";
+
+TEST(CallGraphTest, EdgesAndOrder) {
+  std::string err;
+  auto m = parseModule(kCallGraphModule, &err);
+  ASSERT_NE(m, nullptr) << err;
+  CallGraph cg(*m);
+  Function* leaf = m->getFunction("leaf");
+  Function* mid = m->getFunction("mid");
+  Function* main_fn = m->getFunction("main");
+  EXPECT_TRUE(cg.callees(mid).count(leaf));
+  EXPECT_TRUE(cg.callers(leaf).count(mid));
+  EXPECT_FALSE(cg.addressTaken(leaf));
+  EXPECT_FALSE(cg.hasIndirectCalls(main_fn));
+  const auto order = cg.bottomUpOrder();
+  // leaf must come before mid, and mid before main.
+  const auto pos = [&](Function* f) {
+    return std::find(order.begin(), order.end(), f) - order.begin();
+  };
+  EXPECT_LT(pos(leaf), pos(mid));
+  EXPECT_LT(pos(mid), pos(main_fn));
+}
+
+TEST(CallGraphTest, AddressTakenViaGlobal) {
+  std::string err;
+  auto m = parseModule(R"(
+module "at"
+define @target : fn() -> i64 internal {
+block e:
+  ret i64 7
+}
+global @fp : ptr<fn() -> i64> = funcptr @target, internal
+)",
+                       &err);
+  ASSERT_NE(m, nullptr) << err;
+  CallGraph cg(*m);
+  EXPECT_TRUE(cg.addressTaken(m->getFunction("target")));
+}
+
+}  // namespace
+}  // namespace posetrl

@@ -1,0 +1,330 @@
+// Edge-case and robustness tests: parser corner cases, integer-width
+// semantics in the interpreter, pass idempotence, recursion limits, and
+// cost-model monotonicity properties.
+
+#include <gtest/gtest.h>
+
+#include "core/oz_sequence.h"
+#include "embed/embedder.h"
+#include "interp/interpreter.h"
+#include "ir/clone.h"
+#include "ir/module.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "passes/pass.h"
+#include "target/size_model.h"
+#include "workloads/generator.h"
+
+namespace posetrl {
+namespace {
+
+std::unique_ptr<Module> parseOrDie(const std::string& text) {
+  std::string err;
+  auto m = parseModule(text, &err);
+  EXPECT_NE(m, nullptr) << err;
+  if (m) {
+    EXPECT_TRUE(verifyModule(*m).ok()) << verifyModule(*m).message();
+  }
+  return m;
+}
+
+TEST(ParserEdgeTest, EmptyModule) {
+  auto m = parseOrDie("module \"empty\"\n");
+  EXPECT_EQ(m->instructionCount(), 0u);
+  EXPECT_EQ(printModule(*m).find("module \"empty\""), 0u);
+}
+
+TEST(ParserEdgeTest, CommentsAndWhitespace) {
+  auto m = parseOrDie(
+      "module \"c\"  ; trailing comment\n"
+      "; full-line comment\n"
+      "define @main : fn() -> i64 external {  ; another\n"
+      "block e:\n"
+      "  ; comment between instructions\n"
+      "  ret i64 3\n"
+      "}\n");
+  EXPECT_EQ(runModule(*m).return_value, 3);
+}
+
+TEST(ParserEdgeTest, NegativeLiteralsAndAllIntWidths) {
+  auto m = parseOrDie(R"(
+module "widths"
+define @main : fn() -> i64 external {
+block e:
+  %a : i8 = add i8 -100, i8 -100
+  %b : i64 = sext %a
+  %c : i16 = trunc i64 40000
+  %d : i64 = zext %c
+  %e2 : i32 = add i32 -2147483648, i32 -1
+  %f : i64 = sext %e2
+  %g : i64 = add %b, %d
+  %h : i64 = add %g, %f
+  ret %h
+}
+)");
+  const ExecResult r = runModule(*m);
+  ASSERT_TRUE(r.ok);
+  // i8: -100 + -100 = -200 wraps to 56; i16 trunc(40000) = -25536,
+  // zext to 40000; i32: INT32_MIN - 1 wraps to INT32_MAX (2147483647).
+  EXPECT_EQ(r.return_value, 56 + 40000 + 2147483647LL);
+}
+
+TEST(ParserEdgeTest, SwitchWithNoCases) {
+  auto m = parseOrDie(R"(
+module "sw"
+define @main : fn() -> i64 external {
+block e:
+  switch i64 5, default label d, []
+block d:
+  ret i64 9
+}
+)");
+  EXPECT_EQ(runModule(*m).return_value, 9);
+}
+
+TEST(ParserEdgeTest, DeeplyNestedTypes) {
+  auto m = parseOrDie(R"(
+module "nest"
+define @main : fn() -> i64 external {
+block e:
+  %p : ptr<[2 x {i64, [3 x i32], f64}]> = alloca [2 x {i64, [3 x i32], f64}]
+  %q : ptr<i32> = gep %p [i64 0, i64 1, i64 1, i64 2]
+  store i32 11, %q
+  %v : i32 = load %q
+  %w : i64 = sext %v
+  ret %w
+}
+)");
+  EXPECT_EQ(runModule(*m).return_value, 11);
+}
+
+TEST(ParserEdgeTest, RejectsDuplicateBlocks) {
+  std::string err;
+  auto m = parseModule(
+      "module \"x\"\ndefine @f : fn() -> i64 internal {\n"
+      "block a:\n  ret i64 1\nblock a:\n  ret i64 2\n}\n",
+      &err);
+  EXPECT_EQ(m, nullptr);
+  EXPECT_NE(err.find("duplicate"), std::string::npos);
+}
+
+TEST(ParserEdgeTest, RejectsTypeMismatchViaVerifier) {
+  std::string err;
+  auto m = parseModule(
+      "module \"x\"\ndefine @f : fn() -> i64 external {\n"
+      "block e:\n  %a : i32 = add i32 1, i32 2\n  ret %a\n}\n",
+      &err);
+  // Parses (types are per-instruction consistent) but must fail the
+  // verifier: ret i32 in an i64 function.
+  ASSERT_NE(m, nullptr) << err;
+  EXPECT_FALSE(verifyModule(*m).ok());
+}
+
+TEST(InterpEdgeTest, RecursionDepthTrap) {
+  auto m = parseOrDie(R"(
+module "deep"
+define @down : fn(i64) -> i64 internal {
+block e:
+  %z : i1 = icmp sle %arg0, i64 0
+  condbr %z, label base, label rec
+block base:
+  ret i64 0
+block rec:
+  %n : i64 = sub %arg0, i64 1
+  %sub2 : i64 = call @down(%n)
+  %r : i64 = add %sub2, i64 1
+  ret %r
+}
+define @main : fn() -> i64 external {
+block e:
+  %r : i64 = call @down(i64 100000)
+  ret %r
+}
+)");
+  const ExecResult r = runModule(*m);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.trap.find("depth"), std::string::npos);
+}
+
+TEST(InterpEdgeTest, ShiftAmountsWrapModuloWidth) {
+  auto m = parseOrDie(R"(
+module "sh"
+define @main : fn() -> i64 external {
+block e:
+  %a : i8 = shl i8 1, i8 9
+  %b : i64 = zext %a
+  ret %b
+}
+)");
+  // Shift of 9 on i8 wraps to 1: 1 << 1 = 2.
+  EXPECT_EQ(runModule(*m).return_value, 2);
+}
+
+TEST(InterpEdgeTest, UnsignedDivisionSemantics) {
+  auto m = parseOrDie(R"(
+module "ud"
+define @main : fn() -> i64 external {
+block e:
+  %a : i8 = udiv i8 -1, i8 16
+  %b : i64 = zext %a
+  ret %b
+}
+)");
+  // i8 -1 is 255 unsigned; 255/16 = 15.
+  EXPECT_EQ(runModule(*m).return_value, 15);
+}
+
+TEST(InterpEdgeTest, AssumeAndExpectAreTransparent) {
+  auto m = parseOrDie(R"(
+module "hints"
+declare @pr.assume : fn(i1) -> void intrinsic assume
+declare @pr.expect : fn(i64, i64) -> i64 attrs [readnone] intrinsic expect
+define @main : fn() -> i64 external {
+block e:
+  %c : i1 = icmp sgt i64 5, i64 1
+  call @pr.assume(%c)
+  %v : i64 = call @pr.expect(i64 42, i64 1)
+  ret %v
+}
+)");
+  const ExecResult r = runModule(*m);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.return_value, 42);
+}
+
+/// Idempotent passes: a second run right after the first must change
+/// nothing.
+class IdempotencePassTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(IdempotencePassTest, SecondRunIsNoop) {
+  ProgramSpec spec;
+  spec.seed = 404;
+  spec.kernels = 4;
+  auto m = generateProgram(spec);
+  runPassSequence(*m, {GetParam()});
+  const std::string once = printModule(*m);
+  const bool changed_again = runPassSequence(*m, {GetParam()});
+  EXPECT_FALSE(changed_again) << GetParam();
+  EXPECT_EQ(printModule(*m), once) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Core, IdempotencePassTest,
+                         ::testing::Values("mem2reg", "sroa", "dce", "dse",
+                                           "adce", "globaldce",
+                                           "strip-dead-prototypes",
+                                           "constmerge", "deadargelim",
+                                           "lower-expect", "loop-simplify",
+                                           "float2int", "tailcallelim"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(CostModelTest, VectorizedSmallerThanScalarClones) {
+  // The same four instructions cost fewer bytes when vector-marked than as
+  // scalar clones (one SIMD encoding vs four scalar ones).
+  auto scalar = parseOrDie(R"(
+module "s"
+define @f : fn(i64) -> i64 internal {
+block e:
+  %a : i64 = add %arg0, i64 1
+  %b : i64 = add %arg0, i64 2
+  %c : i64 = add %arg0, i64 3
+  %d : i64 = add %arg0, i64 4
+  %r : i64 = add %a, %b
+  ret %r
+}
+)");
+  auto vec = parseOrDie(R"(
+module "v"
+define @f : fn(i64) -> i64 internal {
+block e:
+  %a : i64 = add %arg0, i64 1 vec 4
+  %b : i64 = add %arg0, i64 2 vec 4
+  %c : i64 = add %arg0, i64 3 vec 4
+  %d : i64 = add %arg0, i64 4 vec 4
+  %r : i64 = add %a, %b
+  ret %r
+}
+)");
+  for (const TargetInfo* t : {&TargetInfo::x86_64(), &TargetInfo::aarch64()}) {
+    SizeModel sm(*t);
+    EXPECT_LT(sm.functionBytes(*vec->getFunction("f")),
+              sm.functionBytes(*scalar->getFunction("f")))
+        << t->name();
+  }
+}
+
+TEST(CostModelTest, AlignmentHintReducesNothingButIsAccepted) {
+  // Alignment currently has no cost effect; the attribute must survive the
+  // printer/parser round trip regardless.
+  auto m = parseOrDie(R"(
+module "al"
+define @main : fn() -> i64 external {
+block e:
+  %p : ptr<i64> = alloca i64
+  store i64 1, %p align 16
+  %v : i64 = load %p align 16
+  ret %v
+}
+)");
+  const std::string printed = printModule(*m);
+  EXPECT_NE(printed.find("align 16"), std::string::npos);
+  EXPECT_EQ(runModule(*m).return_value, 1);
+}
+
+TEST(EmbeddingEdgeTest, VectorMarkingChangesEmbedding) {
+  auto scalar = parseOrDie(R"(
+module "s"
+define @f : fn(i64) -> i64 internal {
+block e:
+  %a : i64 = add %arg0, i64 1
+  ret %a
+}
+)");
+  auto vec = parseOrDie(R"(
+module "v"
+define @f : fn(i64) -> i64 internal {
+block e:
+  %a : i64 = add %arg0, i64 1 vec 4
+  ret %a
+}
+)");
+  Embedder e;
+  EXPECT_NE(e.embedFunction(*scalar->getFunction("f")),
+            e.embedFunction(*vec->getFunction("f")));
+}
+
+TEST(CloneEdgeTest, CloneOfOptimizedProgramMatches) {
+  ProgramSpec spec;
+  spec.seed = 321;
+  auto m = generateProgram(spec);
+  runPassSequence(*m, ozPassNames());
+  auto c = cloneModule(*m);
+  EXPECT_EQ(printModule(*m), printModule(*c));
+  EXPECT_TRUE(verifyModule(*c).ok()) << verifyModule(*c).message();
+  EXPECT_EQ(runModule(*m).fingerprint(), runModule(*c).fingerprint());
+}
+
+TEST(OzEdgeTest, OzTwiceIsSemanticallyStable) {
+  ProgramSpec spec;
+  spec.seed = 555;
+  spec.kernels = 3;
+  auto m = generateProgram(spec);
+  const ExecResult base = runModule(*m);
+  runPassSequence(*m, ozPassNames());
+  const double once_bytes = SizeModel(TargetInfo::x86_64()).objectBytes(*m);
+  runPassSequence(*m, ozPassNames());
+  EXPECT_TRUE(verifyModule(*m).ok());
+  EXPECT_EQ(base.fingerprint(), runModule(*m).fingerprint());
+  // A second Oz run must not regress size by much (mild churn allowed).
+  EXPECT_LE(SizeModel(TargetInfo::x86_64()).objectBytes(*m),
+            once_bytes * 1.05);
+}
+
+}  // namespace
+}  // namespace posetrl

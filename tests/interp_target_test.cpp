@@ -1,0 +1,344 @@
+// Tests for the interpreter (semantics + trap behaviour) and the size /
+// throughput models.
+
+#include <gtest/gtest.h>
+
+#include "interp/interpreter.h"
+#include "ir/module.h"
+#include "ir/parser.h"
+#include "ir/verifier.h"
+#include "target/mca_model.h"
+#include "target/size_model.h"
+
+namespace posetrl {
+namespace {
+
+std::unique_ptr<Module> parseOrDie(const char* text) {
+  std::string err;
+  auto m = parseModule(text, &err);
+  EXPECT_NE(m, nullptr) << err;
+  EXPECT_TRUE(verifyModule(*m).ok()) << verifyModule(*m).message();
+  return m;
+}
+
+TEST(InterpTest, ArithmeticAndCalls) {
+  auto m = parseOrDie(R"(
+module "t"
+define @sq : fn(i64) -> i64 internal {
+block e:
+  %r : i64 = mul %arg0, %arg0
+  ret %r
+}
+define @main : fn() -> i64 external {
+block e:
+  %a : i64 = call @sq(i64 7)
+  %b : i64 = add %a, i64 -9
+  ret %b
+}
+)");
+  const ExecResult r = runModule(*m);
+  ASSERT_TRUE(r.ok) << r.trap;
+  EXPECT_EQ(r.return_value, 40);
+}
+
+TEST(InterpTest, LoopAndMemory) {
+  auto m = parseOrDie(R"(
+module "t"
+define @main : fn() -> i64 external {
+block e:
+  %buf : ptr<[8 x i64]> = alloca [8 x i64]
+  br label loop
+block loop:
+  %i : i64 = phi [ i64 0, e ], [ %inext, loop ]
+  %p : ptr<i64> = gep %buf [i64 0, %i]
+  %sq : i64 = mul %i, %i
+  store %sq, %p
+  %inext : i64 = add %i, i64 1
+  %done : i1 = icmp sge %inext, i64 8
+  condbr %done, label sum, label loop
+block sum:
+  %p3 : ptr<i64> = gep %buf [i64 0, i64 3]
+  %p5 : ptr<i64> = gep %buf [i64 0, i64 5]
+  %v3 : i64 = load %p3
+  %v5 : i64 = load %p5
+  %r : i64 = add %v3, %v5
+  ret %r
+}
+)");
+  const ExecResult r = runModule(*m);
+  ASSERT_TRUE(r.ok) << r.trap;
+  EXPECT_EQ(r.return_value, 9 + 25);
+  EXPECT_GT(r.cycles, 0.0);
+  EXPECT_GT(r.steps, 20u);
+}
+
+TEST(InterpTest, GlobalsAndIndirectCalls) {
+  auto m = parseOrDie(R"(
+module "t"
+define @inc : fn(i64) -> i64 internal {
+block e:
+  %r : i64 = add %arg0, i64 1
+  ret %r
+}
+global @fp : ptr<fn(i64) -> i64> = funcptr @inc, internal
+global @g : i64 = int 41, internal
+define @main : fn() -> i64 external {
+block e:
+  %f : ptr<fn(i64) -> i64> = load @fp
+  %gv : i64 = load @g
+  %r : i64 = call indirect %f(%gv)
+  ret %r
+}
+)");
+  const ExecResult r = runModule(*m);
+  ASSERT_TRUE(r.ok) << r.trap;
+  EXPECT_EQ(r.return_value, 42);
+}
+
+TEST(InterpTest, InputDeterministicPerSeed) {
+  auto m = parseOrDie(R"(
+module "t"
+declare @pr.input : fn(i64) -> i64 attrs [readnone] intrinsic input
+define @main : fn() -> i64 external {
+block e:
+  %a : i64 = call @pr.input(i64 0)
+  %b : i64 = call @pr.input(i64 1)
+  %r : i64 = add %a, %b
+  ret %r
+}
+)");
+  ExecOptions o1;
+  o1.input_seed = 5;
+  const ExecResult r1 = runModule(*m, o1);
+  const ExecResult r2 = runModule(*m, o1);
+  ASSERT_TRUE(r1.ok);
+  EXPECT_EQ(r1.return_value, r2.return_value);
+  ExecOptions o2;
+  o2.input_seed = 6;
+  const ExecResult r3 = runModule(*m, o2);
+  ASSERT_TRUE(r3.ok);
+  EXPECT_NE(r1.return_value, r3.return_value);
+  // Inputs stay small so they can bound loop trip counts.
+  EXPECT_LT(r1.return_value, 2048);
+  EXPECT_GE(r1.return_value, 0);
+}
+
+TEST(InterpTest, SinkObservations) {
+  auto m = parseOrDie(R"(
+module "t"
+declare @pr.sink : fn(i64) -> void intrinsic sink
+define @main : fn() -> i64 external {
+block e:
+  call @pr.sink(i64 1)
+  call @pr.sink(i64 2)
+  ret i64 0
+}
+)");
+  auto m2 = parseOrDie(R"(
+module "t"
+declare @pr.sink : fn(i64) -> void intrinsic sink
+define @main : fn() -> i64 external {
+block e:
+  call @pr.sink(i64 2)
+  call @pr.sink(i64 1)
+  ret i64 0
+}
+)");
+  const ExecResult r1 = runModule(*m);
+  const ExecResult r2 = runModule(*m2);
+  ASSERT_TRUE(r1.ok && r2.ok);
+  // Order of observable effects matters.
+  EXPECT_NE(r1.observed, r2.observed);
+  EXPECT_NE(r1.fingerprint(), r2.fingerprint());
+}
+
+TEST(InterpTest, TrapsOnDivZero) {
+  auto m = parseOrDie(R"(
+module "t"
+define @main : fn() -> i64 external {
+block e:
+  %z : i64 = sub i64 5, i64 5
+  %r : i64 = sdiv i64 1, %z
+  ret %r
+}
+)");
+  const ExecResult r = runModule(*m);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.trap.find("zero"), std::string::npos);
+}
+
+TEST(InterpTest, TrapsOnOutOfBounds) {
+  auto m = parseOrDie(R"(
+module "t"
+define @main : fn() -> i64 external {
+block e:
+  %buf : ptr<[2 x i64]> = alloca [2 x i64]
+  %p : ptr<i64> = gep %buf [i64 0, i64 9]
+  %v : i64 = load %p
+  ret %v
+}
+)");
+  const ExecResult r = runModule(*m);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(InterpTest, TrapsOnFuelExhaustion) {
+  auto m = parseOrDie(R"(
+module "t"
+define @main : fn() -> i64 external {
+block e:
+  br label spin
+block spin:
+  br label spin
+}
+)");
+  ExecOptions o;
+  o.max_steps = 1000;
+  const ExecResult r = runModule(*m, o);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.trap.find("fuel"), std::string::npos);
+}
+
+TEST(InterpTest, MemsetIntrinsic) {
+  auto m = parseOrDie(R"(
+module "t"
+declare @pr.memset : fn(ptr<i8>, i8, i64) -> void intrinsic memset
+define @main : fn() -> i64 external {
+block e:
+  %buf : ptr<i8> = alloca i8
+  call @pr.memset(%buf, i8 7, i64 1)
+  %v : i8 = load %buf
+  %r : i64 = sext %v
+  ret %r
+}
+)");
+  const ExecResult r = runModule(*m);
+  ASSERT_TRUE(r.ok) << r.trap;
+  EXPECT_EQ(r.return_value, 7);
+}
+
+// --- size / throughput models ---
+
+const char* kSizeProbe = R"(
+module "t"
+global @data : [16 x i64] = array [1, 2, 3], internal
+define @small : fn() -> i64 internal {
+block e:
+  ret i64 1
+}
+define @big : fn(i64) -> i64 internal {
+block e:
+  %a : i64 = add %arg0, i64 1
+  %b : i64 = mul %a, %a
+  %c : i64 = add %b, %a
+  %d : i64 = mul %c, %b
+  %e2 : i64 = add %d, %c
+  %f2 : i64 = mul %e2, %d
+  ret %f2
+}
+)";
+
+TEST(SizeModelTest, MoreCodeIsBigger) {
+  auto m = parseOrDie(kSizeProbe);
+  for (const TargetInfo* t : {&TargetInfo::x86_64(), &TargetInfo::aarch64()}) {
+    SizeModel sm(*t);
+    const double small = sm.functionBytes(*m->getFunction("small"));
+    const double big = sm.functionBytes(*m->getFunction("big"));
+    EXPECT_GT(big, small) << t->name();
+    const SizeBreakdown total = sm.moduleSize(*m);
+    EXPECT_GT(total.text_bytes, 0.0);
+    EXPECT_GE(total.data_bytes, 16 * 8.0);
+    EXPECT_GT(total.overhead_bytes, 0.0);
+  }
+}
+
+TEST(SizeModelTest, Aarch64UsesFixedWidth) {
+  auto m = parseOrDie(kSizeProbe);
+  SizeModel sm(TargetInfo::aarch64());
+  // Every instruction contributes a multiple of 4 bytes before alignment.
+  const double b = sm.functionBytes(*m->getFunction("big"));
+  EXPECT_EQ(static_cast<long>(b) % 4, 0);
+}
+
+TEST(McaTest, DivHeavyBlocksAreSlower) {
+  auto m = parseOrDie(R"(
+module "t"
+define @adds : fn(i64) -> i64 internal {
+block e:
+  %a : i64 = add %arg0, i64 1
+  %b : i64 = add %a, i64 2
+  %c : i64 = add %b, i64 3
+  ret %c
+}
+define @divs : fn(i64) -> i64 internal {
+block e:
+  %a : i64 = sdiv %arg0, i64 3
+  %b : i64 = sdiv %a, i64 5
+  %c : i64 = sdiv %b, i64 7
+  ret %c
+}
+)");
+  McaModel mca(TargetInfo::x86_64());
+  const double adds =
+      mca.blockCycles(*m->getFunction("adds")->entry());
+  const double divs =
+      mca.blockCycles(*m->getFunction("divs")->entry());
+  EXPECT_GT(divs, adds * 3);
+}
+
+TEST(McaTest, LoopCodeDominatesEstimate) {
+  auto m = parseOrDie(R"(
+module "t"
+define @f : fn(i64) -> i64 internal {
+block e:
+  br label loop
+block loop:
+  %i : i64 = phi [ i64 0, e ], [ %inext, loop ]
+  %inext : i64 = add %i, i64 1
+  %d : i1 = icmp sge %inext, %arg0
+  condbr %d, label x, label loop
+block x:
+  ret %inext
+}
+)");
+  McaModel mca(TargetInfo::x86_64());
+  Function* f = m->getFunction("f");
+  const ThroughputEstimate e = mca.functionEstimate(*f);
+  EXPECT_GT(e.weighted_cycles, 0.0);
+  EXPECT_GT(e.throughput(), 0.0);
+  // The loop block (freq 8) should account for most of the weight.
+  const ThroughputEstimate whole = mca.moduleEstimate(*m);
+  EXPECT_DOUBLE_EQ(whole.weighted_cycles, e.weighted_cycles);
+}
+
+TEST(McaTest, VectorMarkingImprovesThroughput) {
+  auto m1 = parseOrDie(R"(
+module "t"
+define @f : fn(f64) -> f64 internal {
+block e:
+  %a : f64 = fmul %arg0, %arg0
+  %b : f64 = fmul %a, %arg0
+  %c : f64 = fmul %b, %arg0
+  %d : f64 = fmul %c, %arg0
+  ret %d
+}
+)");
+  auto m2 = parseOrDie(R"(
+module "t"
+define @f : fn(f64) -> f64 internal {
+block e:
+  %a : f64 = fmul %arg0, %arg0 vec 4
+  %b : f64 = fmul %a, %arg0 vec 4
+  %c : f64 = fmul %b, %arg0 vec 4
+  %d : f64 = fmul %c, %arg0 vec 4
+  ret %d
+}
+)");
+  McaModel mca(TargetInfo::x86_64());
+  const double scalar = mca.blockCycles(*m1->getFunction("f")->entry());
+  const double vec = mca.blockCycles(*m2->getFunction("f")->entry());
+  EXPECT_LT(vec, scalar);
+}
+
+}  // namespace
+}  // namespace posetrl

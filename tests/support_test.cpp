@@ -1,0 +1,185 @@
+// Unit tests for the support library (RNG determinism, stats, strings,
+// tables, hashing).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "support/hashing.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/string_utils.h"
+#include "support/table.h"
+
+namespace posetrl {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, NextBelowIsInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.nextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextIntRespectsBothBounds) {
+  Rng r(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = r.nextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.nextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng r(13);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = r.nextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(RngTest, WeightedNeverPicksZeroWeight) {
+  Rng r(17);
+  for (int i = 0; i < 500; ++i) {
+    const std::size_t pick = r.nextWeighted({0.0, 1.0, 0.0, 2.0});
+    EXPECT_TRUE(pick == 1 || pick == 3);
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(21);
+  Rng child = parent.fork();
+  EXPECT_NE(parent.next(), child.next());
+}
+
+TEST(HashTest, Fnv1aStable) {
+  EXPECT_EQ(fnv1a("abc"), fnv1a("abc"));
+  EXPECT_NE(fnv1a("abc"), fnv1a("abd"));
+  EXPECT_NE(fnv1a(""), fnv1a("a"));
+}
+
+TEST(HashTest, CombineOrderMatters) {
+  EXPECT_NE(hashCombine(1, 2), hashCombine(2, 1));
+}
+
+TEST(StringTest, SplitDropsEmpties) {
+  const auto parts = splitString("a,,b,c,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringTest, SplitKeepsEmptiesWhenAsked) {
+  const auto parts = splitString("a,,b", ',', /*keep_empty=*/true);
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(StringTest, JoinRoundTrips) {
+  EXPECT_EQ(joinStrings({"x", "y", "z"}, "-"), "x-y-z");
+  EXPECT_EQ(joinStrings({}, "-"), "");
+}
+
+TEST(StringTest, Trim) {
+  EXPECT_EQ(trimString("  hi \t\n"), "hi");
+  EXPECT_EQ(trimString(""), "");
+  EXPECT_EQ(trimString("   "), "");
+}
+
+TEST(StringTest, StartsEndsWith) {
+  EXPECT_TRUE(startsWith("-simplifycfg", "-"));
+  EXPECT_FALSE(startsWith("x", "xy"));
+  EXPECT_TRUE(endsWith("loop-rotate", "rotate"));
+}
+
+TEST(StringTest, Format) {
+  EXPECT_EQ(formatString("%d/%d = %.2f", 1, 2, 0.5), "1/2 = 0.50");
+}
+
+TEST(StatsTest, BasicMoments) {
+  const auto s = computeStats({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+}
+
+TEST(StatsTest, EmptySample) {
+  const auto s = computeStats({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(StatsTest, GeometricMean) {
+  EXPECT_NEAR(geometricMean({2.0, 8.0}), 4.0, 1e-12);
+}
+
+TEST(StatsTest, PercentReduction) {
+  EXPECT_DOUBLE_EQ(percentReduction(100.0, 90.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentReduction(100.0, 110.0), -10.0);
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  TextTable t;
+  t.addRow({"name", "value"});
+  t.addRow({"alpha", "10"});
+  t.addRow({"b", "5"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("| alpha "), std::string::npos);
+  // All lines have the same width.
+  std::set<std::size_t> widths;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    const std::size_t nl = out.find('\n', start);
+    widths.insert(nl - start);
+    start = nl + 1;
+  }
+  EXPECT_EQ(widths.size(), 1u);
+}
+
+}  // namespace
+}  // namespace posetrl
