@@ -1,11 +1,22 @@
 /// \file opt_driver.cpp
 /// A miniature `opt`: reads a MiniIR file, applies a pass sequence given on
 /// the command line (or -Oz / -O3), and prints the optimized module with
-/// before/after statistics.
+/// before/after statistics. Doubles as the command-line front end of the
+/// lint subsystem (see DESIGN.md "Correctness tooling").
 ///
 /// Usage:
-///   opt_driver <file.mir> [-Oz | -O3 | -pass1 -pass2 ...] [--run]
-///   opt_driver --selftest            (runs on a built-in example)
+///   opt_driver <file.mir> [-Oz | -O3 | -pass1 -pass2 ...] [options]
+///   opt_driver --selftest [options]      (runs on a built-in example)
+/// Options:
+///   --run        execute the module before and after the passes
+///   --quiet      do not print the optimized IR
+///   --lint       run the lint checkers on the input and print the report
+///   --lint-each  run verifier + lint after every pass, attributing new
+///                findings to the pass that introduced them
+///   --oracle     also run the differential miscompile oracle each pass
+///   --json       print machine-readable reports instead of tables
+/// Exit status is non-zero for verify failures, lint errors and oracle
+/// divergences; lint warnings/notes alone do not fail the run.
 
 #include <cstdio>
 #include <cstring>
@@ -18,6 +29,8 @@
 #include "ir/parser.h"
 #include "ir/printer.h"
 #include "ir/verifier.h"
+#include "lint/instrumentation.h"
+#include "lint/lint.h"
 #include "passes/pass.h"
 #include "target/mca_model.h"
 #include "target/size_model.h"
@@ -58,46 +71,76 @@ void report(const char* label, Module& m, bool run) {
   std::printf("\n");
 }
 
+int usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s <file.mir> [-Oz | -O3 | -pass ...] "
+               "[--run] [--quiet] [--lint] [--lint-each] [--oracle] "
+               "[--json]\n"
+               "       %s --selftest [options]\n",
+               prog, prog);
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string source;
+  std::string file;
   std::vector<std::string> passes;
+  bool selftest = false;
   bool run = false;
   bool print_ir = true;
+  bool lint_input = false;
+  bool lint_each = false;
+  bool oracle = false;
+  bool json = false;
 
-  if (argc >= 2 && std::strcmp(argv[1], "--selftest") == 0) {
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--selftest") == 0) {
+      selftest = true;
+    } else if (std::strcmp(a, "--run") == 0) {
+      run = true;
+    } else if (std::strcmp(a, "--quiet") == 0) {
+      print_ir = false;
+    } else if (std::strcmp(a, "--lint") == 0) {
+      lint_input = true;
+    } else if (std::strcmp(a, "--lint-each") == 0) {
+      lint_each = true;
+    } else if (std::strcmp(a, "--oracle") == 0) {
+      oracle = true;
+    } else if (std::strcmp(a, "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(a, "-Oz") == 0) {
+      for (const auto& p : ozPassNames()) passes.push_back(p);
+    } else if (std::strcmp(a, "-O3") == 0) {
+      for (const auto& p : o3PassNames()) passes.push_back(p);
+    } else if (a[0] == '-') {
+      for (const auto& p : parsePassSequence(a)) passes.push_back(p);
+    } else if (file.empty()) {
+      file = a;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  if (selftest) {
     source = kSelfTestProgram;
-    passes = parsePassSequence("-instcombine -early-cse -simplifycfg");
+    if (passes.empty()) {
+      passes = parsePassSequence("-instcombine -early-cse -simplifycfg");
+    }
     run = true;
-  } else if (argc >= 2) {
-    std::ifstream in(argv[1]);
+  } else if (!file.empty()) {
+    std::ifstream in(file);
     if (!in.good()) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s\n", file.c_str());
       return 1;
     }
     std::stringstream ss;
     ss << in.rdbuf();
     source = ss.str();
-    for (int i = 2; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--run") == 0) {
-        run = true;
-      } else if (std::strcmp(argv[i], "--quiet") == 0) {
-        print_ir = false;
-      } else if (std::strcmp(argv[i], "-Oz") == 0) {
-        for (const auto& p : ozPassNames()) passes.push_back(p);
-      } else if (std::strcmp(argv[i], "-O3") == 0) {
-        for (const auto& p : o3PassNames()) passes.push_back(p);
-      } else {
-        for (const auto& p : parsePassSequence(argv[i])) passes.push_back(p);
-      }
-    }
   } else {
-    std::fprintf(stderr,
-                 "usage: %s <file.mir> [-Oz | -O3 | -pass ...] [--run]\n"
-                 "       %s --selftest\n",
-                 argv[0], argv[0]);
-    return 1;
+    return usage(argv[0]);
   }
 
   std::string err;
@@ -112,14 +155,36 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  bool failed = false;
+
+  if (lint_input) {
+    const LintReport r = runLint(*m);
+    std::printf("%s", json ? (r.toJson() + "\n").c_str()
+                           : r.toText().c_str());
+    failed |= r.hasErrors();
+  }
+
   report("before", *m, run);
-  runPassSequence(*m, passes);
-  const VerifyResult v1 = verifyModule(*m);
-  if (!v1.ok()) {
-    std::fprintf(stderr, "IR broken after passes:\n%s", v1.message().c_str());
-    return 1;
+  if (lint_each || oracle) {
+    InstrumentOptions opts;
+    opts.verify = true;
+    opts.lint = lint_each;
+    opts.oracle = oracle;
+    PassInstrumentation instr(opts);
+    runPassSequence(*m, passes, instr);
+    std::printf("%s", json ? (instr.toJson() + "\n").c_str()
+                           : instr.toText().c_str());
+    failed |= !instr.clean();
+  } else {
+    runPassSequence(*m, passes);
+    const VerifyResult v1 = verifyModule(*m);
+    if (!v1.ok()) {
+      std::fprintf(stderr, "IR broken after passes:\n%s",
+                   v1.message().c_str());
+      return 1;
+    }
   }
   report("after ", *m, run);
   if (print_ir) std::printf("\n%s", printModule(*m).c_str());
-  return 0;
+  return failed ? 1 : 0;
 }

@@ -2,6 +2,7 @@
 
 #include "ir/clone.h"
 #include "ir/module.h"
+#include "lint/instrumentation.h"
 #include "passes/pass.h"
 #include "support/error.h"
 
@@ -39,8 +40,18 @@ PhaseOrderEnv::StepResult PhaseOrderEnv::step(std::size_t index) {
   POSETRL_CHECK(working_ != nullptr, "step() before reset()");
   POSETRL_CHECK(index < actions_->size(), "action index out of range");
 
-  runPassSequence(*working_, (*actions_)[index].passes,
-                  /*verify_each=*/false);
+  if (config_.verify_actions) {
+    // Instrumented run: a pass that breaks the IR aborts with its own name
+    // instead of corrupting the reward signal steps later.
+    InstrumentOptions iopts;
+    iopts.verify = true;
+    iopts.abort_on_failure = true;
+    PassInstrumentation instr(iopts);
+    runPassSequence(*working_, (*actions_)[index].passes, instr);
+  } else {
+    runPassSequence(*working_, (*actions_)[index].passes,
+                    /*verify_each=*/false);
+  }
 
   const double size = size_model_.objectBytes(*working_);
   const ThroughputEstimate est = mca_model_.moduleEstimate(*working_);

@@ -26,6 +26,16 @@ struct EnvConfig {
   double beta = 5.0;    ///< Weight of the throughput reward (paper: 5).
   int episode_length = 15;
   EmbeddingConfig embedding;
+  /// Run the structural verifier after every applied sub-sequence and abort
+  /// with the offending pass name on failure (lint/instrumentation.h). A
+  /// miscompiling pass otherwise silently corrupts the reward signal, so
+  /// this defaults on in debug builds; it is off in release builds where
+  /// training throughput dominates.
+#ifdef NDEBUG
+  bool verify_actions = false;
+#else
+  bool verify_actions = true;
+#endif
 };
 
 /// Phase-ordering environment over one program.

@@ -94,6 +94,7 @@ class Machine {
       result.trap = trap.reason;
     }
     result.observed = observed_;
+    result.effect_trace = std::move(effect_trace_);
     result.steps = steps_;
     result.cycles = cycles_;
     return result;
@@ -315,6 +316,12 @@ class Machine {
     throw Trap{"store of non-scalar type"};
   }
 
+  void recordEffect(std::int64_t v) {
+    if (effect_trace_.size() < ExecResult::kMaxTracedEffects) {
+      effect_trace_.push_back(v);
+    }
+  }
+
   RtValue handleIntrinsic(Function* callee, const std::vector<RtValue>& args) {
     switch (callee->intrinsicId()) {
       case IntrinsicId::Input: {
@@ -327,6 +334,7 @@ class Machine {
       case IntrinsicId::Sink:
         observed_ = hashCombine(observed_,
                                 static_cast<std::uint64_t>(args.at(0).i));
+        recordEffect(args.at(0).i);
         return {};
       case IntrinsicId::SinkF64: {
         // Quantize so algebraically equal results with tiny representation
@@ -334,6 +342,7 @@ class Machine {
         const double q = args.at(0).f * 4096.0;
         observed_ = hashCombine(
             observed_, static_cast<std::uint64_t>(static_cast<std::int64_t>(q)));
+        recordEffect(static_cast<std::int64_t>(q));
         return {};
       }
       case IntrinsicId::Memset: {
@@ -566,6 +575,7 @@ class Machine {
   std::map<std::uint64_t, Function*> fn_by_addr_;
   std::map<Function*, std::uint64_t> fn_addr_;
   std::uint64_t observed_ = kFnvOffset;
+  std::vector<std::int64_t> effect_trace_;
   std::uint64_t steps_ = 0;
   double cycles_ = 0.0;
 };

@@ -42,6 +42,11 @@ struct ExecResult {
   bool has_return = false;
   std::int64_t return_value = 0;
   std::uint64_t observed = 0;    ///< Hash of ordered pr.sink/pr.sinkf calls.
+  /// First observations feeding `observed` (quantized for pr.sinkf), capped
+  /// at kMaxTracedEffects so traces stay cheap; lets the miscompile oracle
+  /// point at the first diverging side effect instead of just hash-mismatch.
+  std::vector<std::int64_t> effect_trace;
+  static constexpr std::size_t kMaxTracedEffects = 64;
   std::uint64_t steps = 0;       ///< Instructions executed.
   double cycles = 0.0;           ///< Modeled dynamic cycles.
 

@@ -42,25 +42,6 @@ class Checker {
   VerifyResult& result_;
 };
 
-/// Reachable blocks from entry.
-std::set<const BasicBlock*> reachableBlocks(const Function& f) {
-  std::set<const BasicBlock*> seen;
-  if (f.isDeclaration()) return seen;
-  std::vector<const BasicBlock*> stack{f.entry()};
-  seen.insert(f.entry());
-  while (!stack.empty()) {
-    const BasicBlock* bb = stack.back();
-    stack.pop_back();
-    const Instruction* term = bb->terminator();
-    if (term == nullptr) continue;
-    for (std::size_t i = 0; i < term->numSuccessors(); ++i) {
-      const BasicBlock* s = term->successor(i);
-      if (seen.insert(s).second) stack.push_back(s);
-    }
-  }
-  return seen;
-}
-
 /// Simple iterative dominator computation over reachable blocks. Returns
 /// dom[b] = set of blocks dominating b (including b itself).
 std::map<const BasicBlock*, std::set<const BasicBlock*>> computeDominators(
@@ -356,7 +337,7 @@ void verifyFunctionBody(Checker& ck, const Function& f) {
   }
 
   // SSA dominance over reachable blocks.
-  const auto reachable = reachableBlocks(f);
+  const auto reachable = reachableBlockSet(f);
   const auto dom = computeDominators(f, reachable);
   const auto dominates = [&](const BasicBlock* a, const BasicBlock* b) {
     auto it = dom.find(b);
@@ -436,6 +417,24 @@ void verifyUseDefIntegrity(Checker& ck, const Module& m) {
 }
 
 }  // namespace
+
+std::set<const BasicBlock*> reachableBlockSet(const Function& f) {
+  std::set<const BasicBlock*> seen;
+  if (f.isDeclaration()) return seen;
+  std::vector<const BasicBlock*> stack{f.entry()};
+  seen.insert(f.entry());
+  while (!stack.empty()) {
+    const BasicBlock* bb = stack.back();
+    stack.pop_back();
+    const Instruction* term = bb->terminator();
+    if (term == nullptr) continue;
+    for (std::size_t i = 0; i < term->numSuccessors(); ++i) {
+      const BasicBlock* s = term->successor(i);
+      if (seen.insert(s).second) stack.push_back(s);
+    }
+  }
+  return seen;
+}
 
 VerifyResult verifyFunction(const Function& function) {
   VerifyResult result;

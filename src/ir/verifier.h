@@ -5,11 +5,13 @@
 /// every pass in the test suite's property checks; a failure indicates a
 /// bug in the producing pass, not in user input.
 
+#include <set>
 #include <string>
 #include <vector>
 
 namespace posetrl {
 
+class BasicBlock;
 class Module;
 class Function;
 
@@ -27,5 +29,10 @@ VerifyResult verifyModule(const Module& module);
 
 /// Verifies a single function body.
 VerifyResult verifyFunction(const Function& function);
+
+/// Blocks reachable from \p f's entry (empty for declarations). Shared by
+/// the verifier's dominance checks and the lint checkers, which need a
+/// const view that analysis/cfg.h does not provide.
+std::set<const BasicBlock*> reachableBlockSet(const Function& f);
 
 }  // namespace posetrl

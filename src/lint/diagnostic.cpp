@@ -1,0 +1,107 @@
+#include "lint/diagnostic.h"
+
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+#include "support/table.h"
+
+namespace posetrl {
+
+const char* lintSeverityName(LintSeverity s) {
+  switch (s) {
+    case LintSeverity::Note: return "note";
+    case LintSeverity::Warning: return "warning";
+    case LintSeverity::Error: return "error";
+  }
+  return "unknown";
+}
+
+std::string LintDiagnostic::key() const {
+  return checker + "\x1f" + function + "\x1f" + block + "\x1f" + instruction +
+         "\x1f" + message;
+}
+
+std::string LintDiagnostic::str() const {
+  std::ostringstream os;
+  os << checker << " " << lintSeverityName(severity);
+  if (!function.empty()) {
+    os << " @" << function;
+    if (!block.empty()) os << "(" << block << ")";
+  }
+  os << ": " << message;
+  if (!instruction.empty()) os << "  [" << instruction << "]";
+  return os.str();
+}
+
+std::size_t LintReport::count(LintSeverity s) const {
+  std::size_t n = 0;
+  for (const auto& d : diagnostics) {
+    if (d.severity == s) ++n;
+  }
+  return n;
+}
+
+std::vector<LintDiagnostic> LintReport::newSince(
+    const LintReport& baseline) const {
+  std::set<std::string> seen;
+  for (const auto& d : baseline.diagnostics) seen.insert(d.key());
+  std::vector<LintDiagnostic> fresh;
+  for (const auto& d : diagnostics) {
+    if (!seen.count(d.key())) fresh.push_back(d);
+  }
+  return fresh;
+}
+
+std::string LintReport::toText() const {
+  if (diagnostics.empty()) return "lint: clean\n";
+  TextTable table;
+  table.addRow({"checker", "severity", "function", "block", "message"});
+  for (const auto& d : diagnostics) {
+    table.addRow({d.checker, lintSeverityName(d.severity), d.function,
+                  d.block, d.message});
+  }
+  return table.render();
+}
+
+std::string jsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string LintReport::toJson() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    const LintDiagnostic& d = diagnostics[i];
+    if (i > 0) os << ",";
+    os << "{\"checker\":\"" << jsonEscape(d.checker) << "\","
+       << "\"severity\":\"" << lintSeverityName(d.severity) << "\","
+       << "\"function\":\"" << jsonEscape(d.function) << "\","
+       << "\"block\":\"" << jsonEscape(d.block) << "\","
+       << "\"instruction\":\"" << jsonEscape(d.instruction) << "\","
+       << "\"message\":\"" << jsonEscape(d.message) << "\"}";
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace posetrl

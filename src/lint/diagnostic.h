@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file diagnostic.h
+/// Diagnostic model of the lint subsystem (see DESIGN.md "Correctness
+/// tooling"). A LintDiagnostic pins one finding to a checker and an IR
+/// location; a LintReport aggregates them and renders machine-readable JSON
+/// or a human-readable table.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace posetrl {
+
+/// How bad a lint finding is.
+enum class LintSeverity {
+  Note,     ///< Expected mid-pipeline states (e.g. undef phi inputs).
+  Warning,  ///< Suspicious but legal IR (dead code, unreachable blocks).
+  Error,    ///< Almost certainly a pass bug (e.g. store to a const global).
+};
+
+/// Spelling used in reports ("note" / "warning" / "error").
+const char* lintSeverityName(LintSeverity s);
+
+/// One finding of one checker, located as precisely as the checker can.
+struct LintDiagnostic {
+  std::string checker;      ///< Checker id, e.g. "undef-use".
+  LintSeverity severity = LintSeverity::Warning;
+  std::string function;     ///< Enclosing function name ("" = module level).
+  std::string block;        ///< Enclosing block label ("" when n/a).
+  std::string instruction;  ///< Offending instruction text ("" when n/a).
+  std::string message;      ///< Human explanation of the finding.
+
+  /// Stable identity used to de-duplicate findings across pipeline stages
+  /// (same checker + location + message).
+  std::string key() const;
+  /// "checker severity @function(block): message" one-liner.
+  std::string str() const;
+};
+
+/// All findings of one lint run.
+struct LintReport {
+  std::vector<LintDiagnostic> diagnostics;
+
+  bool clean() const { return diagnostics.empty(); }
+  std::size_t count(LintSeverity s) const;
+  bool hasErrors() const { return count(LintSeverity::Error) > 0; }
+
+  void add(LintDiagnostic d) { diagnostics.push_back(std::move(d)); }
+
+  /// Findings present here but absent from \p baseline (keyed by
+  /// LintDiagnostic::key) — the heart of per-pass attribution.
+  std::vector<LintDiagnostic> newSince(const LintReport& baseline) const;
+
+  /// Aligned table (checker | severity | location | message).
+  std::string toText() const;
+  /// JSON array of finding objects.
+  std::string toJson() const;
+};
+
+/// Escapes \p text for inclusion inside a JSON string literal.
+std::string jsonEscape(const std::string& text);
+
+}  // namespace posetrl

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file instrumentation.h
+/// Per-pass instrumentation for pass pipelines. Threaded through
+/// runPassSequence (and from there the RL environment), it runs any
+/// combination of {structural verify, lint, miscompile oracle} after every
+/// pass and attributes each failure to the pass that introduced it — turning
+/// "this 60-pass sequence broke the program" into "pass 37, -loop-unswitch,
+/// diverged on seed 7".
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/diagnostic.h"
+#include "lint/oracle.h"
+
+namespace posetrl {
+
+class Module;
+
+/// Which checks run after each pass.
+struct InstrumentOptions {
+  bool verify = true;   ///< Structural verifier (ir/verifier.h).
+  bool lint = false;    ///< Semantic lint checkers (lint/lint.h).
+  bool oracle = false;  ///< Differential behaviour oracle (lint/oracle.h).
+  /// Lint findings at or above this severity count as failures (milder ones
+  /// are still recorded as attributed diagnostics).
+  LintSeverity lint_failure_threshold = LintSeverity::Error;
+  /// Abort the process on the first failure (fatalError with the offending
+  /// pass name) instead of recording and continuing.
+  bool abort_on_failure = false;
+  OracleOptions oracle_options;
+};
+
+/// One check failure pinned to the pass that caused it.
+struct PassFailure {
+  std::size_t step = 0;  ///< 1-based position in the pass sequence.
+  std::string pass;      ///< Name of the offending pass.
+  std::string stage;     ///< "verify", "lint" or "oracle".
+  std::string detail;
+
+  std::string str() const;
+};
+
+/// A lint finding first observed after a specific pass.
+struct AttributedDiagnostic {
+  std::size_t step = 0;
+  std::string pass;
+  LintDiagnostic diagnostic;
+};
+
+/// Runs configured checks after every pass of a sequence and collects
+/// pass-attributed failures. One instance covers one sequence run; call
+/// beginSequence again to reuse it.
+class PassInstrumentation {
+ public:
+  explicit PassInstrumentation(InstrumentOptions options = {});
+
+  const InstrumentOptions& options() const { return options_; }
+
+  /// Snapshots \p m's pre-sequence state: lint baseline (so only *new*
+  /// findings are attributed) and oracle behaviour baseline.
+  void beginSequence(Module& m);
+
+  /// Runs the configured checks on \p m, attributing anything new to
+  /// \p pass_name. Called by runPassSequence after every pass.
+  void afterPass(std::string_view pass_name, Module& m);
+
+  std::size_t stepsRun() const { return step_; }
+  bool clean() const { return failures_.empty(); }
+  const std::vector<PassFailure>& failures() const { return failures_; }
+  const std::vector<AttributedDiagnostic>& attributedDiagnostics() const {
+    return attributed_;
+  }
+
+  /// Aligned table of failures and attributed diagnostics.
+  std::string toText() const;
+  /// {"steps": N, "failures": [...], "diagnostics": [...]}.
+  std::string toJson() const;
+
+ private:
+  InstrumentOptions options_;
+  MiscompileOracle oracle_;
+  LintReport last_lint_;
+  std::size_t step_ = 0;
+  std::vector<PassFailure> failures_;
+  std::vector<AttributedDiagnostic> attributed_;
+};
+
+}  // namespace posetrl

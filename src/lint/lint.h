@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file lint.h
+/// Pluggable semantic checkers over MiniIR. Where the structural verifier
+/// (ir/verifier.h) proves the IR is *well formed*, the lint checkers flag IR
+/// that is well formed but *suspicious* — the typical residue of a buggy or
+/// half-finished transform in an RL-explored pass ordering: uses of undef,
+/// unreachable blocks, dead internal functions, stores into constant
+/// globals, call/callee signature drift, and constant GEP indices that are
+/// provably out of bounds.
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/diagnostic.h"
+
+namespace posetrl {
+
+class Module;
+
+/// One pluggable lint rule.
+class LintChecker {
+ public:
+  virtual ~LintChecker() = default;
+
+  /// Stable checker id, e.g. "undef-use".
+  virtual std::string_view name() const = 0;
+
+  /// Appends findings on \p m to \p report.
+  virtual void check(const Module& m, LintReport& report) const = 0;
+};
+
+/// Fresh instances of every registered checker.
+std::vector<std::unique_ptr<LintChecker>> createAllLintCheckers();
+
+/// Ids of all registered checkers.
+std::vector<std::string> lintCheckerNames();
+
+/// Instance of the checker named \p name (nullptr for unknown names).
+std::unique_ptr<LintChecker> createLintChecker(std::string_view name);
+
+/// Runs every registered checker over \p m.
+LintReport runLint(const Module& m);
+
+}  // namespace posetrl

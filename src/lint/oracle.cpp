@@ -1,0 +1,136 @@
+#include "lint/oracle.h"
+
+#include <sstream>
+
+#include "ir/module.h"
+
+namespace posetrl {
+
+std::string OracleDivergence::str() const {
+  std::ostringstream os;
+  os << "[seed " << input_seed << "] " << kind << ": " << detail;
+  return os.str();
+}
+
+std::string OracleVerdict::message() const {
+  std::string out;
+  for (const auto& d : divergences) {
+    out += d.str();
+    out += "\n";
+  }
+  return out;
+}
+
+MiscompileOracle::MiscompileOracle(OracleOptions options)
+    : options_(std::move(options)) {}
+
+ExecResult MiscompileOracle::runOne(Module& m, std::uint64_t seed) const {
+  ExecOptions opts;
+  opts.entry = options_.entry;
+  opts.input_seed = seed;
+  opts.max_steps = options_.max_steps;
+  opts.arch = options_.arch;
+  return runModule(m, opts);
+}
+
+void MiscompileOracle::capture(Module& m) {
+  baseline_.clear();
+  for (std::uint64_t seed : options_.input_seeds) {
+    baseline_.push_back(runOne(m, seed));
+  }
+}
+
+namespace {
+
+bool isFuelTrap(const ExecResult& r) {
+  return !r.ok && r.trap.find("fuel") != std::string::npos;
+}
+
+/// Index of the first differing trace entry, or the shorter length.
+std::size_t firstTraceDelta(const std::vector<std::int64_t>& a,
+                            const std::vector<std::int64_t>& b) {
+  const std::size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) return i;
+  }
+  return n;
+}
+
+}  // namespace
+
+OracleVerdict MiscompileOracle::compare(Module& m) const {
+  OracleVerdict verdict;
+  for (std::size_t i = 0; i < options_.input_seeds.size(); ++i) {
+    const std::uint64_t seed = options_.input_seeds[i];
+    const ExecResult& before = baseline_.at(i);
+    const ExecResult after = runOne(m, seed);
+
+    // Fuel exhaustion on either side says nothing about semantics (the
+    // transform may just have changed the instruction count).
+    if (isFuelTrap(before) || isFuelTrap(after)) {
+      verdict.inconclusive_seeds.push_back(seed);
+      continue;
+    }
+
+    OracleDivergence d;
+    d.input_seed = seed;
+    if (before.ok != after.ok) {
+      d.kind = "trap-state";
+      d.detail = before.ok
+                     ? "baseline ran ok, candidate trapped: " + after.trap
+                     : "baseline trapped (" + before.trap +
+                           "), candidate ran ok";
+      verdict.divergences.push_back(std::move(d));
+      continue;
+    }
+    if (!before.ok) {
+      // Both trapped: the trap kind is observable (e.g. a transform must not
+      // turn a division-by-zero trap into an out-of-bounds trap).
+      if (before.trap != after.trap) {
+        d.kind = "trap-reason";
+        d.detail = "baseline: " + before.trap + " vs candidate: " + after.trap;
+        verdict.divergences.push_back(std::move(d));
+      }
+      continue;
+    }
+    if (before.has_return != after.has_return ||
+        before.return_value != after.return_value) {
+      d.kind = "return-value";
+      std::ostringstream os;
+      os << "baseline returned " << before.return_value << ", candidate "
+         << after.return_value;
+      d.detail = os.str();
+      verdict.divergences.push_back(std::move(d));
+      continue;
+    }
+    if (before.observed != after.observed) {
+      d.kind = "side-effects";
+      const std::size_t at =
+          firstTraceDelta(before.effect_trace, after.effect_trace);
+      std::ostringstream os;
+      os << "side-effect traces diverge";
+      if (at < before.effect_trace.size() && at < after.effect_trace.size()) {
+        os << " at observation " << at << " (baseline "
+           << before.effect_trace[at] << ", candidate "
+           << after.effect_trace[at] << ")";
+      } else if (before.effect_trace.size() != after.effect_trace.size()) {
+        os << " in length (baseline " << before.effect_trace.size()
+           << ", candidate " << after.effect_trace.size() << ")";
+      } else {
+        os << " beyond the traced prefix";
+      }
+      d.detail = os.str();
+      verdict.divergences.push_back(std::move(d));
+    }
+  }
+  return verdict;
+}
+
+OracleVerdict MiscompileOracle::diff(Module& before, Module& after,
+                                     OracleOptions options) {
+  MiscompileOracle oracle(std::move(options));
+  oracle.capture(before);
+  return oracle.compare(after);
+}
+
+}  // namespace posetrl

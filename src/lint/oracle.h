@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file oracle.h
+/// Differential miscompile oracle. The structural verifier and the lint
+/// checkers judge the IR's *shape*; the oracle judges its *behaviour*: it
+/// snapshots a module's observable behaviour (return value, trap state,
+/// ordered side-effect trace) on a set of deterministic generated inputs,
+/// and flags any divergence after a transformation — the ground truth for
+/// "this pass miscompiled the program".
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "interp/interpreter.h"
+
+namespace posetrl {
+
+class Module;
+
+/// Knobs for one oracle instance.
+struct OracleOptions {
+  /// pr.input seeds to execute under; more seeds = more behaviour covered.
+  std::vector<std::uint64_t> input_seeds = {1, 7, 1337};
+  std::uint64_t max_steps = 2'000'000;  ///< Fuel per execution.
+  std::string entry = "main";
+  TargetArch arch = TargetArch::X86_64;
+};
+
+/// One observable-behaviour difference between baseline and candidate.
+struct OracleDivergence {
+  std::uint64_t input_seed = 0;
+  std::string kind;    ///< "trap-state", "trap-reason", "return-value",
+                       ///< "side-effects".
+  std::string detail;  ///< Human explanation with both sides' values.
+
+  std::string str() const;
+};
+
+/// Outcome of one differential comparison.
+struct OracleVerdict {
+  std::vector<OracleDivergence> divergences;
+  /// Seeds skipped because either side exhausted its fuel (inconclusive).
+  std::vector<std::uint64_t> inconclusive_seeds;
+
+  bool equivalent() const { return divergences.empty(); }
+  /// All divergences joined with newlines (empty when equivalent).
+  std::string message() const;
+};
+
+/// Captures a reference behaviour and compares candidates against it.
+class MiscompileOracle {
+ public:
+  explicit MiscompileOracle(OracleOptions options = {});
+
+  /// Records \p m's behaviour on every configured input seed as the
+  /// baseline for subsequent compare() calls.
+  void capture(Module& m);
+  bool hasBaseline() const { return !baseline_.empty(); }
+
+  /// Compares \p m's behaviour against the captured baseline.
+  OracleVerdict compare(Module& m) const;
+
+  /// One-shot convenience: capture \p before, compare \p after.
+  static OracleVerdict diff(Module& before, Module& after,
+                            OracleOptions options = {});
+
+  const OracleOptions& options() const { return options_; }
+
+ private:
+  ExecResult runOne(Module& m, std::uint64_t seed) const;
+
+  OracleOptions options_;
+  std::vector<ExecResult> baseline_;  ///< One entry per input seed.
+};
+
+}  // namespace posetrl

@@ -6,6 +6,7 @@
 #include "ir/function.h"
 #include "ir/module.h"
 #include "ir/verifier.h"
+#include "lint/instrumentation.h"
 #include "passes/all_passes.h"
 #include "support/error.h"
 #include "support/string_utils.h"
@@ -26,8 +27,8 @@ namespace {
 
 using Factory = std::function<std::unique_ptr<Pass>()>;
 
-const std::map<std::string, Factory, std::less<>>& factoryTable() {
-  static const std::map<std::string, Factory, std::less<>> table = {
+std::map<std::string, Factory, std::less<>>& factoryTable() {
+  static std::map<std::string, Factory, std::less<>> table = {
       {"simplifycfg", createSimplifyCfgPass},
       {"instsimplify", createInstSimplifyPass},
       {"instcombine", createInstCombinePass},
@@ -115,6 +116,12 @@ std::vector<std::string> allPassNames() {
   return names;
 }
 
+void registerPass(const std::string& name,
+                  std::function<std::unique_ptr<Pass>()> factory) {
+  POSETRL_CHECK(!name.empty(), "registerPass needs a name");
+  factoryTable()[name] = std::move(factory);
+}
+
 std::vector<std::string> parsePassSequence(std::string_view sequence,
                                            bool strict) {
   std::vector<std::string> out;
@@ -143,6 +150,33 @@ bool runPassSequence(Module& module,
       POSETRL_CHECK(r.ok(), "IR broken after pass -", name, ":\n",
                     r.message());
     }
+  }
+  return changed;
+}
+
+bool runPassSequence(Module& module,
+                     const std::vector<std::string>& pass_names,
+                     PassInstrumentation& instr) {
+  std::vector<std::unique_ptr<Pass>> owned;
+  std::vector<Pass*> passes;
+  owned.reserve(pass_names.size());
+  for (const std::string& name : pass_names) {
+    std::unique_ptr<Pass> pass = createPass(name);
+    POSETRL_CHECK(pass != nullptr, "unknown pass: ", name);
+    passes.push_back(pass.get());
+    owned.push_back(std::move(pass));
+  }
+  return runPasses(module, passes, &instr);
+}
+
+bool runPasses(Module& module, const std::vector<Pass*>& passes,
+               PassInstrumentation* instr) {
+  if (instr != nullptr) instr->beginSequence(module);
+  bool changed = false;
+  for (Pass* pass : passes) {
+    POSETRL_CHECK(pass != nullptr, "null pass in runPasses");
+    changed |= pass->run(module);
+    if (instr != nullptr) instr->afterPass(pass->name(), module);
   }
   return changed;
 }

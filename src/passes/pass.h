@@ -6,6 +6,7 @@
 /// the manual sub-sequences (Table II) and the ODG sub-sequences (Table III)
 /// can be expressed as strings of those names.
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -15,6 +16,7 @@ namespace posetrl {
 
 class Module;
 class Function;
+class PassInstrumentation;
 
 /// A transformation over a whole module.
 class Pass {
@@ -45,6 +47,13 @@ std::unique_ptr<Pass> createPass(std::string_view name);
 /// All canonical registered pass names.
 std::vector<std::string> allPassNames();
 
+/// Registers (or replaces) a pass factory under \p name, making it reachable
+/// from createPass / parsePassSequence / runPassSequence. Used by tests to
+/// inject deliberately broken passes into instrumented pipelines, and by
+/// downstream tools to extend the action space without editing the table.
+void registerPass(const std::string& name,
+                  std::function<std::unique_ptr<Pass>()> factory);
+
 /// Parses a pass-sequence string like "-simplifycfg -sroa -early-cse" into
 /// pass names (leading dashes optional). Aborts on unknown passes when
 /// \p strict, otherwise skips them.
@@ -57,5 +66,18 @@ std::vector<std::string> parsePassSequence(std::string_view sequence,
 bool runPassSequence(Module& module,
                      const std::vector<std::string>& pass_names,
                      bool verify_each = false);
+
+/// Instrumented variant: \p instr.beginSequence runs before the first pass
+/// and \p instr.afterPass after every pass, so verifier/lint/oracle failures
+/// are attributed to the offending pass (see lint/instrumentation.h).
+bool runPassSequence(Module& module,
+                     const std::vector<std::string>& pass_names,
+                     PassInstrumentation& instr);
+
+/// Runs already-constructed passes (not necessarily registered ones) with
+/// optional instrumentation; the building block of both runPassSequence
+/// overloads and of tests that inject custom passes.
+bool runPasses(Module& module, const std::vector<Pass*>& passes,
+               PassInstrumentation* instr = nullptr);
 
 }  // namespace posetrl

@@ -1,0 +1,46 @@
+#include "target/mca_model.h"
+
+#include "analysis/block_frequency.h"
+#include "ir/basic_block.h"
+#include "ir/function.h"
+#include "ir/module.h"
+
+namespace posetrl {
+
+double McaModel::blockCycles(const BasicBlock& b) const {
+  // Same accounting as the interpreter's dynamic cycle counter: steady-state
+  // reciprocal throughput, a latency tax for dependence chains, and a
+  // front-end term from uops over the dispatch width.
+  double cycles = 0.0;
+  for (const auto& inst : b.insts()) {
+    const InstCost c = target_->cost(*inst);
+    cycles += c.rthroughput + 0.25 * c.latency + c.uops / target_->dispatchWidth();
+  }
+  return cycles;
+}
+
+ThroughputEstimate McaModel::functionEstimate(Function& f) const {
+  ThroughputEstimate est;
+  if (f.isDeclaration()) return est;
+  BlockFrequency freq(f);
+  for (auto it = f.blocksBegin(); it != f.blocksEnd(); ++it) {
+    BasicBlock* bb = it->get();
+    const double w = freq.frequency(bb);
+    if (w <= 0.0) continue;  // Unreachable.
+    est.weighted_cycles += w * blockCycles(*bb);
+    est.weighted_insts += w * static_cast<double>(bb->size());
+  }
+  return est;
+}
+
+ThroughputEstimate McaModel::moduleEstimate(Module& m) const {
+  ThroughputEstimate total;
+  for (auto it = m.functionsBegin(); it != m.functionsEnd(); ++it) {
+    const ThroughputEstimate e = functionEstimate(**it);
+    total.weighted_cycles += e.weighted_cycles;
+    total.weighted_insts += e.weighted_insts;
+  }
+  return total;
+}
+
+}  // namespace posetrl

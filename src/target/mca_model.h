@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file mca_model.h
+/// Static throughput model — the llvm-mca analog of the paper (R_Throughput
+/// numerator of Eqn 3). Per-block cycle estimates from the target cost
+/// tables are weighted by static block frequencies, so loop bodies dominate
+/// the estimate the way they dominate real execution.
+
+#include "target/target_info.h"
+
+namespace posetrl {
+
+class BasicBlock;
+class Function;
+class Module;
+
+/// Frequency-weighted cycle estimate for a function or module.
+struct ThroughputEstimate {
+  double weighted_cycles = 0.0;  ///< Sum of freq(block) * blockCycles(block).
+  double weighted_insts = 0.0;   ///< Sum of freq(block) * |block|.
+
+  /// Modeled instructions per cycle (0 when there is no code).
+  double throughput() const {
+    return weighted_cycles > 0.0 ? weighted_insts / weighted_cycles : 0.0;
+  }
+};
+
+/// llvm-mca-style static analyzer over MiniIR.
+class McaModel {
+ public:
+  explicit McaModel(const TargetInfo& target) : target_(&target) {}
+
+  /// Estimated cycles for one straight-line execution of \p b.
+  double blockCycles(const BasicBlock& b) const;
+
+  /// Frequency-weighted estimate over all reachable blocks of \p f.
+  ThroughputEstimate functionEstimate(Function& f) const;
+
+  /// Sum of functionEstimate over every function definition in \p m.
+  ThroughputEstimate moduleEstimate(Module& m) const;
+
+ private:
+  const TargetInfo* target_;
+};
+
+}  // namespace posetrl

@@ -1,0 +1,65 @@
+#include "target/size_model.h"
+
+#include <cmath>
+
+#include "ir/basic_block.h"
+#include "ir/function.h"
+#include "ir/global_variable.h"
+#include "ir/module.h"
+
+namespace posetrl {
+
+namespace {
+
+// Per-symbol bookkeeping costs (symbol table entry, relocation, alignment
+// slack) and the flat object-file header.
+constexpr double kHeaderBytes = 64.0;
+constexpr double kPerFunctionOverhead = 24.0;
+constexpr double kPerGlobalOverhead = 16.0;
+
+// Vector ops encode a little larger than a lone scalar op of the same kind.
+constexpr double kVectorEncodingPenalty = 1.25;
+
+}  // namespace
+
+double SizeModel::functionBytes(const Function& f) const {
+  if (f.isDeclaration()) return 0.0;
+  // Prologue/epilogue: x86-64 frame setup in bytes; AArch64 stp/ldp+ret in
+  // 4-byte units.
+  double units = target_->fixedWidthEncoding() ? 2.0 : 6.0;
+  for (const auto& bb : f.blocks()) {
+    for (const auto& inst : bb->insts()) {
+      double u = target_->encodingUnits(*inst);
+      const unsigned w = inst->vectorWidth();
+      if (w > 1) u = u * kVectorEncodingPenalty / static_cast<double>(w);
+      units += u;
+    }
+  }
+  if (target_->fixedWidthEncoding()) {
+    // Fixed-width ISA: whole instructions only, 4 bytes each.
+    return 4.0 * std::ceil(units);
+  }
+  return units;
+}
+
+SizeBreakdown SizeModel::moduleSize(const Module& m) const {
+  SizeBreakdown out;
+  out.overhead_bytes = kHeaderBytes;
+  for (const auto& f : m.functions()) {
+    if (f->isDeclaration()) continue;
+    out.text_bytes += functionBytes(*f);
+    out.overhead_bytes += kPerFunctionOverhead;
+  }
+  for (const auto& g : m.globals()) {
+    const double bytes = static_cast<double>(g->valueType()->byteSize());
+    out.data_bytes += bytes < 1.0 ? 1.0 : bytes;
+    out.overhead_bytes += kPerGlobalOverhead;
+  }
+  return out;
+}
+
+double SizeModel::objectBytes(const Module& m) const {
+  return moduleSize(m).total();
+}
+
+}  // namespace posetrl

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file size_model.h
+/// Object-size model: the stand-in for the paper's "binary size after
+/// llvm-strip" measurement (R_BinSize denominator of Eqn 2). Text bytes come
+/// from the per-target instruction-encoding estimate, data bytes from global
+/// initializers, and a per-symbol overhead models headers/symbol tables.
+
+#include "target/target_info.h"
+
+namespace posetrl {
+
+class Function;
+class Module;
+
+/// Section-level decomposition of the modeled object size.
+struct SizeBreakdown {
+  double text_bytes = 0.0;      ///< Encoded function bodies.
+  double data_bytes = 0.0;      ///< Global-variable storage.
+  double overhead_bytes = 0.0;  ///< Headers, symbol table, per-symbol cost.
+
+  double total() const { return text_bytes + data_bytes + overhead_bytes; }
+};
+
+/// Estimates stripped-object size for one target.
+class SizeModel {
+ public:
+  explicit SizeModel(const TargetInfo& target) : target_(&target) {}
+
+  /// Encoded size of one function body in bytes (0 for declarations). On
+  /// fixed-width targets the result is a whole multiple of 4.
+  double functionBytes(const Function& f) const;
+
+  /// Full decomposition over every function and global of \p m.
+  SizeBreakdown moduleSize(const Module& m) const;
+
+  /// Convenience: moduleSize(m).total().
+  double objectBytes(const Module& m) const;
+
+ private:
+  const TargetInfo* target_;
+};
+
+}  // namespace posetrl

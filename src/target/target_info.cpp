@@ -1,0 +1,181 @@
+#include "target/target_info.h"
+
+#include "ir/instruction.h"
+#include "support/error.h"
+
+namespace posetrl {
+
+namespace {
+
+/// Base (scalar) execution cost of \p inst on x86-64. Numbers follow the
+/// shape of Agner Fog's Skylake tables: cheap ALU ops, 20+-cycle integer
+/// division, mid-cost FP, 4-ish-cycle loads.
+InstCost x86Cost(const Instruction& inst) {
+  switch (inst.opcode()) {
+    case Opcode::Alloca: return {0.25, 1.0, 1.0};
+    case Opcode::Load: return {0.5, 4.0, 1.0};
+    case Opcode::Store: return {1.0, 1.0, 2.0};
+    case Opcode::Gep: return {0.5, 1.0, 1.0};
+    case Opcode::Ret: return {1.0, 1.0, 2.0};
+    case Opcode::Br: return {0.5, 1.0, 1.0};
+    case Opcode::CondBr: return {0.5, 1.0, 1.0};
+    case Opcode::Switch: return {2.0, 3.0, 4.0};
+    case Opcode::Unreachable: return {0.0, 0.0, 0.0};
+    case Opcode::Phi: return {0.25, 0.5, 1.0};
+    case Opcode::Call: return {2.0, 3.0, 3.0};
+    case Opcode::Select: return {0.5, 1.0, 1.0};
+    case Opcode::Add:
+    case Opcode::Sub: return {0.25, 1.0, 1.0};
+    case Opcode::Mul: return {1.0, 3.0, 1.0};
+    case Opcode::SDiv:
+    case Opcode::UDiv: return {21.0, 26.0, 2.0};
+    case Opcode::SRem:
+    case Opcode::URem: return {21.0, 29.0, 2.0};
+    case Opcode::Shl:
+    case Opcode::LShr:
+    case Opcode::AShr: return {0.5, 1.0, 1.0};
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor: return {0.25, 1.0, 1.0};
+    case Opcode::FAdd:
+    case Opcode::FSub: return {0.5, 4.0, 1.0};
+    case Opcode::FMul: return {0.5, 4.0, 1.0};
+    case Opcode::FDiv: return {4.0, 14.0, 1.0};
+    case Opcode::ICmp: return {0.25, 1.0, 1.0};
+    case Opcode::FCmp: return {0.5, 3.0, 1.0};
+    case Opcode::ZExt:
+    case Opcode::SExt:
+    case Opcode::Trunc: return {0.25, 1.0, 1.0};
+    case Opcode::SIToFP:
+    case Opcode::FPToSI: return {1.0, 6.0, 2.0};
+  }
+  POSETRL_UNREACHABLE("unknown opcode in x86Cost");
+}
+
+/// Base (scalar) execution cost on AArch64 (Cortex-A76-ish): similar ALU
+/// costs, markedly cheaper integer division, same relative FP ordering.
+InstCost a64Cost(const Instruction& inst) {
+  switch (inst.opcode()) {
+    case Opcode::Alloca: return {0.25, 1.0, 1.0};
+    case Opcode::Load: return {0.5, 4.0, 1.0};
+    case Opcode::Store: return {1.0, 1.0, 1.0};
+    case Opcode::Gep: return {0.5, 1.0, 1.0};
+    case Opcode::Ret: return {1.0, 1.0, 1.0};
+    case Opcode::Br: return {0.5, 1.0, 1.0};
+    case Opcode::CondBr: return {0.5, 1.0, 1.0};
+    case Opcode::Switch: return {2.0, 3.0, 4.0};
+    case Opcode::Unreachable: return {0.0, 0.0, 0.0};
+    case Opcode::Phi: return {0.25, 0.5, 1.0};
+    case Opcode::Call: return {2.0, 2.0, 2.0};
+    case Opcode::Select: return {0.5, 1.0, 1.0};
+    case Opcode::Add:
+    case Opcode::Sub: return {0.25, 1.0, 1.0};
+    case Opcode::Mul: return {1.0, 3.0, 1.0};
+    case Opcode::SDiv:
+    case Opcode::UDiv: return {7.0, 12.0, 1.0};
+    case Opcode::SRem:
+    case Opcode::URem: return {8.0, 15.0, 2.0};
+    case Opcode::Shl:
+    case Opcode::LShr:
+    case Opcode::AShr: return {0.5, 1.0, 1.0};
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor: return {0.25, 1.0, 1.0};
+    case Opcode::FAdd:
+    case Opcode::FSub: return {0.5, 3.0, 1.0};
+    case Opcode::FMul: return {0.5, 3.0, 1.0};
+    case Opcode::FDiv: return {5.0, 13.0, 1.0};
+    case Opcode::ICmp: return {0.25, 1.0, 1.0};
+    case Opcode::FCmp: return {0.5, 2.0, 1.0};
+    case Opcode::ZExt:
+    case Opcode::SExt:
+    case Opcode::Trunc: return {0.25, 1.0, 1.0};
+    case Opcode::SIToFP:
+    case Opcode::FPToSI: return {1.0, 5.0, 1.0};
+  }
+  POSETRL_UNREACHABLE("unknown opcode in a64Cost");
+}
+
+/// Encoded bytes of one x86-64 instruction (rough averages; variable-length
+/// encoding makes small ALU ops cheap and control flow / calls larger).
+double x86Bytes(const Instruction& inst) {
+  switch (inst.opcode()) {
+    case Opcode::Alloca: return 4.0;
+    case Opcode::Load:
+    case Opcode::Store: return 4.0;
+    case Opcode::Gep: return 4.0;  // lea
+    case Opcode::Ret: return 1.0;
+    case Opcode::Br: return 2.0;
+    case Opcode::CondBr: return 4.0;  // jcc (+macro-fused cmp)
+    case Opcode::Switch: return 8.0 + 4.0 * inst.numSuccessors();
+    case Opcode::Unreachable: return 2.0;  // ud2
+    case Opcode::Phi: return 3.0;          // register shuffle at edges
+    case Opcode::Call: return 5.0;
+    case Opcode::Select: return 6.0;  // cmov + setup
+    case Opcode::SDiv:
+    case Opcode::UDiv:
+    case Opcode::SRem:
+    case Opcode::URem: return 5.0;  // cqo + idiv + moves
+    case Opcode::FAdd:
+    case Opcode::FSub:
+    case Opcode::FMul:
+    case Opcode::FDiv: return 5.0;  // SSE with prefix
+    case Opcode::FCmp: return 5.0;
+    case Opcode::SIToFP:
+    case Opcode::FPToSI: return 5.0;
+    default: return 3.0;  // ALU / compare / cast.
+  }
+}
+
+/// Encoded 4-byte units of one AArch64 instruction.
+double a64Units(const Instruction& inst) {
+  switch (inst.opcode()) {
+    case Opcode::Switch: return 2.0 + inst.numSuccessors();  // cmp+b.eq chain
+    case Opcode::Select: return 2.0;  // cmp + csel
+    case Opcode::SRem:
+    case Opcode::URem: return 2.0;    // sdiv + msub
+    case Opcode::Call: return 1.0;    // bl
+    case Opcode::CondBr: return 2.0;  // cmp + b.cond
+    default: return 1.0;
+  }
+}
+
+}  // namespace
+
+const TargetInfo& TargetInfo::x86_64() {
+  static const TargetInfo info(TargetArch::X86_64, "x86-64",
+                               /*dispatch_width=*/4.0,
+                               /*fixed_width=*/false);
+  return info;
+}
+
+const TargetInfo& TargetInfo::aarch64() {
+  static const TargetInfo info(TargetArch::AArch64, "aarch64",
+                               /*dispatch_width=*/4.0,
+                               /*fixed_width=*/true);
+  return info;
+}
+
+const TargetInfo& TargetInfo::forArch(TargetArch arch) {
+  return arch == TargetArch::X86_64 ? x86_64() : aarch64();
+}
+
+InstCost TargetInfo::cost(const Instruction& inst) const {
+  InstCost c = arch_ == TargetArch::X86_64 ? x86Cost(inst) : a64Cost(inst);
+  const unsigned w = inst.vectorWidth();
+  if (w > 1) {
+    // One w-wide SIMD op replaces w scalar slots; SIMD lanes are slightly
+    // more expensive than a lone scalar op, hence the 1.25 group penalty.
+    const double scale = 1.25 / static_cast<double>(w);
+    c.rthroughput *= scale;
+    c.latency *= scale;
+    c.uops *= scale;
+  }
+  return c;
+}
+
+double TargetInfo::encodingUnits(const Instruction& inst) const {
+  return arch_ == TargetArch::X86_64 ? x86Bytes(inst) : a64Units(inst);
+}
+
+}  // namespace posetrl

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file target_info.h
+/// Per-architecture cost and encoding models. The paper measures real
+/// binaries on x86-64 and AArch64; we substitute a static per-instruction
+/// cost table in the llvm-mca style (reciprocal throughput, latency, uops)
+/// plus an instruction-encoding size estimate, both consumed by the size
+/// model, the throughput model and the interpreter's cycle accounting.
+
+#include <string>
+
+namespace posetrl {
+
+class Instruction;
+
+/// Architectures modeled by the reproduction (the paper's Table IV/V pair).
+enum class TargetArch { X86_64, AArch64 };
+
+/// llvm-mca style cost triple for one instruction.
+struct InstCost {
+  double rthroughput = 0.25;  ///< Reciprocal throughput (cycles at steady state).
+  double latency = 1.0;       ///< Result latency in cycles.
+  double uops = 1.0;          ///< Decoded micro-ops.
+};
+
+/// Immutable description of one target architecture.
+class TargetInfo {
+ public:
+  /// Shared singletons (cheap to look up; never freed).
+  static const TargetInfo& forArch(TargetArch arch);
+  static const TargetInfo& x86_64();
+  static const TargetInfo& aarch64();
+
+  TargetArch arch() const { return arch_; }
+  const std::string& name() const { return name_; }
+
+  /// Micro-ops the front end can dispatch per cycle.
+  double dispatchWidth() const { return dispatch_width_; }
+
+  /// True when every instruction encodes to a multiple of 4 bytes
+  /// (AArch64); false for variable-length encodings (x86-64).
+  bool fixedWidthEncoding() const { return fixed_width_; }
+
+  /// Cost of executing \p inst once. Instructions marked with a vector
+  /// width w model one w-wide SIMD operation spread over w scalar slots, so
+  /// the returned cost is the vector-op cost divided by w.
+  InstCost cost(const Instruction& inst) const;
+
+  /// Estimated encoded size of \p inst in bytes (x86-64) or 4-byte units
+  /// (AArch64), before vector-group scaling. Consumed by SizeModel.
+  double encodingUnits(const Instruction& inst) const;
+
+ private:
+  TargetInfo(TargetArch arch, std::string name, double dispatch_width,
+             bool fixed_width)
+      : arch_(arch),
+        name_(std::move(name)),
+        dispatch_width_(dispatch_width),
+        fixed_width_(fixed_width) {}
+
+  TargetArch arch_;
+  std::string name_;
+  double dispatch_width_;
+  bool fixed_width_;
+};
+
+}  // namespace posetrl

@@ -12,6 +12,7 @@
 #include "ir/parser.h"
 #include "ir/printer.h"
 #include "ir/verifier.h"
+#include "lint/instrumentation.h"
 #include "passes/pass.h"
 #include "support/rng.h"
 #include "workloads/generator.h"
@@ -98,6 +99,32 @@ TEST(FuzzTest, ManySeedsSurviveOz) {
     ASSERT_TRUE(vr.ok()) << "seed " << seed << ":\n" << vr.message();
     const ExecResult after = runModule(*m);
     EXPECT_EQ(before.fingerprint(), after.fingerprint()) << "seed " << seed;
+  }
+}
+
+TEST(FuzzTest, DifferentialOracleOverRandomSequences) {
+  // The miscompile oracle as a fuzz harness: random pass sequences over
+  // generated workloads run under full instrumentation (verify + oracle);
+  // any divergence is attributed to a single pass, which makes failures
+  // here directly actionable. Bounded small: 4 trials x 12 passes.
+  const auto names = allPassNames();
+  Rng rng(303);
+  for (int trial = 0; trial < 4; ++trial) {
+    ProgramSpec spec;
+    spec.seed = 900 + static_cast<std::uint64_t>(trial);
+    spec.kernels = 2;
+    auto m = generateProgram(spec);
+    std::vector<std::string> soup;
+    for (int i = 0; i < 12; ++i) {
+      soup.push_back(names[rng.nextBelow(names.size())]);
+    }
+    InstrumentOptions opts;
+    opts.verify = true;
+    opts.oracle = true;
+    PassInstrumentation instr(opts);
+    runPassSequence(*m, soup, instr);
+    EXPECT_TRUE(instr.clean())
+        << "trial " << trial << ":\n" << instr.toText();
   }
 }
 

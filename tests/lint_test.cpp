@@ -1,0 +1,638 @@
+// Tests for the lint subsystem: every semantic checker (firing and clean
+// cases), the diagnostic/report model, the differential miscompile oracle,
+// and per-pass attribution through PassInstrumentation — including the two
+// acceptance scenarios: an injected IR-breaking pass is attributed by name,
+// and an injected (verifier-clean) miscompile is caught by the oracle.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "ir/basic_block.h"
+#include "ir/clone.h"
+#include "ir/function.h"
+#include "ir/instruction.h"
+#include "ir/ir_builder.h"
+#include "ir/module.h"
+#include "ir/parser.h"
+#include "ir/verifier.h"
+#include "lint/instrumentation.h"
+#include "lint/lint.h"
+#include "lint/oracle.h"
+#include "passes/pass.h"
+
+namespace posetrl {
+namespace {
+
+std::unique_ptr<Module> parseOrDie(const char* text) {
+  std::string err;
+  auto m = parseModule(text, &err);
+  EXPECT_NE(m, nullptr) << err;
+  EXPECT_TRUE(verifyModule(*m).ok()) << verifyModule(*m).message();
+  return m;
+}
+
+/// Runs exactly one checker over \p m.
+LintReport runChecker(const char* checker, const Module& m) {
+  auto c = createLintChecker(checker);
+  EXPECT_NE(c, nullptr) << "unknown checker " << checker;
+  LintReport report;
+  c->check(m, report);
+  return report;
+}
+
+std::size_t countFrom(const LintReport& r, const char* checker) {
+  std::size_t n = 0;
+  for (const auto& d : r.diagnostics) {
+    if (d.checker == checker) ++n;
+  }
+  return n;
+}
+
+/// A well-behaved module no checker should complain about.
+const char* kCleanModule = R"(
+module "clean"
+global @g : i64 = int 20, internal
+define @helper : fn(i64) -> i64 internal {
+block e:
+  %r : i64 = add %arg0, i64 1
+  ret %r
+}
+define @main : fn() -> i64 external {
+block e:
+  %v : i64 = load @g
+  %a : i64 = call @helper(%v)
+  ret %a
+}
+)";
+
+TEST(LintFramework, RegistryHasAllSixCheckers) {
+  const auto names = lintCheckerNames();
+  EXPECT_EQ(names.size(), 6u);
+  for (const auto& n : names) {
+    auto c = createLintChecker(n);
+    ASSERT_NE(c, nullptr) << n;
+    EXPECT_EQ(c->name(), n);
+  }
+  EXPECT_EQ(createLintChecker("no-such-checker"), nullptr);
+}
+
+TEST(LintFramework, CleanModuleIsClean) {
+  auto m = parseOrDie(kCleanModule);
+  const LintReport r = runLint(*m);
+  EXPECT_TRUE(r.clean()) << r.toText();
+}
+
+// --- undef-use --------------------------------------------------------------
+
+TEST(LintCheckers, UndefUseFires) {
+  Module m("t");
+  TypeContext& tc = m.types();
+  Function* f = m.createFunction("f", tc.funcType(tc.i64(), {tc.i64()}),
+                                 Function::Linkage::External);
+  BasicBlock* entry = f->addBlock("entry");
+  IRBuilder b(&m);
+  b.setInsertPoint(entry);
+  Value* s = b.add(f->arg(0), m.undef(tc.i64()));
+  b.ret(s);
+  ASSERT_TRUE(verifyModule(m).ok()) << verifyModule(m).message();
+
+  const LintReport r = runChecker("undef-use", m);
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(r.diagnostics[0].severity, LintSeverity::Warning);
+  EXPECT_EQ(r.diagnostics[0].function, "f");
+  EXPECT_EQ(r.diagnostics[0].block.rfind("entry", 0), 0u)
+      << r.diagnostics[0].block;
+}
+
+TEST(LintCheckers, UndefPhiInputIsOnlyANote) {
+  Module m("t");
+  TypeContext& tc = m.types();
+  Function* f = m.createFunction("f", tc.funcType(tc.i64(), {tc.i1()}),
+                                 Function::Linkage::External);
+  BasicBlock* entry = f->addBlock("entry");
+  BasicBlock* left = f->addBlock("left");
+  BasicBlock* join = f->addBlock("join");
+  IRBuilder b(&m);
+  b.setInsertPoint(entry);
+  b.condBr(f->arg(0), left, join);
+  b.setInsertPoint(left);
+  b.br(join);
+  b.setInsertPoint(join);
+  PhiInst* phi = b.phi(tc.i64(), "p");
+  phi->addIncoming(m.i64Const(3), left);
+  phi->addIncoming(m.undef(tc.i64()), entry);
+  b.ret(phi);
+  ASSERT_TRUE(verifyModule(m).ok()) << verifyModule(m).message();
+
+  const LintReport r = runChecker("undef-use", m);
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(r.diagnostics[0].severity, LintSeverity::Note);
+}
+
+TEST(LintCheckers, UndefUseClean) {
+  auto m = parseOrDie(kCleanModule);
+  EXPECT_TRUE(runChecker("undef-use", *m).clean());
+}
+
+// --- unreachable-block ------------------------------------------------------
+
+TEST(LintCheckers, UnreachableBlockFires) {
+  auto m = parseOrDie(R"(
+module "t"
+define @f : fn() -> i64 external {
+block e:
+  ret i64 0
+block island:
+  ret i64 1
+}
+)");
+  const LintReport r = runChecker("unreachable-block", *m);
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(r.diagnostics[0].severity, LintSeverity::Warning);
+  EXPECT_EQ(r.diagnostics[0].function, "f");
+  EXPECT_EQ(r.diagnostics[0].block, "island");
+}
+
+TEST(LintCheckers, UnreachableBlockClean) {
+  auto m = parseOrDie(kCleanModule);
+  EXPECT_TRUE(runChecker("unreachable-block", *m).clean());
+}
+
+// --- dead-internal-function -------------------------------------------------
+
+TEST(LintCheckers, DeadInternalFunctionFires) {
+  auto m = parseOrDie(R"(
+module "t"
+define @orphan : fn(i64) -> i64 internal {
+block e:
+  ret %arg0
+}
+define @main : fn() -> i64 external {
+block e:
+  ret i64 0
+}
+)");
+  const LintReport r = runChecker("dead-internal-function", *m);
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(r.diagnostics[0].function, "orphan");
+  EXPECT_EQ(r.diagnostics[0].severity, LintSeverity::Warning);
+}
+
+TEST(LintCheckers, DeadInternalFunctionSparesFuncPtrTargets) {
+  // @inc has no direct callers, but its address lives in a global
+  // initializer, so an indirect call may still reach it.
+  auto m = parseOrDie(R"(
+module "t"
+define @inc : fn(i64) -> i64 internal {
+block e:
+  %r : i64 = add %arg0, i64 1
+  ret %r
+}
+global @fp : ptr<fn(i64) -> i64> = funcptr @inc, internal, const
+define @main : fn() -> i64 external {
+block e:
+  %f : ptr<fn(i64) -> i64> = load @fp
+  %r : i64 = call indirect %f(i64 4)
+  ret %r
+}
+)");
+  EXPECT_TRUE(runChecker("dead-internal-function", *m).clean());
+}
+
+TEST(LintCheckers, DeadInternalFunctionClean) {
+  auto m = parseOrDie(kCleanModule);
+  EXPECT_TRUE(runChecker("dead-internal-function", *m).clean());
+}
+
+// --- store-to-constant-global -----------------------------------------------
+
+TEST(LintCheckers, StoreToConstGlobalFires) {
+  auto m = parseOrDie(R"(
+module "t"
+global @k : i64 = int 5, internal, const
+define @main : fn() -> i64 external {
+block e:
+  store i64 7, @k
+  %v : i64 = load @k
+  ret %v
+}
+)");
+  const LintReport r = runChecker("store-to-constant-global", *m);
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(r.diagnostics[0].severity, LintSeverity::Error);
+  EXPECT_NE(r.diagnostics[0].message.find("@k"), std::string::npos);
+}
+
+TEST(LintCheckers, StoreThroughGepIntoConstGlobalFires) {
+  auto m = parseOrDie(R"(
+module "t"
+global @tab : [4 x i64] = array [1, 2, 3, 4], internal, const
+define @main : fn() -> i64 external {
+block e:
+  %p : ptr<i64> = gep @tab [i64 0, i64 2]
+  store i64 9, %p
+  ret i64 0
+}
+)");
+  EXPECT_EQ(countFrom(runChecker("store-to-constant-global", *m),
+                      "store-to-constant-global"),
+            1u);
+}
+
+TEST(LintCheckers, StoreToMutableGlobalClean) {
+  auto m = parseOrDie(R"(
+module "t"
+global @g : i64 = int 5, internal
+define @main : fn() -> i64 external {
+block e:
+  store i64 7, @g
+  %v : i64 = load @g
+  ret %v
+}
+)");
+  EXPECT_TRUE(runChecker("store-to-constant-global", *m).clean());
+}
+
+// --- call-signature-mismatch ------------------------------------------------
+
+TEST(LintCheckers, CallSignatureMismatchFires) {
+  // setFunctionTypeUnchecked is the escape hatch interprocedural passes use;
+  // used wrongly it desyncs a function's type from its argument list and
+  // from its call sites — exactly the drift this checker exists to catch.
+  auto m = parseOrDie(kCleanModule);
+  Function* helper = m->getFunction("helper");
+  ASSERT_NE(helper, nullptr);
+  TypeContext& tc = m->types();
+  helper->setFunctionTypeUnchecked(tc.funcType(tc.i64(), {}));
+
+  const LintReport r = runChecker("call-signature-mismatch", *m);
+  // Own-signature drift on @helper plus the now-stale call in @main.
+  EXPECT_GE(r.diagnostics.size(), 2u) << r.toText();
+  EXPECT_EQ(r.count(LintSeverity::Error), r.diagnostics.size());
+  bool own = false;
+  bool call_site = false;
+  for (const auto& d : r.diagnostics) {
+    if (d.function == "helper" && d.instruction.empty()) own = true;
+    if (d.function == "main" && !d.instruction.empty()) call_site = true;
+  }
+  EXPECT_TRUE(own);
+  EXPECT_TRUE(call_site);
+}
+
+TEST(LintCheckers, CallSignatureClean) {
+  auto m = parseOrDie(kCleanModule);
+  EXPECT_TRUE(runChecker("call-signature-mismatch", *m).clean());
+}
+
+// --- gep-out-of-bounds-constant-index ---------------------------------------
+
+TEST(LintCheckers, GepOutOfBoundsArrayIndexFires) {
+  auto m = parseOrDie(R"(
+module "t"
+define @main : fn() -> i64 external {
+block e:
+  %buf : ptr<[8 x i64]> = alloca [8 x i64]
+  %p : ptr<i64> = gep %buf [i64 0, i64 9]
+  %v : i64 = load %p
+  ret %v
+}
+)");
+  const LintReport r =
+      runChecker("gep-out-of-bounds-constant-index", *m);
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(r.diagnostics[0].severity, LintSeverity::Error);
+  EXPECT_NE(r.diagnostics[0].message.find("9"), std::string::npos);
+}
+
+TEST(LintCheckers, GepNonzeroFirstIndexOffSingleObjectFires) {
+  auto m = parseOrDie(R"(
+module "t"
+global @tab : [4 x i64] = array [1, 2, 3, 4], internal
+define @main : fn() -> i64 external {
+block e:
+  %p : ptr<i64> = gep @tab [i64 1, i64 0]
+  %v : i64 = load %p
+  ret %v
+}
+)");
+  const LintReport r =
+      runChecker("gep-out-of-bounds-constant-index", *m);
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_NE(r.diagnostics[0].message.find("single allocated object"),
+            std::string::npos);
+}
+
+TEST(LintCheckers, GepInBoundsClean) {
+  auto m = parseOrDie(R"(
+module "t"
+define @main : fn(i64) -> i64 external {
+block e:
+  %buf : ptr<[8 x i64]> = alloca [8 x i64]
+  %p : ptr<i64> = gep %buf [i64 0, i64 7]
+  %q : ptr<i64> = gep %buf [i64 0, %arg0]
+  store i64 3, %p
+  %v : i64 = load %p
+  ret %v
+}
+)");
+  EXPECT_TRUE(runChecker("gep-out-of-bounds-constant-index", *m).clean());
+}
+
+// --- diagnostic / report model ----------------------------------------------
+
+TEST(LintReportTest, NewSinceDiffsByKey) {
+  LintDiagnostic a;
+  a.checker = "undef-use";
+  a.function = "f";
+  a.message = "operand 0 is undef";
+  LintDiagnostic b = a;
+  b.message = "operand 1 is undef";
+
+  LintReport baseline;
+  baseline.add(a);
+  LintReport after;
+  after.add(a);
+  after.add(b);
+
+  const auto fresh = after.newSince(baseline);
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0].message, "operand 1 is undef");
+  EXPECT_TRUE(LintReport{}.newSince(baseline).empty());
+}
+
+TEST(LintReportTest, TextAndJsonRenderings) {
+  auto m = parseOrDie(R"(
+module "t"
+global @k : i64 = int 5, internal, const
+define @main : fn() -> i64 external {
+block e:
+  store i64 7, @k
+  ret i64 0
+}
+)");
+  const LintReport r = runLint(*m);
+  ASSERT_TRUE(r.hasErrors());
+  const std::string text = r.toText();
+  EXPECT_NE(text.find("store-to-constant-global"), std::string::npos);
+  EXPECT_NE(text.find("error"), std::string::npos);
+  const std::string json = r.toJson();
+  EXPECT_NE(json.find("\"checker\""), std::string::npos);
+  EXPECT_NE(json.find("store-to-constant-global"), std::string::npos);
+
+  LintReport empty;
+  EXPECT_NE(empty.toText().find("clean"), std::string::npos);
+  EXPECT_EQ(empty.toJson(), "[]");
+}
+
+// --- miscompile oracle ------------------------------------------------------
+
+const char* kSinkModule = R"(
+module "t"
+declare @pr.sink : fn(i64) -> void intrinsic sink
+global @g : i64 = int 20, internal
+define @main : fn() -> i64 external {
+block e:
+  %v : i64 = load @g
+  %a : i64 = add %v, i64 1
+  call @pr.sink(%a)
+  ret %a
+}
+)";
+
+TEST(OracleTest, IdenticalModulesAreEquivalent) {
+  auto before = parseOrDie(kSinkModule);
+  auto after = cloneModule(*before);
+  const OracleVerdict v = MiscompileOracle::diff(*before, *after);
+  EXPECT_TRUE(v.equivalent()) << v.message();
+  EXPECT_TRUE(v.inconclusive_seeds.empty());
+}
+
+TEST(OracleTest, ReturnValueDivergenceDetected) {
+  auto before = parseOrDie(kSinkModule);
+  auto after = cloneModule(*before);
+  // Flip the added constant: 20+1 becomes 20+2 — verifier-clean, wrong.
+  for (const auto& f : after->functions()) {
+    for (const auto& bb : f->blocks()) {
+      for (const auto& inst : bb->insts()) {
+        if (inst->opcode() != Opcode::Add) continue;
+        inst->setOperand(1, after->i64Const(2));
+      }
+    }
+  }
+  ASSERT_TRUE(verifyModule(*after).ok());
+  const OracleVerdict v = MiscompileOracle::diff(*before, *after);
+  ASSERT_FALSE(v.equivalent());
+  EXPECT_EQ(v.divergences.front().kind, "return-value") << v.message();
+  // One divergence per configured input seed.
+  EXPECT_EQ(v.divergences.size(), OracleOptions{}.input_seeds.size());
+}
+
+TEST(OracleTest, SideEffectDivergenceDetected) {
+  // Same return value, different pr.sink trace: only the effect trace can
+  // tell these two apart.
+  auto before = parseOrDie(R"(
+module "t"
+declare @pr.sink : fn(i64) -> void intrinsic sink
+global @g : i64 = int 20, internal
+define @main : fn() -> i64 external {
+block e:
+  %v : i64 = load @g
+  %a : i64 = add %v, i64 1
+  call @pr.sink(%a)
+  ret i64 0
+}
+)");
+  auto after = cloneModule(*before);
+  for (const auto& f : after->functions()) {
+    for (const auto& bb : f->blocks()) {
+      for (const auto& inst : bb->insts()) {
+        if (inst->opcode() != Opcode::Add) continue;
+        inst->setOperand(1, after->i64Const(2));
+      }
+    }
+  }
+  const OracleVerdict v = MiscompileOracle::diff(*before, *after);
+  ASSERT_FALSE(v.equivalent());
+  EXPECT_EQ(v.divergences.front().kind, "side-effects") << v.message();
+  // The detail pinpoints the first diverging observation.
+  EXPECT_NE(v.divergences.front().detail.find("21"), std::string::npos);
+  EXPECT_NE(v.divergences.front().detail.find("22"), std::string::npos);
+}
+
+TEST(OracleTest, TrapStateDivergenceDetected) {
+  auto before = parseOrDie(R"(
+module "t"
+global @d : i64 = int 2, internal
+define @main : fn() -> i64 external {
+block e:
+  %v : i64 = load @d
+  %r : i64 = sdiv i64 10, %v
+  ret %r
+}
+)");
+  auto after = cloneModule(*before);
+  // Turn the divisor into zero: the candidate traps, the baseline does not.
+  for (const auto& f : after->functions()) {
+    for (const auto& bb : f->blocks()) {
+      for (const auto& inst : bb->insts()) {
+        if (inst->opcode() != Opcode::SDiv) continue;
+        inst->setOperand(1, after->i64Const(0));
+      }
+    }
+  }
+  ASSERT_TRUE(verifyModule(*after).ok());
+  const OracleVerdict v = MiscompileOracle::diff(*before, *after);
+  ASSERT_FALSE(v.equivalent());
+  EXPECT_EQ(v.divergences.front().kind, "trap-state");
+}
+
+// --- pass instrumentation / attribution -------------------------------------
+
+/// Injected pass: breaks the IR (binary operand type mismatch) so the
+/// structural verifier fails right after it runs.
+class IrBreakerPass : public Pass {
+ public:
+  std::string_view name() const override { return "test-ir-breaker"; }
+
+  bool run(Module& module) override {
+    for (const auto& f : module.functions()) {
+      for (const auto& bb : f->blocks()) {
+        for (const auto& inst : bb->insts()) {
+          if (inst->opcode() != Opcode::Add) continue;
+          inst->setOperand(1, module.i1Const(true));
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+};
+
+/// Injected pass: stays verifier-clean but changes observable behaviour by
+/// rewriting a constant operand of the first add it finds.
+class MiscompilerPass : public Pass {
+ public:
+  std::string_view name() const override { return "test-miscompiler"; }
+
+  bool run(Module& module) override {
+    for (const auto& f : module.functions()) {
+      for (const auto& bb : f->blocks()) {
+        for (const auto& inst : bb->insts()) {
+          if (inst->opcode() != Opcode::Add) continue;
+          const auto* c = dynCast<ConstantInt>(inst->operand(1));
+          if (c == nullptr) continue;
+          inst->setOperand(1, module.i64Const(c->value() + 41));
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+};
+
+TEST(InstrumentationTest, AttributesInjectedIrBreakerByName) {
+  registerPass("test-ir-breaker",
+               [] { return std::make_unique<IrBreakerPass>(); });
+  auto m = parseOrDie(R"(
+module "t"
+define @main : fn(i64) -> i64 external {
+block e:
+  %a : i64 = add %arg0, i64 1
+  %b : i64 = mul %a, i64 3
+  ret %b
+}
+)");
+  InstrumentOptions opts;
+  opts.verify = true;
+  PassInstrumentation instr(opts);
+  runPassSequence(*m, {"instcombine", "test-ir-breaker", "dce"}, instr);
+
+  EXPECT_EQ(instr.stepsRun(), 3u);
+  ASSERT_FALSE(instr.clean());
+  const PassFailure& f = instr.failures().front();
+  EXPECT_EQ(f.pass, "test-ir-breaker");
+  EXPECT_EQ(f.stage, "verify");
+  EXPECT_EQ(f.step, 2u);
+  EXPECT_NE(instr.toText().find("test-ir-breaker"), std::string::npos);
+  EXPECT_NE(instr.toJson().find("test-ir-breaker"), std::string::npos);
+}
+
+TEST(InstrumentationTest, OracleCatchesInjectedMiscompile) {
+  registerPass("test-miscompiler",
+               [] { return std::make_unique<MiscompilerPass>(); });
+  auto m = parseOrDie(kSinkModule);
+  InstrumentOptions opts;
+  opts.verify = true;
+  opts.oracle = true;
+  PassInstrumentation instr(opts);
+  runPassSequence(*m, {"dce", "test-miscompiler"}, instr);
+
+  ASSERT_FALSE(instr.clean());
+  const PassFailure& f = instr.failures().front();
+  EXPECT_EQ(f.pass, "test-miscompiler");
+  EXPECT_EQ(f.stage, "oracle");
+  EXPECT_EQ(f.step, 2u);
+  EXPECT_NE(f.detail.find("return-value"), std::string::npos);
+}
+
+TEST(InstrumentationTest, LintRegressionAttributedToPass) {
+  registerPass("test-undef-injector", [] {
+    class UndefInjector : public Pass {
+     public:
+      std::string_view name() const override { return "test-undef-injector"; }
+      bool run(Module& module) override {
+        for (const auto& f : module.functions()) {
+          for (const auto& bb : f->blocks()) {
+            for (const auto& inst : bb->insts()) {
+              if (inst->opcode() != Opcode::Mul) continue;
+              inst->setOperand(1, module.undef(inst->type()));
+              return true;
+            }
+          }
+        }
+        return false;
+      }
+    };
+    return std::make_unique<UndefInjector>();
+  });
+  auto m = parseOrDie(R"(
+module "t"
+define @main : fn(i64) -> i64 external {
+block e:
+  %a : i64 = add %arg0, i64 1
+  %b : i64 = mul %a, i64 3
+  ret %b
+}
+)");
+  InstrumentOptions opts;
+  opts.verify = true;
+  opts.lint = true;
+  opts.lint_failure_threshold = LintSeverity::Warning;
+  PassInstrumentation instr(opts);
+  runPassSequence(*m, {"test-undef-injector"}, instr);
+
+  ASSERT_FALSE(instr.clean());
+  EXPECT_EQ(instr.failures().front().stage, "lint");
+  EXPECT_EQ(instr.failures().front().pass, "test-undef-injector");
+  ASSERT_FALSE(instr.attributedDiagnostics().empty());
+  EXPECT_EQ(instr.attributedDiagnostics().front().diagnostic.checker,
+            "undef-use");
+}
+
+TEST(InstrumentationTest, CleanOzPrefixStaysClean) {
+  auto m = parseOrDie(kSinkModule);
+  InstrumentOptions opts;
+  opts.verify = true;
+  opts.oracle = true;
+  PassInstrumentation instr(opts);
+  runPassSequence(*m,
+                  {"simplifycfg", "sroa", "early-cse", "instcombine", "dce"},
+                  instr);
+  EXPECT_TRUE(instr.clean()) << instr.toText();
+  EXPECT_EQ(instr.stepsRun(), 5u);
+}
+
+}  // namespace
+}  // namespace posetrl

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Full correctness gate: configure, build, run the test suite, then lint
+# every example MiniIR module under instrumentation. Mirrors what CI would
+# run; exits non-zero on the first failure.
+#
+# Usage: tools/check.sh [build-dir]   (default: build)
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+
+echo "== configure =="
+cmake -B "$BUILD" -S "$ROOT" >/dev/null
+
+echo "== build =="
+cmake --build "$BUILD" -j"$(nproc)"
+
+echo "== test =="
+ctest --test-dir "$BUILD" --output-on-failure -j"$(nproc)"
+
+echo "== lint examples =="
+OPT="$BUILD/examples/opt_driver"
+status=0
+for mir in "$ROOT"/examples/*.mir; do
+  name="$(basename "$mir")"
+  # lint_demo.mir deliberately contains lint errors to demo the checkers;
+  # for it a *clean* report would be the bug.
+  if [[ "$name" == lint_demo.mir ]]; then
+    if "$OPT" "$mir" --lint --quiet >/dev/null 2>&1; then
+      echo "FAIL $name: expected lint errors, got a clean report"
+      status=1
+    else
+      echo "ok   $name (lint errors found, as intended)"
+    fi
+  else
+    if "$OPT" "$mir" -Oz --lint-each --oracle --quiet >/dev/null; then
+      echo "ok   $name (-Oz under verify+lint+oracle instrumentation)"
+    else
+      echo "FAIL $name: instrumentation reported failures"
+      "$OPT" "$mir" -Oz --lint-each --oracle --quiet || true
+      status=1
+    fi
+  fi
+done
+
+if [[ $status -eq 0 ]]; then
+  echo "== all checks passed =="
+fi
+exit $status
