@@ -2,7 +2,8 @@
 /// A miniature `opt`: reads a MiniIR file, applies a pass sequence given on
 /// the command line (or -Oz / -O3), and prints the optimized module with
 /// before/after statistics. Doubles as the command-line front end of the
-/// lint subsystem (see DESIGN.md "Correctness tooling").
+/// lint subsystem (see DESIGN.md "Correctness tooling") and of the fault-
+/// tolerance subsystem (DESIGN.md "Fault tolerance").
 ///
 /// Usage:
 ///   opt_driver <file.mir> [-Oz | -O3 | -pass1 -pass2 ...] [options]
@@ -15,15 +16,32 @@
 ///                findings to the pass that introduced them
 ///   --oracle     also run the differential miscompile oracle each pass
 ///   --json       print machine-readable reports instead of tables
-/// Exit status is non-zero for verify failures, lint errors and oracle
-/// divergences; lint warnings/notes alone do not fail the run.
+/// Fault tolerance:
+///   --sandbox            apply the passes under snapshot/rollback; a fault
+///                        prints a FaultReport and exits non-zero
+///   --max-ir-growth <f>  IR-growth cap for the sandbox (implies --sandbox)
+///   --verify-actions     force per-pass verification even in release builds
+///   --inject-faults      register the fault-injection passes (fault-throw,
+///                        fault-bloat, fault-hang, ...) before running
+/// Training (the module becomes a one-program corpus):
+///   --train <steps>      train an agent for <steps> env steps, print stats
+///   --checkpoint <path>  write crash-safe checkpoints during --train
+///   --checkpoint-every <n>  checkpoint interval in env steps (default 100)
+///   --resume <path>      continue --train from a checkpoint file
+/// Exit status is non-zero for verify failures, lint errors, oracle
+/// divergences and sandbox faults; lint warnings/notes alone do not fail
+/// the run.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
 #include "core/oz_sequence.h"
+#include "core/trainer.h"
+#include "faults/injection.h"
+#include "faults/sandbox.h"
 #include "interp/interpreter.h"
 #include "ir/module.h"
 #include "ir/parser.h"
@@ -75,10 +93,56 @@ int usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s <file.mir> [-Oz | -O3 | -pass ...] "
                "[--run] [--quiet] [--lint] [--lint-each] [--oracle] "
-               "[--json]\n"
+               "[--json] [--sandbox] [--max-ir-growth <f>] "
+               "[--verify-actions] [--inject-faults] [--train <steps>] "
+               "[--checkpoint <path>] [--resume <path>]\n"
                "       %s --selftest [options]\n",
                prog, prog);
   return 1;
+}
+
+int runTrainingMode(Module& m, std::size_t train_steps, bool inject_faults,
+                    bool verify_actions, double max_ir_growth,
+                    const std::string& checkpoint,
+                    std::size_t checkpoint_every, const std::string& resume,
+                    bool json) {
+  std::vector<const Module*> corpus{&m};
+  std::vector<SubSequence> actions = manualSubSequences();
+  if (inject_faults) {
+    registerFaultInjectionPasses();
+    int id = static_cast<int>(actions.size());
+    actions.push_back({++id, {"fault-throw"}});
+    actions.push_back({++id, {"fault-bloat"}});
+    actions.push_back({++id, {"fault-hang"}});
+  }
+  TrainConfig cfg;
+  cfg.total_steps = train_steps;
+  cfg.actions = &actions;
+  cfg.agent.num_actions = actions.size();
+  cfg.env.verify_actions = cfg.env.verify_actions || verify_actions;
+  if (max_ir_growth > 0.0) cfg.env.sandbox.max_ir_growth = max_ir_growth;
+  cfg.checkpoint_path = checkpoint;
+  cfg.checkpoint_every_steps = checkpoint_every;
+
+  const TrainResult result = resume.empty()
+                                 ? trainAgent(corpus, cfg)
+                                 : resumeTraining(corpus, cfg, resume);
+  const TrainStats& s = result.stats;
+  if (json) {
+    std::printf("{\"steps\":%zu,\"episodes\":%zu,\"mean_reward\":%.6f,"
+                "\"faults\":%zu,\"quarantined\":%zu,\"checkpoints\":%zu}\n",
+                s.steps, s.episodes, s.mean_episode_reward, s.faults,
+                s.quarantined_actions, s.checkpoints_written);
+  } else {
+    std::printf("[train] steps=%zu episodes=%zu mean_reward=%.3f "
+                "faults=%zu quarantined=%zu checkpoints=%zu\n",
+                s.steps, s.episodes, s.mean_episode_reward, s.faults,
+                s.quarantined_actions, s.checkpoints_written);
+    for (const auto& [kind, count] : s.faults_by_kind) {
+      std::printf("[train]   fault %-18s x%zu\n", kind.c_str(), count);
+    }
+  }
+  return 0;
 }
 
 }  // namespace
@@ -94,6 +158,21 @@ int main(int argc, char** argv) {
   bool lint_each = false;
   bool oracle = false;
   bool json = false;
+  bool sandbox = false;
+  bool verify_actions = false;
+  bool inject_faults = false;
+  double max_ir_growth = 0.0;
+  std::size_t train_steps = 0;
+  std::string checkpoint;
+  std::size_t checkpoint_every = 100;
+  std::string resume;
+
+  const auto nextArg = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::exit(usage(argv[0]));
+    }
+    return argv[++i];
+  };
 
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
@@ -111,11 +190,29 @@ int main(int argc, char** argv) {
       oracle = true;
     } else if (std::strcmp(a, "--json") == 0) {
       json = true;
+    } else if (std::strcmp(a, "--sandbox") == 0) {
+      sandbox = true;
+    } else if (std::strcmp(a, "--max-ir-growth") == 0) {
+      max_ir_growth = std::atof(nextArg(i));
+      sandbox = true;
+    } else if (std::strcmp(a, "--verify-actions") == 0) {
+      verify_actions = true;
+    } else if (std::strcmp(a, "--inject-faults") == 0) {
+      inject_faults = true;
+    } else if (std::strcmp(a, "--train") == 0) {
+      train_steps = static_cast<std::size_t>(std::atoll(nextArg(i)));
+    } else if (std::strcmp(a, "--checkpoint") == 0) {
+      checkpoint = nextArg(i);
+    } else if (std::strcmp(a, "--checkpoint-every") == 0) {
+      checkpoint_every = static_cast<std::size_t>(std::atoll(nextArg(i)));
+    } else if (std::strcmp(a, "--resume") == 0) {
+      resume = nextArg(i);
     } else if (std::strcmp(a, "-Oz") == 0) {
       for (const auto& p : ozPassNames()) passes.push_back(p);
     } else if (std::strcmp(a, "-O3") == 0) {
       for (const auto& p : o3PassNames()) passes.push_back(p);
     } else if (a[0] == '-') {
+      if (inject_faults) registerFaultInjectionPasses();
       for (const auto& p : parsePassSequence(a)) passes.push_back(p);
     } else if (file.empty()) {
       file = a;
@@ -123,13 +220,14 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
+  if (inject_faults) registerFaultInjectionPasses();
 
   if (selftest) {
     source = kSelfTestProgram;
-    if (passes.empty()) {
+    if (passes.empty() && train_steps == 0) {
       passes = parsePassSequence("-instcombine -early-cse -simplifycfg");
     }
-    run = true;
+    run = train_steps == 0;
   } else if (!file.empty()) {
     std::ifstream in(file);
     if (!in.good()) {
@@ -155,6 +253,12 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (train_steps > 0) {
+    return runTrainingMode(*m, train_steps, inject_faults, verify_actions,
+                           max_ir_growth, checkpoint, checkpoint_every,
+                           resume, json);
+  }
+
   bool failed = false;
 
   if (lint_input) {
@@ -165,7 +269,18 @@ int main(int argc, char** argv) {
   }
 
   report("before", *m, run);
-  if (lint_each || oracle) {
+  if (sandbox) {
+    SandboxConfig sc;
+    sc.verify = true;
+    sc.oracle = oracle;
+    if (max_ir_growth > 0.0) sc.max_ir_growth = max_ir_growth;
+    const SandboxOutcome out = runActionSandboxed(m, passes, sc);
+    if (!out.ok) {
+      std::printf("%s\n", json ? out.fault.toJson().c_str()
+                               : out.fault.str().c_str());
+      failed = true;
+    }
+  } else if (lint_each || oracle) {
     InstrumentOptions opts;
     opts.verify = true;
     opts.lint = lint_each;

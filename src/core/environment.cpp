@@ -16,7 +16,8 @@ PhaseOrderEnv::PhaseOrderEnv(const Module& program,
       pristine_(cloneModule(program)),
       size_model_(TargetInfo::forArch(config.arch)),
       mca_model_(TargetInfo::forArch(config.arch)),
-      embedder_(config.embedding) {
+      embedder_(config.embedding),
+      quarantine_(actions.size(), config.quarantine_threshold) {
   POSETRL_CHECK(!actions.empty(), "environment needs a non-empty action space");
   base_size_ = size_model_.objectBytes(*pristine_);
   base_cycles_ = mca_model_.moduleEstimate(*pristine_).weighted_cycles;
@@ -36,11 +37,37 @@ Embedding PhaseOrderEnv::reset() {
   return embedder_.embedProgram(*working_);
 }
 
+SandboxConfig PhaseOrderEnv::effectiveSandboxConfig() const {
+  SandboxConfig sc = config_.sandbox;
+  sc.verify = config_.verify_actions;
+  sc.oracle = config_.oracle_actions;
+  return sc;
+}
+
 PhaseOrderEnv::StepResult PhaseOrderEnv::step(std::size_t index) {
   POSETRL_CHECK(working_ != nullptr, "step() before reset()");
   POSETRL_CHECK(index < actions_->size(), "action index out of range");
 
-  if (config_.verify_actions) {
+  if (config_.sandbox_actions) {
+    SandboxOutcome out = runActionSandboxed(
+        working_, (*actions_)[index].passes, effectiveSandboxConfig());
+    if (!out.ok) {
+      // The sandbox already rolled the working module back to the pre-step
+      // snapshot; the episode continues with a penalized reward and the
+      // fault goes on this (program, action) pair's quarantine record.
+      ++faults_;
+      quarantine_.recordFault(index);
+      ++steps_in_episode_;
+      StepResult result;
+      result.state = embedder_.embedProgram(*working_);
+      result.reward = config_.fault_penalty;
+      result.done = steps_in_episode_ >= config_.episode_length;
+      result.faulted = true;
+      result.fault = std::move(out.fault);
+      result.fault.action = index;
+      return result;
+    }
+  } else if (config_.verify_actions) {
     // Instrumented run: a pass that breaks the IR aborts with its own name
     // instead of corrupting the reward signal steps later.
     InstrumentOptions iopts;

@@ -5,12 +5,22 @@
 /// action = applying one pass sub-sequence with the optimizer, reward =
 /// α·R_BinSize + β·R_Throughput (Eqns 1–3, α=10, β=5) where sizes come
 /// from the object-size model and throughput from the llvm-mca analog.
+///
+/// Actions execute inside a fault sandbox (faults/sandbox.h): the working
+/// module is snapshotted before every sub-sequence; a throwing, invariant-
+/// breaking, IR-exploding or fuel-exhausting pass rolls back to the snapshot
+/// and yields a penalized reward plus a structured FaultReport instead of
+/// killing the run. Actions that fault repeatedly on this program are
+/// quarantined (faults/quarantine.h) and masked out of later selections.
 
 #include <memory>
 #include <vector>
 
 #include "core/oz_sequence.h"
 #include "embed/embedder.h"
+#include "faults/fault.h"
+#include "faults/quarantine.h"
+#include "faults/sandbox.h"
 #include "target/mca_model.h"
 #include "target/size_model.h"
 #include "target/target_info.h"
@@ -26,16 +36,30 @@ struct EnvConfig {
   double beta = 5.0;    ///< Weight of the throughput reward (paper: 5).
   int episode_length = 15;
   EmbeddingConfig embedding;
-  /// Run the structural verifier after every applied sub-sequence and abort
-  /// with the offending pass name on failure (lint/instrumentation.h). A
-  /// miscompiling pass otherwise silently corrupts the reward signal, so
-  /// this defaults on in debug builds; it is off in release builds where
-  /// training throughput dominates.
+  /// Run the structural verifier after every applied pass. With the sandbox
+  /// enabled a verify failure is contained (rollback + fault report); with
+  /// the sandbox disabled it aborts with the offending pass name. Verifying
+  /// costs training throughput, so it defaults on in debug builds only;
+  /// opt_driver --verify-actions (or setting this field) forces it on in
+  /// release builds too.
 #ifdef NDEBUG
   bool verify_actions = false;
 #else
   bool verify_actions = true;
 #endif
+  /// Contain pass faults (snapshot/rollback) instead of crashing. Budgets
+  /// live in `sandbox`; its verify/oracle switches are slaved to
+  /// verify_actions / oracle_actions below.
+  bool sandbox_actions = true;
+  /// Also run the miscompile oracle after every pass (expensive).
+  bool oracle_actions = false;
+  SandboxConfig sandbox;
+  /// Reward returned for a contained faulting action (the module is rolled
+  /// back, so the honest delta-reward is 0; a mild penalty teaches the
+  /// agent to avoid the action even before quarantine kicks in).
+  double fault_penalty = -1.0;
+  /// Faults on the same action before it is quarantined (0 disables).
+  std::size_t quarantine_threshold = 2;
 };
 
 /// Phase-ordering environment over one program.
@@ -57,6 +81,8 @@ class PhaseOrderEnv {
     Embedding state;
     double reward = 0.0;
     bool done = false;
+    bool faulted = false;  ///< The action faulted and was rolled back.
+    FaultReport fault;     ///< Valid when `faulted`.
   };
 
   /// Applies action \p index (one pass sub-sequence) to the working module.
@@ -71,7 +97,18 @@ class PhaseOrderEnv {
   /// The working module (e.g. to measure or print after a rollout).
   Module& workingModule();
 
+  // --- fault tolerance ---
+  /// Actions currently quarantined on this program (true = masked); pass to
+  /// DoubleDqn::act so episodes route around pathological pairs.
+  const std::vector<bool>& actionMask() const { return quarantine_.mask(); }
+  ActionQuarantine& quarantine() { return quarantine_; }
+  const ActionQuarantine& quarantine() const { return quarantine_; }
+  /// Total contained faults across all episodes on this program.
+  std::size_t faultCount() const { return faults_; }
+
  private:
+  SandboxConfig effectiveSandboxConfig() const;
+
   EnvConfig config_;
   const std::vector<SubSequence>* actions_;
   std::unique_ptr<Module> pristine_;
@@ -79,6 +116,8 @@ class PhaseOrderEnv {
   SizeModel size_model_;
   McaModel mca_model_;
   Embedder embedder_;
+  ActionQuarantine quarantine_;
+  std::size_t faults_ = 0;
   double base_size_ = 0.0;
   double base_cycles_ = 0.0;
   double base_throughput_ = 0.0;

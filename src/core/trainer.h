@@ -5,7 +5,15 @@
 /// corpus (the paper uses 130 llvm-test-suite single-source programs); each
 /// episode rolls the ε-greedy policy for a fixed number of steps, feeding
 /// transitions into the Double DQN's replay memory.
+///
+/// The loop is crash-safe: with `checkpoint_path` set it periodically
+/// serializes the complete training state (agent weights + Adam moments,
+/// target net, replay buffer, ε-schedule position, both RNG streams, step
+/// counter, per-program quarantines) with atomic tmp+rename writes, and
+/// resumeTraining() continues a killed run bit-exactly from the last
+/// checkpoint — at most one checkpoint interval of work is lost.
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -26,6 +34,14 @@ struct TrainConfig {
   std::size_t total_steps = 2000;
   std::uint64_t seed = 7;
   bool verbose = false;
+  /// Explicit action space. When null, chosen by the agent's head count
+  /// (manual vs ODG sub-sequences); set it to train over a custom space,
+  /// e.g. one with fault-injection actions appended.
+  const std::vector<SubSequence>* actions = nullptr;
+  /// Crash-safe checkpointing: empty disables. Checkpoints are taken at the
+  /// first episode boundary after every `checkpoint_every_steps` env steps.
+  std::string checkpoint_path;
+  std::size_t checkpoint_every_steps = 500;
 };
 
 /// Summary statistics of a training run.
@@ -35,6 +51,13 @@ struct TrainStats {
   double mean_episode_reward = 0.0;
   double final_epsilon = 0.0;
   std::vector<double> episode_rewards;
+  /// Contained pass faults observed during training (sandboxed actions that
+  /// rolled back), keyed by FaultKind name, plus the actions the
+  /// per-program quarantine masked as a result.
+  std::size_t faults = 0;
+  std::map<std::string, std::size_t> faults_by_kind;
+  std::size_t quarantined_actions = 0;
+  std::size_t checkpoints_written = 0;
 };
 
 /// Trains an agent over \p corpus (unoptimized modules). The returned agent
@@ -47,7 +70,18 @@ struct TrainResult {
 TrainResult trainAgent(const std::vector<const Module*>& corpus,
                        const TrainConfig& config);
 
-/// Serialization helpers for trained models.
+/// Continues a run from a checkpoint written by trainAgent. The corpus and
+/// config must match the original run; the resumed run replays the exact
+/// trajectory the uninterrupted run would have taken (same seeds, same
+/// episode rewards). Raises FatalError if the checkpoint is missing or
+/// corrupt.
+TrainResult resumeTraining(const std::vector<const Module*>& corpus,
+                           const TrainConfig& config,
+                           const std::string& checkpoint_path);
+
+/// Serialization helpers for trained models. Writes are atomic
+/// (tmp + rename); loads raise FatalError on short or corrupt files instead
+/// of aborting.
 void saveAgentToFile(const DoubleDqn& agent, const std::string& path);
 void loadAgentFromFile(DoubleDqn& agent, const std::string& path);
 

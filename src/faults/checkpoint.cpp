@@ -1,0 +1,108 @@
+#include "faults/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace posetrl {
+
+void writeFileAtomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os.good()) raiseError("cannot open for writing: " + tmp);
+    os << content;
+    os.flush();
+    if (!os.good()) raiseError("short write to: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    raiseError("cannot rename " + tmp + " to " + path);
+  }
+}
+
+std::string encodeCheckpoint(const TrainerCheckpoint& ckpt) {
+  std::ostringstream os;
+  os << "posetrl-train-ckpt v1\n";
+  os << "steps " << ckpt.steps << " episodes " << ckpt.episodes << "\n";
+  os.precision(17);
+  os << "rewards " << ckpt.episode_rewards.size();
+  for (double r : ckpt.episode_rewards) os << " " << r;
+  os << "\n";
+  ckpt.rng.save(os);
+  os << "quarantines " << ckpt.quarantines.size() << "\n";
+  for (const QuarantineSnapshot& q : ckpt.quarantines) {
+    os << q.program_index << " " << q.blob;
+    if (q.blob.empty() || q.blob.back() != '\n') os << "\n";
+  }
+  os << "agent " << ckpt.agent_blob.size() << "\n" << ckpt.agent_blob;
+  os << "end\n";
+  return os.str();
+}
+
+TrainerCheckpoint decodeCheckpoint(const std::string& content) {
+  // Any malformed token leaves the stream failed; the checks below convert
+  // that into a FatalError instead of returning garbage state.
+  std::istringstream is(content);
+  TrainerCheckpoint ckpt;
+  std::string tag, version;
+  is >> tag >> version;
+  if (tag != "posetrl-train-ckpt" || version != "v1") {
+    raiseError("not a posetrl checkpoint (bad header)");
+  }
+  std::string key;
+  is >> key >> ckpt.steps;
+  if (key != "steps") raiseError("corrupt checkpoint: expected steps");
+  is >> key >> ckpt.episodes;
+  if (key != "episodes") raiseError("corrupt checkpoint: expected episodes");
+  std::size_t n = 0;
+  is >> key >> n;
+  if (key != "rewards" || !is) raiseError("corrupt checkpoint: rewards");
+  ckpt.episode_rewards.resize(n);
+  for (double& r : ckpt.episode_rewards) is >> r;
+  {
+    ScopedFaultTrap trap;  // Rng::load checks become FatalError.
+    ckpt.rng.load(is);
+  }
+  is >> key >> n;
+  if (key != "quarantines" || !is) {
+    raiseError("corrupt checkpoint: quarantines");
+  }
+  is.ignore();  // consume the newline before getline
+  ckpt.quarantines.resize(n);
+  for (QuarantineSnapshot& q : ckpt.quarantines) {
+    is >> q.program_index;
+    std::getline(is, q.blob);
+    q.blob += "\n";
+  }
+  std::size_t blob_size = 0;
+  is >> key >> blob_size;
+  if (key != "agent" || !is) raiseError("corrupt checkpoint: agent");
+  is.ignore();  // newline after the size
+  ckpt.agent_blob.resize(blob_size);
+  is.read(ckpt.agent_blob.data(),
+          static_cast<std::streamsize>(blob_size));
+  if (is.gcount() != static_cast<std::streamsize>(blob_size)) {
+    raiseError("corrupt checkpoint: short agent payload");
+  }
+  is >> key;
+  if (key != "end") raiseError("corrupt checkpoint: missing end marker");
+  return ckpt;
+}
+
+void saveCheckpointFile(const std::string& path,
+                        const TrainerCheckpoint& ckpt) {
+  writeFileAtomic(path, encodeCheckpoint(ckpt));
+}
+
+TrainerCheckpoint loadCheckpointFile(const std::string& path) {
+  std::ifstream isf(path, std::ios::binary);
+  if (!isf.good()) raiseError("cannot open checkpoint: " + path);
+  std::stringstream ss;
+  ss << isf.rdbuf();
+  return decodeCheckpoint(ss.str());
+}
+
+}  // namespace posetrl

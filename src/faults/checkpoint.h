@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file checkpoint.h
+/// Crash-safe trainer checkpoints. A TrainerCheckpoint captures everything
+/// the training loop needs to continue bit-exactly after the process dies:
+/// the corpus-sampling RNG, step/episode counters, per-episode rewards, the
+/// per-program quarantine states, and the agent's full state (weights, Adam
+/// moments, target net, replay buffer, exploration RNG) as an opaque blob
+/// written by DoubleDqn::saveCheckpoint. Files are written atomically
+/// (tmp + rename), so a crash mid-write leaves the previous checkpoint
+/// intact; loads raise FatalError on short or corrupt files.
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace posetrl {
+
+/// Per-program quarantine state, serialized via ActionQuarantine::save.
+struct QuarantineSnapshot {
+  std::size_t program_index = 0;
+  std::string blob;  ///< One "quarantine ..." line.
+};
+
+struct TrainerCheckpoint {
+  std::size_t steps = 0;
+  std::size_t episodes = 0;
+  std::vector<double> episode_rewards;
+  Rng rng;                  ///< Trainer's corpus-sampling RNG.
+  std::string agent_blob;   ///< DoubleDqn::saveCheckpoint payload.
+  std::vector<QuarantineSnapshot> quarantines;
+};
+
+/// Writes \p content to \p path via "path.tmp" + atomic rename; raises
+/// FatalError on I/O failure.
+void writeFileAtomic(const std::string& path, const std::string& content);
+
+/// Serializes / parses the checkpoint file format.
+std::string encodeCheckpoint(const TrainerCheckpoint& ckpt);
+TrainerCheckpoint decodeCheckpoint(const std::string& content);
+
+/// File-level helpers. saveCheckpointFile is atomic; loadCheckpointFile
+/// raises FatalError when the file is missing, short, or corrupt.
+void saveCheckpointFile(const std::string& path,
+                        const TrainerCheckpoint& ckpt);
+TrainerCheckpoint loadCheckpointFile(const std::string& path);
+
+}  // namespace posetrl

@@ -1,0 +1,46 @@
+#include "faults/fault.h"
+
+#include <sstream>
+
+#include "lint/diagnostic.h"
+#include "support/error.h"
+
+namespace posetrl {
+
+const char* faultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::None: return "none";
+    case FaultKind::PassException: return "pass-exception";
+    case FaultKind::CheckFailure: return "check-failure";
+    case FaultKind::IrGrowth: return "ir-growth";
+    case FaultKind::FuelExhausted: return "fuel-exhausted";
+    case FaultKind::VerifyFailure: return "verify-failure";
+    case FaultKind::OracleDivergence: return "oracle-divergence";
+  }
+  POSETRL_UNREACHABLE("unknown FaultKind");
+}
+
+std::string FaultReport::str() const {
+  std::ostringstream os;
+  os << "fault [" << faultKindName(kind) << "] step " << pass_step << " -"
+     << pass;
+  if (action != kNoAction) os << " (action " << action << ")";
+  // First line only; multi-line verifier output belongs in toJson().
+  os << ": " << detail.substr(0, detail.find('\n'));
+  return os.str();
+}
+
+std::string FaultReport::toJson() const {
+  std::ostringstream os;
+  os << "{\"kind\":\"" << faultKindName(kind) << "\"";
+  if (action != kNoAction) os << ",\"action\":" << action;
+  os << ",\"pass\":\"" << jsonEscape(pass) << "\",\"step\":" << pass_step
+     << ",\"detail\":\"" << jsonEscape(detail)
+     << "\",\"instructions_before\":" << instructions_before
+     << ",\"instructions_after\":" << instructions_after
+     << ",\"fuel_used\":" << fuel_used << ",\"fuel_budget\":" << fuel_budget
+     << "}";
+  return os.str();
+}
+
+}  // namespace posetrl

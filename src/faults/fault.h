@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file fault.h
+/// Structured description of a contained pass failure. The sandbox
+/// (faults/sandbox.h) converts throwing passes, invariant violations,
+/// budget overruns and verifier/oracle findings into FaultReports instead of
+/// crashing the training run; the environment threads the report into
+/// StepResult and the trainer aggregates it into TrainStats.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace posetrl {
+
+/// What kind of failure the sandbox contained.
+enum class FaultKind {
+  None,             ///< No fault (default-constructed report).
+  PassException,    ///< The pass threw a C++ exception.
+  CheckFailure,     ///< A POSETRL_CHECK fired inside the pass (trapped).
+  IrGrowth,         ///< Working module exceeded the IR-growth cap.
+  FuelExhausted,    ///< The per-action pass-step fuel budget ran out.
+  VerifyFailure,    ///< Structural verifier failed after the pass.
+  OracleDivergence, ///< Miscompile oracle observed a behaviour change.
+};
+
+const char* faultKindName(FaultKind kind);
+
+/// One contained failure, attributed to the pass that caused it.
+struct FaultReport {
+  static constexpr std::size_t kNoAction = static_cast<std::size_t>(-1);
+
+  FaultKind kind = FaultKind::None;
+  std::size_t action = kNoAction;  ///< Action index (filled by the env).
+  std::string pass;                ///< Offending pass name.
+  std::size_t pass_step = 0;       ///< 1-based position in the sub-sequence.
+  std::string detail;              ///< Human-readable cause.
+  std::size_t instructions_before = 0;  ///< Module size entering the action.
+  std::size_t instructions_after = 0;   ///< Size when the fault fired.
+  std::uint64_t fuel_used = 0;     ///< Fuel consumed by the faulting pass.
+  std::uint64_t fuel_budget = 0;   ///< Armed fuel budget (0 = unlimited).
+
+  bool faulted() const { return kind != FaultKind::None; }
+
+  /// One-line rendering, e.g.
+  /// "fault [ir-growth] step 2 -fault-bloat: 812 instrs (cap 224)".
+  std::string str() const;
+  /// JSON object (same shape the opt_driver --json diagnostics use).
+  std::string toJson() const;
+};
+
+/// Exception type for passes that deliberately fail (fault injection) and
+/// for budget violations raised inside the sandbox.
+class PassFaultError : public std::runtime_error {
+ public:
+  explicit PassFaultError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+}  // namespace posetrl

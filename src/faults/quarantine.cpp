@@ -1,0 +1,66 @@
+#include "faults/quarantine.h"
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "support/error.h"
+
+namespace posetrl {
+
+ActionQuarantine::ActionQuarantine(std::size_t num_actions,
+                                   std::size_t threshold)
+    : threshold_(threshold),
+      counts_(num_actions, 0),
+      mask_(num_actions, false),
+      unmasked_(num_actions) {
+  POSETRL_CHECK(num_actions > 0, "quarantine needs a non-empty action space");
+}
+
+void ActionQuarantine::recordFault(std::size_t action) {
+  POSETRL_CHECK(action < counts_.size(), "action index out of range");
+  ++counts_[action];
+  if (threshold_ == 0 || mask_[action]) return;
+  if (counts_[action] >= threshold_ && unmasked_ > 1) {
+    mask_[action] = true;
+    --unmasked_;
+  }
+}
+
+std::size_t ActionQuarantine::totalFaults() const {
+  std::size_t n = 0;
+  for (std::size_t c : counts_) n += c;
+  return n;
+}
+
+std::size_t ActionQuarantine::numQuarantined() const {
+  return counts_.size() - unmasked_;
+}
+
+void ActionQuarantine::save(std::ostream& os) const {
+  os << "quarantine " << counts_.size() << " " << threshold_;
+  for (std::size_t c : counts_) os << " " << c;
+  for (bool b : mask_) os << " " << (b ? 1 : 0);
+  os << "\n";
+}
+
+void ActionQuarantine::load(std::istream& is) {
+  std::string tag;
+  std::size_t n = 0;
+  is >> tag >> n >> threshold_;
+  POSETRL_CHECK(tag == "quarantine", "bad quarantine header: ", tag);
+  POSETRL_CHECK(n == counts_.size(),
+                "quarantine action-count mismatch on load");
+  unmasked_ = n;
+  for (std::size_t& c : counts_) is >> c;
+  for (std::size_t i = 0; i < n; ++i) {
+    int b = 0;
+    is >> b;
+    mask_[i] = b != 0;
+    if (mask_[i]) --unmasked_;
+  }
+  POSETRL_CHECK(static_cast<bool>(is), "truncated quarantine state");
+  POSETRL_CHECK(unmasked_ > 0, "quarantine state blocks every action");
+}
+
+}  // namespace posetrl

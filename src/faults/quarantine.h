@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file quarantine.h
+/// Per-program action quarantine. Each PhaseOrderEnv owns one instance:
+/// after an action faults `threshold` times on that program, it is masked
+/// out of the agent's action selection so episodes route around pathological
+/// (program, sub-sequence) pairs instead of re-triggering the same rollback
+/// forever. At least one action always stays available, and the full state
+/// serializes into trainer checkpoints so resumed runs behave identically.
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+namespace posetrl {
+
+class ActionQuarantine {
+ public:
+  /// \p threshold faults on the same action mask it (0 disables masking).
+  explicit ActionQuarantine(std::size_t num_actions,
+                            std::size_t threshold = 2);
+
+  std::size_t numActions() const { return counts_.size(); }
+  std::size_t threshold() const { return threshold_; }
+
+  /// Records one fault of \p action; masks it once the threshold is reached,
+  /// unless that would leave no action selectable.
+  void recordFault(std::size_t action);
+
+  bool quarantined(std::size_t action) const { return mask_[action]; }
+  std::size_t faultCount(std::size_t action) const { return counts_[action]; }
+  std::size_t totalFaults() const;
+  std::size_t numQuarantined() const;
+
+  /// blocked-mask view for DoubleDqn::act (true = do not select).
+  const std::vector<bool>& mask() const { return mask_; }
+
+  /// Checkpoint support: the exact counts and mask round-trip.
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+
+ private:
+  std::size_t threshold_;
+  std::vector<std::size_t> counts_;
+  std::vector<bool> mask_;
+  std::size_t unmasked_;
+};
+
+}  // namespace posetrl

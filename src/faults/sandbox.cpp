@@ -1,0 +1,122 @@
+#include "faults/sandbox.h"
+
+#include <cmath>
+#include <exception>
+
+#include "ir/clone.h"
+#include "ir/module.h"
+#include "lint/instrumentation.h"
+#include "passes/pass.h"
+#include "support/error.h"
+#include "support/fuel.h"
+
+namespace posetrl {
+
+SandboxOutcome runActionSandboxed(std::unique_ptr<Module>& module,
+                                  const std::vector<std::string>& pass_names,
+                                  const SandboxConfig& config) {
+  POSETRL_CHECK(module != nullptr, "sandbox needs a module");
+  std::unique_ptr<Module> snapshot = cloneModule(*module);
+  const std::size_t base_instrs = module->instructionCount();
+  const std::size_t growth_cap =
+      config.max_ir_growth > 0.0
+          ? static_cast<std::size_t>(
+                std::ceil(static_cast<double>(base_instrs) *
+                          config.max_ir_growth)) +
+                config.ir_growth_headroom
+          : 0;
+
+  // Verifier/oracle attribution reuses the lint instrumentation layer; the
+  // sandbox never aborts, it rolls back.
+  InstrumentOptions iopts;
+  iopts.verify = config.verify;
+  iopts.oracle = config.oracle;
+  iopts.abort_on_failure = false;
+  iopts.oracle_options.max_steps = config.oracle_fuel;
+  const bool instrumented = config.verify || config.oracle;
+  PassInstrumentation instr(iopts);
+
+  SandboxOutcome outcome;
+  FaultReport& fault = outcome.fault;
+  fault.instructions_before = base_instrs;
+  fault.fuel_budget = config.pass_fuel;
+
+  const auto failAt = [&](FaultKind kind, std::size_t step,
+                          const std::string& pass, std::string detail,
+                          std::uint64_t fuel_used) {
+    fault.kind = kind;
+    fault.pass_step = step;
+    fault.pass = pass;
+    fault.detail = std::move(detail);
+    fault.instructions_after = module->instructionCount();
+    fault.fuel_used = fuel_used;
+    module = std::move(snapshot);  // Roll back to the pre-action state.
+    outcome.ok = false;
+  };
+
+  if (instrumented) instr.beginSequence(*module);
+
+  for (std::size_t i = 0; i < pass_names.size(); ++i) {
+    const std::string& name = pass_names[i];
+    const std::size_t step = i + 1;
+    std::unique_ptr<Pass> pass = createPass(name);
+    if (pass == nullptr) {
+      failAt(FaultKind::PassException, step, name, "unknown pass", 0);
+      return outcome;
+    }
+
+    std::uint64_t fuel_used = 0;
+    try {
+      FuelScope fuel(config.pass_fuel);
+      std::unique_ptr<ScopedFaultTrap> trap;
+      if (config.trap_check_failures) trap = std::make_unique<ScopedFaultTrap>();
+      try {
+        outcome.changed |= pass->run(*module);
+      } catch (...) {
+        fuel_used = fuel.consumed();
+        throw;
+      }
+      fuel_used = fuel.consumed();
+    } catch (const FuelExhaustedError& e) {
+      failAt(FaultKind::FuelExhausted, step, name, e.what(), fuel_used);
+      return outcome;
+    } catch (const FatalError& e) {
+      failAt(FaultKind::CheckFailure, step, name, e.what(), fuel_used);
+      return outcome;
+    } catch (const std::exception& e) {
+      failAt(FaultKind::PassException, step, name, e.what(), fuel_used);
+      return outcome;
+    }
+
+    if (growth_cap > 0 && module->instructionCount() > growth_cap) {
+      failAt(FaultKind::IrGrowth, step, name,
+             std::to_string(module->instructionCount()) +
+                 " instructions exceed cap " + std::to_string(growth_cap) +
+                 " (" + std::to_string(base_instrs) + " pre-action)",
+             fuel_used);
+      return outcome;
+    }
+
+    if (instrumented) {
+      const std::size_t prior = instr.failures().size();
+      try {
+        ScopedFaultTrap trap;
+        instr.afterPass(name, *module);
+      } catch (const std::exception& e) {
+        failAt(FaultKind::VerifyFailure, step, name,
+               std::string("instrumentation failed: ") + e.what(), fuel_used);
+        return outcome;
+      }
+      if (instr.failures().size() > prior) {
+        const PassFailure& f = instr.failures().back();
+        failAt(f.stage == "oracle" ? FaultKind::OracleDivergence
+                                   : FaultKind::VerifyFailure,
+               step, name, f.detail, fuel_used);
+        return outcome;
+      }
+    }
+  }
+  return outcome;
+}
+
+}  // namespace posetrl

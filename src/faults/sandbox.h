@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file sandbox.h
+/// Sandboxed execution of one pass sub-sequence with snapshot/rollback.
+/// The caller's module is cloned before anything runs; if any pass throws,
+/// trips a POSETRL_CHECK, exceeds the IR-growth cap, exhausts its fuel
+/// budget, breaks the structural verifier or diverges under the miscompile
+/// oracle, the module is restored to the snapshot byte-for-byte and a
+/// FaultReport describes what happened. On success the module keeps the
+/// transformed state, exactly as an unsandboxed run would leave it.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "faults/fault.h"
+
+namespace posetrl {
+
+class Module;
+
+/// Budgets and checks for one sandboxed action.
+struct SandboxConfig {
+  /// Run the structural verifier after every pass; failures roll back with
+  /// per-pass attribution instead of aborting.
+  bool verify = false;
+  /// Run the differential miscompile oracle after every pass (expensive;
+  /// interpreter executions per pass).
+  bool oracle = false;
+  /// Cap on the working module's instruction count after any single pass:
+  /// pre-action count × this factor, plus a small absolute headroom so tiny
+  /// modules are not over-constrained. <= 0 disables the cap.
+  double max_ir_growth = 16.0;
+  /// Absolute headroom added to the growth cap.
+  std::size_t ir_growth_headroom = 64;
+  /// Cooperative fuel units each pass may spend (see support/fuel.h);
+  /// 0 disables the budget.
+  std::uint64_t pass_fuel = 2'000'000;
+  /// Interpreter fuel per oracle execution.
+  std::uint64_t oracle_fuel = 200'000;
+  /// Convert POSETRL_CHECK failures inside a pass into contained faults
+  /// (ScopedFaultTrap) instead of aborting the process.
+  bool trap_check_failures = true;
+};
+
+/// Outcome of one sandboxed action.
+struct SandboxOutcome {
+  bool ok = true;        ///< False when a fault was contained.
+  bool changed = false;  ///< Whether any pass changed the IR (when ok).
+  FaultReport fault;     ///< Valid when !ok.
+};
+
+/// Runs \p pass_names over \p module under \p config. \p module must be
+/// non-null; on fault it is replaced by the pre-action snapshot.
+SandboxOutcome runActionSandboxed(std::unique_ptr<Module>& module,
+                                  const std::vector<std::string>& pass_names,
+                                  const SandboxConfig& config);
+
+}  // namespace posetrl

@@ -9,6 +9,7 @@
 #include "lint/instrumentation.h"
 #include "passes/all_passes.h"
 #include "support/error.h"
+#include "support/fuel.h"
 #include "support/string_utils.h"
 
 namespace posetrl {
@@ -18,6 +19,9 @@ bool FunctionPass::run(Module& module) {
   for (auto it = module.functionsBegin(); it != module.functionsEnd(); ++it) {
     Function& f = **it;
     if (f.isDeclaration()) continue;
+    // Cooperative budget hook: a no-op outside the fault sandbox, lets the
+    // sandbox interrupt runaway pipelines between functions.
+    FuelScope::consume();
     changed |= runOnFunction(f);
   }
   return changed;

@@ -1,6 +1,9 @@
 #include "rl/dqn.h"
 
 #include <algorithm>
+#include <istream>
+#include <ostream>
+#include <string>
 
 #include "support/error.h"
 
@@ -43,17 +46,45 @@ double DoubleDqn::epsilon() const {
          (config_.epsilon_end - config_.epsilon_start) * progress;
 }
 
-std::size_t DoubleDqn::act(const std::vector<double>& state, bool explore) {
+namespace {
+
+bool anyBlocked(const std::vector<bool>* blocked) {
+  if (blocked == nullptr) return false;
+  for (bool b : *blocked) {
+    if (b) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::size_t DoubleDqn::act(const std::vector<double>& state, bool explore,
+                           const std::vector<bool>* blocked) {
   const double eps = epsilon();
   if (explore) ++steps_;
   if (explore && rng_.nextBool(eps)) {
-    return rng_.nextBelow(config_.num_actions);
+    if (!anyBlocked(blocked)) return rng_.nextBelow(config_.num_actions);
+    std::vector<std::size_t> allowed;
+    for (std::size_t i = 0; i < config_.num_actions; ++i) {
+      if (!(*blocked)[i]) allowed.push_back(i);
+    }
+    POSETRL_CHECK(!allowed.empty(), "all actions blocked");
+    return allowed[rng_.nextBelow(allowed.size())];
   }
-  return actGreedy(state);
+  return actGreedy(state, blocked);
 }
 
-std::size_t DoubleDqn::actGreedy(const std::vector<double>& state) const {
-  return argmax(online_.forward(state));
+std::size_t DoubleDqn::actGreedy(const std::vector<double>& state,
+                                 const std::vector<bool>* blocked) const {
+  const std::vector<double> q = online_.forward(state);
+  if (!anyBlocked(blocked)) return argmax(q);
+  std::size_t best = q.size();
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    if ((*blocked)[i]) continue;
+    if (best == q.size() || q[i] > q[best]) best = i;
+  }
+  POSETRL_CHECK(best < q.size(), "all actions blocked");
+  return best;
 }
 
 std::vector<double> DoubleDqn::qValues(
@@ -99,6 +130,28 @@ void DoubleDqn::saveModel(std::ostream& os) const { online_.save(os); }
 void DoubleDqn::loadModel(std::istream& is) {
   online_.load(is);
   target_.copyParametersFrom(online_);
+}
+
+void DoubleDqn::saveCheckpoint(std::ostream& os) const {
+  os << "dqn-ckpt v1 " << steps_ << " " << updates_ << " ";
+  os.precision(17);
+  os << last_loss_ << "\n";
+  rng_.save(os);
+  online_.saveState(os);
+  target_.save(os);
+  replay_.save(os);
+}
+
+void DoubleDqn::loadCheckpoint(std::istream& is) {
+  std::string tag, version;
+  is >> tag >> version >> steps_ >> updates_ >> last_loss_;
+  POSETRL_CHECK(tag == "dqn-ckpt" && version == "v1",
+                "bad DQN checkpoint header");
+  rng_.load(is);
+  online_.loadState(is);
+  target_.load(is);
+  replay_.load(is);
+  POSETRL_CHECK(static_cast<bool>(is), "truncated DQN checkpoint");
 }
 
 }  // namespace posetrl

@@ -50,11 +50,16 @@ class DoubleDqn {
   const DqnConfig& config() const { return config_; }
 
   /// ε-greedy action for \p state (advances the exploration schedule when
-  /// \p explore is true).
-  std::size_t act(const std::vector<double>& state, bool explore);
+  /// \p explore is true). When \p blocked is given, actions with
+  /// blocked[i] == true are never selected (used by the per-program action
+  /// quarantine); at least one action must stay unblocked. With no blocked
+  /// actions the RNG stream is identical to the unmasked overload.
+  std::size_t act(const std::vector<double>& state, bool explore,
+                  const std::vector<bool>* blocked = nullptr);
 
   /// Greedy action (no exploration, no schedule side effects).
-  std::size_t actGreedy(const std::vector<double>& state) const;
+  std::size_t actGreedy(const std::vector<double>& state,
+                        const std::vector<bool>* blocked = nullptr) const;
 
   /// Q-values from the online network.
   std::vector<double> qValues(const std::vector<double>& state) const;
@@ -69,6 +74,12 @@ class DoubleDqn {
 
   void saveModel(std::ostream& os) const;
   void loadModel(std::istream& is);
+
+  /// Full-state checkpoint: online net with Adam moments, target net,
+  /// replay buffer, exploration RNG, and the step/update counters — enough
+  /// to continue a training run bit-exactly (see faults/checkpoint.h).
+  void saveCheckpoint(std::ostream& os) const;
+  void loadCheckpoint(std::istream& is);
 
  private:
   void trainBatch();

@@ -158,4 +158,47 @@ void Mlp::load(std::istream& is) {
   POSETRL_CHECK(static_cast<bool>(is), "truncated MLP payload");
 }
 
+void Mlp::saveState(std::ostream& os) const {
+  os << "mlp-state " << sizes_.size();
+  for (std::size_t s : sizes_) os << " " << s;
+  os << " " << adam_t_ << "\n";
+  // max_digits10 == 17 round-trips every finite double exactly.
+  os.precision(17);
+  for (const Layer& layer : layers_) {
+    for (double v : layer.w.raw()) os << v << " ";
+    for (double v : layer.b) os << v << " ";
+    for (double v : layer.mw.raw()) os << v << " ";
+    for (double v : layer.vw.raw()) os << v << " ";
+    for (double v : layer.mb) os << v << " ";
+    for (double v : layer.vb) os << v << " ";
+    os << "\n";
+  }
+}
+
+void Mlp::loadState(std::istream& is) {
+  std::string tag;
+  std::size_t n = 0;
+  is >> tag >> n;
+  POSETRL_CHECK(tag == "mlp-state" && n == sizes_.size(),
+                "bad MLP state header");
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t s = 0;
+    is >> s;
+    POSETRL_CHECK(s == sizes_[i], "MLP architecture mismatch on state load");
+  }
+  is >> adam_t_;
+  for (Layer& layer : layers_) {
+    for (double& v : layer.w.raw()) is >> v;
+    for (double& v : layer.b) is >> v;
+    for (double& v : layer.mw.raw()) is >> v;
+    for (double& v : layer.vw.raw()) is >> v;
+    for (double& v : layer.mb) is >> v;
+    for (double& v : layer.vb) is >> v;
+    // Checkpoints are taken between batches, where gradients are zero.
+    layer.gw.fill(0.0);
+    std::fill(layer.gb.begin(), layer.gb.end(), 0.0);
+  }
+  POSETRL_CHECK(static_cast<bool>(is), "truncated MLP state payload");
+}
+
 }  // namespace posetrl

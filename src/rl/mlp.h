@@ -46,6 +46,13 @@ class Mlp {
   /// Loads parameters saved by save(); the architecture must match.
   void load(std::istream& is);
 
+  /// Full-state serialization for crash-safe checkpoints: weights, biases,
+  /// Adam first/second moments and the Adam step counter, so a restored
+  /// network continues training bit-exactly. (save()/load() above only carry
+  /// the inference parameters.)
+  void saveState(std::ostream& os) const;
+  void loadState(std::istream& is);
+
  private:
   struct Layer {
     Matrix w;

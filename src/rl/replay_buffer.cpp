@@ -1,5 +1,9 @@
 #include "rl/replay_buffer.h"
 
+#include <istream>
+#include <ostream>
+#include <string>
+
 #include "support/error.h"
 
 namespace posetrl {
@@ -22,6 +26,59 @@ std::vector<const Transition*> ReplayBuffer::sample(std::size_t n,
     out.push_back(&items_[rng.nextBelow(items_.size())]);
   }
   return out;
+}
+
+namespace {
+
+void saveVec(std::ostream& os, const std::vector<double>& v) {
+  os << v.size();
+  for (double x : v) os << " " << x;
+}
+
+void loadVec(std::istream& is, std::vector<double>& v) {
+  std::size_t n = 0;
+  is >> n;
+  POSETRL_CHECK(n <= (1u << 24), "implausible vector length in replay state");
+  v.resize(n);
+  for (double& x : v) is >> x;
+}
+
+}  // namespace
+
+void ReplayBuffer::save(std::ostream& os) const {
+  os << "replay " << capacity_ << " " << items_.size() << " " << next_
+     << "\n";
+  os.precision(17);
+  for (const Transition& t : items_) {
+    saveVec(os, t.state);
+    os << " " << t.action << " " << t.reward << " ";
+    saveVec(os, t.next_state);
+    os << " " << (t.done ? 1 : 0) << " " << t.mc_return << " "
+       << (t.use_mc ? 1 : 0) << "\n";
+  }
+}
+
+void ReplayBuffer::load(std::istream& is) {
+  std::string tag;
+  std::size_t capacity = 0, size = 0;
+  is >> tag >> capacity >> size >> next_;
+  POSETRL_CHECK(tag == "replay", "bad replay buffer header: ", tag);
+  POSETRL_CHECK(capacity == capacity_,
+                "replay capacity mismatch on load: ", capacity, " vs ",
+                capacity_);
+  POSETRL_CHECK(size <= capacity, "replay size exceeds capacity");
+  items_.clear();
+  items_.resize(size);
+  for (Transition& t : items_) {
+    int done = 0, use_mc = 0;
+    loadVec(is, t.state);
+    is >> t.action >> t.reward;
+    loadVec(is, t.next_state);
+    is >> done >> t.mc_return >> use_mc;
+    t.done = done != 0;
+    t.use_mc = use_mc != 0;
+  }
+  POSETRL_CHECK(static_cast<bool>(is), "truncated replay buffer payload");
 }
 
 }  // namespace posetrl

@@ -5,6 +5,7 @@
 /// random batches are sampled from the replay memory every µ steps).
 
 #include <cstddef>
+#include <iosfwd>
 #include <vector>
 
 #include "support/rng.h"
@@ -36,6 +37,11 @@ class ReplayBuffer {
 
   /// Samples \p n transitions uniformly with replacement.
   std::vector<const Transition*> sample(std::size_t n, Rng& rng) const;
+
+  /// Serializes the full buffer (contents and ring cursor) for crash-safe
+  /// trainer checkpoints. load() requires a matching capacity.
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
 
  private:
   std::size_t capacity_;

@@ -4,11 +4,26 @@
 
 namespace posetrl {
 
+namespace {
+thread_local int g_trap_depth = 0;
+}  // namespace
+
 void fatalError(const std::string& message, const char* file, int line) {
+  if (g_trap_depth > 0) {
+    std::ostringstream os;
+    os << message << " (at " << file << ":" << line << ")";
+    throw FatalError(os.str());
+  }
   std::fprintf(stderr, "posetrl fatal error at %s:%d: %s\n", file, line,
                message.c_str());
   std::fflush(stderr);
   std::abort();
 }
+
+void raiseError(const std::string& message) { throw FatalError(message); }
+
+ScopedFaultTrap::ScopedFaultTrap() { ++g_trap_depth; }
+ScopedFaultTrap::~ScopedFaultTrap() { --g_trap_depth; }
+bool ScopedFaultTrap::active() { return g_trap_depth > 0; }
 
 }  // namespace posetrl

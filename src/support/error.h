@@ -10,13 +10,42 @@
 
 #include <cstdlib>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 namespace posetrl {
 
-/// Prints \p message to stderr with a "posetrl fatal error" banner and aborts.
+/// Catchable form of a fatal error. Raised instead of aborting while a
+/// ScopedFaultTrap is active on the current thread (see below), and by
+/// recoverable-I/O helpers like loadAgentFromFile on corrupt input.
+class FatalError : public std::runtime_error {
+ public:
+  explicit FatalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Prints \p message to stderr with a "posetrl fatal error" banner and
+/// aborts — unless a ScopedFaultTrap is active on this thread, in which case
+/// it throws FatalError so the caller can contain the failure.
 [[noreturn]] void fatalError(const std::string& message, const char* file,
                              int line);
+
+/// Always throws FatalError (for recoverable conditions like corrupt files,
+/// where aborting the process would be hostile).
+[[noreturn]] void raiseError(const std::string& message);
+
+/// While alive, converts fatalError (and thus POSETRL_CHECK failures) on the
+/// current thread into thrown FatalError exceptions. Used by the fault
+/// sandbox to contain invariant violations inside a pass instead of killing
+/// a long training run. Nests; the outermost destructor disarms the trap.
+class ScopedFaultTrap {
+ public:
+  ScopedFaultTrap();
+  ~ScopedFaultTrap();
+  ScopedFaultTrap(const ScopedFaultTrap&) = delete;
+  ScopedFaultTrap& operator=(const ScopedFaultTrap&) = delete;
+
+  static bool active();
+};
 
 namespace detail {
 

@@ -1,0 +1,49 @@
+#include "support/fuel.h"
+
+#include <string>
+
+namespace posetrl {
+
+namespace {
+
+struct FuelState {
+  bool active = false;
+  std::uint64_t budget = 0;
+  std::uint64_t used = 0;
+};
+
+thread_local FuelState g_fuel;
+
+}  // namespace
+
+FuelScope::FuelScope(std::uint64_t budget)
+    : budget_(budget),
+      prev_active_(g_fuel.active),
+      prev_budget_(g_fuel.budget),
+      prev_used_(g_fuel.used) {
+  g_fuel.active = budget > 0;
+  g_fuel.budget = budget;
+  g_fuel.used = 0;
+}
+
+FuelScope::~FuelScope() {
+  g_fuel.active = prev_active_;
+  g_fuel.budget = prev_budget_;
+  g_fuel.used = prev_used_;
+}
+
+std::uint64_t FuelScope::consumed() const { return g_fuel.used; }
+
+bool FuelScope::active() { return g_fuel.active; }
+
+void FuelScope::consume(std::uint64_t n) {
+  if (!g_fuel.active) return;
+  g_fuel.used += n;
+  if (g_fuel.used > g_fuel.budget) {
+    throw FuelExhaustedError("execution fuel exhausted: " +
+                             std::to_string(g_fuel.used) + " of " +
+                             std::to_string(g_fuel.budget) + " units");
+  }
+}
+
+}  // namespace posetrl

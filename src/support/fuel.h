@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file fuel.h
+/// Cooperative execution fuel. A FuelScope arms a thread-local budget;
+/// instrumented loops (pass drivers, injected stress passes) call
+/// FuelScope::consume(), which throws FuelExhaustedError once the budget is
+/// spent. Outside any scope consume() is a no-op, so the hooks cost nothing
+/// on un-sandboxed paths. Scopes nest: an inner scope gets its own budget
+/// and restores the outer one on destruction.
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace posetrl {
+
+/// Thrown by FuelScope::consume() when the armed budget is exhausted.
+class FuelExhaustedError : public std::runtime_error {
+ public:
+  explicit FuelExhaustedError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// RAII guard arming a fuel budget for the current thread.
+class FuelScope {
+ public:
+  explicit FuelScope(std::uint64_t budget);
+  ~FuelScope();
+  FuelScope(const FuelScope&) = delete;
+  FuelScope& operator=(const FuelScope&) = delete;
+
+  /// Fuel spent inside this scope so far.
+  std::uint64_t consumed() const;
+  std::uint64_t budget() const { return budget_; }
+
+  /// True when any scope is armed on this thread.
+  static bool active();
+
+  /// Spends \p n units from the innermost active scope; throws
+  /// FuelExhaustedError when the budget runs out. No-op when inactive.
+  static void consume(std::uint64_t n = 1);
+
+ private:
+  std::uint64_t budget_ = 0;
+  // Saved state of the enclosing scope (restored on destruction).
+  bool prev_active_ = false;
+  std::uint64_t prev_budget_ = 0;
+  std::uint64_t prev_used_ = 0;
+};
+
+}  // namespace posetrl

@@ -1,6 +1,10 @@
 #include "support/rng.h"
 
+#include <bit>
 #include <cmath>
+#include <istream>
+#include <ostream>
+#include <string>
 
 #include "support/error.h"
 
@@ -98,5 +102,27 @@ std::size_t Rng::nextWeighted(const std::vector<double>& weights) {
 }
 
 Rng Rng::fork() { return Rng(next()); }
+
+void Rng::save(std::ostream& os) const {
+  os << "rng";
+  for (std::uint64_t s : s_) os << " " << s;
+  // The cached Box–Muller value is part of the stream position; store its
+  // exact bit pattern so restore is lossless.
+  os << " " << std::bit_cast<std::uint64_t>(cached_gaussian_) << " "
+     << (has_cached_gaussian_ ? 1 : 0) << "\n";
+}
+
+void Rng::load(std::istream& is) {
+  std::string tag;
+  is >> tag;
+  POSETRL_CHECK(tag == "rng", "bad RNG state header: ", tag);
+  for (std::uint64_t& s : s_) is >> s;
+  std::uint64_t bits = 0;
+  int has = 0;
+  is >> bits >> has;
+  POSETRL_CHECK(static_cast<bool>(is), "truncated RNG state");
+  cached_gaussian_ = std::bit_cast<double>(bits);
+  has_cached_gaussian_ = has != 0;
+}
 
 }  // namespace posetrl

@@ -10,6 +10,7 @@
 /// SplitMix64, following the reference implementations of Blackman & Vigna.
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 namespace posetrl {
@@ -48,6 +49,12 @@ class Rng {
 
   /// Derives an independent child generator (stable given call order).
   Rng fork();
+
+  /// Serializes the full generator state (stream position included), so a
+  /// restored generator continues the exact same sequence. Used by the
+  /// crash-safe trainer checkpoints.
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
 
  private:
   std::uint64_t s_[4];

@@ -44,6 +44,24 @@ for mir in "$ROOT"/examples/*.mir; do
   fi
 done
 
+echo "== fault-injection smoke =="
+# Train a small agent with deliberately broken passes (throwing, IR-bloating,
+# hanging) mixed into the action space. The run must complete its full step
+# budget (zero crashes), contain faults, and quarantine the bad actions.
+SMOKE="$("$OPT" --selftest --train 200 --inject-faults --quiet --json)"
+echo "$SMOKE"
+faults="$(echo "$SMOKE" | sed -n 's/.*"faults":\([0-9]*\).*/\1/p')"
+quarantined="$(echo "$SMOKE" | sed -n 's/.*"quarantined":\([0-9]*\).*/\1/p')"
+if [[ -z "$faults" || "$faults" -eq 0 ]]; then
+  echo "FAIL fault smoke: expected contained faults, got '${faults:-none}'"
+  status=1
+elif [[ -z "$quarantined" || "$quarantined" -eq 0 ]]; then
+  echo "FAIL fault smoke: expected quarantined actions, got '${quarantined:-none}'"
+  status=1
+else
+  echo "ok   fault smoke (faults=$faults quarantined=$quarantined, run survived)"
+fi
+
 if [[ $status -eq 0 ]]; then
   echo "== all checks passed =="
 fi
