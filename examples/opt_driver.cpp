@@ -16,6 +16,9 @@
 ///                findings to the pass that introduced them
 ///   --oracle     also run the differential miscompile oracle each pass
 ///   --json       print machine-readable reports instead of tables
+///   --kv         print stable key=value lines (one per line) instead of
+///                tables — the scripting-friendly companion to --json, used
+///                by tools/check.sh; currently implemented for --train
 /// Fault tolerance:
 ///   --sandbox            apply the passes under snapshot/rollback; a fault
 ///                        prints a FaultReport and exits non-zero
@@ -93,7 +96,7 @@ int usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s <file.mir> [-Oz | -O3 | -pass ...] "
                "[--run] [--quiet] [--lint] [--lint-each] [--oracle] "
-               "[--json] [--sandbox] [--max-ir-growth <f>] "
+               "[--json] [--kv] [--sandbox] [--max-ir-growth <f>] "
                "[--verify-actions] [--inject-faults] [--train <steps>] "
                "[--checkpoint <path>] [--resume <path>]\n"
                "       %s --selftest [options]\n",
@@ -105,7 +108,7 @@ int runTrainingMode(Module& m, std::size_t train_steps, bool inject_faults,
                     bool verify_actions, double max_ir_growth,
                     const std::string& checkpoint,
                     std::size_t checkpoint_every, const std::string& resume,
-                    bool json) {
+                    bool json, bool kv) {
   std::vector<const Module*> corpus{&m};
   std::vector<SubSequence> actions = manualSubSequences();
   if (inject_faults) {
@@ -128,7 +131,19 @@ int runTrainingMode(Module& m, std::size_t train_steps, bool inject_faults,
                                  ? trainAgent(corpus, cfg)
                                  : resumeTraining(corpus, cfg, resume);
   const TrainStats& s = result.stats;
-  if (json) {
+  if (kv) {
+    // One key=value per line: trivially parseable from shell without
+    // depending on field order or JSON quoting.
+    std::printf("steps=%zu\n", s.steps);
+    std::printf("episodes=%zu\n", s.episodes);
+    std::printf("mean_reward=%.6f\n", s.mean_episode_reward);
+    std::printf("faults=%zu\n", s.faults);
+    std::printf("quarantined=%zu\n", s.quarantined_actions);
+    std::printf("checkpoints=%zu\n", s.checkpoints_written);
+    for (const auto& [kind, count] : s.faults_by_kind) {
+      std::printf("fault_%s=%zu\n", kind.c_str(), count);
+    }
+  } else if (json) {
     std::printf("{\"steps\":%zu,\"episodes\":%zu,\"mean_reward\":%.6f,"
                 "\"faults\":%zu,\"quarantined\":%zu,\"checkpoints\":%zu}\n",
                 s.steps, s.episodes, s.mean_episode_reward, s.faults,
@@ -158,6 +173,7 @@ int main(int argc, char** argv) {
   bool lint_each = false;
   bool oracle = false;
   bool json = false;
+  bool kv = false;
   bool sandbox = false;
   bool verify_actions = false;
   bool inject_faults = false;
@@ -190,6 +206,8 @@ int main(int argc, char** argv) {
       oracle = true;
     } else if (std::strcmp(a, "--json") == 0) {
       json = true;
+    } else if (std::strcmp(a, "--kv") == 0) {
+      kv = true;
     } else if (std::strcmp(a, "--sandbox") == 0) {
       sandbox = true;
     } else if (std::strcmp(a, "--max-ir-growth") == 0) {
@@ -256,7 +274,7 @@ int main(int argc, char** argv) {
   if (train_steps > 0) {
     return runTrainingMode(*m, train_steps, inject_faults, verify_actions,
                            max_ir_growth, checkpoint, checkpoint_every,
-                           resume, json);
+                           resume, json, kv);
   }
 
   bool failed = false;

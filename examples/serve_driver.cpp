@@ -1,0 +1,250 @@
+/// \file serve_driver.cpp
+/// Stress/demo driver for the deadline-aware compile service (DESIGN.md
+/// "Serving and graceful degradation"). Generates a synthetic corpus, trains
+/// a small agent, then fires concurrent requests with randomized deadlines
+/// at a CompileService and validates the service's invariants from outside:
+///
+///   - every submitted request resolves with a structured ServeResult;
+///   - every Ok response carries a valid ladder level, a verifier-clean
+///     module, and (when --oracle) unchanged observable behaviour;
+///   - every oz-verified response is no worse than stock -Oz by modeled
+///     size;
+///   - responses come back within deadline + grace.
+///
+/// Exit status is non-zero when any invariant is violated. --kv prints a
+/// stable key=value summary for scripts (tools/check.sh serve smoke).
+///
+/// Usage:
+///   serve_driver [--workers N] [--requests N] [--queue N]
+///                [--min-deadline-ms N] [--max-deadline-ms N] [--grace-ms N]
+///                [--train N] [--inject-faults] [--oracle] [--seed S] [--kv]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+#include "faults/injection.h"
+#include "ir/clone.h"
+#include "ir/module.h"
+#include "ir/verifier.h"
+#include "lint/oracle.h"
+#include "serve/service.h"
+#include "support/rng.h"
+#include "workloads/generator.h"
+
+using namespace posetrl;
+
+namespace {
+
+int usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [--workers N] [--requests N] [--queue N]\n"
+               "          [--min-deadline-ms N] [--max-deadline-ms N]\n"
+               "          [--grace-ms N] [--train N] [--inject-faults]\n"
+               "          [--oracle] [--seed S] [--kv]\n",
+               prog);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t workers = 4;
+  std::size_t requests = 64;
+  std::size_t queue_capacity = 256;
+  std::int64_t min_deadline_ms = 50;
+  std::int64_t max_deadline_ms = 400;
+  std::int64_t grace_ms = 500;
+  std::size_t train_steps = 300;
+  bool inject_faults = false;
+  bool oracle = false;
+  bool kv = false;
+  std::uint64_t seed = 17;
+
+  const auto nextArg = [&](int& i) -> const char* {
+    if (i + 1 >= argc) std::exit(usage(argv[0]));
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--workers") == 0) {
+      workers = static_cast<std::size_t>(std::atoll(nextArg(i)));
+    } else if (std::strcmp(a, "--requests") == 0) {
+      requests = static_cast<std::size_t>(std::atoll(nextArg(i)));
+    } else if (std::strcmp(a, "--queue") == 0) {
+      queue_capacity = static_cast<std::size_t>(std::atoll(nextArg(i)));
+    } else if (std::strcmp(a, "--min-deadline-ms") == 0) {
+      min_deadline_ms = std::atoll(nextArg(i));
+    } else if (std::strcmp(a, "--max-deadline-ms") == 0) {
+      max_deadline_ms = std::atoll(nextArg(i));
+    } else if (std::strcmp(a, "--grace-ms") == 0) {
+      grace_ms = std::atoll(nextArg(i));
+    } else if (std::strcmp(a, "--train") == 0) {
+      train_steps = static_cast<std::size_t>(std::atoll(nextArg(i)));
+    } else if (std::strcmp(a, "--inject-faults") == 0) {
+      inject_faults = true;
+    } else if (std::strcmp(a, "--oracle") == 0) {
+      oracle = true;
+    } else if (std::strcmp(a, "--seed") == 0) {
+      seed = static_cast<std::uint64_t>(std::atoll(nextArg(i)));
+    } else if (std::strcmp(a, "--kv") == 0) {
+      kv = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (max_deadline_ms < min_deadline_ms) max_deadline_ms = min_deadline_ms;
+
+  // --- corpus ---
+  std::vector<std::unique_ptr<Module>> corpus;
+  for (int i = 0; i < 6; ++i) {
+    ProgramSpec spec;
+    spec.name = "serve_prog_" + std::to_string(i);
+    spec.seed = seed * 100 + static_cast<std::uint64_t>(i);
+    spec.kernels = 3 + i % 3;
+    corpus.push_back(generateProgram(spec));
+  }
+  std::vector<const Module*> corpus_ptrs;
+  for (const auto& m : corpus) corpus_ptrs.push_back(m.get());
+
+  // --- action space + training ---
+  std::vector<SubSequence> actions = manualSubSequences();
+  if (inject_faults) {
+    registerFaultInjectionPasses();
+    int id = static_cast<int>(actions.size());
+    actions.push_back({++id, {"fault-throw"}});
+    actions.push_back({++id, {"fault-bloat"}});
+    actions.push_back({++id, {"fault-hang"}});
+    if (oracle) actions.push_back({++id, {"fault-miscompile"}});
+  }
+  TrainConfig tcfg;
+  tcfg.total_steps = train_steps;
+  tcfg.seed = seed;
+  tcfg.actions = &actions;
+  tcfg.agent.num_actions = actions.size();
+  tcfg.agent.seed = seed;
+  const TrainResult trained = trainAgent(corpus_ptrs, tcfg);
+
+  // --- service ---
+  ServeConfig scfg;
+  scfg.workers = workers;
+  scfg.queue_capacity = queue_capacity;
+  scfg.seed = seed;
+  scfg.env = tcfg.env;
+  scfg.env.verify_actions = true;  // degraded outputs must stay verifier-clean
+  scfg.env.oracle_actions = oracle;
+  // Faulting actions should trip breakers quickly in a short stress run.
+  scfg.breaker.failure_threshold = 3;
+  scfg.breaker.open_cooldown = std::chrono::milliseconds(50);
+  CompileService service(*trained.agent, actions, scfg);
+
+  // --- fire requests with randomized deadlines ---
+  Rng rng(seed ^ 0xdeadbeef);
+  struct Pending {
+    std::future<ServeResult> future;
+    const Module* program;
+    std::int64_t deadline_ms;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(requests);
+  for (std::size_t i = 0; i < requests; ++i) {
+    const Module* program = corpus_ptrs[i % corpus_ptrs.size()];
+    const std::int64_t ms = rng.nextInt(min_deadline_ms, max_deadline_ms);
+    pending.push_back(
+        {service.submit(*program, Deadline::afterMillis(ms)), program, ms});
+  }
+
+  // --- collect + validate ---
+  std::size_t ok = 0, rejected = 0, shut_down = 0;
+  std::size_t violations = 0;
+  double max_overshoot_ms = 0.0;
+  std::size_t level_counts[4] = {0, 0, 0, 0};
+  const auto violation = [&](std::uint64_t id, const std::string& what) {
+    ++violations;
+    std::fprintf(stderr, "VIOLATION request %llu: %s\n",
+                 static_cast<unsigned long long>(id), what.c_str());
+  };
+
+  for (Pending& p : pending) {
+    ServeResult r = p.future.get();
+    switch (r.status) {
+      case ServeStatus::Rejected: ++rejected; continue;
+      case ServeStatus::ShutDown: ++shut_down; continue;
+      case ServeStatus::Ok: ++ok; break;
+    }
+    const int level = static_cast<int>(r.level);
+    if (level < 0 || level > 3) {
+      violation(r.request_id, "invalid ladder level");
+      continue;
+    }
+    ++level_counts[level];
+    if (r.optimized == nullptr) {
+      violation(r.request_id, "ok response without a module");
+      continue;
+    }
+    const VerifyResult v = verifyModule(*r.optimized);
+    if (!v.ok()) {
+      violation(r.request_id, std::string("response does not verify: ") +
+                                  v.message());
+    }
+    if (oracle) {
+      std::unique_ptr<Module> input = cloneModule(*p.program);
+      const OracleVerdict verdict = MiscompileOracle::diff(*input, *r.optimized);
+      if (!verdict.equivalent()) {
+        violation(r.request_id,
+                  "behaviour changed vs input: " + verdict.message());
+      }
+    }
+    if (r.oz_verified && r.size_bytes > r.oz_size_bytes) {
+      violation(r.request_id, "response worse than stock -Oz (size " +
+                                  std::to_string(r.size_bytes) + " vs " +
+                                  std::to_string(r.oz_size_bytes) + ")");
+    }
+    const double overshoot =
+        r.latency_ms - static_cast<double>(p.deadline_ms);
+    max_overshoot_ms = std::max(max_overshoot_ms, overshoot);
+    if (overshoot > static_cast<double>(grace_ms)) {
+      violation(r.request_id,
+                "latency " + std::to_string(r.latency_ms) + "ms exceeds " +
+                    std::to_string(p.deadline_ms) + "ms deadline + " +
+                    std::to_string(grace_ms) + "ms grace");
+    }
+  }
+  service.shutdown();
+  const ServiceStats stats = service.stats();
+  const std::size_t trips = service.breakers().totalTrips();
+
+  if (kv) {
+    std::printf("requests=%zu\n", requests);
+    std::printf("ok=%zu\n", ok);
+    std::printf("rejected=%zu\n", rejected);
+    std::printf("shut_down=%zu\n", shut_down);
+    std::printf("level_full=%zu\n", level_counts[0]);
+    std::printf("level_prefix=%zu\n", level_counts[1]);
+    std::printf("level_oz=%zu\n", level_counts[2]);
+    std::printf("level_identity=%zu\n", level_counts[3]);
+    std::printf("faults=%zu\n", stats.faults);
+    std::printf("retries=%zu\n", stats.retries);
+    std::printf("breaker_trips=%zu\n", trips);
+    std::printf("deadline_expired=%zu\n", stats.deadline_expired);
+    std::printf("max_latency_ms=%.1f\n", stats.max_latency_ms);
+    std::printf("max_overshoot_ms=%.1f\n", max_overshoot_ms);
+    std::printf("violations=%zu\n", violations);
+  } else {
+    std::printf(
+        "[serve] %zu requests -> ok=%zu rejected=%zu shut_down=%zu\n"
+        "[serve] ladder: full=%zu prefix=%zu oz=%zu identity=%zu\n"
+        "[serve] faults=%zu retries=%zu breaker_trips=%zu "
+        "deadline_expired=%zu\n"
+        "[serve] max latency %.1fms, max overshoot %.1fms, violations=%zu\n",
+        requests, ok, rejected, shut_down, level_counts[0], level_counts[1],
+        level_counts[2], level_counts[3], stats.faults, stats.retries, trips,
+        stats.deadline_expired, stats.max_latency_ms, max_overshoot_ms,
+        violations);
+  }
+  return violations == 0 ? 0 : 1;
+}

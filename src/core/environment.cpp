@@ -55,8 +55,12 @@ PhaseOrderEnv::StepResult PhaseOrderEnv::step(std::size_t index) {
       // The sandbox already rolled the working module back to the pre-step
       // snapshot; the episode continues with a penalized reward and the
       // fault goes on this (program, action) pair's quarantine record.
+      // Deadline expiry is the caller's clock running out, not the action's
+      // misbehaviour — it is contained like any fault but never quarantines.
       ++faults_;
-      quarantine_.recordFault(index);
+      if (out.fault.kind != FaultKind::DeadlineExpired) {
+        quarantine_.recordFault(index);
+      }
       ++steps_in_episode_;
       StepResult result;
       result.state = embedder_.embedProgram(*working_);

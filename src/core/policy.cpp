@@ -14,13 +14,25 @@ PolicyRollout applyPolicy(const DoubleDqn& agent, const Module& program,
   PolicyRollout rollout;
   bool done = false;
   while (!done) {
-    const std::size_t action = agent.actGreedy(state);
+    // The quarantine mask blocks actions that already faulted repeatedly on
+    // this program; actGreedy then falls back to the best unblocked Q.
+    const std::size_t action = agent.actGreedy(state, &env.actionMask());
     rollout.action_sequence.push_back(action);
     PhaseOrderEnv::StepResult sr = env.step(action);
+    PolicyStep step;
+    step.action = action;
+    step.reward = sr.reward;
+    step.faulted = sr.faulted;
+    if (sr.faulted) {
+      ++rollout.faults;
+      step.fault = std::move(sr.fault);
+    }
+    rollout.steps.push_back(std::move(step));
     state = std::move(sr.state);
     done = sr.done;
   }
   rollout.size_bytes = env.currentSize();
+  rollout.quarantined = env.quarantine().numQuarantined();
   rollout.optimized = cloneModule(env.workingModule());
   return rollout;
 }

@@ -16,14 +16,31 @@ namespace posetrl {
 
 class Module;
 
+/// One step of a deployed rollout, including the fault data the sandbox
+/// attributes to contained failures (faults/fault.h).
+struct PolicyStep {
+  std::size_t action = 0;  ///< Chosen sub-sequence id.
+  double reward = 0.0;
+  bool faulted = false;    ///< The action faulted and was rolled back.
+  FaultReport fault;       ///< Valid when `faulted`.
+};
+
 /// Result of applying a trained policy to one program.
 struct PolicyRollout {
   std::vector<std::size_t> action_sequence;  ///< Chosen sub-sequence ids.
+  std::vector<PolicyStep> steps;             ///< Per-step outcome detail.
   std::unique_ptr<Module> optimized;         ///< Program after the rollout.
   double size_bytes = 0.0;                   ///< Modeled object size.
+  std::size_t faults = 0;        ///< Contained faults during the rollout.
+  std::size_t quarantined = 0;   ///< Actions masked by rollout end.
 };
 
-/// Rolls out the greedy policy for `config.episode_length` actions.
+/// Rolls out the greedy policy for `config.episode_length` actions. Action
+/// selection respects the environment's quarantine mask: an action that
+/// faults its way past the quarantine threshold is masked out and the
+/// next-best Q-value is taken instead of re-picking the blocked argmax
+/// forever. Contained faults surface in `steps`/`faults` instead of being
+/// dropped.
 PolicyRollout applyPolicy(const DoubleDqn& agent, const Module& program,
                           const std::vector<SubSequence>& actions,
                           const EnvConfig& config);

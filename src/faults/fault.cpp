@@ -16,6 +16,7 @@ const char* faultKindName(FaultKind kind) {
     case FaultKind::FuelExhausted: return "fuel-exhausted";
     case FaultKind::VerifyFailure: return "verify-failure";
     case FaultKind::OracleDivergence: return "oracle-divergence";
+    case FaultKind::DeadlineExpired: return "deadline-expired";
   }
   POSETRL_UNREACHABLE("unknown FaultKind");
 }

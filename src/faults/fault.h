@@ -23,6 +23,7 @@ enum class FaultKind {
   FuelExhausted,    ///< The per-action pass-step fuel budget ran out.
   VerifyFailure,    ///< Structural verifier failed after the pass.
   OracleDivergence, ///< Miscompile oracle observed a behaviour change.
+  DeadlineExpired,  ///< The request's wall-clock deadline passed mid-action.
 };
 
 const char* faultKindName(FaultKind kind);

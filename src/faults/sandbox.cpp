@@ -59,6 +59,14 @@ SandboxOutcome runActionSandboxed(std::unique_ptr<Module>& module,
   for (std::size_t i = 0; i < pass_names.size(); ++i) {
     const std::string& name = pass_names[i];
     const std::size_t step = i + 1;
+    // Pass-boundary deadline check: a request that ran out of time between
+    // passes rolls back before the next pass starts, bounding response
+    // latency to deadline + one pass of work.
+    if (config.deadline.expired()) {
+      failAt(FaultKind::DeadlineExpired, step, name,
+             "deadline expired before pass", 0);
+      return outcome;
+    }
     std::unique_ptr<Pass> pass = createPass(name);
     if (pass == nullptr) {
       failAt(FaultKind::PassException, step, name, "unknown pass", 0);
@@ -68,6 +76,7 @@ SandboxOutcome runActionSandboxed(std::unique_ptr<Module>& module,
     std::uint64_t fuel_used = 0;
     try {
       FuelScope fuel(config.pass_fuel);
+      DeadlineScope deadline(config.deadline);
       std::unique_ptr<ScopedFaultTrap> trap;
       if (config.trap_check_failures) trap = std::make_unique<ScopedFaultTrap>();
       try {
@@ -79,6 +88,9 @@ SandboxOutcome runActionSandboxed(std::unique_ptr<Module>& module,
       fuel_used = fuel.consumed();
     } catch (const FuelExhaustedError& e) {
       failAt(FaultKind::FuelExhausted, step, name, e.what(), fuel_used);
+      return outcome;
+    } catch (const DeadlineExpiredError& e) {
+      failAt(FaultKind::DeadlineExpired, step, name, e.what(), fuel_used);
       return outcome;
     } catch (const FatalError& e) {
       failAt(FaultKind::CheckFailure, step, name, e.what(), fuel_used);
@@ -101,7 +113,12 @@ SandboxOutcome runActionSandboxed(std::unique_ptr<Module>& module,
       const std::size_t prior = instr.failures().size();
       try {
         ScopedFaultTrap trap;
+        DeadlineScope deadline(config.deadline);
+        DeadlineScope::poll();
         instr.afterPass(name, *module);
+      } catch (const DeadlineExpiredError& e) {
+        failAt(FaultKind::DeadlineExpired, step, name, e.what(), fuel_used);
+        return outcome;
       } catch (const std::exception& e) {
         failAt(FaultKind::VerifyFailure, step, name,
                std::string("instrumentation failed: ") + e.what(), fuel_used);

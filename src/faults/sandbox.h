@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "faults/fault.h"
+#include "support/deadline.h"
 
 namespace posetrl {
 
@@ -41,6 +42,11 @@ struct SandboxConfig {
   /// Convert POSETRL_CHECK failures inside a pass into contained faults
   /// (ScopedFaultTrap) instead of aborting the process.
   bool trap_check_failures = true;
+  /// Wall-clock deadline for the whole action. Checked at every pass
+  /// boundary and (via the fuel hooks, see support/deadline.h) inside
+  /// long-running passes; expiry rolls back to the snapshot with a
+  /// FaultKind::DeadlineExpired report. Defaults to never.
+  Deadline deadline;
 };
 
 /// Outcome of one sandboxed action.

@@ -214,18 +214,25 @@ std::unique_ptr<Module> cloneModule(const Module& src) {
       vmap[bb.get()] = nb;
     }
     std::vector<Instruction*> new_insts;
-    for (const auto& bb : f->blocks()) {
-      auto* nb = cast<BasicBlock>(vmap.at(bb.get()));
-      for (const auto& inst : bb->insts()) {
-        Instruction* cloned = recreateInstruction(*dst, *inst);
-        nb->pushBack(std::unique_ptr<Instruction>(cloned));
-        vmap[inst.get()] = cloned;
-        new_insts.push_back(cloned);
+    {
+      // The clones are built holding source-module operand pointers;
+      // suspend user registration so construction never mutates the source
+      // — it may be shared with other threads cloning it concurrently
+      // (e.g. one serving request fanned out across workers).
+      UserTrackingSuspender suspend;
+      for (const auto& bb : f->blocks()) {
+        auto* nb = cast<BasicBlock>(vmap.at(bb.get()));
+        for (const auto& inst : bb->insts()) {
+          Instruction* cloned = recreateInstruction(*dst, *inst);
+          nb->pushBack(std::unique_ptr<Instruction>(cloned));
+          vmap[inst.get()] = cloned;
+          new_insts.push_back(cloned);
+        }
       }
     }
     for (Instruction* inst : new_insts) {
       for (std::size_t i = 0; i < inst->numOperands(); ++i) {
-        inst->setOperand(
+        inst->rebindOperandForClone(
             i, mapOperandCrossModule(*dst, vmap, inst->operand(i)));
       }
     }

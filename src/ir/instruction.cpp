@@ -69,6 +69,13 @@ void Instruction::setOperand(std::size_t i, Value* v) {
   v->addUser(this);
 }
 
+void Instruction::rebindOperandForClone(std::size_t i, Value* v) {
+  POSETRL_CHECK(i < operands_.size(), "operand index out of range");
+  POSETRL_CHECK(v != nullptr, "null operand");
+  operands_[i] = v;
+  v->addUser(this);
+}
+
 void Instruction::appendOperand(Value* v) {
   POSETRL_CHECK(v != nullptr, "null operand");
   operands_.push_back(v);

@@ -85,6 +85,13 @@ class Instruction : public Value {
   void setOperand(std::size_t i, Value* v);
   const std::vector<Value*>& operands() const { return operands_; }
 
+  /// Clone-remap only: rebinds operand \p i without unregistering from the
+  /// old value's user list. The old pointer targets the source module of a
+  /// cross-module clone, where this instruction was never registered as a
+  /// user (construction ran under a UserTrackingSuspender) — unregistering
+  /// there would both fail and mutate a module other threads may be reading.
+  void rebindOperandForClone(std::size_t i, Value* v);
+
   /// Detaches all operands (removing this from their user lists).
   void dropAllOperands();
 

@@ -6,6 +6,22 @@
 
 namespace posetrl {
 
+namespace {
+
+thread_local int g_user_tracking_suspended = 0;
+
+}  // namespace
+
+UserTrackingSuspender::UserTrackingSuspender() { ++g_user_tracking_suspended; }
+
+UserTrackingSuspender::~UserTrackingSuspender() {
+  --g_user_tracking_suspended;
+}
+
+bool UserTrackingSuspender::active() {
+  return g_user_tracking_suspended > 0;
+}
+
 void Value::replaceAllUsesWith(Value* replacement) {
   POSETRL_CHECK(replacement != this, "RAUW with self");
   // Users are mutated as operands change, so iterate over a snapshot.

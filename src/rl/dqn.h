@@ -43,6 +43,13 @@ struct DqnConfig {
 };
 
 /// Double DQN agent.
+///
+/// Thread safety: the const inference surface — actGreedy(), qValues() —
+/// is pure (no mutable caches, no lazy state, no RNG draws) and safe to
+/// call concurrently from many threads on one shared agent; the serving
+/// layer (serve/service.h) relies on this. The mutating surface (act(),
+/// observe(), load*/save*) must be externally serialized and must not
+/// overlap any inference call.
 class DoubleDqn {
  public:
   explicit DoubleDqn(const DqnConfig& config);

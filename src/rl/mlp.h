@@ -24,7 +24,9 @@ class Mlp {
   std::size_t inputSize() const { return sizes_.front(); }
   std::size_t outputSize() const { return sizes_.back(); }
 
-  /// Forward pass.
+  /// Forward pass. Pure const (no scratch buffers on the object), so
+  /// concurrent forward() calls on one network are safe as long as no
+  /// thread is mutating the parameters.
   std::vector<double> forward(const std::vector<double>& x) const;
 
   /// Accumulates gradients for regressing output \p action toward

@@ -1,0 +1,216 @@
+#pragma once
+
+/// \file service.h
+/// Deadline-aware compile service: concurrent phase-ordering policy serving
+/// with graceful degradation (see DESIGN.md "Serving and graceful
+/// degradation").
+///
+/// A CompileService owns a pool of worker threads over a bounded request
+/// queue. Each request carries a monotonic Deadline; workers roll out the
+/// shared trained agent greedily on the request's module, with every action
+/// executed inside PR 2's fault sandbox and the deadline propagated into
+/// SandboxConfig so wall-clock expiry is contained exactly like a fault.
+///
+/// Robustness machinery per request:
+///  - admission control: a full queue load-sheds immediately (structured
+///    ServeStatus::Rejected) instead of blocking the caller;
+///  - transient contained faults are retried with exponential backoff +
+///    jitter (per-worker RNG, no shared stream);
+///  - repeat offenders trip a per-action circuit breaker shared across all
+///    requests (closed → open → half-open, serve/circuit_breaker.h), layered
+///    on top of the environment's per-program quarantine;
+///  - every response lands on an explicit degradation ladder:
+///      FullRollout  — the greedy rollout ran all episode steps;
+///      BestPrefix   — the rollout was cut short (deadline, exhausted
+///                     actions); the best-so-far prefix output is returned;
+///      OzPipeline   — the stock -Oz pipeline beat (or replaced) the rollout;
+///      Identity     — nothing could be done in time; input returned as-is.
+///    Whenever the -Oz rung completes (`oz_verified`), the response is
+///    guaranteed no worse than stock -Oz by modeled size.
+///
+/// Thread-safety contract: the agent is shared by const reference and only
+/// its pure-const inference surface is used (see rl/dqn.h); all registered
+/// passes must be registered before start() (the pass registry is read-only
+/// while serving); request modules must stay alive until their future
+/// resolves.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/environment.h"
+#include "core/oz_sequence.h"
+#include "rl/dqn.h"
+#include "serve/circuit_breaker.h"
+#include "support/deadline.h"
+#include "support/rng.h"
+
+namespace posetrl {
+
+class Module;
+
+/// Where on the degradation ladder a response landed (best to worst).
+enum class ServiceLevel { FullRollout, BestPrefix, OzPipeline, Identity };
+const char* serviceLevelName(ServiceLevel level);
+
+/// Request disposition.
+enum class ServeStatus {
+  Ok,        ///< Processed; `level` says how well.
+  Rejected,  ///< Load-shed at admission (queue full); no work done.
+  ShutDown,  ///< Service shut down before the request was processed.
+};
+const char* serveStatusName(ServeStatus status);
+
+struct ServeConfig {
+  std::size_t workers = 4;
+  /// Bounded queue: submissions beyond this are rejected immediately.
+  std::size_t queue_capacity = 64;
+  /// Retries per faulting action within one request (beyond the first try).
+  std::size_t max_retries = 2;
+  /// Backoff before retry k is `backoff_base * 2^k`, jittered by
+  /// ±backoff_jitter (fraction), capped by the request deadline.
+  std::chrono::milliseconds backoff_base{1};
+  double backoff_jitter = 0.5;
+  /// Fraction of the request's remaining deadline reserved for the -Oz
+  /// fallback rung; the rollout gets the rest.
+  double oz_reserve = 0.35;
+  /// Compare every rollout output against stock -Oz (modeled size) and
+  /// degrade to the -Oz result when it wins. Costs one -Oz pipeline per
+  /// request; buys the "never worse than -Oz" guarantee.
+  bool verify_against_oz = true;
+  CircuitBreakerConfig breaker;
+  /// Environment settings for rollouts (sandboxing is forced on; the
+  /// per-request deadline overwrites env.sandbox.deadline).
+  EnvConfig env;
+  /// The reaper thread sweeps the queue at this interval, resolving
+  /// requests whose deadline expired while still queued (Identity rung)
+  /// instead of letting them wait for a busy worker — this is what bounds
+  /// an expired request's response time under full load. Zero disables.
+  std::chrono::milliseconds reap_interval{5};
+  /// Seed for the per-worker RNG streams (backoff jitter).
+  std::uint64_t seed = 0x5e27e;
+  /// Spawn workers in the constructor. With false, call start() explicitly
+  /// (lets tests fill the queue deterministically first).
+  bool start_workers = true;
+};
+
+/// Outcome of one request.
+struct ServeResult {
+  ServeStatus status = ServeStatus::Ok;
+  ServiceLevel level = ServiceLevel::Identity;
+  std::unique_ptr<Module> optimized;  ///< Null unless status == Ok.
+  double size_bytes = 0.0;            ///< Modeled size of `optimized`.
+  double base_size_bytes = 0.0;       ///< Modeled size of the input.
+  double oz_size_bytes = 0.0;         ///< Valid when `oz_verified`.
+  /// The -Oz rung ran to completion and the response was verified no worse
+  /// than it (by modeled size).
+  bool oz_verified = false;
+  /// Actions whose output is being returned (empty for Oz/Identity).
+  std::vector<std::size_t> action_sequence;
+  std::size_t steps_attempted = 0;  ///< Env steps consumed (incl. retries).
+  std::size_t retries = 0;
+  std::size_t faults = 0;  ///< Contained faults, including deadline expiry.
+  std::map<std::string, std::size_t> faults_by_kind;
+  bool deadline_expired = false;
+  double queue_ms = 0.0;    ///< Time spent waiting for a worker.
+  double latency_ms = 0.0;  ///< Submit-to-response wall time.
+  std::uint64_t request_id = 0;
+  /// Why the response is not FullRollout (empty when it is).
+  std::string degraded_reason;
+};
+
+/// Monotonic service-wide counters (snapshot via CompileService::stats()).
+struct ServiceStats {
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::size_t rejected = 0;
+  std::size_t shut_down = 0;
+  std::size_t level_full = 0;
+  std::size_t level_prefix = 0;
+  std::size_t level_oz = 0;
+  std::size_t level_identity = 0;
+  std::size_t retries = 0;
+  std::size_t faults = 0;
+  std::size_t deadline_expired = 0;
+  double total_latency_ms = 0.0;
+  double max_latency_ms = 0.0;
+};
+
+/// Thread-pool policy server over one shared trained agent.
+class CompileService {
+ public:
+  /// \p agent must outlive the service; only const inference is used.
+  /// \p actions is the action space the agent was trained over.
+  CompileService(const DoubleDqn& agent, std::vector<SubSequence> actions,
+                 ServeConfig config = {});
+  ~CompileService();
+  CompileService(const CompileService&) = delete;
+  CompileService& operator=(const CompileService&) = delete;
+
+  /// Enqueues \p program (must stay alive until the future resolves). A
+  /// full queue or a shut-down service resolves the future immediately with
+  /// Rejected / ShutDown — submit never blocks on service capacity.
+  std::future<ServeResult> submit(const Module& program, Deadline deadline);
+
+  /// Synchronous single request on the caller's thread (no queue, no
+  /// admission control) — same ladder, same breakers.
+  ServeResult compile(const Module& program, Deadline deadline);
+
+  /// Spawns the worker pool (no-op when already started).
+  void start();
+  /// Stops workers; queued-but-unprocessed requests resolve with ShutDown.
+  /// Idempotent; also run by the destructor.
+  void shutdown();
+
+  std::size_t queueDepth() const;
+  ServiceStats stats() const;
+  BreakerBank& breakers() { return breakers_; }
+  const std::vector<SubSequence>& actions() const { return actions_; }
+
+ private:
+  struct Request {
+    const Module* program = nullptr;
+    Deadline deadline;
+    std::promise<ServeResult> promise;
+    std::uint64_t id = 0;
+    Deadline::TimePoint submitted_at;
+  };
+
+  void workerLoop(std::size_t worker_index);
+  void reaperLoop();
+  ServeResult process(const Module& program, Deadline deadline,
+                      std::uint64_t id, Rng& rng);
+  /// Cheap Identity response for a request whose deadline expired before
+  /// any optimization work started.
+  ServeResult expireRequest(const Module& program, std::uint64_t id,
+                            const char* where);
+  void recordResult(const ServeResult& r);
+
+  const DoubleDqn* agent_;
+  std::vector<SubSequence> actions_;
+  ServeConfig config_;
+  BreakerBank breakers_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool accepting_ = true;
+  bool started_ = false;
+  std::vector<std::thread> workers_;
+  std::thread reaper_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t sync_streams_ = 0;  ///< RNG streams handed to compile().
+
+  mutable std::mutex stats_mu_;
+  ServiceStats stats_;
+};
+
+}  // namespace posetrl

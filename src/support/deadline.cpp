@@ -1,0 +1,65 @@
+#include "support/deadline.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+namespace posetrl {
+
+Deadline::Clock::duration Deadline::remaining(TimePoint now) const {
+  if (never_) return Clock::duration::max();
+  if (now >= when_) return Clock::duration::zero();
+  return when_ - now;
+}
+
+std::int64_t Deadline::remainingMillis(TimePoint now) const {
+  if (never_) return std::numeric_limits<std::int64_t>::max();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(remaining(now))
+      .count();
+}
+
+Deadline Deadline::fractionFromNow(double fraction, TimePoint now) const {
+  if (never_) return never();
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const Clock::duration left = remaining(now);
+  return Deadline::at(now + std::chrono::duration_cast<Clock::duration>(
+                                left * fraction));
+}
+
+Deadline Deadline::earlier(const Deadline& a, const Deadline& b) {
+  if (a.isNever()) return b;
+  if (b.isNever()) return a;
+  return a.when() <= b.when() ? a : b;
+}
+
+namespace {
+
+thread_local Deadline g_deadline;  // never() when no scope armed.
+
+}  // namespace
+
+DeadlineScope::DeadlineScope(Deadline deadline) : prev_(g_deadline) {
+  // An enclosing scope's tighter deadline keeps binding inside a nested one.
+  g_deadline = Deadline::earlier(prev_, deadline);
+}
+
+DeadlineScope::~DeadlineScope() { g_deadline = prev_; }
+
+bool DeadlineScope::active() { return !g_deadline.isNever(); }
+
+Deadline DeadlineScope::current() { return g_deadline; }
+
+void DeadlineScope::poll() {
+  if (g_deadline.isNever()) return;
+  const auto now = Deadline::Clock::now();
+  if (g_deadline.expired(now)) {
+    throw DeadlineExpiredError(
+        "deadline expired " +
+        std::to_string(std::chrono::duration_cast<std::chrono::microseconds>(
+                           now - g_deadline.when())
+                           .count()) +
+        "us ago");
+  }
+}
+
+}  // namespace posetrl

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "support/deadline.h"
+
 namespace posetrl {
 
 namespace {
@@ -10,9 +12,16 @@ struct FuelState {
   bool active = false;
   std::uint64_t budget = 0;
   std::uint64_t used = 0;
+  /// Calls since the last deadline poll (clock reads are throttled).
+  std::uint32_t since_poll = 0;
 };
 
 thread_local FuelState g_fuel;
+
+/// Deadline polls happen every this many consume() calls; small enough that
+/// a deadline-expired pass is cut within a pass-boundary-sized slice of
+/// work, large enough that the steady_clock read stays off the hot path.
+constexpr std::uint32_t kDeadlinePollInterval = 256;
 
 }  // namespace
 
@@ -37,6 +46,13 @@ std::uint64_t FuelScope::consumed() const { return g_fuel.used; }
 bool FuelScope::active() { return g_fuel.active; }
 
 void FuelScope::consume(std::uint64_t n) {
+  // Wall-clock complement to the fuel budget: an armed DeadlineScope is
+  // polled (throttled) from the same instrumentation hook, so a pass that is
+  // slow without being runaway still gets interrupted on deadline expiry.
+  if (++g_fuel.since_poll >= kDeadlinePollInterval) {
+    g_fuel.since_poll = 0;
+    DeadlineScope::poll();
+  }
   if (!g_fuel.active) return;
   g_fuel.used += n;
   if (g_fuel.used > g_fuel.budget) {

@@ -36,7 +36,10 @@ class FuelScope {
   static bool active();
 
   /// Spends \p n units from the innermost active scope; throws
-  /// FuelExhaustedError when the budget runs out. No-op when inactive.
+  /// FuelExhaustedError when the budget runs out. No-op when inactive —
+  /// except that an armed DeadlineScope (support/deadline.h) is polled
+  /// periodically here too, throwing DeadlineExpiredError on wall-clock
+  /// expiry through the same containment path.
   static void consume(std::uint64_t n = 1);
 
  private:

@@ -103,6 +103,13 @@ std::size_t Rng::nextWeighted(const std::vector<double>& weights) {
 
 Rng Rng::fork() { return Rng(next()); }
 
+Rng Rng::forStream(std::uint64_t seed, std::uint64_t stream) {
+  // Mix the stream index through SplitMix64 so adjacent indices land far
+  // apart in seed space before xoshiro expansion.
+  std::uint64_t state = seed + 0x9e3779b97f4a7c15ull * (stream + 1);
+  return Rng(splitMix64(state));
+}
+
 void Rng::save(std::ostream& os) const {
   os << "rng";
   for (std::uint64_t s : s_) os << " " << s;

@@ -50,6 +50,12 @@ class Rng {
   /// Derives an independent child generator (stable given call order).
   Rng fork();
 
+  /// Derives the \p stream-th independent generator from \p seed without
+  /// consuming any state — deterministic and order-free, so N worker threads
+  /// can each own a private stream (e.g. retry-backoff jitter in the serving
+  /// layer) with no shared RNG and no locking.
+  static Rng forStream(std::uint64_t seed, std::uint64_t stream);
+
   /// Serializes the full generator state (stream position included), so a
   /// restored generator continues the exact same sequence. Used by the
   /// crash-safe trainer checkpoints.

@@ -1,14 +1,33 @@
 #!/usr/bin/env bash
-# Full correctness gate: configure, build, run the test suite, then lint
-# every example MiniIR module under instrumentation. Mirrors what CI would
-# run; exits non-zero on the first failure.
+# Full correctness gate: configure, build, run the test suite, lint every
+# example MiniIR module under instrumentation, then smoke-test the fault
+# containment and serving layers. Mirrors what CI would run; exits non-zero
+# on the first failure.
 #
-# Usage: tools/check.sh [build-dir]   (default: build)
+# Usage: tools/check.sh [--tsan] [build-dir]   (default build dir: build)
+#
+#   --tsan   additionally rebuild with -DPOSETRL_SANITIZE=thread (in
+#            <build-dir>-tsan) and rerun the concurrent serving stress under
+#            ThreadSanitizer.
 
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+TSAN=0
+if [[ "${1:-}" == "--tsan" ]]; then
+  TSAN=1
+  shift
+fi
 BUILD="${1:-$ROOT/build}"
+
+# Reads "key=value" lines (opt_driver --kv / serve_driver --kv) and prints
+# the value for $2, or "missing" when the key is absent. A stable contract:
+# one key per line, no quoting — no JSON scraping.
+kv() {
+  local out="$1" key="$2" line
+  line="$(grep -m1 "^${key}=" <<<"$out" || true)"
+  if [[ -z "$line" ]]; then echo "missing"; else echo "${line#*=}"; fi
+}
 
 echo "== configure =="
 cmake -B "$BUILD" -S "$ROOT" >/dev/null
@@ -48,18 +67,70 @@ echo "== fault-injection smoke =="
 # Train a small agent with deliberately broken passes (throwing, IR-bloating,
 # hanging) mixed into the action space. The run must complete its full step
 # budget (zero crashes), contain faults, and quarantine the bad actions.
-SMOKE="$("$OPT" --selftest --train 200 --inject-faults --quiet --json)"
+SMOKE="$("$OPT" --selftest --train 200 --inject-faults --quiet --kv)"
 echo "$SMOKE"
-faults="$(echo "$SMOKE" | sed -n 's/.*"faults":\([0-9]*\).*/\1/p')"
-quarantined="$(echo "$SMOKE" | sed -n 's/.*"quarantined":\([0-9]*\).*/\1/p')"
-if [[ -z "$faults" || "$faults" -eq 0 ]]; then
-  echo "FAIL fault smoke: expected contained faults, got '${faults:-none}'"
+faults="$(kv "$SMOKE" faults)"
+quarantined="$(kv "$SMOKE" quarantined)"
+if [[ "$faults" == "missing" || "$faults" -eq 0 ]]; then
+  echo "FAIL fault smoke: expected contained faults, got '$faults'"
   status=1
-elif [[ -z "$quarantined" || "$quarantined" -eq 0 ]]; then
-  echo "FAIL fault smoke: expected quarantined actions, got '${quarantined:-none}'"
+elif [[ "$quarantined" == "missing" || "$quarantined" -eq 0 ]]; then
+  echo "FAIL fault smoke: expected quarantined actions, got '$quarantined'"
   status=1
 else
   echo "ok   fault smoke (faults=$faults quarantined=$quarantined, run survived)"
+fi
+
+echo "== serve smoke =="
+# Concurrent serving with injected faults and a barely-trained agent (so the
+# greedy policy still picks faulting actions, exercising retries and
+# breakers). Deadlines are generous: every request must land on a real
+# optimization rung — any crash, guarantee violation, or Identity response
+# fails the gate. The driver itself asserts the per-request invariants
+# (one ladder level each, verifier-clean outputs, oz_verified => no worse
+# than stock -Oz, latency within deadline + grace) and reports violations.
+SERVE="$BUILD/examples/serve_driver"
+SERVE_OUT="$("$SERVE" --workers 4 --requests 24 --train 50 --inject-faults \
+    --min-deadline-ms 4000 --max-deadline-ms 8000 --grace-ms 2000 --kv)" || {
+  echo "FAIL serve smoke: serve_driver exited non-zero"
+  status=1
+}
+echo "$SERVE_OUT"
+violations="$(kv "$SERVE_OUT" violations)"
+identity="$(kv "$SERVE_OUT" level_identity)"
+served="$(kv "$SERVE_OUT" ok)"
+if [[ "$violations" == "missing" || "$violations" -ne 0 ]]; then
+  echo "FAIL serve smoke: expected zero violations, got '$violations'"
+  status=1
+elif [[ "$identity" == "missing" || "$identity" -ne 0 ]]; then
+  echo "FAIL serve smoke: generous deadlines must never degrade to identity, got '$identity'"
+  status=1
+elif [[ "$served" == "missing" || "$served" -ne 24 ]]; then
+  echo "FAIL serve smoke: expected 24 served requests, got '$served'"
+  status=1
+else
+  echo "ok   serve smoke (ok=$served violations=0 identity=0)"
+fi
+
+if [[ $TSAN -eq 1 ]]; then
+  echo "== serve stress under ThreadSanitizer =="
+  TSAN_BUILD="${BUILD}-tsan"
+  cmake -B "$TSAN_BUILD" -S "$ROOT" -DPOSETRL_SANITIZE=thread >/dev/null
+  cmake --build "$TSAN_BUILD" -j"$(nproc)" --target serve_driver
+  # Two profiles: tight randomized deadlines (reaper + deadline paths) and
+  # generous ones (full rollout + -Oz rung), both with injected faults.
+  # halt_on_error makes any reported race fail the gate via the exit code.
+  for args in "--min-deadline-ms 50 --max-deadline-ms 400 --grace-ms 1500" \
+              "--min-deadline-ms 4000 --max-deadline-ms 8000 --grace-ms 2000"; do
+    if TSAN_OPTIONS="halt_on_error=1" "$TSAN_BUILD/examples/serve_driver" \
+        --workers 4 --requests 24 --train 40 --inject-faults $args --kv \
+        > /dev/null; then
+      echo "ok   tsan serve stress ($args)"
+    else
+      echo "FAIL tsan serve stress ($args)"
+      status=1
+    fi
+  done
 fi
 
 if [[ $status -eq 0 ]]; then
