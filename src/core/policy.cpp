@@ -16,7 +16,18 @@ PolicyRollout applyPolicy(const DoubleDqn& agent, const Module& program,
   while (!done) {
     // The quarantine mask blocks actions that already faulted repeatedly on
     // this program; actGreedy then falls back to the best unblocked Q.
-    const std::size_t action = agent.actGreedy(state, &env.actionMask());
+    const std::vector<bool>& mask = env.actionMask();
+    std::size_t available = 0;
+    for (std::size_t i = 0; i < mask.size(); ++i) {
+      if (!mask[i]) ++available;
+    }
+    if (available == 0) {
+      // Everything got quarantined mid-rollout: end the episode with the
+      // best-so-far working module rather than letting actGreedy abort on
+      // "all actions blocked" (mirrors CompileService::process).
+      break;
+    }
+    const std::size_t action = agent.actGreedy(state, &mask);
     rollout.action_sequence.push_back(action);
     PhaseOrderEnv::StepResult sr = env.step(action);
     PolicyStep step;

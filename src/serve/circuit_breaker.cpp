@@ -83,6 +83,10 @@ void CircuitBreaker::recordFailure(TimePoint now) {
   }
 }
 
+void CircuitBreaker::release(TimePoint now) {
+  if (state(now) == BreakerState::HalfOpen) probe_in_flight_ = false;
+}
+
 bool CircuitBreaker::blocked(TimePoint now) {
   switch (state(now)) {
     case BreakerState::Closed:
@@ -123,6 +127,12 @@ void BreakerBank::recordFailure(std::size_t action, TimePoint now) {
   std::lock_guard<std::mutex> lock(mu_);
   POSETRL_CHECK(action < breakers_.size(), "breaker action out of range");
   breakers_[action].recordFailure(now);
+}
+
+void BreakerBank::release(std::size_t action, TimePoint now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  POSETRL_CHECK(action < breakers_.size(), "breaker action out of range");
+  breakers_[action].release(now);
 }
 
 BreakerState BreakerBank::state(std::size_t action, TimePoint now) {

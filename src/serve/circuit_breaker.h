@@ -56,6 +56,12 @@ class CircuitBreaker {
   void recordSuccess(TimePoint now);
   void recordFailure(TimePoint now);
 
+  /// Relinquish a tryAcquire grant whose attempt produced no verdict on the
+  /// action itself (e.g. the request's deadline expired mid-step). Frees the
+  /// half-open probe slot without counting a success or failure, so the next
+  /// caller can probe; no-op outside HalfOpen.
+  void release(TimePoint now);
+
   /// Whether selection should mask this action out right now (open with
   /// cooldown pending, or half-open with the probe slot taken).
   bool blocked(TimePoint now);
@@ -93,6 +99,7 @@ class BreakerBank {
   bool tryAcquire(std::size_t action, TimePoint now = Clock::now());
   void recordSuccess(std::size_t action, TimePoint now = Clock::now());
   void recordFailure(std::size_t action, TimePoint now = Clock::now());
+  void release(std::size_t action, TimePoint now = Clock::now());
 
   BreakerState state(std::size_t action, TimePoint now = Clock::now());
   /// Total Closed/HalfOpen→Open transitions across all actions.

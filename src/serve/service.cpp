@@ -79,6 +79,7 @@ void CompileService::shutdown() {
     reaper.swap(reaper_);
   }
   cv_.notify_all();
+  reap_cv_.notify_all();
   for (std::thread& t : workers) {
     if (t.joinable()) t.join();
   }
@@ -190,7 +191,7 @@ void CompileService::reaperLoop() {
   // busy the workers are.
   std::unique_lock<std::mutex> lock(mu_);
   while (accepting_) {
-    cv_.wait_for(lock, config_.reap_interval);
+    reap_cv_.wait_for(lock, config_.reap_interval);
     const auto now = Deadline::Clock::now();
     std::vector<Request> expired;
     for (auto it = queue_.begin(); it != queue_.end();) {
@@ -321,7 +322,15 @@ ServeResult CompileService::process(const Module& program, Deadline deadline,
       ++r.steps_attempted;
       if (!sr.faulted) break;
       onFault(sr.fault);
-      if (sr.fault.kind == FaultKind::DeadlineExpired) break;
+      if (sr.fault.kind == FaultKind::DeadlineExpired) {
+        // Deadline expiry says nothing about the action's health: hand back
+        // the tryAcquire grant (frees a half-open probe slot) instead of
+        // counting a success or failure. Without this the probe slot leaks
+        // and the action stays masked service-wide forever. The rollout-cut
+        // path below sees the same fault and ends the rollout.
+        breakers_.release(action);
+        break;
+      }
       breakers_.recordFailure(action);
       if (sr.done || attempt >= config_.max_retries ||
           rollout_deadline.expired()) {

@@ -200,7 +200,10 @@ class CompileService {
   BreakerBank breakers_;
 
   mutable std::mutex mu_;
-  std::condition_variable cv_;
+  std::condition_variable cv_;       ///< Wakes workers (new request/shutdown).
+  std::condition_variable reap_cv_;  ///< Wakes the reaper; never shared with
+                                     ///< workers, so submit()'s notify_one()
+                                     ///< cannot be swallowed by the reaper.
   std::deque<Request> queue_;
   bool accepting_ = true;
   bool started_ = false;

@@ -331,6 +331,38 @@ TEST(CircuitBreakerTest, HalfOpenProbeFailureReopensAndRestartsCooldown) {
   EXPECT_EQ(b.state(t1 + milliseconds(100)), BreakerState::HalfOpen);
 }
 
+TEST(CircuitBreakerTest, ReleaseFreesHalfOpenProbeSlotWithoutVerdict) {
+  CircuitBreaker b(breakerConfig());
+  const auto t0 = CircuitBreaker::Clock::now();
+  b.recordFailure(t0);
+  b.recordFailure(t0);
+  const auto t1 = t0 + milliseconds(150);
+  EXPECT_TRUE(b.tryAcquire(t1));
+  // The probe's attempt was abandoned (e.g. deadline expired mid-step):
+  // release must free the slot so the action is not masked forever...
+  b.release(t1);
+  EXPECT_FALSE(b.blocked(t1));
+  EXPECT_TRUE(b.tryAcquire(t1));
+  // ...and must not have counted as a probe success: the breaker is still
+  // HalfOpen, and the next real verdict governs the transition.
+  b.recordFailure(t1);
+  EXPECT_EQ(b.state(t1), BreakerState::Open);
+  EXPECT_EQ(b.trips(), 2u);
+}
+
+TEST(CircuitBreakerTest, ReleaseIsNoOpWhenClosedOrOpen) {
+  CircuitBreaker b(breakerConfig());
+  const auto t0 = CircuitBreaker::Clock::now();
+  b.release(t0);  // closed: nothing to free
+  EXPECT_EQ(b.state(t0), BreakerState::Closed);
+  EXPECT_TRUE(b.tryAcquire(t0));
+  b.recordFailure(t0);
+  b.recordFailure(t0);
+  b.release(t0);  // open: cooldown still governs recovery
+  EXPECT_EQ(b.state(t0), BreakerState::Open);
+  EXPECT_FALSE(b.tryAcquire(t0));
+}
+
 TEST(BreakerBankTest, MaskReflectsPerActionState) {
   BreakerBank bank(4, breakerConfig());
   const auto t0 = BreakerBank::Clock::now();
