@@ -8,6 +8,7 @@
 
 #include "core/environment.h"
 #include "core/oz_sequence.h"
+#include "embed/embed_cache.h"
 #include "embed/embedder.h"
 #include "interp/interpreter.h"
 #include "ir/clone.h"
@@ -85,6 +86,21 @@ void BM_ProgramEmbedding(benchmark::State& state) {
 }
 BENCHMARK(BM_ProgramEmbedding);
 
+void BM_ProgramEmbeddingCached(benchmark::State& state) {
+  // Steady-state cache hit: the cost of re-embedding an unchanged module
+  // (hash the printed form, look it up) vs BM_ProgramEmbedding's full
+  // instruction walk. This is the no-op-step / fault-rollback path of
+  // PhaseOrderEnv with cache_embeddings on.
+  auto m = benchProgram();
+  Embedder e;
+  EmbedCache cache;
+  cache.embed(*m, e);  // warm
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.embed(*m, e).size());
+  }
+}
+BENCHMARK(BM_ProgramEmbeddingCached);
+
 void BM_SizeModel(benchmark::State& state) {
   auto m = benchProgram();
   SizeModel sm(TargetInfo::x86_64());
@@ -140,6 +156,74 @@ void BM_DqnActAndLearn(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DqnActAndLearn);
+
+// --- batched GEMM vs per-sample matVec (the learner's inner loop) ----------
+
+Matrix benchBatchStates(std::size_t n, std::size_t dim) {
+  Rng rng(31);
+  Matrix x(n, dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < dim; ++j) x.at(i, j) = rng.nextDouble(-1, 1);
+  }
+  return x;
+}
+
+void BM_MlpForwardBatchGemm(benchmark::State& state) {
+  Rng rng(7);
+  Mlp net({300, 256, 128, 34}, rng);
+  const Matrix x = benchBatchStates(32, 300);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.forwardBatch(x).data());
+  }
+}
+BENCHMARK(BM_MlpForwardBatchGemm);
+
+void BM_MlpForwardPerSample(benchmark::State& state) {
+  Rng rng(7);
+  Mlp net({300, 256, 128, 34}, rng);
+  const Matrix x = benchBatchStates(32, 300);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      std::vector<double> row(x.data() + i * x.cols(),
+                              x.data() + (i + 1) * x.cols());
+      benchmark::DoNotOptimize(net.forward(row).size());
+    }
+  }
+}
+BENCHMARK(BM_MlpForwardPerSample);
+
+void BM_MlpGradientBatchGemm(benchmark::State& state) {
+  Rng rng(7);
+  Mlp net({300, 256, 128, 34}, rng);
+  const Matrix x = benchBatchStates(32, 300);
+  std::vector<std::size_t> actions(32);
+  std::vector<double> targets(32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    actions[i] = i % 34;
+    targets[i] = 0.1 * static_cast<double>(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.accumulateGradientBatch(x, actions, targets));
+    net.adamStep(1e-4, 32);
+  }
+}
+BENCHMARK(BM_MlpGradientBatchGemm);
+
+void BM_MlpGradientPerSample(benchmark::State& state) {
+  Rng rng(7);
+  Mlp net({300, 256, 128, 34}, rng);
+  const Matrix x = benchBatchStates(32, 300);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      std::vector<double> row(x.data() + i * x.cols(),
+                              x.data() + (i + 1) * x.cols());
+      benchmark::DoNotOptimize(
+          net.accumulateGradient(row, i % 34, 0.1 * static_cast<double>(i)));
+    }
+    net.adamStep(1e-4, 32);
+  }
+}
+BENCHMARK(BM_MlpGradientPerSample);
 
 }  // namespace
 

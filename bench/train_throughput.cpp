@@ -1,0 +1,84 @@
+/// \file train_throughput.cpp
+/// Training-throughput report for the parallel actor–learner pipeline:
+/// trains the same budget over the same generated corpus with 1 and with N
+/// rollout actors and reports env steps/sec plus the speedup, as stable
+/// key=value lines.
+///
+/// Honest-numbers caveat: rollout actors parallelize across hardware
+/// threads, so the speedup ceiling is min(actors, cores). On a single-core
+/// host the multi-actor run measures the pipeline's overhead (snapshotting,
+/// thread spawn/join, shard locking), not its benefit — the report prints
+/// `cores=` so the reader can tell which regime they are looking at.
+///
+/// Usage: train_throughput [steps] [actors]   (defaults: 600 steps, 8)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/trainer.h"
+#include "ir/module.h"
+#include "workloads/generator.h"
+
+using namespace posetrl;
+
+namespace {
+
+double trainSteps(const std::vector<const Module*>& corpus,
+                  std::size_t total_steps, std::size_t actors,
+                  std::size_t* episodes) {
+  TrainConfig cfg;
+  cfg.total_steps = total_steps;
+  cfg.num_actors = actors;
+  cfg.env.episode_length = 10;
+  cfg.agent.epsilon_decay_steps = total_steps;
+  const auto t0 = std::chrono::steady_clock::now();
+  const TrainResult r = trainAgent(corpus, cfg);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (episodes != nullptr) *episodes = r.stats.episodes;
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t steps =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 600;
+  const std::size_t actors =
+      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 8;
+
+  std::vector<std::unique_ptr<Module>> storage;
+  std::vector<const Module*> corpus;
+  for (std::uint64_t seed = 500; seed < 506; ++seed) {
+    ProgramSpec spec;
+    spec.seed = seed;
+    spec.kernels = 3;
+    storage.push_back(generateProgram(spec));
+    corpus.push_back(storage.back().get());
+  }
+
+  std::printf("cores=%u\n", std::thread::hardware_concurrency());
+  std::printf("steps=%zu\n", steps);
+
+  std::size_t seq_episodes = 0;
+  const double seq_s = trainSteps(corpus, steps, 1, &seq_episodes);
+  const double seq_sps = static_cast<double>(steps) / seq_s;
+  std::printf("seq_actors=1\n");
+  std::printf("seq_seconds=%.3f\n", seq_s);
+  std::printf("seq_steps_per_sec=%.1f\n", seq_sps);
+  std::printf("seq_episodes=%zu\n", seq_episodes);
+
+  std::size_t par_episodes = 0;
+  const double par_s = trainSteps(corpus, steps, actors, &par_episodes);
+  const double par_sps = static_cast<double>(steps) / par_s;
+  std::printf("par_actors=%zu\n", actors);
+  std::printf("par_seconds=%.3f\n", par_s);
+  std::printf("par_steps_per_sec=%.1f\n", par_sps);
+  std::printf("par_episodes=%zu\n", par_episodes);
+
+  std::printf("speedup=%.2f\n", par_sps / seq_sps);
+  return 0;
+}

@@ -28,6 +28,9 @@
 ///                        fault-bloat, fault-hang, ...) before running
 /// Training (the module becomes a one-program corpus):
 ///   --train <steps>      train an agent for <steps> env steps, print stats
+///   --train-actors <n>   concurrent rollout actors for --train (default 1;
+///                        >= 2 uses the parallel actor-learner pipeline,
+///                        which does not support --checkpoint/--resume)
 ///   --checkpoint <path>  write crash-safe checkpoints during --train
 ///   --checkpoint-every <n>  checkpoint interval in env steps (default 100)
 ///   --resume <path>      continue --train from a checkpoint file
@@ -98,13 +101,15 @@ int usage(const char* prog) {
                "[--run] [--quiet] [--lint] [--lint-each] [--oracle] "
                "[--json] [--kv] [--sandbox] [--max-ir-growth <f>] "
                "[--verify-actions] [--inject-faults] [--train <steps>] "
-               "[--checkpoint <path>] [--resume <path>]\n"
+               "[--train-actors <n>] [--checkpoint <path>] "
+               "[--resume <path>]\n"
                "       %s --selftest [options]\n",
                prog, prog);
   return 1;
 }
 
-int runTrainingMode(Module& m, std::size_t train_steps, bool inject_faults,
+int runTrainingMode(Module& m, std::size_t train_steps,
+                    std::size_t train_actors, bool inject_faults,
                     bool verify_actions, double max_ir_growth,
                     const std::string& checkpoint,
                     std::size_t checkpoint_every, const std::string& resume,
@@ -126,6 +131,7 @@ int runTrainingMode(Module& m, std::size_t train_steps, bool inject_faults,
   if (max_ir_growth > 0.0) cfg.env.sandbox.max_ir_growth = max_ir_growth;
   cfg.checkpoint_path = checkpoint;
   cfg.checkpoint_every_steps = checkpoint_every;
+  cfg.num_actors = train_actors;
 
   const TrainResult result = resume.empty()
                                  ? trainAgent(corpus, cfg)
@@ -135,6 +141,7 @@ int runTrainingMode(Module& m, std::size_t train_steps, bool inject_faults,
     // One key=value per line: trivially parseable from shell without
     // depending on field order or JSON quoting.
     std::printf("steps=%zu\n", s.steps);
+    std::printf("actors=%zu\n", train_actors);
     std::printf("episodes=%zu\n", s.episodes);
     std::printf("mean_reward=%.6f\n", s.mean_episode_reward);
     std::printf("faults=%zu\n", s.faults);
@@ -179,6 +186,7 @@ int main(int argc, char** argv) {
   bool inject_faults = false;
   double max_ir_growth = 0.0;
   std::size_t train_steps = 0;
+  std::size_t train_actors = 1;
   std::string checkpoint;
   std::size_t checkpoint_every = 100;
   std::string resume;
@@ -219,6 +227,9 @@ int main(int argc, char** argv) {
       inject_faults = true;
     } else if (std::strcmp(a, "--train") == 0) {
       train_steps = static_cast<std::size_t>(std::atoll(nextArg(i)));
+    } else if (std::strcmp(a, "--train-actors") == 0) {
+      train_actors = static_cast<std::size_t>(std::atoll(nextArg(i)));
+      if (train_actors == 0) train_actors = 1;
     } else if (std::strcmp(a, "--checkpoint") == 0) {
       checkpoint = nextArg(i);
     } else if (std::strcmp(a, "--checkpoint-every") == 0) {
@@ -272,9 +283,9 @@ int main(int argc, char** argv) {
   }
 
   if (train_steps > 0) {
-    return runTrainingMode(*m, train_steps, inject_faults, verify_actions,
-                           max_ir_growth, checkpoint, checkpoint_every,
-                           resume, json, kv);
+    return runTrainingMode(*m, train_steps, train_actors, inject_faults,
+                           verify_actions, max_ir_growth, checkpoint,
+                           checkpoint_every, resume, json, kv);
   }
 
   bool failed = false;

@@ -17,6 +17,7 @@ PhaseOrderEnv::PhaseOrderEnv(const Module& program,
       size_model_(TargetInfo::forArch(config.arch)),
       mca_model_(TargetInfo::forArch(config.arch)),
       embedder_(config.embedding),
+      embed_cache_(config.embed_cache),
       quarantine_(actions.size(), config.quarantine_threshold) {
   POSETRL_CHECK(!actions.empty(), "environment needs a non-empty action space");
   base_size_ = size_model_.objectBytes(*pristine_);
@@ -34,7 +35,12 @@ Embedding PhaseOrderEnv::reset() {
   last_cycles_ = est.weighted_cycles;
   last_throughput_ = est.throughput();
   steps_in_episode_ = 0;
-  return embedder_.embedProgram(*working_);
+  return embedWorking();
+}
+
+Embedding PhaseOrderEnv::embedWorking() {
+  if (!config_.cache_embeddings) return embedder_.embedProgram(*working_);
+  return embed_cache_.embed(*working_, embedder_);
 }
 
 SandboxConfig PhaseOrderEnv::effectiveSandboxConfig() const {
@@ -63,7 +69,9 @@ PhaseOrderEnv::StepResult PhaseOrderEnv::step(std::size_t index) {
       }
       ++steps_in_episode_;
       StepResult result;
-      result.state = embedder_.embedProgram(*working_);
+      // The rollback restored the pre-step module bytes, so with caching on
+      // this re-embedding is a guaranteed hit.
+      result.state = embedWorking();
       result.reward = config_.fault_penalty;
       result.done = steps_in_episode_ >= config_.episode_length;
       result.faulted = true;
@@ -106,7 +114,7 @@ PhaseOrderEnv::StepResult PhaseOrderEnv::step(std::size_t index) {
   ++steps_in_episode_;
 
   StepResult result;
-  result.state = embedder_.embedProgram(*working_);
+  result.state = embedWorking();
   result.reward = reward;
   result.done = steps_in_episode_ >= config_.episode_length;
   return result;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/oz_sequence.h"
+#include "embed/embed_cache.h"
 #include "embed/embedder.h"
 #include "faults/fault.h"
 #include "faults/quarantine.h"
@@ -60,6 +61,13 @@ struct EnvConfig {
   double fault_penalty = -1.0;
   /// Faults on the same action before it is quarantined (0 disables).
   std::size_t quarantine_threshold = 2;
+  /// Content-hash embedding cache: steps whose pass sub-sequence left the
+  /// module unchanged (no-op sequences, fault rollbacks) and every reset()
+  /// reuse a previously computed embedding instead of re-running
+  /// embedProgram. Purely a throughput optimization — cached and uncached
+  /// runs are bit-identical (embeddings are deterministic).
+  bool cache_embeddings = true;
+  EmbedCacheConfig embed_cache;
 };
 
 /// Phase-ordering environment over one program.
@@ -106,8 +114,15 @@ class PhaseOrderEnv {
   /// Total contained faults across all episodes on this program.
   std::size_t faultCount() const { return faults_; }
 
+  /// Embedding-cache hit/miss counters (zeros when caching is disabled).
+  const EmbedCacheStats& embedCacheStats() const {
+    return embed_cache_.stats();
+  }
+
  private:
   SandboxConfig effectiveSandboxConfig() const;
+  /// embedProgram of the working module, through the cache when enabled.
+  Embedding embedWorking();
 
   EnvConfig config_;
   const std::vector<SubSequence>* actions_;
@@ -116,6 +131,7 @@ class PhaseOrderEnv {
   SizeModel size_model_;
   McaModel mca_model_;
   Embedder embedder_;
+  EmbedCache embed_cache_;
   ActionQuarantine quarantine_;
   std::size_t faults_ = 0;
   double base_size_ = 0.0;

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "core/parallel_trainer.h"
 #include "faults/checkpoint.h"
 #include "ir/module.h"
 #include "support/error.h"
@@ -25,14 +26,7 @@ TrainResult runTraining(const std::vector<const Module*>& corpus,
 
   // One environment per program, constructed lazily and cached (the action
   // space must match the agent's head count).
-  const std::vector<SubSequence>& actions =
-      config.actions != nullptr
-          ? *config.actions
-          : (config.agent.num_actions == manualSubSequences().size()
-                 ? manualSubSequences()
-                 : odgSubSequences());
-  POSETRL_CHECK(actions.size() == config.agent.num_actions,
-                "agent head count must match the action-space size");
+  const std::vector<SubSequence>& actions = resolveTrainActions(config);
 
   std::vector<std::unique_ptr<PhaseOrderEnv>> envs(corpus.size());
   Rng rng(config.seed);
@@ -175,14 +169,32 @@ TrainResult runTraining(const std::vector<const Module*>& corpus,
 
 }  // namespace
 
+const std::vector<SubSequence>& resolveTrainActions(const TrainConfig& config) {
+  const std::vector<SubSequence>& actions =
+      config.actions != nullptr
+          ? *config.actions
+          : (config.agent.num_actions == manualSubSequences().size()
+                 ? manualSubSequences()
+                 : odgSubSequences());
+  POSETRL_CHECK(actions.size() == config.agent.num_actions,
+                "agent head count must match the action-space size");
+  return actions;
+}
+
 TrainResult trainAgent(const std::vector<const Module*>& corpus,
                        const TrainConfig& config) {
+  if (config.num_actors >= 2) return runParallelTraining(corpus, config);
   return runTraining(corpus, config, nullptr);
 }
 
 TrainResult resumeTraining(const std::vector<const Module*>& corpus,
                            const TrainConfig& config,
                            const std::string& checkpoint_path) {
+  if (config.num_actors >= 2) {
+    raiseError(
+        "resume is not supported with num_actors > 1; checkpoints capture a "
+        "single sequential trajectory");
+  }
   const TrainerCheckpoint ckpt = loadCheckpointFile(checkpoint_path);
   return runTraining(corpus, config, &ckpt);
 }

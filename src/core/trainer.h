@@ -42,6 +42,12 @@ struct TrainConfig {
   /// first episode boundary after every `checkpoint_every_steps` env steps.
   std::string checkpoint_path;
   std::size_t checkpoint_every_steps = 500;
+  /// Concurrent rollout actors. 1 (the default) runs the sequential loop —
+  /// bit-exact with earlier releases and with checkpoint/resume; >= 2
+  /// dispatches to the round-based actor–learner pipeline
+  /// (core/parallel_trainer.h), which is deterministic for a fixed actor
+  /// count but does not support checkpointing.
+  std::size_t num_actors = 1;
 };
 
 /// Summary statistics of a training run.
@@ -69,6 +75,12 @@ struct TrainResult {
 
 TrainResult trainAgent(const std::vector<const Module*>& corpus,
                        const TrainConfig& config);
+
+/// The action space a run over \p config trains on: config.actions when
+/// set, otherwise the manual or ODG sub-sequences matching the agent's head
+/// count. Checks that the head count and action-space size agree. Shared by
+/// the sequential and parallel training loops.
+const std::vector<SubSequence>& resolveTrainActions(const TrainConfig& config);
 
 /// Continues a run from a checkpoint written by trainAgent. The corpus and
 /// config must match the original run; the resumed run replays the exact

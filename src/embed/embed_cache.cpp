@@ -1,0 +1,40 @@
+#include "embed/embed_cache.h"
+
+#include "ir/printer.h"
+#include "support/error.h"
+#include "support/hashing.h"
+
+namespace posetrl {
+
+EmbedCache::EmbedCache(EmbedCacheConfig config) : config_(config) {
+  POSETRL_CHECK(config_.capacity > 0, "embed cache capacity must be positive");
+}
+
+std::uint64_t EmbedCache::moduleHash(const Module& m) {
+  return fnv1a(printModule(m));
+}
+
+const Embedding& EmbedCache::embed(const Module& m, const Embedder& embedder) {
+  const std::uint64_t key = moduleHash(m);
+  if (auto it = index_.find(key); it != index_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);  // mark most recent
+    return it->second->second;
+  }
+  ++stats_.misses;
+  lru_.emplace_front(key, embedder.embedProgram(m));
+  index_[key] = lru_.begin();
+  if (lru_.size() > config_.capacity) {
+    ++stats_.evictions;
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+  return lru_.front().second;
+}
+
+void EmbedCache::clear() {
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace posetrl

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file embed_cache.h
+/// Content-hash cache in front of Embedder::embedProgram. Computing the
+/// 300-dim program embedding walks every instruction through several flow
+/// rounds and dominates PhaseOrderEnv::step; but many steps leave the
+/// module textually unchanged — no-op sub-sequences on already-clean IR,
+/// sandbox rollbacks after contained faults, and every reset() back to the
+/// pristine clone. Those repeats hash to a previously embedded state and
+/// skip embedProgram entirely.
+///
+/// Keying: the FNV-1a hash of the module's canonical printed form. Two
+/// modules that print identically embed identically (the embedder reads
+/// only structure the printer serializes), so collisions require two
+/// *different* printed forms sharing a 64-bit hash — negligible against
+/// the few thousand states one environment visits.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+#include "embed/embedder.h"
+
+namespace posetrl {
+
+class Module;
+
+struct EmbedCacheConfig {
+  /// Retained embeddings (LRU eviction). An episode revisits at most a few
+  /// dozen states, and one 300-dim embedding is 2.4 KB, so small is plenty.
+  std::size_t capacity = 64;
+};
+
+struct EmbedCacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t evictions = 0;
+};
+
+/// LRU cache of program embeddings, keyed by module content hash. Owned by
+/// one PhaseOrderEnv (and thus one rollout actor at a time) — not
+/// internally synchronized.
+class EmbedCache {
+ public:
+  explicit EmbedCache(EmbedCacheConfig config = {});
+
+  /// Stable content hash of \p m (FNV-1a over the canonical print).
+  static std::uint64_t moduleHash(const Module& m);
+
+  /// embedProgram(m) through the cache. The returned reference stays valid
+  /// until the entry is evicted or clear() is called.
+  const Embedding& embed(const Module& m, const Embedder& embedder);
+
+  const EmbedCacheStats& stats() const { return stats_; }
+  std::size_t size() const { return lru_.size(); }
+  void clear();
+
+ private:
+  using Entry = std::pair<std::uint64_t, Embedding>;
+
+  EmbedCacheConfig config_;
+  EmbedCacheStats stats_;
+  std::list<Entry> lru_;  ///< Front = most recently used.
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace posetrl

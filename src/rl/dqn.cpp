@@ -39,11 +39,21 @@ DoubleDqn::DoubleDqn(const DqnConfig& config)
 }
 
 double DoubleDqn::epsilon() const {
-  const double progress = std::min(
-      1.0, static_cast<double>(steps_) /
-               static_cast<double>(config_.epsilon_decay_steps));
+  // Exact endpoints: step 0 is epsilon_start, step epsilon_decay_steps (and
+  // beyond) is epsilon_end — not merely within rounding of them.
+  if (steps_ == 0) return config_.epsilon_start;
+  if (steps_ >= config_.epsilon_decay_steps) return config_.epsilon_end;
+  const double progress = static_cast<double>(steps_) /
+                          static_cast<double>(config_.epsilon_decay_steps);
   return config_.epsilon_start +
          (config_.epsilon_end - config_.epsilon_start) * progress;
+}
+
+std::size_t DoubleDqn::warmupThreshold() const {
+  const std::size_t floor_ = config_.min_replay_size > 0
+                                 ? config_.min_replay_size
+                                 : config_.learn_start;
+  return std::max(floor_, config_.batch_size);
 }
 
 namespace {
@@ -60,16 +70,21 @@ bool anyBlocked(const std::vector<bool>* blocked) {
 
 std::size_t DoubleDqn::act(const std::vector<double>& state, bool explore,
                            const std::vector<bool>* blocked) {
-  const double eps = epsilon();
-  if (explore) ++steps_;
-  if (explore && rng_.nextBool(eps)) {
-    if (!anyBlocked(blocked)) return rng_.nextBelow(config_.num_actions);
-    std::vector<std::size_t> allowed;
-    for (std::size_t i = 0; i < config_.num_actions; ++i) {
-      if (!(*blocked)[i]) allowed.push_back(i);
+  if (explore) {
+    // Count this step before reading ε, so the decay position matches the
+    // step counter: the step that moves the counter to epsilon_decay_steps
+    // draws with exactly epsilon_end. (Reading first lagged the schedule by
+    // one step, and the annealed floor was never actually used.)
+    ++steps_;
+    if (rng_.nextBool(epsilon())) {
+      if (!anyBlocked(blocked)) return rng_.nextBelow(config_.num_actions);
+      std::vector<std::size_t> allowed;
+      for (std::size_t i = 0; i < config_.num_actions; ++i) {
+        if (!(*blocked)[i]) allowed.push_back(i);
+      }
+      POSETRL_CHECK(!allowed.empty(), "all actions blocked");
+      return allowed[rng_.nextBelow(allowed.size())];
     }
-    POSETRL_CHECK(!allowed.empty(), "all actions blocked");
-    return allowed[rng_.nextBelow(allowed.size())];
   }
   return actGreedy(state, blocked);
 }
@@ -94,7 +109,7 @@ std::vector<double> DoubleDqn::qValues(
 
 void DoubleDqn::observe(Transition t) {
   replay_.push(std::move(t));
-  if (replay_.size() < config_.learn_start) return;
+  if (replay_.size() < warmupThreshold()) return;
   if (steps_ % config_.train_every == 0) trainBatch();
   if (updates_ > 0 && updates_ % config_.target_sync_every == 0) {
     target_.copyParametersFrom(online_);
@@ -103,26 +118,77 @@ void DoubleDqn::observe(Transition t) {
 
 void DoubleDqn::trainBatch() {
   const auto batch = replay_.sample(config_.batch_size, rng_);
-  double loss = 0.0;
-  for (const Transition* t : batch) {
-    if (t->use_mc) {
-      // Monte-Carlo target: the observed discounted return to episode end.
-      loss += online_.accumulateGradient(t->state, t->action, t->mc_return);
-      continue;
-    }
-    double target = t->reward;
-    if (!t->done) {
-      // Double DQN: the online net selects the best next action; the
-      // target net evaluates it.
-      const std::size_t best_next = argmax(online_.forward(t->next_state));
-      const std::vector<double> target_q = target_.forward(t->next_state);
-      target += config_.gamma * target_q[best_next];
-    }
-    loss += online_.accumulateGradient(t->state, t->action, target);
+  updateFromBatch(batch);
+}
+
+double DoubleDqn::trainOnBatch(const std::vector<const Transition*>& batch) {
+  POSETRL_CHECK(!batch.empty(), "trainOnBatch on an empty batch");
+  const double loss = updateFromBatch(batch);
+  // The sequential loop syncs from observe(); here the learner owns the
+  // cadence, so sync as soon as the update counter crosses the interval.
+  if (updates_ % config_.target_sync_every == 0) {
+    target_.copyParametersFrom(online_);
   }
-  online_.adamStep(config_.lr, batch.size());
-  last_loss_ = loss / static_cast<double>(batch.size());
+  return loss;
+}
+
+/// One gradient step over \p batch. Batched: the whole minibatch runs as
+/// one GEMM per layer (forward, backward, and the Double-DQN target
+/// forwards) instead of batch_size matVec chains — bit-identical to the
+/// former per-sample loop because Matrix::matMul preserves per-cell
+/// accumulation order.
+double DoubleDqn::updateFromBatch(
+    const std::vector<const Transition*>& batch) {
+  const std::size_t n = batch.size();
+  Matrix states(n, config_.state_dim);
+  std::vector<std::size_t> actions(n);
+  std::vector<double> targets(n, 0.0);
+
+  // Bootstrapped (non-MC, non-terminal) samples need next-state Q-values
+  // from both networks; batch those forwards too.
+  std::vector<std::size_t> boot;  // indices into `batch`
+  boot.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Transition& t = *batch[i];
+    POSETRL_CHECK(t.state.size() == config_.state_dim,
+                  "transition state width mismatch");
+    std::copy(t.state.begin(), t.state.end(),
+              states.data() + i * config_.state_dim);
+    actions[i] = t.action;
+    if (t.use_mc) {
+      targets[i] = t.mc_return;
+    } else {
+      targets[i] = t.reward;
+      if (!t.done) boot.push_back(i);
+    }
+  }
+  if (!boot.empty()) {
+    Matrix next_states(boot.size(), config_.state_dim);
+    for (std::size_t b = 0; b < boot.size(); ++b) {
+      const std::vector<double>& ns = batch[boot[b]]->next_state;
+      POSETRL_CHECK(ns.size() == config_.state_dim,
+                    "transition next-state width mismatch");
+      std::copy(ns.begin(), ns.end(),
+                next_states.data() + b * config_.state_dim);
+    }
+    // Double DQN: the online net selects the best next action; the target
+    // net evaluates it.
+    const Matrix online_q = online_.forwardBatch(next_states);
+    const Matrix target_q = target_.forwardBatch(next_states);
+    for (std::size_t b = 0; b < boot.size(); ++b) {
+      const double* row = online_q.data() + b * online_q.cols();
+      std::size_t best = 0;
+      for (std::size_t a = 1; a < online_q.cols(); ++a) {
+        if (row[a] > row[best]) best = a;
+      }
+      targets[boot[b]] += config_.gamma * target_q.at(b, best);
+    }
+  }
+  const double loss = online_.accumulateGradientBatch(states, actions, targets);
+  online_.adamStep(config_.lr, n);
+  last_loss_ = loss / static_cast<double>(n);
   ++updates_;
+  return last_loss_;
 }
 
 void DoubleDqn::saveModel(std::ostream& os) const { online_.save(os); }
@@ -133,7 +199,11 @@ void DoubleDqn::loadModel(std::istream& is) {
 }
 
 void DoubleDqn::saveCheckpoint(std::ostream& os) const {
-  os << "dqn-ckpt v1 " << steps_ << " " << updates_ << " ";
+  // v2: the ε-schedule reads its position after the step counter advances
+  // (see act()). A v1 checkpoint resumed under v2 semantics would draw
+  // exploration with different ε values and silently diverge from its
+  // original run, so v1 payloads are rejected rather than reinterpreted.
+  os << "dqn-ckpt v2 " << steps_ << " " << updates_ << " ";
   os.precision(17);
   os << last_loss_ << "\n";
   rng_.save(os);
@@ -145,8 +215,11 @@ void DoubleDqn::saveCheckpoint(std::ostream& os) const {
 void DoubleDqn::loadCheckpoint(std::istream& is) {
   std::string tag, version;
   is >> tag >> version >> steps_ >> updates_ >> last_loss_;
-  POSETRL_CHECK(tag == "dqn-ckpt" && version == "v1",
-                "bad DQN checkpoint header");
+  POSETRL_CHECK(tag == "dqn-ckpt", "bad DQN checkpoint header");
+  POSETRL_CHECK(version != "v1",
+                "dqn-ckpt v1 predates the ε-schedule fix and cannot resume "
+                "bit-exactly; restart training to produce a v2 checkpoint");
+  POSETRL_CHECK(version == "v2", "bad DQN checkpoint version: ", version);
   rng_.load(is);
   online_.loadState(is);
   target_.load(is);

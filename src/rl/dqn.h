@@ -31,6 +31,11 @@ struct DqnConfig {
   std::size_t replay_capacity = 20000;
   std::size_t batch_size = 32;
   std::size_t learn_start = 64;   ///< Min transitions before training.
+  /// Replay warmup: no gradient step runs before the buffer holds
+  /// max(min_replay_size, batch_size) transitions (0 defers to
+  /// learn_start), so the first batches never oversample a near-empty
+  /// buffer. See warmupThreshold().
+  std::size_t min_replay_size = 0;
   std::size_t train_every = 4;    ///< The paper's µ.
   std::size_t target_sync_every = 250;
   std::uint64_t seed = 1;
@@ -57,7 +62,10 @@ class DoubleDqn {
   const DqnConfig& config() const { return config_; }
 
   /// ε-greedy action for \p state (advances the exploration schedule when
-  /// \p explore is true). When \p blocked is given, actions with
+  /// \p explore is true). The schedule position includes the current step:
+  /// before any exploration epsilon() is exactly epsilon_start, and the
+  /// explore-step that moves the counter to epsilon_decay_steps draws with
+  /// exactly epsilon_end. When \p blocked is given, actions with
   /// blocked[i] == true are never selected (used by the per-program action
   /// quarantine); at least one action must stay unblocked. With no blocked
   /// actions the RNG stream is identical to the unmasked overload.
@@ -73,6 +81,28 @@ class DoubleDqn {
 
   /// Records a transition and runs a training step when due.
   void observe(Transition t);
+
+  // --- learner surface (parallel actor–learner trainer) -------------------
+  // The parallel trainer's rollout actors explore against read-only policy
+  // snapshots with their own RNG streams, so the agent never sees their
+  // act() calls; the learner drives the agent through these instead. All
+  // three are mutating and follow the external-serialization contract above.
+
+  /// Advances the ε schedule by \p n explore-steps taken by rollout actors.
+  void noteExploreSteps(std::size_t n) { steps_ += n; }
+
+  /// One batched gradient update on \p batch (same math as the internal
+  /// replay-driven step, including the target-network sync cadence).
+  /// Returns the mean absolute TD error of the batch.
+  double trainOnBatch(const std::vector<const Transition*>& batch);
+
+  /// The online network, e.g. to copy as a rollout actor's read-only
+  /// policy snapshot at a sync point.
+  const Mlp& onlineNet() const { return online_; }
+
+  /// Replay warmup threshold: max(batch_size, min_replay_size > 0 ?
+  /// min_replay_size : learn_start). No gradient step runs below it.
+  std::size_t warmupThreshold() const;
 
   double epsilon() const;
   std::size_t stepsTaken() const { return steps_; }
@@ -90,6 +120,7 @@ class DoubleDqn {
 
  private:
   void trainBatch();
+  double updateFromBatch(const std::vector<const Transition*>& batch);
 
   DqnConfig config_;
   Rng rng_;

@@ -25,4 +25,87 @@ std::vector<double> Matrix::matVec(const std::vector<double>& v,
   return out;
 }
 
+namespace {
+
+// Tile sizes for the blocked kernels: one C-row tile plus the streamed
+// A/B panels stay L1/L2-resident at the network sizes the agent uses.
+constexpr std::size_t kBlockK = 64;
+constexpr std::size_t kBlockJ = 256;
+
+}  // namespace
+
+void Matrix::addMatMul(const Matrix& a, bool transpose_a, const Matrix& b,
+                       bool transpose_b) {
+  POSETRL_CHECK(!(transpose_a && transpose_b),
+                "addMatMul: at most one operand may be transposed");
+  const std::size_t m = transpose_a ? a.cols() : a.rows();
+  const std::size_t k = transpose_a ? a.rows() : a.cols();
+  const std::size_t kb = transpose_b ? b.cols() : b.rows();
+  const std::size_t n = transpose_b ? b.rows() : b.cols();
+  POSETRL_CHECK(k == kb, "addMatMul inner dimension mismatch: ", k, " vs ",
+                kb);
+  POSETRL_CHECK(rows_ == m && cols_ == n,
+                "addMatMul output shape mismatch: ", rows_, "x", cols_,
+                " vs ", m, "x", n);
+  const double* pa = a.data();
+  const double* pb = b.data();
+  const std::size_t lda = a.cols();
+  const std::size_t ldb = b.cols();
+  if (!transpose_a && transpose_b) {
+    // C[i][j] += sum_k A[i][k] * B[j][k] — rows dotted with rows; block
+    // over j so a panel of B rows is reused across every row of A.
+    for (std::size_t j0 = 0; j0 < n; j0 += kBlockJ) {
+      const std::size_t j1 = std::min(n, j0 + kBlockJ);
+      for (std::size_t i = 0; i < m; ++i) {
+        const double* arow = pa + i * lda;
+        double* crow = data_.data() + i * cols_;
+        for (std::size_t j = j0; j < j1; ++j) {
+          const double* brow = pb + j * ldb;
+          double acc = 0.0;
+          for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+          crow[j] += acc;
+        }
+      }
+    }
+  } else if (!transpose_a && !transpose_b) {
+    // C[i][j] += sum_k A[i][k] * B[k][j] — ikj order streams B and C rows;
+    // k-blocks run in ascending order so each cell still accumulates its
+    // terms in ascending k.
+    for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
+      const std::size_t k1 = std::min(k, k0 + kBlockK);
+      for (std::size_t i = 0; i < m; ++i) {
+        const double* arow = pa + i * lda;
+        double* crow = data_.data() + i * cols_;
+        for (std::size_t kk = k0; kk < k1; ++kk) {
+          const double av = arow[kk];
+          const double* brow = pb + kk * ldb;
+          for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  } else {
+    // C[i][j] += sum_k A[k][i] * B[k][j] — a sequence of rank-1 updates in
+    // ascending k (the per-sample gradient-accumulation order).
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const double* arow = pa + kk * lda;
+      const double* brow = pb + kk * ldb;
+      for (std::size_t i = 0; i < m; ++i) {
+        const double av = arow[i];
+        if (av == 0.0) continue;  // sparse output-layer grads
+        double* crow = data_.data() + i * cols_;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+Matrix Matrix::matMul(const Matrix& a, bool transpose_a, const Matrix& b,
+                      bool transpose_b) {
+  const std::size_t m = transpose_a ? a.cols() : a.rows();
+  const std::size_t n = transpose_b ? b.rows() : b.cols();
+  Matrix c = Matrix::zeros(m, n);
+  c.addMatMul(a, transpose_a, b, transpose_b);
+  return c;
+}
+
 }  // namespace posetrl

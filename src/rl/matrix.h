@@ -48,6 +48,21 @@ class Matrix {
   std::vector<double> matVec(const std::vector<double>& v,
                              const std::vector<double>* bias) const;
 
+  /// C = op(A) * op(B), where op(X) is X or X^T. Cache-blocked GEMM; the
+  /// batched MLP paths use it so a minibatch costs one GEMM per layer
+  /// instead of batch_size matVec calls. Each output cell accumulates its
+  /// inner-product terms in ascending-k order, so the result is
+  /// bit-identical to the equivalent sequence of matVec calls (the
+  /// single-actor trainer's checkpoint bytes depend on this).
+  /// transpose_a and transpose_b must not both be set.
+  static Matrix matMul(const Matrix& a, bool transpose_a, const Matrix& b,
+                       bool transpose_b);
+
+  /// this += op(A) * op(B) (same contract as matMul). Used for gradient
+  /// accumulation, where the product lands on top of existing gradients.
+  void addMatMul(const Matrix& a, bool transpose_a, const Matrix& b,
+                 bool transpose_b);
+
   void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
 
  private:

@@ -34,6 +34,84 @@ std::vector<double> Mlp::forward(const std::vector<double>& x) const {
   return a;
 }
 
+Matrix Mlp::forwardBatch(const Matrix& x) const {
+  POSETRL_CHECK(x.cols() == sizes_.front(),
+                "forwardBatch input width mismatch: ", x.cols(), " vs ",
+                sizes_.front());
+  Matrix a = x;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    // a (batch x in) * w^T (in x out) + bias broadcast over rows.
+    Matrix next = Matrix::matMul(a, false, layer.w, true);
+    for (std::size_t r = 0; r < next.rows(); ++r) {
+      double* row = next.data() + r * next.cols();
+      for (std::size_t c = 0; c < next.cols(); ++c) row[c] += layer.b[c];
+    }
+    if (l + 1 < layers_.size()) {
+      for (double& v : next.raw()) v = std::max(0.0, v);
+    }
+    a = std::move(next);
+  }
+  return a;
+}
+
+double Mlp::accumulateGradientBatch(const Matrix& x,
+                                    const std::vector<std::size_t>& actions,
+                                    const std::vector<double>& targets) {
+  const std::size_t batch = x.rows();
+  POSETRL_CHECK(actions.size() == batch && targets.size() == batch,
+                "accumulateGradientBatch: batch size mismatch");
+  // Forward, storing the activation matrix of every layer.
+  std::vector<Matrix> acts;
+  acts.reserve(layers_.size() + 1);
+  acts.push_back(x);
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    Matrix next = Matrix::matMul(acts.back(), false, layer.w, true);
+    for (std::size_t r = 0; r < next.rows(); ++r) {
+      double* row = next.data() + r * next.cols();
+      for (std::size_t c = 0; c < next.cols(); ++c) row[c] += layer.b[c];
+    }
+    if (l + 1 < layers_.size()) {
+      for (double& v : next.raw()) v = std::max(0.0, v);
+    }
+    acts.push_back(std::move(next));
+  }
+  const Matrix& q = acts.back();
+  // Output gradient: only the chosen head of each sample is non-zero
+  // (Huber, delta = 1).
+  Matrix grad = Matrix::zeros(batch, q.cols());
+  double loss = 0.0;
+  for (std::size_t s = 0; s < batch; ++s) {
+    POSETRL_CHECK(actions[s] < q.cols(), "action index out of range");
+    const double td = q.at(s, actions[s]) - targets[s];
+    grad.at(s, actions[s]) = std::clamp(td, -1.0, 1.0);
+    loss += std::abs(td);
+  }
+  for (std::size_t li = layers_.size(); li-- > 0;) {
+    Layer& layer = layers_[li];
+    const Matrix& input = acts[li];
+    // dW += grad^T * input; db += column sums of grad, in sample order.
+    layer.gw.addMatMul(grad, true, input, false);
+    for (std::size_t s = 0; s < batch; ++s) {
+      const double* grow = grad.data() + s * grad.cols();
+      for (std::size_t c = 0; c < grad.cols(); ++c) layer.gb[c] += grow[c];
+    }
+    if (li == 0) break;
+    // Propagate: dInput = grad * W, masked by the ReLU of layer li-1.
+    Matrix next = Matrix::matMul(grad, false, layer.w, false);
+    for (std::size_t s = 0; s < batch; ++s) {
+      double* nrow = next.data() + s * next.cols();
+      const double* arow = input.data() + s * input.cols();
+      for (std::size_t c = 0; c < next.cols(); ++c) {
+        if (arow[c] <= 0.0) nrow[c] = 0.0;  // ReLU mask.
+      }
+    }
+    grad = std::move(next);
+  }
+  return loss;
+}
+
 double Mlp::accumulateGradient(const std::vector<double>& x,
                                std::size_t action, double target) {
   // Forward, storing activations.

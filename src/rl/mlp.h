@@ -29,10 +29,26 @@ class Mlp {
   /// thread is mutating the parameters.
   std::vector<double> forward(const std::vector<double>& x) const;
 
+  /// Batched forward: each row of \p x is one input; returns one output row
+  /// per input. One GEMM per layer, and bit-identical per row to forward()
+  /// (Matrix::matMul preserves the matVec accumulation order). Same const
+  /// thread-safety contract as forward().
+  Matrix forwardBatch(const Matrix& x) const;
+
   /// Accumulates gradients for regressing output \p action toward
   /// \p target under Huber loss (delta = 1). Returns the absolute TD error.
   double accumulateGradient(const std::vector<double>& x, std::size_t action,
                             double target);
+
+  /// Batched gradient accumulation: row i of \p x regresses head
+  /// actions[i] toward targets[i]. One GEMM per layer for the weight
+  /// gradients and one for each backpropagated activation gradient, and
+  /// bit-identical to calling accumulateGradient() row by row (every
+  /// gradient cell receives its per-sample terms in the same order).
+  /// Returns the summed absolute TD errors.
+  double accumulateGradientBatch(const Matrix& x,
+                                 const std::vector<std::size_t>& actions,
+                                 const std::vector<double>& targets);
 
   /// Applies one Adam step using the accumulated gradients (averaged over
   /// \p batch_size) and clears them.

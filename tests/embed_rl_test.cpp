@@ -6,14 +6,17 @@
 #include <cmath>
 #include <sstream>
 
+#include "embed/embed_cache.h"
 #include "embed/embedder.h"
 #include "ir/module.h"
 #include "ir/parser.h"
+#include "ir/printer.h"
 #include "passes/pass.h"
 #include "rl/dqn.h"
 #include "rl/matrix.h"
 #include "rl/mlp.h"
 #include "rl/replay_buffer.h"
+#include "support/error.h"
 #include "workloads/generator.h"
 
 namespace posetrl {
@@ -90,6 +93,127 @@ TEST(MatrixTest, MatVec) {
   EXPECT_DOUBLE_EQ(out[1], 35.0);
 }
 
+// Naive O(n^3) reference for the blocked GEMM kernels.
+Matrix naiveMatMul(const Matrix& a, bool ta, const Matrix& b, bool tb) {
+  const std::size_t m = ta ? a.cols() : a.rows();
+  const std::size_t k = ta ? a.rows() : a.cols();
+  const std::size_t n = tb ? b.rows() : b.cols();
+  Matrix c(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const double av = ta ? a.at(kk, i) : a.at(i, kk);
+        const double bv = tb ? b.at(j, kk) : b.at(kk, j);
+        acc += av * bv;
+      }
+      c.at(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+Matrix randomMatrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      m.at(i, j) = rng.nextDouble(-1.0, 1.0);
+    }
+  }
+  return m;
+}
+
+TEST(MatrixTest, MatMulMatchesNaiveInAllTransposeModes) {
+  Rng rng(42);
+  // Dimensions straddle the blocking factors (kBlockK=64, kBlockJ=256) so
+  // every kernel exercises both full and partial blocks.
+  const Matrix a = randomMatrix(7, 70, rng);
+  const Matrix b_nn = randomMatrix(70, 300, rng);
+  const Matrix b_nt = randomMatrix(300, 70, rng);
+  const Matrix a_tn = randomMatrix(70, 7, rng);
+
+  const Matrix nn = Matrix::matMul(a, false, b_nn, false);
+  const Matrix nt = Matrix::matMul(a, false, b_nt, true);
+  const Matrix tn = Matrix::matMul(a_tn, true, b_nn, false);
+
+  const Matrix nn_ref = naiveMatMul(a, false, b_nn, false);
+  const Matrix nt_ref = naiveMatMul(a, false, b_nt, true);
+  const Matrix tn_ref = naiveMatMul(a_tn, true, b_nn, false);
+
+  for (std::size_t i = 0; i < nn.rows(); ++i) {
+    for (std::size_t j = 0; j < nn.cols(); ++j) {
+      EXPECT_NEAR(nn.at(i, j), nn_ref.at(i, j), 1e-12);
+    }
+  }
+  for (std::size_t i = 0; i < nt.rows(); ++i) {
+    for (std::size_t j = 0; j < nt.cols(); ++j) {
+      EXPECT_NEAR(nt.at(i, j), nt_ref.at(i, j), 1e-12);
+    }
+  }
+  for (std::size_t i = 0; i < tn.rows(); ++i) {
+    for (std::size_t j = 0; j < tn.cols(); ++j) {
+      EXPECT_NEAR(tn.at(i, j), tn_ref.at(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(MlpTest, ForwardBatchBitIdenticalToForward) {
+  Rng rng(17);
+  Mlp net({10, 24, 5}, rng);
+  const std::size_t n = 9;
+  Matrix x(n, 10);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < 10; ++j) {
+      x.at(i, j) = rng.nextDouble(-2.0, 2.0);
+    }
+  }
+  const Matrix batch = net.forwardBatch(x);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> row(x.data() + i * 10, x.data() + (i + 1) * 10);
+    const std::vector<double> single = net.forward(row);
+    ASSERT_EQ(single.size(), batch.cols());
+    for (std::size_t j = 0; j < single.size(); ++j) {
+      // Bitwise, not approximate: the GEMM preserves accumulation order.
+      EXPECT_EQ(batch.at(i, j), single[j]) << "row " << i << " col " << j;
+    }
+  }
+}
+
+TEST(MlpTest, AccumulateGradientBatchBitIdenticalToPerSample) {
+  // Two identically initialized networks, one trained with the batched
+  // GEMM path and one with the per-sample loop, must stay bit-identical
+  // through several Adam steps — this is what makes num_actors=1 training
+  // reproduce pre-GEMM checkpoints exactly.
+  Rng init_a(23);
+  Rng init_b(23);
+  Mlp a({8, 16, 4}, init_a);
+  Mlp b({8, 16, 4}, init_b);
+
+  Rng data(99);
+  for (int iter = 0; iter < 5; ++iter) {
+    const std::size_t n = 6;
+    Matrix x(n, 8);
+    std::vector<std::size_t> actions(n);
+    std::vector<double> targets(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < 8; ++j) x.at(i, j) = data.nextDouble(-1, 1);
+      actions[i] = i % 4;
+      targets[i] = data.nextDouble(-3, 3);
+    }
+    double loss_a = a.accumulateGradientBatch(x, actions, targets);
+    double loss_b = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<double> row(x.data() + i * 8, x.data() + (i + 1) * 8);
+      loss_b += b.accumulateGradient(row, actions[i], targets[i]);
+    }
+    EXPECT_EQ(loss_a, loss_b);
+    a.adamStep(1e-3, n);
+    b.adamStep(1e-3, n);
+  }
+  const std::vector<double> probe{0.3, -0.1, 0.7, 0.2, -0.9, 0.5, 0.0, 1.0};
+  EXPECT_EQ(a.forward(probe), b.forward(probe));
+}
+
 TEST(MlpTest, LearnsSimpleRegression) {
   // Regress head 0 toward 2*x0 + 1 on a few fixed points.
   Rng rng(3);
@@ -135,6 +259,179 @@ TEST(ReplayTest, RingBufferEviction) {
   }
 }
 
+TEST(ReplayTest, WrapsAtExactlyCapacityPushes) {
+  ReplayBuffer buf(5);
+  for (int i = 0; i < 5; ++i) {
+    Transition t;
+    t.reward = i;
+    buf.push(std::move(t));
+  }
+  // Exactly capacity pushes: nothing evicted yet, all five rewards present.
+  EXPECT_EQ(buf.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(buf.at(i).reward, static_cast<double>(i));
+  }
+  // The very next push overwrites slot 0 (the oldest entry).
+  Transition t;
+  t.reward = 100.0;
+  buf.push(std::move(t));
+  EXPECT_EQ(buf.size(), 5u);
+  EXPECT_DOUBLE_EQ(buf.at(0).reward, 100.0);
+  EXPECT_DOUBLE_EQ(buf.at(1).reward, 1.0);
+}
+
+TEST(ReplayTest, SaveLoadRoundTripsMidRingCursor) {
+  ReplayBuffer a(4);
+  for (int i = 0; i < 6; ++i) {  // next_ ends mid-ring (slot 2)
+    Transition t;
+    t.reward = i;
+    t.state = {0.5 * i};
+    t.action = static_cast<std::size_t>(i);
+    t.done = i % 2 == 0;
+    t.mc_return = 2.0 * i;
+    t.use_mc = true;
+    a.push(std::move(t));
+  }
+  std::stringstream ss;
+  a.save(ss);
+  ReplayBuffer b(4);
+  b.load(ss);
+  ASSERT_EQ(b.size(), a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(b.at(i).reward, a.at(i).reward);
+    EXPECT_EQ(b.at(i).state, a.at(i).state);
+    EXPECT_EQ(b.at(i).action, a.at(i).action);
+    EXPECT_EQ(b.at(i).done, a.at(i).done);
+    EXPECT_EQ(b.at(i).mc_return, a.at(i).mc_return);
+  }
+  // The restored cursor must continue the ring from the same slot: the next
+  // push lands where a's seventh push would have (slot 2).
+  Transition t;
+  t.reward = 50.0;
+  b.push(std::move(t));
+  EXPECT_DOUBLE_EQ(b.at(2).reward, 50.0);
+}
+
+TEST(ReplayTest, LoadRejectsCapacityMismatch) {
+  ReplayBuffer a(4);
+  Transition t;
+  t.reward = 1.0;
+  a.push(std::move(t));
+  std::stringstream ss;
+  a.save(ss);
+  ReplayBuffer b(8);
+  EXPECT_THROW(b.load(ss), FatalError);
+}
+
+TEST(ReplayTest, EmptySampleRaisesRecoverableError) {
+  ReplayBuffer buf(4);
+  Rng rng(1);
+  EXPECT_THROW(buf.sample(8, rng), FatalError);
+}
+
+TEST(ShardedReplayTest, ShardsFillIndependentlyAndSampleAcrossAll) {
+  ShardedReplayBuffer buf(3, 8);
+  for (std::size_t shard = 0; shard < 3; ++shard) {
+    std::vector<Transition> episode(2 + shard);
+    for (std::size_t i = 0; i < episode.size(); ++i) {
+      episode[i].reward = 10.0 * shard + i;
+    }
+    buf.pushEpisode(shard, std::move(episode));
+  }
+  EXPECT_EQ(buf.shardSize(0), 2u);
+  EXPECT_EQ(buf.shardSize(1), 3u);
+  EXPECT_EQ(buf.shardSize(2), 4u);
+  EXPECT_EQ(buf.size(), 9u);
+  Rng rng(5);
+  bool saw_last_shard = false;
+  for (const Transition* t : buf.sample(256, rng)) {
+    ASSERT_NE(t, nullptr);
+    if (t->reward >= 20.0) saw_last_shard = true;
+  }
+  EXPECT_TRUE(saw_last_shard) << "sampling must reach every shard";
+}
+
+TEST(ShardedReplayTest, SamplingDeterministicGivenShardContents) {
+  // Identical shard contents (however the pushes were scheduled) plus an
+  // identical RNG must yield identical samples — the learner's determinism
+  // hinges on it.
+  const auto fill = [](ShardedReplayBuffer& buf) {
+    for (std::size_t shard = 0; shard < 2; ++shard) {
+      std::vector<Transition> episode(3);
+      for (std::size_t i = 0; i < 3; ++i) {
+        episode[i].reward = 5.0 * shard + i;
+      }
+      buf.pushEpisode(shard, std::move(episode));
+    }
+  };
+  ShardedReplayBuffer a(2, 4);
+  ShardedReplayBuffer b(2, 4);
+  fill(a);
+  fill(b);
+  Rng ra(9);
+  Rng rb(9);
+  const auto sa = a.sample(32, ra);
+  const auto sb = b.sample(32, rb);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i]->reward, sb[i]->reward);
+  }
+}
+
+TEST(ShardedReplayTest, EmptySampleRaisesRecoverableError) {
+  ShardedReplayBuffer buf(4, 8);
+  Rng rng(1);
+  EXPECT_THROW(buf.sample(4, rng), FatalError);
+}
+
+TEST(EmbedCacheTest, HitsOnRepeatedContentAndCountsStats) {
+  ProgramSpec spec;
+  spec.seed = 7;
+  auto m = generateProgram(spec);
+  Embedder e;
+  EmbedCache cache;
+  const Embedding first = cache.embed(*m, e);
+  const Embedding second = cache.embed(*m, e);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first, e.embedProgram(*m));
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(EmbedCacheTest, ModuleHashTracksContentNotIdentity) {
+  ProgramSpec spec;
+  spec.seed = 8;
+  auto m1 = generateProgram(spec);
+  auto m2 = generateProgram(spec);  // distinct object, identical print
+  EXPECT_EQ(EmbedCache::moduleHash(*m1), EmbedCache::moduleHash(*m2));
+  const std::uint64_t before = EmbedCache::moduleHash(*m1);
+  runPassSequence(*m1, parsePassSequence("-mem2reg -instcombine"));
+  EXPECT_NE(printModule(*m1), printModule(*m2));
+  EXPECT_NE(EmbedCache::moduleHash(*m1), before);
+}
+
+TEST(EmbedCacheTest, EvictsLeastRecentlyUsed) {
+  EmbedCacheConfig cfg;
+  cfg.capacity = 2;
+  EmbedCache cache(cfg);
+  Embedder e;
+  std::vector<std::unique_ptr<Module>> programs;
+  for (std::uint64_t seed = 60; seed < 63; ++seed) {
+    ProgramSpec spec;
+    spec.seed = seed;
+    programs.push_back(generateProgram(spec));
+  }
+  cache.embed(*programs[0], e);
+  cache.embed(*programs[1], e);
+  cache.embed(*programs[2], e);  // evicts programs[0]
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  cache.embed(*programs[0], e);  // miss again
+  EXPECT_EQ(cache.stats().misses, 4u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
 TEST(DqnTest, EpsilonAnneals) {
   DqnConfig cfg;
   cfg.state_dim = 4;
@@ -146,6 +443,114 @@ TEST(DqnTest, EpsilonAnneals) {
   const std::vector<double> s{0, 0, 0, 0};
   for (int i = 0; i < 200; ++i) agent.act(s, /*explore=*/true);
   EXPECT_NEAR(agent.epsilon(), 0.01, 1e-9);
+}
+
+TEST(DqnTest, EpsilonEndpointsAreExact) {
+  DqnConfig cfg;
+  cfg.state_dim = 4;
+  cfg.num_actions = 3;
+  cfg.hidden = {8};
+  cfg.epsilon_start = 1.0;
+  cfg.epsilon_end = 0.01;
+  cfg.epsilon_decay_steps = 100;
+  DoubleDqn agent(cfg);
+  const std::vector<double> s{0, 0, 0, 0};
+
+  // Before any exploration the schedule sits exactly at epsilon_start.
+  EXPECT_EQ(agent.epsilon(), 1.0);
+  EXPECT_EQ(agent.stepsTaken(), 0u);
+
+  // Greedy calls must not advance the schedule.
+  agent.act(s, /*explore=*/false);
+  EXPECT_EQ(agent.stepsTaken(), 0u);
+  EXPECT_EQ(agent.epsilon(), 1.0);
+
+  // Halfway through the decay the schedule is exactly the midpoint.
+  for (int i = 0; i < 50; ++i) agent.act(s, /*explore=*/true);
+  EXPECT_EQ(agent.stepsTaken(), 50u);
+  EXPECT_DOUBLE_EQ(agent.epsilon(), 1.0 + (0.01 - 1.0) * 0.5);
+
+  // The explore-step that lands the counter on epsilon_decay_steps reaches
+  // exactly epsilon_end — not within rounding of it — and it stays there.
+  for (int i = 0; i < 50; ++i) agent.act(s, /*explore=*/true);
+  EXPECT_EQ(agent.stepsTaken(), 100u);
+  EXPECT_EQ(agent.epsilon(), 0.01);
+  agent.act(s, /*explore=*/true);
+  EXPECT_EQ(agent.epsilon(), 0.01);
+}
+
+TEST(DqnTest, NoUpdatesBeforeReplayWarmup) {
+  DqnConfig cfg;
+  cfg.state_dim = 3;
+  cfg.num_actions = 2;
+  cfg.hidden = {4};
+  cfg.batch_size = 4;
+  cfg.learn_start = 8;
+  cfg.train_every = 1;
+  DoubleDqn agent(cfg);
+  EXPECT_EQ(agent.warmupThreshold(), 8u);
+
+  const auto feed = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      Transition t;
+      t.state = {0.1, 0.2, 0.3};
+      t.action = i % 2;
+      t.reward = 0.5;
+      t.next_state = t.state;
+      t.done = false;
+      agent.act(t.state, /*explore=*/true);
+      agent.observe(std::move(t));
+    }
+  };
+  feed(7);
+  EXPECT_EQ(agent.trainingUpdates(), 0u) << "trained below warmup";
+  feed(2);
+  EXPECT_GT(agent.trainingUpdates(), 0u) << "warmup met, must train";
+}
+
+TEST(DqnTest, MinReplaySizeRaisesWarmupAboveLearnStart) {
+  DqnConfig cfg;
+  cfg.state_dim = 3;
+  cfg.num_actions = 2;
+  cfg.hidden = {4};
+  cfg.batch_size = 4;
+  cfg.learn_start = 8;
+  cfg.min_replay_size = 20;
+  cfg.train_every = 1;
+  DoubleDqn agent(cfg);
+  EXPECT_EQ(agent.warmupThreshold(), 20u);
+  for (int i = 0; i < 19; ++i) {
+    Transition t;
+    t.state = {0.0, 1.0, 0.0};
+    t.action = 0;
+    t.next_state = t.state;
+    agent.act(t.state, /*explore=*/true);
+    agent.observe(std::move(t));
+  }
+  EXPECT_EQ(agent.trainingUpdates(), 0u);
+  // Warmup never falls below batch_size even if configured smaller.
+  DqnConfig tiny = cfg;
+  tiny.min_replay_size = 2;
+  EXPECT_EQ(DoubleDqn(tiny).warmupThreshold(), 4u);
+}
+
+TEST(DqnTest, CheckpointRejectsV1Payloads) {
+  DqnConfig cfg;
+  cfg.state_dim = 3;
+  cfg.num_actions = 2;
+  cfg.hidden = {4};
+  DoubleDqn a(cfg);
+  std::stringstream ss;
+  a.saveCheckpoint(ss);
+  std::string payload = ss.str();
+  ASSERT_NE(payload.find("dqn-ckpt v2"), std::string::npos);
+  payload.replace(payload.find("v2"), 2, "v1");
+  // A v1 checkpoint predates the ε-schedule fix: loading must fail loudly
+  // (recoverably) instead of resuming a silently diverging run.
+  DoubleDqn b(cfg);
+  std::istringstream is(payload);
+  ScopedFaultTrap trap;
+  EXPECT_THROW(b.loadCheckpoint(is), FatalError);
 }
 
 TEST(DqnTest, SolvesChainMdp) {

@@ -81,6 +81,34 @@ else
   echo "ok   fault smoke (faults=$faults quarantined=$quarantined, run survived)"
 fi
 
+echo "== parallel training smoke =="
+# Train with 4 concurrent rollout actors and injected faults: the run must
+# complete its exact step budget, contain faults whose per-kind counts sum to
+# the total, and — run twice — produce byte-identical reports (the parallel
+# pipeline is deterministic for a fixed actor count).
+PAR1="$("$OPT" --selftest --train 300 --train-actors 4 --inject-faults --quiet --kv)"
+PAR2="$("$OPT" --selftest --train 300 --train-actors 4 --inject-faults --quiet --kv)"
+echo "$PAR1"
+par_steps="$(kv "$PAR1" steps)"
+par_faults="$(kv "$PAR1" faults)"
+par_kind_sum="$(grep '^fault_' <<<"$PAR1" | awk -F= '{s+=$2} END {print s+0}')"
+if [[ "$par_steps" != "300" ]]; then
+  echo "FAIL parallel smoke: expected exactly 300 steps, got '$par_steps'"
+  status=1
+elif [[ "$par_faults" == "missing" || "$par_faults" -eq 0 ]]; then
+  echo "FAIL parallel smoke: expected contained faults, got '$par_faults'"
+  status=1
+elif [[ "$par_kind_sum" -ne "$par_faults" ]]; then
+  echo "FAIL parallel smoke: fault_* sum $par_kind_sum != faults $par_faults"
+  status=1
+elif [[ "$PAR1" != "$PAR2" ]]; then
+  echo "FAIL parallel smoke: two identical runs produced different reports"
+  diff <(echo "$PAR1") <(echo "$PAR2") || true
+  status=1
+else
+  echo "ok   parallel smoke (steps=300 actors=4 faults=$par_faults, deterministic)"
+fi
+
 echo "== serve smoke =="
 # Concurrent serving with injected faults and a barely-trained agent (so the
 # greedy policy still picks faulting actions, exercising retries and
@@ -116,7 +144,7 @@ if [[ $TSAN -eq 1 ]]; then
   echo "== serve stress under ThreadSanitizer =="
   TSAN_BUILD="${BUILD}-tsan"
   cmake -B "$TSAN_BUILD" -S "$ROOT" -DPOSETRL_SANITIZE=thread >/dev/null
-  cmake --build "$TSAN_BUILD" -j"$(nproc)" --target serve_driver
+  cmake --build "$TSAN_BUILD" -j"$(nproc)" --target serve_driver opt_driver
   # Two profiles: tight randomized deadlines (reaper + deadline paths) and
   # generous ones (full rollout + -Oz rung), both with injected faults.
   # halt_on_error makes any reported race fail the gate via the exit code.
@@ -131,6 +159,19 @@ if [[ $TSAN -eq 1 ]]; then
       status=1
     fi
   done
+
+  echo "== parallel training under ThreadSanitizer =="
+  # Multi-actor rollouts with injected faults: actors share the policy
+  # snapshot, the pass registry, and the sharded replay buffer — any data
+  # race TSan finds fails the gate via the exit code.
+  if TSAN_OPTIONS="halt_on_error=1" "$TSAN_BUILD/examples/opt_driver" \
+      --selftest --train 300 --train-actors 4 --inject-faults --quiet --kv \
+      > /dev/null; then
+    echo "ok   tsan parallel training (300 steps, 4 actors)"
+  else
+    echo "FAIL tsan parallel training"
+    status=1
+  fi
 fi
 
 if [[ $status -eq 0 ]]; then
