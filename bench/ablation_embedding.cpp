@@ -19,6 +19,7 @@ namespace {
 struct Variant {
   int dim;
   int flow_rounds;
+  bool static_features;
   const char* label;
 };
 
@@ -31,10 +32,11 @@ int main() {
               budget);
 
   const Variant variants[] = {
-      {300, 2, "paper (300-dim, flow-aware)"},
-      {300, 0, "300-dim, no flow refinement"},
-      {64, 2, "64-dim, flow-aware"},
-      {16, 2, "16-dim, flow-aware"},
+      {300, 2, false, "paper (300-dim, flow-aware)"},
+      {300, 0, false, "300-dim, no flow refinement"},
+      {64, 2, false, "64-dim, flow-aware"},
+      {16, 2, false, "16-dim, flow-aware"},
+      {0, 0, true, "static features (40-dim AutoPhase-style)"},
   };
 
   const SuiteSpec corpus_spec = trainingCorpus(130);
@@ -49,10 +51,14 @@ int main() {
   table.addRow({"state representation", "SPEC-2017 avg %", "SPEC-2017 max %"});
   for (const Variant& v : variants) {
     TrainConfig cfg;
-    cfg.env.embedding.dim = v.dim;
-    cfg.env.embedding.flow_rounds = v.flow_rounds;
+    if (v.static_features) {
+      cfg.env.state_kind = StateKind::StaticFeatures;
+    } else {
+      cfg.env.embedding.dim = v.dim;
+      cfg.env.embedding.flow_rounds = v.flow_rounds;
+    }
     cfg.env.episode_length = kEpisodeLength;
-    cfg.agent.state_dim = static_cast<std::size_t>(v.dim);
+    cfg.agent.state_dim = cfg.env.stateDim();
     cfg.agent.num_actions = odgSubSequences().size();
     cfg.agent.seed = 29;
     cfg.agent.epsilon_decay_steps = budget / 2;

@@ -1,0 +1,152 @@
+/// \file perf_report.cpp
+/// Machine-readable performance snapshot, printed as stable key=value lines.
+/// tools/check.sh --bench converts the output into BENCH_<commit>.json so
+/// successive commits carry comparable numbers. Four headline metrics:
+///   train_steps_per_sec    RL training throughput with the default-on
+///                          per-pass verifier + contract checker (plus the
+///                          unchecked rate and the overhead percentage, the
+///                          <10% regression budget of the analysis PR);
+///   verifier_ns_per_instr  cold structural-verification cost per IR
+///                          instruction (analysis/fast_verifier.h);
+///   analysis_cache_hit_rate fraction of dataflow-analysis queries served
+///                          from the hash-validated cache during training;
+///   gemm_gflops            dense matMul throughput of the DQN's batched
+///                          update path (rl/matrix.h).
+///
+/// Usage: perf_report [train_steps]   (default: 400)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "analysis/analysis_manager.h"
+#include "analysis/fast_verifier.h"
+#include "core/trainer.h"
+#include "ir/module.h"
+#include "rl/matrix.h"
+#include "support/rng.h"
+#include "workloads/generator.h"
+
+using namespace posetrl;
+
+namespace {
+
+double seconds(std::chrono::steady_clock::time_point t0,
+               std::chrono::steady_clock::time_point t1) {
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// One timed training run over \p corpus; \p checks toggles the per-pass
+/// verifier and contract checker together. Returns steps/sec.
+double trainRateOnce(const std::vector<const Module*>& corpus,
+                     std::size_t steps, bool checks,
+                     AnalysisCacheStats* analysis) {
+  TrainConfig cfg;
+  cfg.total_steps = steps;
+  cfg.env.episode_length = 10;
+  cfg.env.verify_actions = checks;
+  cfg.env.check_contracts = checks;
+  cfg.agent.epsilon_decay_steps = steps;
+  const auto t0 = std::chrono::steady_clock::now();
+  const TrainResult r = trainAgent(corpus, cfg);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (analysis != nullptr) *analysis = r.stats.analysis;
+  return static_cast<double>(r.stats.steps) / seconds(t0, t1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t steps =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 400;
+
+  std::vector<std::unique_ptr<Module>> storage;
+  std::vector<const Module*> corpus;
+  for (std::uint64_t seed = 700; seed < 704; ++seed) {
+    ProgramSpec spec;
+    spec.seed = seed;
+    spec.kernels = 3;
+    storage.push_back(generateProgram(spec));
+    corpus.push_back(storage.back().get());
+  }
+
+  std::printf("cores=%u\n", std::thread::hardware_concurrency());
+  std::printf("train_steps=%zu\n", steps);
+
+  // Training throughput, checked (default config) vs unchecked. The two
+  // configurations run interleaved for five rounds, taking the fastest of
+  // each: training is deterministic, so the fastest run is the least
+  // noise-contaminated estimate (min-time estimator), and interleaving
+  // keeps slow drift on a shared box from landing entirely on one side of
+  // the comparison.
+  AnalysisCacheStats analysis;
+  double checked_sps = 0.0;
+  double unchecked_sps = 0.0;
+  for (int round = 0; round < 5; ++round) {
+    const double c = trainRateOnce(corpus, steps, true, &analysis);
+    const double u = trainRateOnce(corpus, steps, false, nullptr);
+    if (c > checked_sps) checked_sps = c;
+    if (u > unchecked_sps) unchecked_sps = u;
+  }
+  const double overhead_pct =
+      unchecked_sps > 0.0
+          ? 100.0 * (unchecked_sps - checked_sps) / unchecked_sps
+          : 0.0;
+  std::printf("train_steps_per_sec=%.2f\n", checked_sps);
+  std::printf("train_steps_per_sec_unchecked=%.2f\n", unchecked_sps);
+  std::printf("verify_overhead_pct=%.2f\n", overhead_pct);
+  std::printf("analysis_cache_hit_rate=%.4f\n", analysis.hitRate());
+  std::printf("analysis_queries=%zu\n", analysis.hits + analysis.misses);
+  std::printf("contract_checks=%zu\n", analysis.contract_checks);
+  std::printf("contract_violations=%zu\n", analysis.contract_violations);
+
+  // Cold structural verification cost per instruction: a fresh FastVerifier
+  // per round, so the clean-hash skip never fires and every instruction is
+  // actually walked.
+  {
+    ProgramSpec spec;
+    spec.seed = 808;
+    spec.kernels = 8;
+    auto m = generateProgram(spec);
+    AnalysisManager am;
+    std::size_t walked = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int round = 0; round < 50; ++round) {
+      FastVerifier fv;
+      if (!fv.verify(*m, am).ok()) {
+        std::fprintf(stderr, "perf_report: generated module failed verify\n");
+        return 1;
+      }
+      walked += fv.instructionsChecked();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    std::printf("verifier_instructions=%zu\n", walked);
+    std::printf("verifier_ns_per_instr=%.1f\n",
+                seconds(t0, t1) * 1e9 / static_cast<double>(walked));
+  }
+
+  // Dense GEMM throughput on DQN-shaped operands (batch x state_dim times
+  // state_dim x hidden).
+  {
+    const std::size_t m = 256, k = 300, n = 256;
+    Rng rng(99);
+    const Matrix a = Matrix::randomInit(m, k, rng);
+    const Matrix b = Matrix::randomInit(k, n, rng);
+    Matrix c = Matrix::zeros(m, n);
+    const int reps = 20;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < reps; ++i) {
+      c.addMatMul(a, false, b, false);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const double flops = 2.0 * static_cast<double>(m * n * k) * reps;
+    std::printf("gemm_m=%zu\ngemm_k=%zu\ngemm_n=%zu\n", m, k, n);
+    std::printf("gemm_gflops=%.2f\n", flops / seconds(t0, t1) / 1e9);
+    // Keep the result alive so the loop cannot be optimized out.
+    if (c.at(0, 0) == 12345.6789) std::printf("unlikely=1\n");
+  }
+  return 0;
+}

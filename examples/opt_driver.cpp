@@ -23,11 +23,18 @@
 ///   --sandbox            apply the passes under snapshot/rollback; a fault
 ///                        prints a FaultReport and exits non-zero
 ///   --max-ir-growth <f>  IR-growth cap for the sandbox (implies --sandbox)
-///   --verify-actions     force per-pass verification even in release builds
+///   --verify             per-pass fast verification + pass-contract checks
+///                        (--verify-actions is an accepted alias); this is
+///                        already the default for sandboxed runs — the flag
+///                        exists to force it where a config turned it off
 ///   --inject-faults      register the fault-injection passes (fault-throw,
 ///                        fault-bloat, fault-hang, ...) before running
 /// Training (the module becomes a one-program corpus):
 ///   --train <steps>      train an agent for <steps> env steps, print stats
+///   --features <kind>    agent state representation: "embedding" (default,
+///                        IR2Vec-style 300-dim) or "static" (the 40-dim
+///                        AutoPhase-style feature vector backed by the
+///                        cached analyses; see DESIGN.md "Static analysis")
 ///   --train-actors <n>   concurrent rollout actors for --train (default 1;
 ///                        >= 2 uses the parallel actor-learner pipeline,
 ///                        which does not support --checkpoint/--resume)
@@ -100,9 +107,9 @@ int usage(const char* prog) {
                "usage: %s <file.mir> [-Oz | -O3 | -pass ...] "
                "[--run] [--quiet] [--lint] [--lint-each] [--oracle] "
                "[--json] [--kv] [--sandbox] [--max-ir-growth <f>] "
-               "[--verify-actions] [--inject-faults] [--train <steps>] "
-               "[--train-actors <n>] [--checkpoint <path>] "
-               "[--resume <path>]\n"
+               "[--verify] [--inject-faults] [--train <steps>] "
+               "[--features <static|embedding>] [--train-actors <n>] "
+               "[--checkpoint <path>] [--resume <path>]\n"
                "       %s --selftest [options]\n",
                prog, prog);
   return 1;
@@ -110,8 +117,8 @@ int usage(const char* prog) {
 
 int runTrainingMode(Module& m, std::size_t train_steps,
                     std::size_t train_actors, bool inject_faults,
-                    bool verify_actions, double max_ir_growth,
-                    const std::string& checkpoint,
+                    bool verify_actions, bool static_features,
+                    double max_ir_growth, const std::string& checkpoint,
                     std::size_t checkpoint_every, const std::string& resume,
                     bool json, bool kv) {
   std::vector<const Module*> corpus{&m};
@@ -128,6 +135,9 @@ int runTrainingMode(Module& m, std::size_t train_steps,
   cfg.actions = &actions;
   cfg.agent.num_actions = actions.size();
   cfg.env.verify_actions = cfg.env.verify_actions || verify_actions;
+  if (static_features) cfg.env.state_kind = StateKind::StaticFeatures;
+  // The agent's input width must track the state representation.
+  cfg.agent.state_dim = cfg.env.stateDim();
   if (max_ir_growth > 0.0) cfg.env.sandbox.max_ir_growth = max_ir_growth;
   cfg.checkpoint_path = checkpoint;
   cfg.checkpoint_every_steps = checkpoint_every;
@@ -142,11 +152,21 @@ int runTrainingMode(Module& m, std::size_t train_steps,
     // depending on field order or JSON quoting.
     std::printf("steps=%zu\n", s.steps);
     std::printf("actors=%zu\n", train_actors);
+    std::printf("features=%s\n", static_features ? "static" : "embedding");
+    std::printf("state_dim=%zu\n", cfg.env.stateDim());
     std::printf("episodes=%zu\n", s.episodes);
     std::printf("mean_reward=%.6f\n", s.mean_episode_reward);
     std::printf("faults=%zu\n", s.faults);
     std::printf("quarantined=%zu\n", s.quarantined_actions);
     std::printf("checkpoints=%zu\n", s.checkpoints_written);
+    std::printf("analysis_hits=%zu\n", s.analysis.hits);
+    std::printf("analysis_misses=%zu\n", s.analysis.misses);
+    std::printf("analysis_hit_rate=%.6f\n", s.analysis.hitRate());
+    std::printf("analysis_invalidations=%zu\n", s.analysis.invalidations);
+    std::printf("contract_checks=%zu\n", s.analysis.contract_checks);
+    std::printf("contract_violations=%zu\n", s.analysis.contract_violations);
+    std::printf("embed_cache_hits=%zu\n", s.embed_cache.hits);
+    std::printf("embed_cache_misses=%zu\n", s.embed_cache.misses);
     for (const auto& [kind, count] : s.faults_by_kind) {
       std::printf("fault_%s=%zu\n", kind.c_str(), count);
     }
@@ -183,6 +203,7 @@ int main(int argc, char** argv) {
   bool kv = false;
   bool sandbox = false;
   bool verify_actions = false;
+  bool static_features = false;
   bool inject_faults = false;
   double max_ir_growth = 0.0;
   std::size_t train_steps = 0;
@@ -221,8 +242,21 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(a, "--max-ir-growth") == 0) {
       max_ir_growth = std::atof(nextArg(i));
       sandbox = true;
-    } else if (std::strcmp(a, "--verify-actions") == 0) {
+    } else if (std::strcmp(a, "--verify") == 0 ||
+               std::strcmp(a, "--verify-actions") == 0) {
       verify_actions = true;
+    } else if (std::strcmp(a, "--features") == 0 ||
+               std::strncmp(a, "--features=", 11) == 0) {
+      const char* kind = a[10] == '=' ? a + 11 : nextArg(i);
+      if (std::strcmp(kind, "static") == 0) {
+        static_features = true;
+      } else if (std::strcmp(kind, "embedding") == 0) {
+        static_features = false;
+      } else {
+        std::fprintf(stderr, "--features expects 'static' or 'embedding', "
+                             "got '%s'\n", kind);
+        return 1;
+      }
     } else if (std::strcmp(a, "--inject-faults") == 0) {
       inject_faults = true;
     } else if (std::strcmp(a, "--train") == 0) {
@@ -284,8 +318,8 @@ int main(int argc, char** argv) {
 
   if (train_steps > 0) {
     return runTrainingMode(*m, train_steps, train_actors, inject_faults,
-                           verify_actions, max_ir_growth, checkpoint,
-                           checkpoint_every, resume, json, kv);
+                           verify_actions, static_features, max_ir_growth,
+                           checkpoint, checkpoint_every, resume, json, kv);
   }
 
   bool failed = false;

@@ -1,0 +1,476 @@
+#include "analysis/analysis_manager.h"
+
+#include <cstring>
+#include <utility>
+
+#include "analysis/def_use.h"
+#include "analysis/liveness.h"
+#include "analysis/reaching_defs.h"
+#include "analysis/value_range.h"
+#include "ir/basic_block.h"
+#include "ir/function.h"
+#include "ir/global_variable.h"
+#include "ir/instruction.h"
+#include "ir/module.h"
+#include "support/hashing.h"
+
+namespace posetrl {
+
+const char* analysisKindName(AnalysisKind kind) {
+  switch (kind) {
+    case AnalysisKind::Dominators: return "dominators";
+    case AnalysisKind::Loops: return "loops";
+    case AnalysisKind::Liveness: return "liveness";
+    case AnalysisKind::ReachingDefs: return "reaching-defs";
+    case AnalysisKind::DefUse: return "def-use";
+    case AnalysisKind::ValueRanges: return "value-ranges";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Structural type hash, independent of interning addresses (so fingerprints
+/// agree across module clones). Memoized in the Type itself — types are
+/// immutable and fingerprinting hits the same handful of types for every
+/// operand of every instruction.
+std::uint64_t hashType(const Type* t) {
+  if (t == nullptr) return 0x9e3779b97f4a7c15ull;
+  if (const std::uint64_t cached = t->analysisHashCache(); cached != 0)
+    return cached;
+  std::uint64_t h =
+      hashCombine(0x51ed2701, static_cast<std::uint64_t>(t->kind()));
+  switch (t->kind()) {
+    case Type::Kind::Ptr:
+      h = hashCombine(h, hashType(t->pointee()));
+      break;
+    case Type::Kind::Array:
+      h = hashCombine(hashCombine(h, hashType(t->arrayElement())),
+                      t->arrayCount());
+      break;
+    case Type::Kind::Struct:
+      for (const Type* field : t->structFields())
+        h = hashCombine(h, hashType(field));
+      break;
+    case Type::Kind::Func:
+      h = hashCombine(h, hashType(t->funcReturn()));
+      for (const Type* p : t->funcParams()) h = hashCombine(h, hashType(p));
+      break;
+    default:
+      break;
+  }
+  h |= 1;  // Reserve 0 as the not-yet-computed sentinel.
+  t->setAnalysisHashCache(h);
+  return h;
+}
+
+std::uint64_t bitsOfDouble(double d) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+}  // namespace
+
+FunctionFingerprint fingerprintFunction(const Function& f,
+                                        std::uint64_t* aux_key) {
+  // Value-number blocks and instructions so the hash is position-based and
+  // independent of pointer addresses and SSA names. Blocks are numbered by
+  // their position among blocks only, so that instruction-level edits leave
+  // the CFG hash untouched. Ids are stamped into a generation-tagged
+  // scratch slot on the Value itself (Value::stampFingerprintId): operand
+  // resolution is then two member loads instead of a hash-map probe, which
+  // dominated this walk — and it runs once per function per pass boundary.
+  thread_local std::uint64_t walk_generation = 0;
+  const std::uint64_t gen = ++walk_generation;
+  std::uint64_t next_block = 1;
+  std::uint64_t next_inst = 1;
+  for (const auto& b : f.blocks()) {
+    b->stampFingerprintId(gen, hashCombine(10, next_block++));
+    for (const auto& inst : b->insts())
+      inst->stampFingerprintId(gen, hashCombine(1, next_inst++));
+  }
+
+  const auto valueId = [&](const Value* v) -> std::uint64_t {
+    if (v == nullptr) return 0;
+    if (v->fingerprintIdValid(gen)) return v->fingerprintId();
+    switch (v->kind()) {
+      case Value::Kind::ConstantInt: {
+        const auto* c = cast<ConstantInt>(v);
+        return hashCombine(hashCombine(2, hashType(v->type())),
+                           static_cast<std::uint64_t>(c->value()));
+      }
+      case Value::Kind::ConstantFloat:
+        return hashCombine(3, bitsOfDouble(cast<ConstantFloat>(v)->value()));
+      case Value::Kind::ConstantNull:
+        return hashCombine(4, hashType(v->type()));
+      case Value::Kind::Undef:
+        return hashCombine(5, hashType(v->type()));
+      case Value::Kind::Argument:
+        return hashCombine(6, cast<Argument>(v)->index());
+      case Value::Kind::GlobalVariable:
+        return hashCombine(7, fnv1a(v->name()));
+      case Value::Kind::Function:
+        return hashCombine(8, fnv1a(v->name()));
+      default:
+        return 9;  // Foreign block — never well-formed, but stay total.
+    }
+  };
+
+  FunctionFingerprint fp;
+
+  std::uint64_t cfg = kFnvOffset;
+  cfg = hashCombine(cfg, f.blocks().size());
+  for (const auto& b : f.blocks()) {
+    cfg = hashCombine(cfg, b->fingerprintId());
+    for (const BasicBlock* s : b->successors())
+      // A successor outside this function is never well-formed (the
+      // verifier flags it), but the hash stays total: unstamped → marker.
+      cfg = hashCombine(cfg, s->fingerprintIdValid(gen) ? s->fingerprintId()
+                                                        : 9);
+  }
+  fp.cfg = cfg;
+
+  // The instruction-level hash covers everything the CFG hash does (it is
+  // seeded with it) plus the signature and every instruction's structure.
+  // Names, linkage and function attributes are deliberately excluded:
+  // renames and attribute-only passes are no-ops to every cached analysis.
+  std::uint64_t aux = kFnvOffset;
+  if (aux_key != nullptr)
+    for (const auto& a : f.args()) aux = hashCombine(aux, a->numUses());
+
+  std::uint64_t h = hashCombine(cfg, hashType(f.functionType()));
+  for (const auto& b : f.blocks()) {
+    h = hashCombine(h, b->fingerprintId());
+    if (aux_key != nullptr) aux = hashCombine(aux, b->numUses());
+    for (const auto& inst : b->insts()) {
+      if (aux_key != nullptr) {
+        aux = hashCombine(aux, inst->numUses());
+        aux = hashCombine(aux, inst->name().empty() ? 0u : 1u);
+      }
+      h = hashCombine(h, static_cast<std::uint64_t>(inst->opcode()));
+      h = hashCombine(h, hashType(inst->type()));
+      h = hashCombine(h, inst->numOperands());
+      for (const Value* op : inst->operands()) h = hashCombine(h, valueId(op));
+      if (inst->vectorWidth() != 1) h = hashCombine(h, inst->vectorWidth());
+      switch (inst->opcode()) {
+        case Opcode::Alloca:
+          h = hashCombine(h, hashType(cast<AllocaInst>(inst.get())
+                                          ->allocatedType()));
+          break;
+        case Opcode::Load:
+          h = hashCombine(h, cast<LoadInst>(inst.get())->alignment());
+          break;
+        case Opcode::Store:
+          h = hashCombine(h, cast<StoreInst>(inst.get())->alignment());
+          break;
+        case Opcode::Gep:
+          h = hashCombine(h, hashType(cast<GepInst>(inst.get())
+                                          ->sourceElement()));
+          break;
+        case Opcode::ICmp:
+          h = hashCombine(h, static_cast<std::uint64_t>(
+                                 cast<ICmpInst>(inst.get())->pred()));
+          break;
+        case Opcode::FCmp:
+          h = hashCombine(h, static_cast<std::uint64_t>(
+                                 cast<FCmpInst>(inst.get())->pred()));
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  fp.instrs = h;
+  if (aux_key != nullptr) *aux_key = aux;
+  return fp;
+}
+
+std::uint64_t fingerprintModuleData(const Module& m) {
+  std::uint64_t h = kFnvOffset;
+  for (const auto& g : m.globals()) {
+    h = hashCombine(h, fnv1a(g->name()));
+    h = hashCombine(h, hashType(g->valueType()));
+    const GlobalInit& init = g->init();
+    h = hashCombine(h, static_cast<std::uint64_t>(init.kind));
+    h = hashCombine(h, static_cast<std::uint64_t>(init.int_value));
+    h = hashCombine(h, bitsOfDouble(init.float_value));
+    for (std::int64_t e : init.elements)
+      h = hashCombine(h, static_cast<std::uint64_t>(e));
+    if (init.function != nullptr)
+      h = hashCombine(h, fnv1a(init.function->name()));
+  }
+  return h;
+}
+
+/// Cached analyses plus the fingerprint they were computed at.
+struct AnalysisManager::FuncEntry {
+  FunctionFingerprint fp;
+  std::unique_ptr<DominatorTree> dom;
+  std::unique_ptr<LoopInfo> loops;
+  std::unique_ptr<LivenessInfo> liveness;
+  std::unique_ptr<ReachingDefs> reaching;
+  std::unique_ptr<DefUseInfo> def_use;
+  std::unique_ptr<ValueRanges> ranges;
+
+  void clear() {
+    // LoopInfo holds pointers into the DominatorTree; drop it first.
+    loops.reset();
+    dom.reset();
+    liveness.reset();
+    reaching.reset();
+    def_use.reset();
+    ranges.reset();
+  }
+  /// Drops only the analyses that depend on instruction content. Dominators
+  /// and loops survive: they read nothing but the block graph, and blocks
+  /// are stable objects — instruction edits never move or free them.
+  void clearInstructionLevel() {
+    liveness.reset();
+    reaching.reset();
+    def_use.reset();
+    ranges.reset();
+  }
+  bool hasAny() const {
+    return dom || loops || liveness || reaching || def_use || ranges;
+  }
+
+  /// Freeze-window stamp: when it equals the manager's current epoch, the
+  /// entry's fingerprint was validated inside the active freeze and later
+  /// queries skip the hash walk.
+  std::uint64_t freeze_stamp = 0;
+};
+
+AnalysisManager::AnalysisManager() = default;
+AnalysisManager::~AnalysisManager() = default;
+
+AnalysisManager::FuncEntry& AnalysisManager::validated(Function& f) {
+  std::unique_ptr<FuncEntry>& slot = funcs_[&f];
+  if (frozen_ && slot && slot->freeze_stamp == freeze_epoch_) return *slot;
+  noteFingerprint(f, fingerprintFunction(f));
+  return *funcs_[&f];
+}
+
+void AnalysisManager::noteFingerprint(Function& f,
+                                      const FunctionFingerprint& fp) {
+  std::unique_ptr<FuncEntry>& slot = funcs_[&f];
+  if (!slot) {
+    slot = std::make_unique<FuncEntry>();
+    slot->fp = fp;
+  } else if (!(slot->fp == fp)) {
+    if (slot->hasAny()) ++stats_.invalidations;
+    if (slot->fp.cfg == fp.cfg) {
+      // Instruction-only edit: the block graph is intact, so the CFG-shape
+      // analyses stay valid and only the instruction-level ones are stale.
+      slot->clearInstructionLevel();
+    } else {
+      slot->clear();
+    }
+    slot->fp = fp;
+  }
+  if (frozen_) slot->freeze_stamp = freeze_epoch_;
+}
+
+const FunctionFingerprint* AnalysisManager::validatedFingerprint(
+    const Function& f) const {
+  auto it = funcs_.find(&f);
+  return it == funcs_.end() ? nullptr : &it->second->fp;
+}
+
+const DominatorTree& AnalysisManager::dominators(Function& f) {
+  FuncEntry& e = validated(f);
+  if (e.dom) {
+    ++stats_.hits;
+  } else {
+    ++stats_.misses;
+    e.dom = std::make_unique<DominatorTree>(f);
+  }
+  return *e.dom;
+}
+
+const LoopInfo& AnalysisManager::loopInfo(Function& f) {
+  const DominatorTree& dt = dominators(f);
+  FuncEntry& e = *funcs_[&f];  // Validated by the dominators query.
+  if (e.loops) {
+    ++stats_.hits;
+  } else {
+    ++stats_.misses;
+    e.loops = std::make_unique<LoopInfo>(f, dt);
+  }
+  return *e.loops;
+}
+
+const LivenessInfo& AnalysisManager::liveness(Function& f) {
+  FuncEntry& e = validated(f);
+  if (e.liveness) {
+    ++stats_.hits;
+  } else {
+    ++stats_.misses;
+    e.liveness = std::make_unique<LivenessInfo>(f);
+  }
+  return *e.liveness;
+}
+
+const ReachingDefs& AnalysisManager::reachingDefs(Function& f) {
+  FuncEntry& e = validated(f);
+  if (e.reaching) {
+    ++stats_.hits;
+  } else {
+    ++stats_.misses;
+    e.reaching = std::make_unique<ReachingDefs>(f);
+  }
+  return *e.reaching;
+}
+
+const DefUseInfo& AnalysisManager::defUse(Function& f) {
+  FuncEntry& e = validated(f);
+  if (e.def_use) {
+    ++stats_.hits;
+  } else {
+    ++stats_.misses;
+    e.def_use = std::make_unique<DefUseInfo>(f);
+  }
+  return *e.def_use;
+}
+
+const ValueRanges& AnalysisManager::valueRanges(Function& f) {
+  FuncEntry& e = validated(f);
+  if (e.ranges) {
+    ++stats_.hits;
+  } else {
+    ++stats_.misses;
+    e.ranges = std::make_unique<ValueRanges>(f);
+  }
+  return *e.ranges;
+}
+
+void AnalysisManager::invalidate(Function& f) {
+  auto it = funcs_.find(&f);
+  if (it == funcs_.end()) return;
+  if (it->second->hasAny()) ++stats_.invalidations;
+  funcs_.erase(it);
+}
+
+void AnalysisManager::invalidateAll() {
+  for (const auto& [fn, entry] : funcs_) {
+    (void)fn;
+    if (entry->hasAny()) ++stats_.invalidations;
+  }
+  funcs_.clear();
+  boundary_.clear();
+  boundary_recorded_ = false;
+}
+
+void AnalysisManager::recordBoundary(Module& m) {
+  // reconcileBoundary re-arms the snapshot with the fingerprints it just
+  // computed; between that reconcile and this record nothing in an
+  // instrumented sequence touches the module, so the snapshot is current
+  // and the rehash can be skipped. New sequences disarm first.
+  if (boundary_recorded_) return;
+  boundary_.clear();
+  for (const auto& f : m.functions())
+    boundary_.emplace(f.get(), fingerprintFunction(*f));
+  boundary_data_hash_ = fingerprintModuleData(m);
+  boundary_recorded_ = true;
+}
+
+BoundaryReport AnalysisManager::reconcileBoundary(
+    Module& m, const PreservedAnalyses& declared, bool reported_changed,
+    bool trust_validated) {
+  BoundaryReport report;
+  if (!boundary_recorded_) return report;
+  ++stats_.contract_checks;
+
+  // Reused scratch, swapped with boundary_ below: the two bucket arrays
+  // recycle between passes, so the steady state allocates nothing here.
+  thread_local std::unordered_map<const Function*, FunctionFingerprint> post;
+  post.clear();
+  for (const auto& f : m.functions()) {
+    // Declarations are excluded from trust: the fast verifier never queries
+    // them, so their stored fingerprint (if any) may predate this pass.
+    const FunctionFingerprint* known =
+        trust_validated && !f->isDeclaration() ? validatedFingerprint(*f)
+                                               : nullptr;
+    const FunctionFingerprint fp =
+        known != nullptr ? *known : fingerprintFunction(*f);
+    post.emplace(f.get(), fp);
+    auto it = boundary_.find(f.get());
+    if (it == boundary_.end()) {
+      // Function added by the pass.
+      report.ir_changed = true;
+      report.cfg_changed = true;
+      if (declared.preservesAny())
+        report.violations.push_back(
+            {f->name(), "pass declared analyses preserved but added function '" +
+                            f->name() + "'"});
+      continue;
+    }
+    if (fp == it->second) continue;
+    report.ir_changed = true;
+    const bool cfg_changed = fp.cfg != it->second.cfg;
+    if (cfg_changed) report.cfg_changed = true;
+    if (cfg_changed && declared.preservesCfgShape())
+      report.violations.push_back(
+          {f->name(),
+           "pass declared CFG analyses preserved but changed the block "
+           "graph of '" + f->name() + "'"});
+    if (declared.preservesInstructionLevel())
+      report.violations.push_back(
+          {f->name(),
+           "pass declared instruction-level analyses preserved but mutated "
+           "the body of '" + f->name() + "'"});
+  }
+
+  // Functions removed by the pass (in the pre-pass snapshot but not the
+  // just-built post map). Their cache entries are keyed by a now-dangling
+  // pointer; erase without dereferencing.
+  for (const auto& [fn, fp] : boundary_) {
+    (void)fp;
+    if (post.count(fn) != 0) continue;
+    report.ir_changed = true;
+    report.cfg_changed = true;
+    auto it = funcs_.find(fn);
+    if (it != funcs_.end()) {
+      if (it->second->hasAny()) ++stats_.invalidations;
+      funcs_.erase(it);
+    }
+    if (declared.preservesAny())
+      report.violations.push_back(
+          {"", "pass declared analyses preserved but removed a function"});
+  }
+
+  const std::uint64_t data_hash = fingerprintModuleData(m);
+  if (data_hash != boundary_data_hash_) report.ir_changed = true;
+
+  if (report.ir_changed && !reported_changed)
+    report.violations.push_back(
+        {"", "pass reported changed=false but the IR changed"});
+
+  stats_.contract_violations += report.violations.size();
+
+  // Re-arm: the post-pass state just fingerprinted is exactly the pre-pass
+  // state of the next pass in this sequence, so the snapshot carries over
+  // and the next recordBoundary is free.
+  std::swap(boundary_, post);
+  boundary_data_hash_ = data_hash;
+  boundary_recorded_ = true;
+  return report;
+}
+
+namespace {
+thread_local AnalysisManager* g_current_manager = nullptr;
+}  // namespace
+
+AnalysisManager* AnalysisManager::current() { return g_current_manager; }
+
+AnalysisManager& AnalysisManager::currentOr(AnalysisManager& fallback) {
+  return g_current_manager != nullptr ? *g_current_manager : fallback;
+}
+
+AnalysisScope::AnalysisScope(AnalysisManager& m) : prev_(g_current_manager) {
+  g_current_manager = &m;
+}
+
+AnalysisScope::~AnalysisScope() { g_current_manager = prev_; }
+
+}  // namespace posetrl

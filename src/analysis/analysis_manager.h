@@ -1,0 +1,277 @@
+#pragma once
+
+/// \file analysis_manager.h
+/// Cached dataflow-analysis framework. An AnalysisManager memoizes the
+/// per-function analyses (dominators, loop info, liveness, reaching
+/// definitions, def-use summary, integer value ranges) behind content-hash
+/// validation: every query rehashes the function (a single cheap FNV walk)
+/// and rebuilds only when the IR actually changed, so a pass pipeline that
+/// leaves a function untouched pays O(instrs) per query instead of a full
+/// analysis reconstruction.
+///
+/// Passes declare which analyses they preserve (Pass::preserved); the
+/// pass-boundary protocol (recordBoundary/reconcileBoundary) statically
+/// diffs those declarations against the hash-observed mutation and flags
+/// lying passes — the pass-contract checker that attributes verifier-clean
+/// miscompiles (e.g. a silently rewritten constant) to the offending pass
+/// without running the interpreter.
+///
+/// A thread-local AnalysisScope makes one manager ambient for a pipeline
+/// run; pass bodies and block-frequency estimation query
+/// AnalysisManager::current() and transparently fall back to a local
+/// throwaway manager when no scope is installed (exactly the old
+/// compute-from-scratch behaviour).
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/dominators.h"
+#include "analysis/loop_info.h"
+
+namespace posetrl {
+
+class Function;
+class Module;
+class LivenessInfo;
+class ReachingDefs;
+class DefUseInfo;
+class ValueRanges;
+
+/// The analyses the manager caches. CFG-level analyses (Dominators, Loops)
+/// depend only on the block graph; instruction-level analyses (Liveness,
+/// ReachingDefs, DefUse, ValueRanges) depend on every instruction.
+enum class AnalysisKind : unsigned {
+  Dominators = 0,
+  Loops,
+  Liveness,
+  ReachingDefs,
+  DefUse,
+  ValueRanges,
+};
+constexpr std::size_t kNumAnalysisKinds = 6;
+const char* analysisKindName(AnalysisKind kind);
+
+/// Set of analyses a pass promises to keep valid. The default for every
+/// pass is none() — a pass must opt in to each promise, and the contract
+/// checker verifies promises against the observed IR delta.
+class PreservedAnalyses {
+ public:
+  static PreservedAnalyses none() { return PreservedAnalyses(0); }
+  static PreservedAnalyses all() {
+    return PreservedAnalyses((1u << kNumAnalysisKinds) - 1);
+  }
+  /// The CFG-shape analyses only: correct for passes that rewrite
+  /// instructions but never add/remove blocks or retarget branches.
+  static PreservedAnalyses cfg() {
+    return none().preserve(AnalysisKind::Dominators)
+        .preserve(AnalysisKind::Loops);
+  }
+
+  PreservedAnalyses preserve(AnalysisKind kind) const {
+    return PreservedAnalyses(bits_ | (1u << static_cast<unsigned>(kind)));
+  }
+  bool preserves(AnalysisKind kind) const {
+    return (bits_ & (1u << static_cast<unsigned>(kind))) != 0;
+  }
+  bool preservesAny() const { return bits_ != 0; }
+  bool preservesCfgShape() const {
+    return preserves(AnalysisKind::Dominators) ||
+           preserves(AnalysisKind::Loops);
+  }
+  bool preservesInstructionLevel() const {
+    return preserves(AnalysisKind::Liveness) ||
+           preserves(AnalysisKind::ReachingDefs) ||
+           preserves(AnalysisKind::DefUse) ||
+           preserves(AnalysisKind::ValueRanges);
+  }
+
+ private:
+  explicit PreservedAnalyses(unsigned bits) : bits_(bits) {}
+  unsigned bits_;
+};
+
+/// Structural content hashes of one function, split by what the cached
+/// analyses depend on. Names are excluded (renames invalidate nothing);
+/// function attributes are excluded (attribute-only passes are no-ops to
+/// every dataflow analysis).
+struct FunctionFingerprint {
+  std::uint64_t cfg = 0;    ///< Block list + successor edges.
+  std::uint64_t instrs = 0; ///< Everything: opcodes, operands, types,
+                            ///< predicates, constants, block structure.
+  bool operator==(const FunctionFingerprint& o) const {
+    return cfg == o.cfg && instrs == o.instrs;
+  }
+};
+
+/// Stable structural fingerprint of \p f (see FunctionFingerprint). When
+/// \p aux_key is non-null, the same walk also hashes what the fingerprint
+/// deliberately ignores but the fast verifier checks — per-value use-list
+/// lengths and result-name presence — so the verifier's skip key costs no
+/// second traversal.
+FunctionFingerprint fingerprintFunction(const Function& f,
+                                        std::uint64_t* aux_key = nullptr);
+/// Fingerprint of module-level data: global variables and their
+/// initializers (function bodies are covered per function).
+std::uint64_t fingerprintModuleData(const Module& m);
+
+/// Cache counters. hits/misses count analysis queries; validations counts
+/// the hash walks spent confirming cached entries.
+struct AnalysisCacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t invalidations = 0;
+  std::size_t contract_checks = 0;
+  std::size_t contract_violations = 0;
+
+  double hitRate() const {
+    const std::size_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+
+  /// Fold another environment's counters into this one (trainer aggregation).
+  void accumulate(const AnalysisCacheStats& other) {
+    hits += other.hits;
+    misses += other.misses;
+    invalidations += other.invalidations;
+    contract_checks += other.contract_checks;
+    contract_violations += other.contract_violations;
+  }
+};
+
+/// One pass-contract violation observed at a pass boundary.
+struct ContractViolation {
+  std::string function;  ///< Function whose state broke the promise.
+  std::string detail;    ///< Human-readable description.
+};
+
+/// Result of reconciling one pass boundary against the pass's declarations.
+struct BoundaryReport {
+  bool ir_changed = false;   ///< Any function or global data changed.
+  bool cfg_changed = false;  ///< Any function's block graph changed.
+  std::vector<ContractViolation> violations;
+
+  bool clean() const { return violations.empty(); }
+};
+
+/// Per-function analysis cache with hash validation and the pass-contract
+/// boundary protocol. Not thread-safe; owned by one pipeline/environment.
+class AnalysisManager {
+ public:
+  AnalysisManager();
+  ~AnalysisManager();
+  AnalysisManager(const AnalysisManager&) = delete;
+  AnalysisManager& operator=(const AnalysisManager&) = delete;
+
+  // --- cached queries (rebuild only when the function's hash changed) ---
+  const DominatorTree& dominators(Function& f);
+  const LoopInfo& loopInfo(Function& f);
+  const LivenessInfo& liveness(Function& f);
+  const ReachingDefs& reachingDefs(Function& f);
+  const DefUseInfo& defUse(Function& f);
+  const ValueRanges& valueRanges(Function& f);
+
+  /// Drops every cached analysis for \p f.
+  void invalidate(Function& f);
+  /// Drops all cached state (use when the underlying module is replaced,
+  /// e.g. after a sandbox rollback swaps in the snapshot clone).
+  void invalidateAll();
+
+  const AnalysisCacheStats& stats() const { return stats_; }
+
+  /// The fingerprint stored by the most recent query of \p f, or nullptr if
+  /// \p f was never queried. Current only while nothing has mutated \p f
+  /// since that query — callers that just issued a query (e.g. the fast
+  /// verifier) use it to avoid a second hash walk.
+  const FunctionFingerprint* validatedFingerprint(const Function& f) const;
+
+  /// Installs \p fp as \p f's validated fingerprint exactly as a query
+  /// would: a mismatch against the cached entry invalidates (two-level).
+  /// For callers like the fast verifier that compute fingerprints in their
+  /// own walk. \p fp must be \p f's actual current fingerprint.
+  void noteFingerprint(Function& f, const FunctionFingerprint& fp);
+
+  /// Freeze window: between beginFreeze and endFreeze the caller guarantees
+  /// nothing mutates the IR, so each function is hash-validated at most once
+  /// — later queries (and noteFingerprint stamps) are trusted without a
+  /// rehash. PassInstrumentation freezes for the span of its post-pass
+  /// checks, collapsing the verify/contract stages to one walk per function.
+  void beginFreeze() { ++freeze_epoch_; frozen_ = true; }
+  void endFreeze() { frozen_ = false; }
+
+  // --- pass-boundary protocol (contract checker) ---
+  /// Snapshots every function's fingerprint before a pass runs. When the
+  /// boundary is already armed (reconcileBoundary re-arms it with the
+  /// post-pass fingerprints it computed), this is a no-op: inside one
+  /// instrumented sequence nothing runs between a reconcile and the next
+  /// record, so the snapshot is already current. Callers starting a new
+  /// sequence must disarmBoundary() first (PassInstrumentation does).
+  void recordBoundary(Module& m);
+  /// Drops the armed boundary snapshot; the next recordBoundary rehashes.
+  void disarmBoundary() { boundary_recorded_ = false; }
+  /// Diffs the post-pass fingerprints against the recorded snapshot,
+  /// invalidates what actually changed, and reports declared-preserved
+  /// analyses the pass broke plus changed=false lies. \p reported_changed
+  /// is the pass's own run() return value. With \p trust_validated, reuses
+  /// each function's last-query fingerprint instead of rehashing — only
+  /// valid when every defined function was queried after the pass ran and
+  /// before this call (the fast-verify stage guarantees exactly that).
+  BoundaryReport reconcileBoundary(Module& m, const PreservedAnalyses& declared,
+                                   bool reported_changed,
+                                   bool trust_validated = false);
+
+  /// The scope-installed ambient manager, or nullptr.
+  static AnalysisManager* current();
+  /// current() if a scope is installed, else \p fallback — the pattern pass
+  /// bodies use so they work both inside managed pipelines and standalone.
+  static AnalysisManager& currentOr(AnalysisManager& fallback);
+
+ private:
+  friend class AnalysisScope;
+
+  struct FuncEntry;
+
+  /// The entry for \p f, hash-validated: a stale entry is cleared (counted
+  /// as invalidation) before being returned.
+  FuncEntry& validated(Function& f);
+
+  std::unordered_map<const Function*, std::unique_ptr<FuncEntry>> funcs_;
+  /// Pre-pass snapshot for the boundary protocol.
+  std::unordered_map<const Function*, FunctionFingerprint> boundary_;
+  std::uint64_t boundary_data_hash_ = 0;
+  bool boundary_recorded_ = false;
+  std::uint64_t freeze_epoch_ = 0;
+  bool frozen_ = false;
+  AnalysisCacheStats stats_;
+};
+
+/// RAII freeze window (see AnalysisManager::beginFreeze).
+class AnalysisFreezeScope {
+ public:
+  explicit AnalysisFreezeScope(AnalysisManager& m) : m_(m) { m.beginFreeze(); }
+  ~AnalysisFreezeScope() { m_.endFreeze(); }
+  AnalysisFreezeScope(const AnalysisFreezeScope&) = delete;
+  AnalysisFreezeScope& operator=(const AnalysisFreezeScope&) = delete;
+
+ private:
+  AnalysisManager& m_;
+};
+
+/// RAII scope making \p m the thread-local ambient manager returned by
+/// AnalysisManager::current(). Scopes nest (inner wins).
+class AnalysisScope {
+ public:
+  explicit AnalysisScope(AnalysisManager& m);
+  ~AnalysisScope();
+  AnalysisScope(const AnalysisScope&) = delete;
+  AnalysisScope& operator=(const AnalysisScope&) = delete;
+
+ private:
+  AnalysisManager* prev_;
+};
+
+}  // namespace posetrl

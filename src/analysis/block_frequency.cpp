@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "analysis/analysis_manager.h"
 #include "analysis/cfg.h"
 #include "analysis/dominators.h"
 #include "analysis/loop_info.h"
@@ -93,8 +94,10 @@ double loopTripEstimate(Loop* loop, double fallback) {
 
 BlockFrequency::BlockFrequency(Function& f, double assumed_trip_count) {
   if (f.isDeclaration()) return;
-  DominatorTree dt(f);
-  LoopInfo li(f, dt);
+  AnalysisManager local_am;
+  AnalysisManager& am = AnalysisManager::currentOr(local_am);
+  const DominatorTree& dt = am.dominators(f);
+  const LoopInfo& li = am.loopInfo(f);
   // Per-loop trip estimates (exact for constant-bound counted loops).
   std::map<Loop*, double> trips;
   for (Loop* loop : li.loopsInnermostFirst()) {

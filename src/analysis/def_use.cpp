@@ -1,0 +1,36 @@
+#include "analysis/def_use.h"
+
+#include "ir/basic_block.h"
+#include "ir/function.h"
+#include "ir/instruction.h"
+
+namespace posetrl {
+
+DefUseInfo::DefUseInfo(Function& f) {
+  for (const auto& b : f.blocks())
+    for (const auto& inst : b->insts())
+      for (const Value* op : inst->operands()) ++counts_[op];
+
+  std::size_t use_total = 0;
+  for (const auto& b : f.blocks()) {
+    for (const auto& inst : b->insts()) {
+      if (inst->type()->isVoid()) continue;
+      ++defs_;
+      const std::size_t uses = operandUses(inst.get());
+      use_total += uses;
+      if (uses == 0) ++dead_defs_;
+      if (uses == 1) ++single_use_defs_;
+      if (uses > max_uses_) max_uses_ = uses;
+    }
+  }
+  avg_uses_ = defs_ == 0 ? 0.0
+                         : static_cast<double>(use_total) /
+                               static_cast<double>(defs_);
+}
+
+std::size_t DefUseInfo::operandUses(const Value* v) const {
+  auto it = counts_.find(v);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+}  // namespace posetrl

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file def_use.h
+/// Def-use / SSA-form summary of one function: the operand-derived use
+/// counts the verifier cross-checks against the IR's incremental use lists,
+/// plus aggregate def/use statistics consumed by the static feature
+/// extractor.
+
+#include <cstddef>
+#include <unordered_map>
+
+namespace posetrl {
+
+class Function;
+class Value;
+
+class DefUseInfo {
+ public:
+  explicit DefUseInfo(Function& f);
+
+  /// Number of operand slots referencing \p v inside the function, computed
+  /// from operands (not from v's use list). The ground truth the use-list
+  /// integrity check compares against.
+  std::size_t operandUses(const Value* v) const;
+  const std::unordered_map<const Value*, std::size_t>& operandCounts() const {
+    return counts_;
+  }
+
+  std::size_t defCount() const { return defs_; }        ///< Non-void results.
+  std::size_t deadDefs() const { return dead_defs_; }   ///< Zero-use defs.
+  std::size_t singleUseDefs() const { return single_use_defs_; }
+  std::size_t maxUses() const { return max_uses_; }
+  double avgUsesPerDef() const { return avg_uses_; }
+
+ private:
+  std::unordered_map<const Value*, std::size_t> counts_;
+  std::size_t defs_ = 0;
+  std::size_t dead_defs_ = 0;
+  std::size_t single_use_defs_ = 0;
+  std::size_t max_uses_ = 0;
+  double avg_uses_ = 0.0;
+};
+
+}  // namespace posetrl

@@ -1,0 +1,209 @@
+#include "analysis/fast_verifier.h"
+
+#include <string>
+#include <unordered_set>
+
+#include "analysis/def_use.h"
+#include "ir/basic_block.h"
+#include "ir/function.h"
+#include "ir/global_variable.h"
+#include "ir/instruction.h"
+#include "ir/module.h"
+#include "support/hashing.h"
+
+namespace posetrl {
+
+namespace {
+
+void error(VerifyResult& out, const Function& f, const std::string& msg) {
+  out.errors.push_back("in @" + f.name() + ": " + msg);
+}
+
+}  // namespace
+
+VerifyResult FastVerifier::verify(Module& m, AnalysisManager& am) {
+  VerifyResult result;
+
+  // Reused scratch containers: clear() keeps the bucket arrays, so the
+  // per-pass steady state allocates nothing here.
+  thread_local std::unordered_set<std::string> names;
+  names.clear();
+  for (const auto& f : m.functions())
+    if (!names.insert(f->name()).second)
+      result.errors.push_back("duplicate function name @" + f->name());
+
+  checkGlobalInits(m, result);
+
+  // Module-scoped use counts (functions, globals) accumulate across every
+  // function's cached def-use summary; function-local values are checked
+  // per function below.
+  thread_local std::unordered_map<const Value*, std::size_t> module_uses;
+  module_uses.clear();
+
+  for (const auto& fptr : m.functions()) {
+    Function& f = *fptr;
+    if (f.isDeclaration()) continue;
+
+    // One fused walk computes the structural fingerprint and the auxiliary
+    // use-count/name key (what the fingerprint deliberately ignores but the
+    // verifier checks — use-list drift without an operand change is exactly
+    // a bookkeeping corruption). The result is donated to the manager, so
+    // neither the analysis queries below nor the contract reconcile after
+    // this verify walks the function again.
+    std::uint64_t aux = 0;
+    const FunctionFingerprint fp = fingerprintFunction(f, &aux);
+    am.noteFingerprint(f, fp);
+    const std::uint64_t key = hashCombine(fp.instrs, aux);
+    if (auto it = clean_.find(&f); it != clean_.end() && it->second.key == key) {
+      ++functions_skipped_;
+      for (const auto& [v, n] : it->second.module_refs) module_uses[v] += n;
+      continue;
+    }
+
+    const DefUseInfo& du = am.defUse(f);
+    std::vector<std::pair<const Value*, std::size_t>> module_refs;
+    for (const auto& [v, n] : du.operandCounts()) {
+      if (v->kind() == Value::Kind::Function ||
+          v->kind() == Value::Kind::GlobalVariable) {
+        module_uses[v] += n;
+        module_refs.emplace_back(v, n);
+      }
+    }
+
+    const std::size_t errors_before = result.errors.size();
+
+    // --- single structural walk ---
+    if (!f.entry()->predecessors().empty())
+      error(result, f, "entry block has predecessors");
+
+    std::unordered_set<const BasicBlock*> block_set;
+    for (const auto& b : f.blocks()) block_set.insert(b.get());
+
+    for (const auto& b : f.blocks()) {
+      if (b->parent() != &f)
+        error(result, f, "block parent pointer wrong: " + b->name());
+      if (b->empty()) {
+        error(result, f, "empty basic block: " + b->name());
+        continue;
+      }
+      bool seen_non_phi = false;
+      std::size_t idx = 0;
+      const std::size_t last = b->size() - 1;
+      for (const auto& inst : b->insts()) {
+        ++instructions_checked_;
+        if (inst->parent() != b.get())
+          error(result, f, "instruction parent pointer wrong");
+        if (inst->isTerminator() != (idx == last))
+          error(result, f,
+                idx == last ? "block does not end with a terminator"
+                            : "terminator in the middle of a block");
+        if (inst->opcode() == Opcode::Phi) {
+          if (seen_non_phi) error(result, f, "phi after non-phi");
+        } else {
+          seen_non_phi = true;
+        }
+        if (!inst->type()->isVoid() && inst->name().empty())
+          error(result, f, "unnamed instruction result");
+        for (std::size_t s = 0; s < inst->numSuccessors(); ++s)
+          if (block_set.count(inst->successor(s)) == 0)
+            error(result, f, "branch to block of another function");
+        checkInstructionTypes(&f, *inst, result);
+        ++idx;
+      }
+    }
+
+    // --- phi incoming edges vs predecessors ---
+    for (const auto& b : f.blocks()) {
+      const auto preds = b->predecessors();
+      for (PhiInst* phi : b->phis()) {
+        if (phi->numIncoming() != preds.size()) {
+          error(result, f,
+                "phi incoming count != predecessor count of " + b->name());
+          continue;
+        }
+        std::unordered_set<const BasicBlock*> incoming;
+        for (std::size_t i = 0; i < phi->numIncoming(); ++i) {
+          incoming.insert(phi->incomingBlock(i));
+          if (phi->incomingValue(i)->type() != phi->type())
+            error(result, f, "phi incoming value type mismatch");
+        }
+        for (const BasicBlock* p : preds)
+          if (incoming.count(p) == 0)
+            error(result, f, "phi missing incoming edge from " + p->name());
+      }
+    }
+
+    // --- use-list integrity for function-local values ---
+    const auto check_uses = [&](const Value* v, const std::string& what) {
+      const std::size_t expected = du.operandUses(v);
+      if (v->numUses() != expected)
+        error(result, f,
+              "use-list size mismatch for " + what + " (" +
+                  std::to_string(v->numUses()) + " recorded vs " +
+                  std::to_string(expected) + " actual)");
+    };
+    for (const auto& a : f.args()) check_uses(a.get(), "%" + a->name());
+    for (const auto& b : f.blocks()) {
+      check_uses(b.get(), "label " + b->name());
+      for (const auto& inst : b->insts())
+        check_uses(inst.get(), "%" + inst->name());
+    }
+
+    // --- SSA dominance, only on structurally clean functions (the cached
+    // dominator tree asserts on malformed CFGs) ---
+    if (result.errors.size() == errors_before) {
+      const DominatorTree& dt = am.dominators(f);
+      // Reused scratch: clear() keeps the bucket array, so re-verifying a
+      // changed function allocates nothing in the steady state.
+      thread_local std::unordered_map<const Instruction*, std::size_t> order;
+      order.clear();
+      for (const auto& b : f.blocks()) {
+        std::size_t i = 0;
+        for (const auto& inst : b->insts()) order[inst.get()] = i++;
+      }
+      for (const auto& b : f.blocks()) {
+        if (!dt.isReachable(b.get())) continue;
+        for (const auto& inst : b->insts()) {
+          for (std::size_t oi = 0; oi < inst->numOperands(); ++oi) {
+            auto* def = dynCast<Instruction>(inst->operand(oi));
+            if (def == nullptr) continue;
+            if (def->parent() == nullptr || def->parent()->parent() != &f) {
+              error(result, f, "operand from another function");
+              continue;
+            }
+            if (inst->opcode() == Opcode::Phi) {
+              if (oi % 2 != 0) continue;  // Block operands.
+              auto* phi = static_cast<PhiInst*>(inst.get());
+              BasicBlock* pred = phi->incomingBlock(oi / 2);
+              if (!dt.isReachable(pred)) continue;
+              if (!dt.dominates(def->parent(), pred))
+                error(result, f,
+                      "phi incoming value does not dominate its edge");
+            } else if (def->parent() == b.get()) {
+              if (order[def] >= order[inst.get()])
+                error(result, f, "use before def in block");
+            } else if (!dt.dominates(def->parent(), b.get())) {
+              error(result, f, "operand does not dominate use");
+            }
+          }
+        }
+      }
+    }
+
+    if (result.errors.size() == errors_before)
+      clean_[&f] = {key, std::move(module_refs)};
+    else
+      clean_.erase(&f);
+  }
+
+  for (const auto& g : m.globals())
+    if (g->numUses() != module_uses[g.get()])
+      result.errors.push_back("use-list size mismatch for @" + g->name());
+  for (const auto& fn : m.functions())
+    if (fn->numUses() != module_uses[fn.get()])
+      result.errors.push_back("use-list size mismatch for @" + fn->name());
+
+  return result;
+}
+
+}  // namespace posetrl

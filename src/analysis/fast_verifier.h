@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file fast_verifier.h
+/// Per-pass structural IR verifier, cheap enough to default-on in the
+/// training sandbox and the compile service. Differences from the full
+/// verifier in ir/verifier.h:
+///   - functions whose content hash matches the last clean verification are
+///     skipped entirely (a pass touching one function re-verifies one
+///     function);
+///   - SSA dominance uses the AnalysisManager's cached dominator tree
+///     instead of the O(n^2) set-based computation, and only runs when the
+///     structural checks (terminators, phi placement, parents, types,
+///     use lists) came back clean — the tree construction asserts on
+///     malformed CFGs.
+/// The check set is the same: anything the full verifier flags, this
+/// flags too (and vice versa).
+
+#include <cstddef>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "analysis/analysis_manager.h"
+#include "ir/verifier.h"
+
+namespace posetrl {
+
+class Module;
+class Value;
+
+/// Stateful fast verifier. Keep one instance alive across passes/steps so
+/// the clean-hash skip cache pays off; it holds no pointers into the IR
+/// that it dereferences without revalidation, so module swaps are safe.
+class FastVerifier {
+ public:
+  /// Verifies \p m, pulling cached analyses from \p am.
+  VerifyResult verify(Module& m, AnalysisManager& am);
+
+  /// Total instructions walked by structural checks (skipped functions
+  /// contribute nothing). Basis for the ns/instruction benchmark metric.
+  std::size_t instructionsChecked() const { return instructions_checked_; }
+  /// Functions skipped because their content hash was verified clean before.
+  std::size_t functionsSkipped() const { return functions_skipped_; }
+
+  void resetStats() {
+    instructions_checked_ = 0;
+    functions_skipped_ = 0;
+  }
+
+  /// Drops the clean-hash skip cache. Owners sharing one verifier across
+  /// sequences must call this whenever the module object is replaced
+  /// (reset, sandbox rollback): the cache is keyed by Function pointers,
+  /// and a recycled address could otherwise replay a stale module-use
+  /// contribution.
+  void clearCache() { clean_.clear(); }
+
+ private:
+  /// State of the last *clean* verification per function. The key includes
+  /// a use-count/name-presence hash on top of the structural fingerprint
+  /// because the fingerprint deliberately ignores both but the verifier
+  /// checks them. module_refs caches the function's contribution to the
+  /// module-wide use-count check so a skipped function costs no def-use
+  /// query at all.
+  struct CleanEntry {
+    std::uint64_t key = 0;
+    std::vector<std::pair<const Value*, std::size_t>> module_refs;
+  };
+  std::unordered_map<const Function*, CleanEntry> clean_;
+  std::size_t instructions_checked_ = 0;
+  std::size_t functions_skipped_ = 0;
+};
+
+}  // namespace posetrl

@@ -1,0 +1,112 @@
+#include "analysis/liveness.h"
+
+#include <vector>
+
+#include "ir/basic_block.h"
+#include "ir/function.h"
+#include "ir/instruction.h"
+
+namespace posetrl {
+
+namespace {
+
+/// SSA values liveness tracks: instruction results and arguments. Constants,
+/// globals and block labels are always available and never occupy registers.
+bool isTracked(const Value* v) {
+  return v != nullptr && (v->kind() == Value::Kind::Instruction ||
+                          v->kind() == Value::Kind::Argument);
+}
+
+}  // namespace
+
+const LivenessInfo::ValueSet LivenessInfo::kEmpty;
+
+LivenessInfo::LivenessInfo(Function& f) {
+  if (f.isDeclaration()) return;
+
+  std::vector<const BasicBlock*> blocks;
+  blocks.reserve(f.numBlocks());
+  std::unordered_map<const BasicBlock*, ValueSet> ue_var;  // Upward-exposed.
+  std::unordered_map<const BasicBlock*, ValueSet> defs;
+  for (const auto& b : f.blocks()) {
+    const BasicBlock* bb = b.get();
+    blocks.push_back(bb);
+    ValueSet& ue = ue_var[bb];
+    ValueSet& def = defs[bb];
+    for (const auto& inst : b->insts()) {
+      // Phi operands are uses on the incoming edge, not in this block.
+      if (inst->opcode() != Opcode::Phi) {
+        for (const Value* op : inst->operands())
+          if (isTracked(op) && def.count(op) == 0) ue.insert(op);
+      }
+      if (!inst->type()->isVoid()) def.insert(inst.get());
+    }
+    live_in_[bb];  // Materialize so liveIn() lookups stay stable.
+    live_out_[bb];
+  }
+
+  // Backward union dataflow to fixpoint. Iterating blocks in reverse layout
+  // order converges in a handful of rounds on reducible CFGs.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto it = blocks.rbegin(); it != blocks.rend(); ++it) {
+      const BasicBlock* bb = *it;
+      ValueSet out;
+      for (BasicBlock* s : bb->successors()) {
+        const ValueSet& sin = live_in_[s];
+        out.insert(sin.begin(), sin.end());
+        for (const PhiInst* phi : s->phis()) {
+          const Value* v =
+              phi->incomingForBlock(const_cast<BasicBlock*>(bb));
+          if (isTracked(v)) out.insert(v);
+        }
+      }
+      ValueSet in = ue_var[bb];
+      const ValueSet& def = defs[bb];
+      for (const Value* v : out)
+        if (def.count(v) == 0) in.insert(v);
+      if (out.size() != live_out_[bb].size() ||
+          in.size() != live_in_[bb].size()) {
+        changed = true;
+      }
+      live_out_[bb] = std::move(out);
+      live_in_[bb] = std::move(in);
+    }
+  }
+
+  // Pressure: walk each block backward from its live-out set.
+  std::size_t live_in_total = 0;
+  for (const BasicBlock* bb : blocks) {
+    ValueSet live = live_out_[bb];
+    max_pressure_ = std::max(max_pressure_, live.size());
+    const auto& insts = bb->insts();
+    for (auto it = insts.rbegin(); it != insts.rend(); ++it) {
+      const Instruction* inst = it->get();
+      live.erase(inst);
+      if (inst->opcode() != Opcode::Phi) {
+        for (const Value* op : inst->operands())
+          if (isTracked(op)) live.insert(op);
+      }
+      max_pressure_ = std::max(max_pressure_, live.size());
+    }
+    live_in_total += live_in_[bb].size();
+  }
+  avg_live_in_ = blocks.empty()
+                     ? 0.0
+                     : static_cast<double>(live_in_total) /
+                           static_cast<double>(blocks.size());
+}
+
+const LivenessInfo::ValueSet& LivenessInfo::liveIn(const BasicBlock* b) const {
+  auto it = live_in_.find(b);
+  return it == live_in_.end() ? kEmpty : it->second;
+}
+
+const LivenessInfo::ValueSet& LivenessInfo::liveOut(
+    const BasicBlock* b) const {
+  auto it = live_out_.find(b);
+  return it == live_out_.end() ? kEmpty : it->second;
+}
+
+}  // namespace posetrl

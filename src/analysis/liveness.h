@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file liveness.h
+/// Backward live-variable analysis over SSA values (instruction results and
+/// arguments). Classic iterative dataflow on the CFG: LiveOut(B) unions the
+/// LiveIn of successors (minus their phi defs, plus the phi inputs flowing
+/// along the B edge); LiveIn(B) = upward-exposed uses ∪ (LiveOut \ defs).
+/// Used by the static feature extractor (register-pressure features) and as
+/// a cached AnalysisManager analysis.
+
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace posetrl {
+
+class BasicBlock;
+class Function;
+class Value;
+
+class LivenessInfo {
+ public:
+  using ValueSet = std::unordered_set<const Value*>;
+
+  explicit LivenessInfo(Function& f);
+
+  /// Values live on entry to \p b (empty set for unknown blocks).
+  const ValueSet& liveIn(const BasicBlock* b) const;
+  /// Values live on exit from \p b.
+  const ValueSet& liveOut(const BasicBlock* b) const;
+
+  /// Maximum number of simultaneously live values at any program point
+  /// (a static register-pressure proxy).
+  std::size_t maxPressure() const { return max_pressure_; }
+  /// Mean of per-block live-in sizes.
+  double avgLiveIn() const { return avg_live_in_; }
+
+ private:
+  std::unordered_map<const BasicBlock*, ValueSet> live_in_;
+  std::unordered_map<const BasicBlock*, ValueSet> live_out_;
+  std::size_t max_pressure_ = 0;
+  double avg_live_in_ = 0.0;
+  static const ValueSet kEmpty;
+};
+
+}  // namespace posetrl

@@ -1,0 +1,113 @@
+#include "analysis/reaching_defs.h"
+
+#include "ir/basic_block.h"
+#include "ir/function.h"
+#include "ir/global_variable.h"
+#include "ir/instruction.h"
+
+namespace posetrl {
+
+const Value* ReachingDefs::baseObject(const Value* ptr) {
+  while (const auto* gep = dynCast<GepInst>(ptr)) ptr = gep->base();
+  if (isa<AllocaInst>(ptr) || isa<GlobalVariable>(ptr)) return ptr;
+  return nullptr;  // Argument, load result, call result, phi/select, ...
+}
+
+namespace {
+
+/// May the store \p s reach a load with base \p load_base? Unknown bases
+/// alias everything.
+bool mayAlias(const Value* store_base, const Value* load_base) {
+  if (store_base == nullptr || load_base == nullptr) return true;
+  return store_base == load_base;
+}
+
+}  // namespace
+
+ReachingDefs::ReachingDefs(Function& f) {
+  if (f.isDeclaration()) return;
+
+  std::vector<const BasicBlock*> blocks;
+  blocks.reserve(f.numBlocks());
+  for (const auto& b : f.blocks()) {
+    blocks.push_back(b.get());
+    reach_in_[b.get()];
+  }
+
+  std::unordered_map<const Instruction*, const Value*> store_base;
+  for (const auto& b : f.blocks())
+    for (const auto& inst : b->insts())
+      if (inst->opcode() == Opcode::Store) {
+        ++store_count_;
+        store_base[inst.get()] =
+            baseObject(cast<StoreInst>(inst.get())->pointer());
+      }
+
+  // Block transfer: sequential, with strong updates when a store overwrites
+  // the exact same pointer SSA value (the common pattern after mem2reg's
+  // failure cases: repeated stores to one alloca).
+  const auto transfer = [&](const BasicBlock* bb, StoreSet set,
+                            bool record) {
+    for (const auto& inst : bb->insts()) {
+      if (inst->opcode() == Opcode::Load) {
+        if (!record) continue;
+        const Value* base =
+            baseObject(cast<LoadInst>(inst.get())->pointer());
+        std::vector<const Instruction*> reaching;
+        for (const Instruction* s : set)
+          if (base == nullptr || mayAlias(store_base[s], base))
+            reaching.push_back(s);
+        per_load_[inst.get()] = std::move(reaching);
+      } else if (inst->opcode() == Opcode::Store) {
+        const Value* ptr = cast<StoreInst>(inst.get())->pointer();
+        for (auto it = set.begin(); it != set.end();)
+          if (cast<StoreInst>(*it)->pointer() == ptr)
+            it = set.erase(it);
+          else
+            ++it;
+        set.insert(inst.get());
+      }
+    }
+    return set;
+  };
+
+  // Forward may-reach union dataflow to fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const BasicBlock* bb : blocks) {
+      StoreSet out = transfer(bb, reach_in_[bb], /*record=*/false);
+      for (BasicBlock* s : bb->successors()) {
+        StoreSet& in = reach_in_[s];
+        const std::size_t before = in.size();
+        in.insert(out.begin(), out.end());
+        if (in.size() != before) changed = true;
+      }
+    }
+  }
+
+  // Final recording pass over the stable solution.
+  for (const BasicBlock* bb : blocks)
+    transfer(bb, reach_in_[bb], /*record=*/true);
+
+  std::size_t reaching_total = 0;
+  for (const auto& [load, stores] : per_load_) {
+    (void)load;
+    ++load_count_;
+    reaching_total += stores.size();
+    if (stores.size() == 1) ++single_reaching_loads_;
+  }
+  avg_reaching_per_load_ =
+      load_count_ == 0 ? 0.0
+                       : static_cast<double>(reaching_total) /
+                             static_cast<double>(load_count_);
+}
+
+std::vector<const Instruction*> ReachingDefs::reachingStores(
+    const Instruction* load) const {
+  auto it = per_load_.find(load);
+  return it == per_load_.end() ? std::vector<const Instruction*>{}
+                               : it->second;
+}
+
+}  // namespace posetrl

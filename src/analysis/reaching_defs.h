@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file reaching_defs.h
+/// Reaching definitions over memory: which stores may reach each load.
+/// MiniIR registers are SSA (a register's reaching definition is trivially
+/// its unique def), so the interesting dataflow is through memory. Each
+/// store defines the base object its pointer traces to (alloca, global, or
+/// an unknown escape bucket); forward may-reach union dataflow propagates
+/// the live store sets block to block.
+
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace posetrl {
+
+class BasicBlock;
+class Function;
+class Instruction;
+class Value;
+
+class ReachingDefs {
+ public:
+  explicit ReachingDefs(Function& f);
+
+  /// Traces \p ptr through GEPs to its base object; nullptr when the base
+  /// is statically unknown (loads through it may see any escaped store).
+  static const Value* baseObject(const Value* ptr);
+
+  /// Stores that may reach \p load (same base object, or unknown-base
+  /// stores which may alias anything). Empty means the load reads its
+  /// base's initial contents only.
+  std::vector<const Instruction*> reachingStores(const Instruction* load) const;
+
+  /// Number of loads whose value comes from exactly one reaching store
+  /// (forwarding candidates — a measure of how much mem2reg/DSE fuel the
+  /// function still holds).
+  std::size_t singleReachingLoads() const { return single_reaching_loads_; }
+  std::size_t loadCount() const { return load_count_; }
+  std::size_t storeCount() const { return store_count_; }
+  /// Mean reaching-store count per load.
+  double avgReachingPerLoad() const { return avg_reaching_per_load_; }
+
+ private:
+  using StoreSet = std::unordered_set<const Instruction*>;
+
+  std::unordered_map<const BasicBlock*, StoreSet> reach_in_;
+  std::unordered_map<const Instruction*, std::vector<const Instruction*>>
+      per_load_;
+  std::size_t single_reaching_loads_ = 0;
+  std::size_t load_count_ = 0;
+  std::size_t store_count_ = 0;
+  double avg_reaching_per_load_ = 0.0;
+};
+
+}  // namespace posetrl

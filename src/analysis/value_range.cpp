@@ -1,0 +1,216 @@
+#include "analysis/value_range.h"
+
+#include <cmath>
+
+#include "ir/basic_block.h"
+#include "ir/function.h"
+#include "ir/instruction.h"
+
+namespace posetrl {
+
+namespace {
+
+/// [min, max] representable by an integer type of \p bits in canonical
+/// (sign-extended) form. i1 is {-1, 0} under canonicalization.
+std::int64_t typeMin(unsigned bits) {
+  if (bits >= 64) return INT64_MIN;
+  return -(std::int64_t{1} << (bits - 1));
+}
+std::int64_t typeMax(unsigned bits) {
+  if (bits >= 64) return INT64_MAX;
+  return (std::int64_t{1} << (bits - 1)) - 1;
+}
+
+bool addOv(std::int64_t a, std::int64_t b, std::int64_t* out) {
+  return __builtin_add_overflow(a, b, out);
+}
+bool subOv(std::int64_t a, std::int64_t b, std::int64_t* out) {
+  return __builtin_sub_overflow(a, b, out);
+}
+bool mulOv(std::int64_t a, std::int64_t b, std::int64_t* out) {
+  return __builtin_mul_overflow(a, b, out);
+}
+
+}  // namespace
+
+bool ValueRange::isFull(unsigned bits) const {
+  return lo <= typeMin(bits) && hi >= typeMax(bits);
+}
+
+double ValueRange::widthLog2() const {
+  const double width =
+      static_cast<double>(hi) - static_cast<double>(lo) + 1.0;
+  const double l = std::log2(width);
+  return l < 0.0 ? 0.0 : (l > 64.0 ? 64.0 : l);
+}
+
+ValueRange ValueRange::full(unsigned bits) {
+  return {typeMin(bits), typeMax(bits)};
+}
+
+namespace {
+
+/// Interval binary op with wraparound detection: any overflow, or a result
+/// outside the type's canonical range, degrades to the full type range
+/// (MiniIR arithmetic wraps, so a partial interval would be unsound).
+ValueRange applyBinary(Opcode op, const ValueRange& a, const ValueRange& b,
+                       unsigned bits) {
+  const ValueRange full = ValueRange::full(bits);
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  switch (op) {
+    case Opcode::Add:
+      if (addOv(a.lo, b.lo, &lo) || addOv(a.hi, b.hi, &hi)) return full;
+      break;
+    case Opcode::Sub:
+      if (subOv(a.lo, b.hi, &lo) || subOv(a.hi, b.lo, &hi)) return full;
+      break;
+    case Opcode::Mul: {
+      const std::int64_t xs[2] = {a.lo, a.hi};
+      const std::int64_t ys[2] = {b.lo, b.hi};
+      bool first = true;
+      for (std::int64_t x : xs)
+        for (std::int64_t y : ys) {
+          std::int64_t p = 0;
+          if (mulOv(x, y, &p)) return full;
+          if (first || p < lo) lo = p;
+          if (first || p > hi) hi = p;
+          first = false;
+        }
+      break;
+    }
+    case Opcode::And:
+      // Both operands non-negative: result in [0, min(hi_a, hi_b)].
+      if (a.lo >= 0 && b.lo >= 0)
+        return {0, a.hi < b.hi ? a.hi : b.hi};
+      return full;
+    case Opcode::Or:
+    case Opcode::Xor:
+      if (a.isConstant() && b.isConstant()) {
+        const std::int64_t v = op == Opcode::Or ? (a.lo | b.lo)
+                                                : (a.lo ^ b.lo);
+        lo = hi = v;
+        break;
+      }
+      return full;
+    default:
+      return full;
+  }
+  if (lo < full.lo || hi > full.hi) return full;  // Would wrap.
+  return {lo, hi};
+}
+
+}  // namespace
+
+ValueRanges::ValueRanges(Function& f) {
+  const auto bitsOf = [](const Value* v) -> unsigned {
+    return v->type()->isInteger() ? v->type()->intBits() : 0;
+  };
+
+  // Resolve an operand's current range (constants exact, tracked defs from
+  // the map, everything else the full type range).
+  const auto rangeOf = [&](const Value* v) -> ValueRange {
+    if (const auto* c = dynCast<ConstantInt>(v))
+      return ValueRange::constant(c->value());
+    if (auto it = ranges_.find(v); it != ranges_.end()) return it->second;
+    const unsigned bits = v->type()->isInteger() ? v->type()->intBits() : 64;
+    return ValueRange::full(bits);
+  };
+
+  // Bounded forward propagation. After the widening round starts, any range
+  // that still grows snaps to the full type range, so each value changes at
+  // most once more and the loop terminates quickly.
+  constexpr int kMaxRounds = 6;
+  constexpr int kWidenAfter = 3;
+  for (int round = 0; round < kMaxRounds; ++round) {
+    bool changed = false;
+    for (const auto& b : f.blocks()) {
+      for (const auto& inst : b->insts()) {
+        const unsigned bits = bitsOf(inst.get());
+        if (bits == 0) continue;
+        ValueRange r = ValueRange::full(bits);
+        switch (inst->opcode()) {
+          case Opcode::Add:
+          case Opcode::Sub:
+          case Opcode::Mul:
+          case Opcode::And:
+          case Opcode::Or:
+          case Opcode::Xor:
+            r = applyBinary(inst->opcode(), rangeOf(inst->operand(0)),
+                            rangeOf(inst->operand(1)), bits);
+            break;
+          case Opcode::Phi: {
+            const auto* phi = cast<PhiInst>(inst.get());
+            bool first = true;
+            for (std::size_t i = 0; i < phi->numIncoming(); ++i) {
+              const Value* in = phi->incomingValue(i);
+              if (in == inst.get()) continue;  // Self-loop contributes nothing.
+              const ValueRange ir = rangeOf(in);
+              r = first ? ir : ValueRange::join(r, ir);
+              first = false;
+            }
+            if (first) r = ValueRange::full(bits);
+            break;
+          }
+          case Opcode::Select:
+            r = ValueRange::join(rangeOf(inst->operand(1)),
+                                 rangeOf(inst->operand(2)));
+            break;
+          case Opcode::SExt:
+            r = rangeOf(inst->operand(0));  // Canonical form is sign-extended.
+            break;
+          case Opcode::ZExt: {
+            const ValueRange src = rangeOf(inst->operand(0));
+            if (src.lo >= 0)
+              r = src;  // Non-negative values are unchanged by zext.
+            break;
+          }
+          case Opcode::Trunc: {
+            const ValueRange src = rangeOf(inst->operand(0));
+            if (src.lo >= ValueRange::full(bits).lo &&
+                src.hi <= ValueRange::full(bits).hi)
+              r = src;  // Fits: truncation is the identity.
+            break;
+          }
+          default:
+            break;  // Loads, calls, shifts, divisions: full range.
+        }
+        auto it = ranges_.find(inst.get());
+        if (it == ranges_.end()) {
+          ranges_.emplace(inst.get(), r);
+          changed = true;
+        } else if (!(it->second.lo == r.lo && it->second.hi == r.hi)) {
+          it->second =
+              round >= kWidenAfter ? ValueRange::full(bits) : r;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+
+  double width_total = 0.0;
+  for (const auto& b : f.blocks()) {
+    for (const auto& inst : b->insts()) {
+      const unsigned bits = bitsOf(inst.get());
+      if (bits == 0) continue;
+      ++tracked_;
+      const ValueRange r = rangeOf(inst.get());
+      if (!r.isFull(bits)) ++bounded_;
+      width_total += r.widthLog2();
+    }
+  }
+  avg_width_log2_ =
+      tracked_ == 0 ? 64.0 : width_total / static_cast<double>(tracked_);
+}
+
+ValueRange ValueRanges::range(const Value* v) const {
+  if (const auto* c = dynCast<ConstantInt>(v))
+    return ValueRange::constant(c->value());
+  auto it = ranges_.find(v);
+  if (it != ranges_.end()) return it->second;
+  const unsigned bits = v->type()->isInteger() ? v->type()->intBits() : 64;
+  return ValueRange::full(bits);
+}
+
+}  // namespace posetrl

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file value_range.h
+/// Conservative integer value-range (interval) analysis. Forward
+/// propagation over the reverse post-order with a bounded number of rounds
+/// and widening: constants are exact, arithmetic composes with saturation,
+/// phis join, and anything unknown (arguments, loads, calls) spans its
+/// type's full range. No branch refinement — the result is a sound
+/// over-approximation on every path, cheap enough to run per query.
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+namespace posetrl {
+
+class Function;
+class Value;
+
+/// Closed interval [lo, hi] of canonical (sign-extended) integer values.
+struct ValueRange {
+  std::int64_t lo = INT64_MIN;
+  std::int64_t hi = INT64_MAX;
+
+  bool isFull(unsigned bits) const;
+  bool isConstant() const { return lo == hi; }
+  /// log2 of the interval cardinality, saturated to [0, 64].
+  double widthLog2() const;
+
+  static ValueRange full(unsigned bits);
+  static ValueRange constant(std::int64_t v) { return {v, v}; }
+  static ValueRange join(const ValueRange& a, const ValueRange& b) {
+    return {a.lo < b.lo ? a.lo : b.lo, a.hi > b.hi ? a.hi : b.hi};
+  }
+};
+
+class ValueRanges {
+ public:
+  explicit ValueRanges(Function& f);
+
+  /// Range of \p v. Full range of the type for unknown/untracked values.
+  ValueRange range(const Value* v) const;
+
+  /// Integer-typed defs whose range is narrower than the full type range.
+  std::size_t boundedCount() const { return bounded_; }
+  /// All integer-typed defs considered.
+  std::size_t trackedCount() const { return tracked_; }
+  /// Mean widthLog2 over tracked defs (64 = nothing known).
+  double avgWidthLog2() const { return avg_width_log2_; }
+
+ private:
+  std::unordered_map<const Value*, ValueRange> ranges_;
+  std::size_t bounded_ = 0;
+  std::size_t tracked_ = 0;
+  double avg_width_log2_ = 0.0;
+};
+
+}  // namespace posetrl

@@ -30,6 +30,10 @@ PhaseOrderEnv::~PhaseOrderEnv() = default;
 
 Embedding PhaseOrderEnv::reset() {
   working_ = cloneModule(*pristine_);
+  // The previous working module is gone; cached analyses point into it, and
+  // the verifier's skip cache is keyed by its function pointers.
+  analysis_.invalidateAll();
+  verifier_.clearCache();
   last_size_ = size_model_.objectBytes(*working_);
   const ThroughputEstimate est = mca_model_.moduleEstimate(*working_);
   last_cycles_ = est.weighted_cycles;
@@ -39,14 +43,28 @@ Embedding PhaseOrderEnv::reset() {
 }
 
 Embedding PhaseOrderEnv::embedWorking() {
+  if (config_.state_kind == StateKind::StaticFeatures) {
+    const auto compute = [this](const Module&) {
+      return extractStaticFeatures(*working_, analysis_);
+    };
+    if (!config_.cache_embeddings) return compute(*working_);
+    return embed_cache_.embedWith(*working_, compute);
+  }
   if (!config_.cache_embeddings) return embedder_.embedProgram(*working_);
   return embed_cache_.embed(*working_, embedder_);
 }
 
-SandboxConfig PhaseOrderEnv::effectiveSandboxConfig() const {
+SandboxConfig PhaseOrderEnv::effectiveSandboxConfig() {
   SandboxConfig sc = config_.sandbox;
   sc.verify = config_.verify_actions;
+  sc.contracts = config_.check_contracts;
   sc.oracle = config_.oracle_actions;
+  // Between-action work in this environment is read-only (state extraction,
+  // reward models) and every module swap clears the caches below, so the
+  // verifier skip cache and the armed boundary snapshot stay warm across
+  // steps.
+  sc.fast_verifier = &verifier_;
+  sc.trust_armed_boundary = true;
   return sc;
 }
 
@@ -54,16 +72,27 @@ PhaseOrderEnv::StepResult PhaseOrderEnv::step(std::size_t index) {
   POSETRL_CHECK(working_ != nullptr, "step() before reset()");
   POSETRL_CHECK(index < actions_->size(), "action index out of range");
 
+  // Install this environment's analysis cache as the ambient manager for
+  // the duration of the step: the sandbox's fast verifier and contract
+  // checker, any analysis-using pass, and the static-feature extractor all
+  // hit the same per-function cache, which survives across steps for
+  // functions the applied passes did not touch.
+  AnalysisScope analysis_scope(analysis_);
+
   if (config_.sandbox_actions) {
     SandboxOutcome out = runActionSandboxed(
         working_, (*actions_)[index].passes, effectiveSandboxConfig());
     if (!out.ok) {
       // The sandbox already rolled the working module back to the pre-step
-      // snapshot; the episode continues with a penalized reward and the
-      // fault goes on this (program, action) pair's quarantine record.
+      // snapshot — a different Module object, so the verifier's pointer-
+      // keyed skip cache must go (the analysis cache was already dropped by
+      // the rollback's invalidateAll). The episode continues with a
+      // penalized reward and the fault goes on this (program, action)
+      // pair's quarantine record.
       // Deadline expiry is the caller's clock running out, not the action's
       // misbehaviour — it is contained like any fault but never quarantines.
       ++faults_;
+      verifier_.clearCache();
       if (out.fault.kind != FaultKind::DeadlineExpired) {
         quarantine_.recordFault(index);
       }

@@ -13,9 +13,13 @@
 /// killing the run. Actions that fault repeatedly on this program are
 /// quarantined (faults/quarantine.h) and masked out of later selections.
 
+#include <cstddef>
 #include <memory>
 #include <vector>
 
+#include "analysis/analysis_manager.h"
+#include "analysis/fast_verifier.h"
+#include "analysis/static_features.h"
 #include "core/oz_sequence.h"
 #include "embed/embed_cache.h"
 #include "embed/embedder.h"
@@ -30,6 +34,17 @@ namespace posetrl {
 
 class Module;
 
+/// Which observation vector the environment feeds the agent.
+enum class StateKind {
+  /// IR2Vec-style flow-aware program embedding (embed/embedder.h); the
+  /// paper's 300-dim state.
+  IrEmbedding,
+  /// AutoPhase-style static feature vector (analysis/static_features.h):
+  /// kStaticFeatureDim counts and dataflow summaries backed by the cached
+  /// analysis manager. Much cheaper per step; used for ablations.
+  StaticFeatures,
+};
+
 /// Environment parameters (paper defaults).
 struct EnvConfig {
   TargetArch arch = TargetArch::X86_64;
@@ -37,20 +52,31 @@ struct EnvConfig {
   double beta = 5.0;    ///< Weight of the throughput reward (paper: 5).
   int episode_length = 15;
   EmbeddingConfig embedding;
+  /// Observation fed to the agent; see StateKind. The agent's
+  /// DqnConfig::state_dim must match stateDim().
+  StateKind state_kind = StateKind::IrEmbedding;
+  /// Dimension of the state vector step()/reset() return under the current
+  /// state_kind — what DqnConfig::state_dim must be set to.
+  std::size_t stateDim() const {
+    return state_kind == StateKind::StaticFeatures
+               ? kStaticFeatureDim
+               : static_cast<std::size_t>(embedding.dim);
+  }
   /// Run the structural verifier after every applied pass. With the sandbox
   /// enabled a verify failure is contained (rollback + fault report); with
-  /// the sandbox disabled it aborts with the offending pass name. Verifying
-  /// costs training throughput, so it defaults on in debug builds only;
-  /// opt_driver --verify-actions (or setting this field) forces it on in
-  /// release builds too.
-#ifdef NDEBUG
-  bool verify_actions = false;
-#else
+  /// the sandbox disabled it aborts with the offending pass name.
+  /// Default-on in all build modes: the incremental hash-skipping verifier
+  /// (analysis/fast_verifier.h) re-checks only functions the pass actually
+  /// touched, so the steady-state cost per step is small.
   bool verify_actions = true;
-#endif
+  /// Diff each pass's declared preserved analyses (Pass::preserved())
+  /// against the observed IR delta; broken promises roll back with a
+  /// FaultKind::ContractViolation attributed to the pass. Requires
+  /// sandbox_actions; ignored on the unsandboxed paths.
+  bool check_contracts = true;
   /// Contain pass faults (snapshot/rollback) instead of crashing. Budgets
-  /// live in `sandbox`; its verify/oracle switches are slaved to
-  /// verify_actions / oracle_actions below.
+  /// live in `sandbox`; its verify/contracts/oracle switches are slaved to
+  /// verify_actions / check_contracts / oracle_actions.
   bool sandbox_actions = true;
   /// Also run the miscompile oracle after every pass (expensive).
   bool oracle_actions = false;
@@ -119,9 +145,17 @@ class PhaseOrderEnv {
     return embed_cache_.stats();
   }
 
+  /// The environment's persistent analysis cache: installed as the ambient
+  /// manager around every sandboxed action, so the fast verifier, the
+  /// contract checker, analysis-using passes and the static-feature
+  /// extractor all share one set of per-function results across steps.
+  AnalysisManager& analysisManager() { return analysis_; }
+  const AnalysisCacheStats& analysisStats() const { return analysis_.stats(); }
+
  private:
-  SandboxConfig effectiveSandboxConfig() const;
-  /// embedProgram of the working module, through the cache when enabled.
+  SandboxConfig effectiveSandboxConfig();
+  /// State extraction of the working module (embedding or static features),
+  /// through the content-hash cache when enabled.
   Embedding embedWorking();
 
   EnvConfig config_;
@@ -132,6 +166,11 @@ class PhaseOrderEnv {
   McaModel mca_model_;
   Embedder embedder_;
   EmbedCache embed_cache_;
+  AnalysisManager analysis_;
+  /// Persistent fast verifier shared with every sandboxed action, so the
+  /// clean-hash skip cache survives across steps; its cache is cleared
+  /// whenever the working module object is replaced (reset, rollback).
+  FastVerifier verifier_;
   ActionQuarantine quarantine_;
   std::size_t faults_ = 0;
   double base_size_ = 0.0;

@@ -248,6 +248,11 @@ TrainResult runParallelTraining(const std::vector<const Module*>& corpus,
     for (const auto& env : actor->envs) {
       if (env != nullptr) {
         result.stats.quarantined_actions += env->quarantine().numQuarantined();
+        result.stats.analysis.accumulate(env->analysisStats());
+        const EmbedCacheStats& ec = env->embedCacheStats();
+        result.stats.embed_cache.hits += ec.hits;
+        result.stats.embed_cache.misses += ec.misses;
+        result.stats.embed_cache.evictions += ec.evictions;
       }
     }
   }

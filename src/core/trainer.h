@@ -64,6 +64,12 @@ struct TrainStats {
   std::map<std::string, std::size_t> faults_by_kind;
   std::size_t quarantined_actions = 0;
   std::size_t checkpoints_written = 0;
+  /// Analysis-cache counters summed over every training environment:
+  /// dominator/loop-info/liveness/... queries served from cache vs rebuilt,
+  /// plus pass-contract checks run at sandbox pass boundaries.
+  AnalysisCacheStats analysis;
+  /// Embedding/static-feature cache counters summed over every environment.
+  EmbedCacheStats embed_cache;
 };
 
 /// Trains an agent over \p corpus (unoptimized modules). The returned agent

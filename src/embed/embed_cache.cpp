@@ -15,14 +15,23 @@ std::uint64_t EmbedCache::moduleHash(const Module& m) {
 }
 
 const Embedding& EmbedCache::embed(const Module& m, const Embedder& embedder) {
-  const std::uint64_t key = moduleHash(m);
-  if (auto it = index_.find(key); it != index_.end()) {
-    ++stats_.hits;
-    lru_.splice(lru_.begin(), lru_, it->second);  // mark most recent
-    return it->second->second;
+  return embedWith(m,
+                   [&](const Module& mm) { return embedder.embedProgram(mm); });
+}
+
+const Embedding* EmbedCache::lookup(std::uint64_t key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
   }
-  ++stats_.misses;
-  lru_.emplace_front(key, embedder.embedProgram(m));
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // mark most recent
+  return &it->second->second;
+}
+
+const Embedding& EmbedCache::insert(std::uint64_t key, Embedding value) {
+  lru_.emplace_front(key, std::move(value));
   index_[key] = lru_.begin();
   if (lru_.size() > config_.capacity) {
     ++stats_.evictions;

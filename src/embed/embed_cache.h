@@ -53,12 +53,29 @@ class EmbedCache {
   /// until the entry is evicted or clear() is called.
   const Embedding& embed(const Module& m, const Embedder& embedder);
 
+  /// Generic variant: any deterministic state extractor (e.g. the static
+  /// feature vector, analysis/static_features.h) can sit behind the same
+  /// content-hash LRU. \p compute runs only on a miss. One cache instance
+  /// must serve a single extractor — keys are module hashes, not
+  /// (module, extractor) pairs.
+  template <typename Compute>
+  const Embedding& embedWith(const Module& m, Compute&& compute) {
+    const std::uint64_t key = moduleHash(m);
+    if (const Embedding* hit = lookup(key)) return *hit;
+    return insert(key, compute(m));
+  }
+
   const EmbedCacheStats& stats() const { return stats_; }
   std::size_t size() const { return lru_.size(); }
   void clear();
 
  private:
   using Entry = std::pair<std::uint64_t, Embedding>;
+
+  /// Cache probe: returns the entry (marked most-recent) or nullptr.
+  const Embedding* lookup(std::uint64_t key);
+  /// Inserts a freshly computed value, evicting the LRU tail if needed.
+  const Embedding& insert(std::uint64_t key, Embedding value);
 
   EmbedCacheConfig config_;
   EmbedCacheStats stats_;

@@ -17,6 +17,7 @@ const char* faultKindName(FaultKind kind) {
     case FaultKind::VerifyFailure: return "verify-failure";
     case FaultKind::OracleDivergence: return "oracle-divergence";
     case FaultKind::DeadlineExpired: return "deadline-expired";
+    case FaultKind::ContractViolation: return "contract-violation";
   }
   POSETRL_UNREACHABLE("unknown FaultKind");
 }

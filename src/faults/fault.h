@@ -24,6 +24,7 @@ enum class FaultKind {
   VerifyFailure,    ///< Structural verifier failed after the pass.
   OracleDivergence, ///< Miscompile oracle observed a behaviour change.
   DeadlineExpired,  ///< The request's wall-clock deadline passed mid-action.
+  ContractViolation,///< Pass broke its declared preserved-analyses contract.
 };
 
 const char* faultKindName(FaultKind kind);

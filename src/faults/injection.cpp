@@ -84,6 +84,12 @@ class HangPass : public Pass {
 class MiscompilePass : public Pass {
  public:
   std::string_view name() const override { return "fault-miscompile"; }
+  // Deliberately false: the pass rewrites a constant, so this claim lets
+  // the contract checker attribute the miscompile statically — no
+  // interpreter run needed.
+  PreservedAnalyses preserved() const override {
+    return PreservedAnalyses::all();
+  }
   bool run(Module& module) override {
     for (const auto& f : module.functions()) {
       for (const auto& bb : f->blocks()) {

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <exception>
 
+#include "analysis/analysis_manager.h"
 #include "ir/clone.h"
 #include "ir/module.h"
 #include "lint/instrumentation.h"
@@ -30,10 +31,14 @@ SandboxOutcome runActionSandboxed(std::unique_ptr<Module>& module,
   // sandbox never aborts, it rolls back.
   InstrumentOptions iopts;
   iopts.verify = config.verify;
+  iopts.contracts = config.contracts;
   iopts.oracle = config.oracle;
   iopts.abort_on_failure = false;
+  iopts.shared_fast_verifier = config.fast_verifier;
+  iopts.trust_armed_boundary = config.trust_armed_boundary;
   iopts.oracle_options.max_steps = config.oracle_fuel;
-  const bool instrumented = config.verify || config.oracle;
+  const bool instrumented =
+      config.verify || config.oracle || config.contracts;
   PassInstrumentation instr(iopts);
 
   SandboxOutcome outcome;
@@ -51,6 +56,10 @@ SandboxOutcome runActionSandboxed(std::unique_ptr<Module>& module,
     fault.instructions_after = module->instructionCount();
     fault.fuel_used = fuel_used;
     module = std::move(snapshot);  // Roll back to the pre-action state.
+    // The rollback swaps in a different Module object: every cached
+    // analysis now points into freed IR, so the ambient manager (if the
+    // caller installed one) must drop everything.
+    if (AnalysisManager* am = AnalysisManager::current()) am->invalidateAll();
     outcome.ok = false;
   };
 
@@ -73,14 +82,18 @@ SandboxOutcome runActionSandboxed(std::unique_ptr<Module>& module,
       return outcome;
     }
 
+    if (instrumented) instr.beforePass(*pass, *module);
+
     std::uint64_t fuel_used = 0;
+    bool pass_changed = false;
     try {
       FuelScope fuel(config.pass_fuel);
       DeadlineScope deadline(config.deadline);
       std::unique_ptr<ScopedFaultTrap> trap;
       if (config.trap_check_failures) trap = std::make_unique<ScopedFaultTrap>();
       try {
-        outcome.changed |= pass->run(*module);
+        pass_changed = pass->run(*module);
+        outcome.changed |= pass_changed;
       } catch (...) {
         fuel_used = fuel.consumed();
         throw;
@@ -115,7 +128,7 @@ SandboxOutcome runActionSandboxed(std::unique_ptr<Module>& module,
         ScopedFaultTrap trap;
         DeadlineScope deadline(config.deadline);
         DeadlineScope::poll();
-        instr.afterPass(name, *module);
+        instr.afterPass(*pass, *module, pass_changed);
       } catch (const DeadlineExpiredError& e) {
         failAt(FaultKind::DeadlineExpired, step, name, e.what(), fuel_used);
         return outcome;
@@ -126,9 +139,12 @@ SandboxOutcome runActionSandboxed(std::unique_ptr<Module>& module,
       }
       if (instr.failures().size() > prior) {
         const PassFailure& f = instr.failures().back();
-        failAt(f.stage == "oracle" ? FaultKind::OracleDivergence
-                                   : FaultKind::VerifyFailure,
-               step, name, f.detail, fuel_used);
+        const FaultKind kind = f.stage == "oracle"
+                                   ? FaultKind::OracleDivergence
+                                   : f.stage == "contract"
+                                         ? FaultKind::ContractViolation
+                                         : FaultKind::VerifyFailure;
+        failAt(kind, step, name, f.detail, fuel_used);
         return outcome;
       }
     }

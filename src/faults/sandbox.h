@@ -18,13 +18,22 @@
 
 namespace posetrl {
 
+class FastVerifier;
 class Module;
 
 /// Budgets and checks for one sandboxed action.
 struct SandboxConfig {
   /// Run the structural verifier after every pass; failures roll back with
-  /// per-pass attribution instead of aborting.
-  bool verify = false;
+  /// per-pass attribution instead of aborting. Default-on: the fast
+  /// incremental verifier (analysis/fast_verifier.h) re-verifies only
+  /// functions whose content hash changed, so this is cheap enough for
+  /// every training step and every serving request.
+  bool verify = true;
+  /// Diff each pass's declared preserved analyses against the observed IR
+  /// delta (the pass-contract checker); a broken promise rolls back with a
+  /// FaultKind::ContractViolation attributed to the pass — statically, with
+  /// no interpreter run.
+  bool contracts = true;
   /// Run the differential miscompile oracle after every pass (expensive;
   /// interpreter executions per pass).
   bool oracle = false;
@@ -47,6 +56,15 @@ struct SandboxConfig {
   /// long-running passes; expiry rolls back to the snapshot with a
   /// FaultKind::DeadlineExpired report. Defaults to never.
   Deadline deadline;
+  /// Externally owned fast verifier (see InstrumentOptions::
+  /// shared_fast_verifier): keeps the clean-hash skip cache warm across
+  /// actions instead of re-verifying the whole module on each action's
+  /// first pass. The owner must clearCache() on every module replacement.
+  FastVerifier* fast_verifier = nullptr;
+  /// Keep the armed contract-boundary snapshot across actions (see
+  /// InstrumentOptions::trust_armed_boundary). Only safe when the caller
+  /// guarantees no mutation between sandboxed actions.
+  bool trust_armed_boundary = false;
 };
 
 /// Outcome of one sandboxed action.

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <vector>
@@ -581,35 +582,35 @@ class Parser {
     const auto op = opcodeFromName(opname);
     if (!op) fail("unknown opcode '" + opname + "'");
 
-    Instruction* inst = nullptr;
+    std::unique_ptr<Instruction> inst;
     switch (*op) {
       case Opcode::Alloca: {
         Type* at = parseType();
         if (result_type == nullptr || !result_type->isPointer()) {
           fail("alloca needs a pointer result type");
         }
-        inst = new AllocaInst(result_type, at, result_name);
+        inst = std::make_unique<AllocaInst>(result_type, at, result_name);
         break;
       }
       case Opcode::Load: {
         if (result_type == nullptr) fail("load needs a result type");
         Value* ptr = parseOperand(tc.ptrTo(result_type));
-        auto* load = new LoadInst(result_type, ptr, result_name);
+        auto load = std::make_unique<LoadInst>(result_type, ptr, result_name);
         if (tryWord("align")) {
           load->setAlignment(static_cast<unsigned>(parseInt()));
         }
-        inst = load;
+        inst = std::move(load);
         break;
       }
       case Opcode::Store: {
         Value* val = parseOperand(nullptr);
         expect(',');
         Value* ptr = parseOperand(tc.ptrTo(val->type()));
-        auto* store = new StoreInst(tc.voidTy(), val, ptr);
+        auto store = std::make_unique<StoreInst>(tc.voidTy(), val, ptr);
         if (tryWord("align")) {
           store->setAlignment(static_cast<unsigned>(parseInt()));
         }
-        inst = store;
+        inst = std::move(store);
         break;
       }
       case Opcode::Gep: {
@@ -624,13 +625,13 @@ class Parser {
           } while (tryConsume(','));
           expect(']');
         }
-        inst = new GepInst(result_type, base->type()->pointee(), base,
-                           std::move(indices), result_name);
+        inst = std::make_unique<GepInst>(result_type, base->type()->pointee(),
+                                         base, std::move(indices), result_name);
         break;
       }
       case Opcode::Phi: {
         if (result_type == nullptr) fail("phi needs a result type");
-        auto* phi = new PhiInst(result_type, result_name);
+        auto phi = std::make_unique<PhiInst>(result_type, result_name);
         do {
           expect('[');
           Value* v = parseOperand(result_type);
@@ -642,8 +643,9 @@ class Parser {
           phi->addIncoming(v, it->second);
         } while (tryConsume(','));
         // Phis must sit at the head of their block.
-        bb->pushBack(std::unique_ptr<Instruction>(phi));
-        if (!result_name.empty()) defineResult(result_name, phi);
+        PhiInst* placed = phi.get();
+        bb->pushBack(std::move(phi));
+        if (!result_name.empty()) defineResult(result_name, placed);
         return;
       }
       case Opcode::Call: {
@@ -677,15 +679,16 @@ class Parser {
           } while (tryConsume(','));
           expect(')');
         }
-        inst = new CallInst(fty->funcReturn(), callee, std::move(args),
-                            result_name);
+        inst = std::make_unique<CallInst>(fty->funcReturn(), callee,
+                                          std::move(args), result_name);
         break;
       }
       case Opcode::Ret: {
         if (tryWord("void")) {
-          inst = new RetInst(tc.voidTy(), nullptr);
+          inst = std::make_unique<RetInst>(tc.voidTy(), nullptr);
         } else {
-          inst = new RetInst(tc.voidTy(), parseOperand(f->returnType()));
+          inst = std::make_unique<RetInst>(tc.voidTy(),
+                                           parseOperand(f->returnType()));
         }
         break;
       }
@@ -694,7 +697,7 @@ class Parser {
         const std::string label = parseWord();
         auto it = blocks_.find(label);
         if (it == blocks_.end()) fail("unknown block label " + label);
-        inst = new BrInst(tc.voidTy(), it->second);
+        inst = std::make_unique<BrInst>(tc.voidTy(), it->second);
         break;
       }
       case Opcode::CondBr: {
@@ -705,7 +708,7 @@ class Parser {
         expect(',');
         expectWord("label");
         BasicBlock* e = lookupBlock(parseWord());
-        inst = new CondBrInst(tc.voidTy(), cond, t, e);
+        inst = std::make_unique<CondBrInst>(tc.voidTy(), cond, t, e);
         break;
       }
       case Opcode::Switch: {
@@ -714,7 +717,7 @@ class Parser {
         expectWord("default");
         expectWord("label");
         BasicBlock* def = lookupBlock(parseWord());
-        auto* sw = new SwitchInst(tc.voidTy(), cond, def);
+        auto sw = std::make_unique<SwitchInst>(tc.voidTy(), cond, def);
         expect(',');
         expect('[');
         if (!tryConsume(']')) {
@@ -727,11 +730,11 @@ class Parser {
           } while (tryConsume(','));
           expect(']');
         }
-        inst = sw;
+        inst = std::move(sw);
         break;
       }
       case Opcode::Unreachable:
-        inst = new UnreachableInst(tc.voidTy());
+        inst = std::make_unique<UnreachableInst>(tc.voidTy());
         break;
       case Opcode::Select: {
         if (result_type == nullptr) fail("select needs a result type");
@@ -740,7 +743,8 @@ class Parser {
         Value* tv = parseOperand(result_type);
         expect(',');
         Value* fv = parseOperand(result_type);
-        inst = new SelectInst(result_type, cond, tv, fv, result_name);
+        inst = std::make_unique<SelectInst>(result_type, cond, tv, fv,
+                                            result_name);
         break;
       }
       case Opcode::ICmp: {
@@ -748,7 +752,7 @@ class Parser {
         Value* lhs = parseOperand(nullptr);
         expect(',');
         Value* rhs = parseOperand(lhs->type());
-        inst = new ICmpInst(tc.i1(), pred, lhs, rhs, result_name);
+        inst = std::make_unique<ICmpInst>(tc.i1(), pred, lhs, rhs, result_name);
         break;
       }
       case Opcode::FCmp: {
@@ -756,7 +760,7 @@ class Parser {
         Value* lhs = parseOperand(tc.f64());
         expect(',');
         Value* rhs = parseOperand(tc.f64());
-        inst = new FCmpInst(tc.i1(), pred, lhs, rhs, result_name);
+        inst = std::make_unique<FCmpInst>(tc.i1(), pred, lhs, rhs, result_name);
         break;
       }
       case Opcode::ZExt:
@@ -766,7 +770,7 @@ class Parser {
       case Opcode::FPToSI: {
         if (result_type == nullptr) fail("cast needs a result type");
         Value* v = parseOperand(nullptr);
-        inst = new CastInst(*op, result_type, v, result_name);
+        inst = std::make_unique<CastInst>(*op, result_type, v, result_name);
         break;
       }
       default: {  // Binary ops.
@@ -774,15 +778,17 @@ class Parser {
         Value* lhs = parseOperand(result_type);
         expect(',');
         Value* rhs = parseOperand(result_type);
-        inst = new BinaryInst(*op, result_type, lhs, rhs, result_name);
+        inst = std::make_unique<BinaryInst>(*op, result_type, lhs, rhs,
+                                            result_name);
         break;
       }
     }
     if (tryWord("vec")) {
       inst->setVectorWidth(static_cast<unsigned>(parseInt()));
     }
-    bb->pushBack(std::unique_ptr<Instruction>(inst));
-    if (!result_name.empty()) defineResult(result_name, inst);
+    Instruction* placed = inst.get();
+    bb->pushBack(std::move(inst));
+    if (!result_name.empty()) defineResult(result_name, placed);
   }
 
   BasicBlock* lookupBlock(const std::string& label) {

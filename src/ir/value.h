@@ -83,6 +83,21 @@ class Value {
            kind_ == Kind::ConstantNull || kind_ == Kind::Undef;
   }
 
+  /// Scratch value-numbering slot for the analysis fingerprint walk
+  /// (analysis/analysis_manager.cpp). The id is only meaningful while
+  /// \p generation matches the walk that stamped it, so no clearing pass is
+  /// ever needed. The generation counter is thread-local and modules are
+  /// never fingerprinted from two threads at once, so the slot is safe for
+  /// the parallel trainer's per-actor environments.
+  void stampFingerprintId(std::uint64_t generation, std::uint64_t id) const {
+    fp_gen_ = generation;
+    fp_id_ = id;
+  }
+  bool fingerprintIdValid(std::uint64_t generation) const {
+    return fp_gen_ == generation;
+  }
+  std::uint64_t fingerprintId() const { return fp_id_; }
+
  protected:
   Value(Kind kind, Type* type, std::string name)
       : kind_(kind), type_(type), name_(std::move(name)) {}
@@ -103,6 +118,8 @@ class Value {
   Type* type_;
   std::string name_;
   std::vector<Instruction*> users_;
+  mutable std::uint64_t fp_gen_ = 0;
+  mutable std::uint64_t fp_id_ = 0;
 };
 
 /// LLVM-style lightweight RTTI helpers.

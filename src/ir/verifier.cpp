@@ -105,8 +105,8 @@ bool isValidCast(Opcode op, Type* from, Type* to) {
   }
 }
 
-void checkInstructionTypes(Checker& ck, const Function* f,
-                           const Instruction& inst) {
+void checkInstructionTypeRules(Checker& ck, const Function* f,
+                               const Instruction& inst) {
   const Opcode op = inst.opcode();
   if (inst.isBinaryOp()) {
     if (inst.operand(0)->type() != inst.type() ||
@@ -307,7 +307,7 @@ void verifyFunctionBody(Checker& ck, const Function& f) {
           ck.error(&f, inst.get(), "branch to block of another function");
         }
       }
-      checkInstructionTypes(ck, &f, *inst);
+      checkInstructionTypeRules(ck, &f, *inst);
       ++idx;
     }
   }
@@ -418,6 +418,12 @@ void verifyUseDefIntegrity(Checker& ck, const Module& m) {
 
 }  // namespace
 
+void checkInstructionTypes(const Function* f, const Instruction& inst,
+                           VerifyResult& out) {
+  Checker ck(out);
+  checkInstructionTypeRules(ck, f, inst);
+}
+
 std::set<const BasicBlock*> reachableBlockSet(const Function& f) {
   std::set<const BasicBlock*> seen;
   if (f.isDeclaration()) return seen;
@@ -443,16 +449,8 @@ VerifyResult verifyFunction(const Function& function) {
   return result;
 }
 
-VerifyResult verifyModule(const Module& module) {
-  VerifyResult result;
-  Checker ck(result);
-  std::set<std::string> names;
-  for (const auto& f : module.functions()) {
-    if (!names.insert(f->name()).second) {
-      ck.error(nullptr, nullptr, "duplicate function name @" + f->name());
-    }
-    if (!f->isDeclaration()) verifyFunctionBody(ck, *f);
-  }
+void checkGlobalInits(const Module& module, VerifyResult& out) {
+  Checker ck(out);
   for (const auto& g : module.globals()) {
     const GlobalInit& init = g->init();
     Type* vt = g->valueType();
@@ -493,6 +491,19 @@ VerifyResult verifyModule(const Module& module) {
         break;
     }
   }
+}
+
+VerifyResult verifyModule(const Module& module) {
+  VerifyResult result;
+  Checker ck(result);
+  std::set<std::string> names;
+  for (const auto& f : module.functions()) {
+    if (!names.insert(f->name()).second) {
+      ck.error(nullptr, nullptr, "duplicate function name @" + f->name());
+    }
+    if (!f->isDeclaration()) verifyFunctionBody(ck, *f);
+  }
+  checkGlobalInits(module, result);
   verifyUseDefIntegrity(ck, module);
   return result;
 }

@@ -30,6 +30,17 @@ VerifyResult verifyModule(const Module& module);
 /// Verifies a single function body.
 VerifyResult verifyFunction(const Function& function);
 
+class Instruction;
+
+/// Appends per-opcode type-rule violations of one instruction to \p out.
+/// Shared with the fast per-pass verifier in src/analysis/fast_verifier.h.
+void checkInstructionTypes(const Function* f, const Instruction& inst,
+                           VerifyResult& out);
+
+/// Appends global-variable initializer violations to \p out (also shared
+/// with the fast verifier).
+void checkGlobalInits(const Module& module, VerifyResult& out);
+
 /// Blocks reachable from \p f's entry (empty for declarations). Shared by
 /// the verifier's dominance checks and the lint checkers, which need a
 /// const view that analysis/cfg.h does not provide.

@@ -5,6 +5,7 @@
 #include "ir/module.h"
 #include "ir/verifier.h"
 #include "lint/lint.h"
+#include "passes/pass.h"
 #include "support/error.h"
 #include "support/table.h"
 
@@ -24,12 +25,39 @@ void PassInstrumentation::beginSequence(Module& m) {
   failures_.clear();
   attributed_.clear();
   last_lint_ = LintReport{};
+  // A snapshot re-armed by a previous sequence's reconcile may describe a
+  // different module (or a since-mutated one); force the first beforePass
+  // of this sequence to rehash from the actual state. Owners that guarantee
+  // no mutation between sequences (the environment's step loop) opt out and
+  // keep the snapshot warm across actions.
+  if (options_.contracts && !options_.trust_armed_boundary)
+    manager().disarmBoundary();
   if (options_.lint) last_lint_ = runLint(m);
   if (options_.oracle) oracle_.capture(m);
 }
 
+void PassInstrumentation::beforePass(const Pass& pass, Module& m) {
+  (void)pass;
+  if (options_.contracts) manager().recordBoundary(m);
+}
+
+void PassInstrumentation::afterPass(const Pass& pass, Module& m,
+                                    bool reported_changed) {
+  runChecks(pass.name(), m, &pass, reported_changed);
+}
+
 void PassInstrumentation::afterPass(std::string_view pass_name, Module& m) {
+  runChecks(pass_name, m, nullptr, /*reported_changed=*/true);
+}
+
+void PassInstrumentation::runChecks(std::string_view pass_name, Module& m,
+                                    const Pass* pass_obj,
+                                    bool reported_changed) {
   ++step_;
+  // No pass runs for the duration of the checks, so each function needs at
+  // most one hash validation across all stages (the verifier's fused walk
+  // covers the analysis queries and the contract reconcile).
+  AnalysisFreezeScope freeze(manager());
   const std::string pass(pass_name);
   const auto fail = [&](const char* stage, std::string detail) {
     PassFailure f;
@@ -43,12 +71,35 @@ void PassInstrumentation::afterPass(std::string_view pass_name, Module& m) {
   };
 
   if (options_.verify) {
-    const VerifyResult r = verifyModule(m);
+    const VerifyResult r = options_.fast_verify
+                               ? activeFastVerifier().verify(m, manager())
+                               : verifyModule(m);
     if (!r.ok()) {
       fail("verify", r.message());
       // Structurally broken IR: linting it would double-report the damage
       // and interpreting it is unsafe, so stop checking this step here.
+      // The skipped reconcile leaves the pre-pass snapshot armed; drop it
+      // so a continued sequence rehashes instead of misattributing this
+      // pass's damage to the next one.
+      if (options_.contracts) manager().disarmBoundary();
       return;
+    }
+  }
+
+  if (options_.contracts) {
+    if (pass_obj != nullptr) {
+      // The fast-verify stage just hash-validated every defined function's
+      // cache entry, so the reconcile can trust those fingerprints instead
+      // of walking the module a second time.
+      const bool trust = options_.verify && options_.fast_verify;
+      const BoundaryReport report = manager().reconcileBoundary(
+          m, pass_obj->preserved(), reported_changed, trust);
+      for (const ContractViolation& v : report.violations)
+        fail("contract", v.detail);
+    } else {
+      // No pass object means no declarations to reconcile; disarm so the
+      // next boundary snapshots the actual (possibly mutated) state.
+      manager().disarmBoundary();
     }
   }
 

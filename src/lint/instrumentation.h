@@ -13,16 +13,28 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/analysis_manager.h"
+#include "analysis/fast_verifier.h"
 #include "lint/diagnostic.h"
 #include "lint/oracle.h"
 
 namespace posetrl {
 
 class Module;
+class Pass;
 
 /// Which checks run after each pass.
 struct InstrumentOptions {
   bool verify = true;   ///< Structural verifier (ir/verifier.h).
+  /// Use the incremental fast verifier (analysis/fast_verifier.h) for the
+  /// verify stage instead of the full O(n^2) one. Same check coverage;
+  /// unchanged functions are skipped via content hashes.
+  bool fast_verify = true;
+  /// Diff each pass's declared preserved analyses (Pass::preserved) against
+  /// the observed IR delta and fail the pass on a broken promise. Needs the
+  /// beforePass/afterPass(Pass&,...) entry points; the name-only afterPass
+  /// overload cannot attribute contracts and skips this stage.
+  bool contracts = false;
   bool lint = false;    ///< Semantic lint checkers (lint/lint.h).
   bool oracle = false;  ///< Differential behaviour oracle (lint/oracle.h).
   /// Lint findings at or above this severity count as failures (milder ones
@@ -31,6 +43,18 @@ struct InstrumentOptions {
   /// Abort the process on the first failure (fatalError with the offending
   /// pass name) instead of recording and continuing.
   bool abort_on_failure = false;
+  /// Externally owned fast verifier to use instead of this instrumentation's
+  /// private one. Lets an owner with a longer lifetime (PhaseOrderEnv) keep
+  /// the clean-hash skip cache warm across per-action instrumentation
+  /// instances; the owner must clearCache() whenever the module object is
+  /// replaced (reset, rollback).
+  FastVerifier* shared_fast_verifier = nullptr;
+  /// Keep an armed boundary snapshot across beginSequence instead of
+  /// disarming it. Only safe when the caller guarantees the module is not
+  /// mutated between instrumented sequences (the environment's step loop
+  /// does: between-action work is read-only and every module swap runs
+  /// invalidateAll, which disarms).
+  bool trust_armed_boundary = false;
   OracleOptions oracle_options;
 };
 
@@ -64,8 +88,17 @@ class PassInstrumentation {
   /// findings are attributed) and oracle behaviour baseline.
   void beginSequence(Module& m);
 
+  /// Records the pass-boundary fingerprint snapshot for the contract
+  /// checker. Called by runPasses right before each pass runs.
+  void beforePass(const Pass& pass, Module& m);
+
   /// Runs the configured checks on \p m, attributing anything new to
-  /// \p pass_name. Called by runPassSequence after every pass.
+  /// \p pass; \p reported_changed is the pass's own run() return value
+  /// (a changed=false lie is a contract violation).
+  void afterPass(const Pass& pass, Module& m, bool reported_changed);
+
+  /// Name-only variant for callers without a Pass object; runs every stage
+  /// except the contract checker.
   void afterPass(std::string_view pass_name, Module& m);
 
   std::size_t stepsRun() const { return step_; }
@@ -80,13 +113,33 @@ class PassInstrumentation {
   /// {"steps": N, "failures": [...], "diagnostics": [...]}.
   std::string toJson() const;
 
+  /// The analysis manager the verify/contract stages use: the ambient
+  /// scope-installed one when a pipeline owner (e.g. PhaseOrderEnv)
+  /// provides it, else a private fallback.
+  AnalysisManager& manager() { return AnalysisManager::currentOr(local_am_); }
+  const FastVerifier& fastVerifier() const {
+    return options_.shared_fast_verifier != nullptr
+               ? *options_.shared_fast_verifier
+               : fast_verifier_;
+  }
+
  private:
+  void runChecks(std::string_view pass_name, Module& m, const Pass* pass,
+                 bool reported_changed);
+  FastVerifier& activeFastVerifier() {
+    return options_.shared_fast_verifier != nullptr
+               ? *options_.shared_fast_verifier
+               : fast_verifier_;
+  }
+
   InstrumentOptions options_;
   MiscompileOracle oracle_;
   LintReport last_lint_;
   std::size_t step_ = 0;
   std::vector<PassFailure> failures_;
   std::vector<AttributedDiagnostic> attributed_;
+  AnalysisManager local_am_;
+  FastVerifier fast_verifier_;
 };
 
 }  // namespace posetrl

@@ -20,6 +20,10 @@ namespace {
 class DCEPass : public FunctionPass {
  public:
   std::string_view name() const override { return "dce"; }
+  // Deletes unused instructions only; terminators are never dead.
+  PreservedAnalyses preserved() const override {
+    return PreservedAnalyses::cfg();
+  }
 
  protected:
   bool runOnFunction(Function& f) override {
@@ -37,6 +41,10 @@ bool isLiveRoot(const Instruction& inst) {
 class ADCEPass : public FunctionPass {
  public:
   std::string_view name() const override { return "adce"; }
+  // Liveness roots include every terminator, so control flow is kept.
+  PreservedAnalyses preserved() const override {
+    return PreservedAnalyses::cfg();
+  }
 
  protected:
   bool runOnFunction(Function& f) override {
@@ -92,6 +100,9 @@ class ADCEPass : public FunctionPass {
 class BDCEPass : public FunctionPass {
  public:
   std::string_view name() const override { return "bdce"; }
+  PreservedAnalyses preserved() const override {
+    return PreservedAnalyses::cfg();
+  }
 
  protected:
   bool runOnFunction(Function& f) override {

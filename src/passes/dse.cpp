@@ -18,6 +18,10 @@ namespace {
 class DSEPass : public FunctionPass {
  public:
   std::string_view name() const override { return "dse"; }
+  // Erases dead stores only; never touches control flow.
+  PreservedAnalyses preserved() const override {
+    return PreservedAnalyses::cfg();
+  }
 
  protected:
   bool runOnFunction(Function& f) override {

@@ -11,6 +11,7 @@
 #include <set>
 #include <vector>
 
+#include "analysis/analysis_manager.h"
 #include "analysis/dominators.h"
 #include "ir/basic_block.h"
 #include "ir/function.h"
@@ -96,7 +97,9 @@ class CseEngine {
     }
     allow_global_loads_ = cfg_.cross_block_loads && !function_writes;
 
-    DominatorTree dt(f_);
+    AnalysisManager local_am;
+    const DominatorTree& dt =
+        AnalysisManager::currentOr(local_am).dominators(f_);
     dfs(f_.entry(), dt);
     changed_ |= deleteDeadInstructions(f_);
     return changed_;

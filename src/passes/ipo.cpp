@@ -261,12 +261,20 @@ bool deduceMemoryAttrs(Module& m) {
 class FunctionAttrsPass : public Pass {
  public:
   std::string_view name() const override { return "functionattrs"; }
+  // Attribute-only: the IR fingerprint ignores function attrs, so a full
+  // preserve claim is honest even when attrs change.
+  PreservedAnalyses preserved() const override {
+    return PreservedAnalyses::all();
+  }
   bool run(Module& m) override { return deduceMemoryAttrs(m); }
 };
 
 class RPOFunctionAttrsPass : public Pass {
  public:
   std::string_view name() const override { return "rpo-functionattrs"; }
+  PreservedAnalyses preserved() const override {
+    return PreservedAnalyses::all();
+  }
   bool run(Module& m) override {
     // Two sweeps approximate the RPO-over-SCC refinement.
     bool changed = deduceMemoryAttrs(m);
@@ -280,6 +288,9 @@ class RPOFunctionAttrsPass : public Pass {
 class PruneEHPass : public Pass {
  public:
   std::string_view name() const override { return "prune-eh"; }
+  PreservedAnalyses preserved() const override {
+    return PreservedAnalyses::all();
+  }
   bool run(Module& m) override {
     bool changed = false;
     CallGraph cg(m);
@@ -380,6 +391,9 @@ class AttributorPass : public Pass {
 class InferAttrsPass : public Pass {
  public:
   std::string_view name() const override { return "inferattrs"; }
+  PreservedAnalyses preserved() const override {
+    return PreservedAnalyses::all();
+  }
   bool run(Module& m) override {
     bool changed = false;
     for (auto it = m.functionsBegin(); it != m.functionsEnd(); ++it) {
@@ -411,6 +425,9 @@ class InferAttrsPass : public Pass {
 class ForceAttrsPass : public Pass {
  public:
   std::string_view name() const override { return "forceattrs"; }
+  PreservedAnalyses preserved() const override {
+    return PreservedAnalyses::all();
+  }
   // Applies -force-attribute command-line overrides in LLVM; none here.
   bool run(Module&) override { return false; }
 };
@@ -691,6 +708,9 @@ class ConstMergePass : public Pass {
 class ElimAvailExternPass : public Pass {
  public:
   std::string_view name() const override { return "elim-avail-extern"; }
+  PreservedAnalyses preserved() const override {
+    return PreservedAnalyses::all();
+  }
   // MiniIR has no available_externally linkage; structurally a no-op.
   bool run(Module&) override { return false; }
 };
@@ -698,6 +718,9 @@ class ElimAvailExternPass : public Pass {
 class BarrierPass : public Pass {
  public:
   std::string_view name() const override { return "barrier"; }
+  PreservedAnalyses preserved() const override {
+    return PreservedAnalyses::all();
+  }
   // Pass-manager boundary marker in LLVM; no IR effect.
   bool run(Module&) override { return false; }
 };
@@ -705,6 +728,9 @@ class BarrierPass : public Pass {
 class EEInstrumentPass : public Pass {
  public:
   std::string_view name() const override { return "ee-instrument"; }
+  PreservedAnalyses preserved() const override {
+    return PreservedAnalyses::all();
+  }
   // Inserts mcount-style instrumentation only under explicit flags in
   // LLVM-10; at -Oz it performs no IR change.
   bool run(Module&) override { return false; }

@@ -7,6 +7,7 @@
 #include <set>
 #include <vector>
 
+#include "analysis/analysis_manager.h"
 #include "analysis/dominators.h"
 #include "analysis/loop_info.h"
 #include "ir/basic_block.h"
@@ -23,12 +24,16 @@ namespace {
 class LICMPass : public FunctionPass {
  public:
   std::string_view name() const override { return "licm"; }
+  // Moves invariant instructions to existing preheaders; CFG untouched.
+  PreservedAnalyses preserved() const override {
+    return PreservedAnalyses::cfg();
+  }
 
  protected:
   bool runOnFunction(Function& f) override {
     bool changed = false;
-    DominatorTree dt(f);
-    LoopInfo li(f, dt);
+    AnalysisManager local_am;
+    const LoopInfo& li = AnalysisManager::currentOr(local_am).loopInfo(f);
     // Outermost-first so hoisted code can keep moving outward on later
     // iterations of the inner loops' own processing.
     auto loops = li.loopsInnermostFirst();
@@ -92,6 +97,10 @@ class LICMPass : public FunctionPass {
       case Opcode::Load: {
         if (loop_writes) return false;
         // Must be guaranteed to execute: block dominates the latch.
+        // Deliberately NOT routed through the ambient AnalysisManager: by
+        // this point the pass has moved instructions, and re-querying the
+        // manager for this function would destroy the cached LoopInfo whose
+        // Loop objects runOnFunction is still iterating.
         DominatorTree dt(*inst.function());
         BasicBlock* latch = loop.singleLatch();
         if (latch == nullptr) return false;
@@ -108,12 +117,15 @@ class LICMPass : public FunctionPass {
 class LoopSinkPass : public FunctionPass {
  public:
   std::string_view name() const override { return "loop-sink"; }
+  PreservedAnalyses preserved() const override {
+    return PreservedAnalyses::cfg();
+  }
 
  protected:
   bool runOnFunction(Function& f) override {
     bool changed = false;
-    DominatorTree dt(f);
-    LoopInfo li(f, dt);
+    AnalysisManager local_am;
+    const LoopInfo& li = AnalysisManager::currentOr(local_am).loopInfo(f);
     for (Loop* loop : li.loopsInnermostFirst()) {
       changed |= sinkFromLoop(*loop);
     }

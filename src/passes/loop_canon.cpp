@@ -7,6 +7,7 @@
 #include <set>
 #include <vector>
 
+#include "analysis/analysis_manager.h"
 #include "analysis/dominators.h"
 #include "analysis/loop_info.h"
 #include "ir/basic_block.h"
@@ -71,10 +72,12 @@ class LoopSimplifyPass : public FunctionPass {
  protected:
   bool runOnFunction(Function& f) override {
     bool changed = removeUnreachableBlocks(f);
-    // Loop structures change as we edit; iterate until stable.
+    AnalysisManager local_am;
+    AnalysisManager& am = AnalysisManager::currentOr(local_am);
+    // Loop structures change as we edit; re-query until stable (the manager
+    // rebuilds automatically once the function hash moves).
     for (int round = 0; round < 8; ++round) {
-      DominatorTree dt(f);
-      LoopInfo li(f, dt);
+      const LoopInfo& li = am.loopInfo(f);
       bool local = false;
       for (Loop* loop : li.loopsInnermostFirst()) {
         // 1. Preheader.
@@ -129,8 +132,10 @@ class LCSSAPass : public FunctionPass {
  protected:
   bool runOnFunction(Function& f) override {
     bool changed = false;
-    DominatorTree dt(f);
-    LoopInfo li(f, dt);
+    AnalysisManager local_am;
+    AnalysisManager& am = AnalysisManager::currentOr(local_am);
+    const DominatorTree& dt = am.dominators(f);
+    const LoopInfo& li = am.loopInfo(f);
     for (Loop* loop : li.loopsInnermostFirst()) {
       changed |= runOnLoop(*loop, dt, f);
     }
@@ -230,9 +235,10 @@ class LoopRotatePass : public FunctionPass {
  protected:
   bool runOnFunction(Function& f) override {
     bool changed = false;
+    AnalysisManager local_am;
+    AnalysisManager& am = AnalysisManager::currentOr(local_am);
     for (int round = 0; round < 4; ++round) {
-      DominatorTree dt(f);
-      LoopInfo li(f, dt);
+      const LoopInfo& li = am.loopInfo(f);
       bool local = false;
       for (Loop* loop : li.loopsInnermostFirst()) {
         if (rotate(*loop, f)) {

@@ -9,6 +9,7 @@
 #include <set>
 #include <vector>
 
+#include "analysis/analysis_manager.h"
 #include "analysis/dominators.h"
 #include "analysis/loop_info.h"
 #include "ir/basic_block.h"
@@ -69,9 +70,10 @@ class LoopDeletionPass : public FunctionPass {
  protected:
   bool runOnFunction(Function& f) override {
     bool changed = false;
+    AnalysisManager local_am;
+    AnalysisManager& am = AnalysisManager::currentOr(local_am);
     for (int round = 0; round < 8; ++round) {
-      DominatorTree dt(f);
-      LoopInfo li(f, dt);
+      const LoopInfo& li = am.loopInfo(f);
       bool local = false;
       for (Loop* loop : li.loopsInnermostFirst()) {
         if (tryDelete(*loop, f)) {
@@ -141,8 +143,8 @@ class IndVarSimplifyPass : public FunctionPass {
  protected:
   bool runOnFunction(Function& f) override {
     bool changed = false;
-    DominatorTree dt(f);
-    LoopInfo li(f, dt);
+    AnalysisManager local_am;
+    const LoopInfo& li = AnalysisManager::currentOr(local_am).loopInfo(f);
     Module& m = *f.parent();
     for (Loop* loop : li.loopsInnermostFirst()) {
       CountedLoop cl;
@@ -191,9 +193,10 @@ class LoopIdiomPass : public FunctionPass {
  protected:
   bool runOnFunction(Function& f) override {
     bool changed = false;
+    AnalysisManager local_am;
+    AnalysisManager& am = AnalysisManager::currentOr(local_am);
     for (int round = 0; round < 4; ++round) {
-      DominatorTree dt(f);
-      LoopInfo li(f, dt);
+      const LoopInfo& li = am.loopInfo(f);
       bool local = false;
       for (Loop* loop : li.loopsInnermostFirst()) {
         if (tryMemset(*loop, f)) {
@@ -345,8 +348,8 @@ class LoopLoadElimPass : public FunctionPass {
  protected:
   bool runOnFunction(Function& f) override {
     bool changed = false;
-    DominatorTree dt(f);
-    LoopInfo li(f, dt);
+    AnalysisManager local_am;
+    const LoopInfo& li = AnalysisManager::currentOr(local_am).loopInfo(f);
     Module& m = *f.parent();
     for (Loop* loop : li.loopsInnermostFirst()) {
       if (loop->blocks().size() != 1) continue;

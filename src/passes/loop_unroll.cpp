@@ -11,6 +11,7 @@
 #include <map>
 #include <vector>
 
+#include "analysis/analysis_manager.h"
 #include "analysis/dominators.h"
 #include "analysis/loop_info.h"
 #include "ir/basic_block.h"
@@ -44,9 +45,10 @@ class LoopUnrollPass : public FunctionPass {
  protected:
   bool runOnFunction(Function& f) override {
     bool changed = false;
+    AnalysisManager local_am;
+    AnalysisManager& am = AnalysisManager::currentOr(local_am);
     for (int round = 0; round < 8; ++round) {
-      DominatorTree dt(f);
-      LoopInfo li(f, dt);
+      const LoopInfo& li = am.loopInfo(f);
       bool local = false;
       for (Loop* loop : li.loopsInnermostFirst()) {
         if (fullyUnroll(*loop, f)) {

@@ -8,6 +8,7 @@
 #include <set>
 #include <vector>
 
+#include "analysis/analysis_manager.h"
 #include "analysis/dominators.h"
 #include "analysis/loop_info.h"
 #include "ir/basic_block.h"
@@ -39,9 +40,10 @@ class LoopUnswitchPass : public FunctionPass {
     // Cost-capped like LLVM: at most a few unswitches per run, bounding
     // size growth.
     bool changed = false;
+    AnalysisManager local_am;
+    AnalysisManager& am = AnalysisManager::currentOr(local_am);
     for (int round = 0; round < max_unswitches_; ++round) {
-      DominatorTree dt(f);
-      LoopInfo li(f, dt);
+      const LoopInfo& li = am.loopInfo(f);
       bool local = false;
       for (Loop* loop : li.loopsInnermostFirst()) {
         if (unswitch(*loop, f)) {

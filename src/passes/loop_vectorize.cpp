@@ -16,6 +16,7 @@
 #include <set>
 #include <vector>
 
+#include "analysis/analysis_manager.h"
 #include "analysis/dominators.h"
 #include "analysis/loop_info.h"
 #include "ir/basic_block.h"
@@ -63,9 +64,10 @@ class LoopVectorizePass : public FunctionPass {
  protected:
   bool runOnFunction(Function& f) override {
     bool changed = false;
+    AnalysisManager local_am;
+    AnalysisManager& am = AnalysisManager::currentOr(local_am);
     for (int round = 0; round < 4; ++round) {
-      DominatorTree dt(f);
-      LoopInfo li(f, dt);
+      const LoopInfo& li = am.loopInfo(f);
       bool local = false;
       for (Loop* loop : li.loopsInnermostFirst()) {
         if (vectorize(*loop, f)) {
@@ -208,8 +210,8 @@ class LoopDistributePass : public FunctionPass {
 
  protected:
   bool runOnFunction(Function& f) override {
-    DominatorTree dt(f);
-    LoopInfo li(f, dt);
+    AnalysisManager local_am;
+    const LoopInfo& li = AnalysisManager::currentOr(local_am).loopInfo(f);
     for (Loop* loop : li.loopsInnermostFirst()) {
       if (distribute(*loop, f)) return true;  // One split per run.
     }

@@ -8,6 +8,7 @@
 #include <set>
 #include <vector>
 
+#include "analysis/analysis_manager.h"
 #include "analysis/dominators.h"
 #include "ir/basic_block.h"
 #include "ir/function.h"
@@ -126,7 +127,8 @@ bool promoteAllocas(Function& f) {
     }
   }
   if (promotable.empty()) return changed;
-  DominatorTree dt(f);
+  AnalysisManager local_am;
+  const DominatorTree& dt = AnalysisManager::currentOr(local_am).dominators(f);
   for (AllocaInst* a : promotable) promoteOne(f, a, dt);
   foldTrivialPhis(f);
   deleteDeadInstructions(f);

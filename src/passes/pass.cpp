@@ -179,8 +179,10 @@ bool runPasses(Module& module, const std::vector<Pass*>& passes,
   bool changed = false;
   for (Pass* pass : passes) {
     POSETRL_CHECK(pass != nullptr, "null pass in runPasses");
-    changed |= pass->run(module);
-    if (instr != nullptr) instr->afterPass(pass->name(), module);
+    if (instr != nullptr) instr->beforePass(*pass, module);
+    const bool pass_changed = pass->run(module);
+    changed |= pass_changed;
+    if (instr != nullptr) instr->afterPass(*pass, module, pass_changed);
   }
   return changed;
 }

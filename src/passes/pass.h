@@ -12,6 +12,8 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/analysis_manager.h"
+
 namespace posetrl {
 
 class Module;
@@ -28,6 +30,17 @@ class Pass {
 
   /// Runs the transformation; returns true when the IR changed.
   virtual bool run(Module& module) = 0;
+
+  /// Analyses this pass promises to keep valid across run(). The default is
+  /// the safe answer (nothing); a pass opts in per analysis, and the
+  /// pass-contract checker diffs the declaration against the observed IR
+  /// delta at every pass boundary — a pass that promises more than it keeps
+  /// is flagged with its name attached. Cache invalidation itself never
+  /// trusts this (it is hash-driven), so a wrong declaration can only
+  /// produce a contract report, not a miscompile.
+  virtual PreservedAnalyses preserved() const {
+    return PreservedAnalyses::none();
+  }
 };
 
 /// Convenience base for per-function transformations.

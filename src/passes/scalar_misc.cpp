@@ -9,6 +9,7 @@
 #include <set>
 #include <vector>
 
+#include "analysis/analysis_manager.h"
 #include "analysis/dominators.h"
 #include "ir/basic_block.h"
 #include "ir/function.h"
@@ -26,6 +27,10 @@ namespace {
 class SpeculativeExecutionPass : public FunctionPass {
  public:
   std::string_view name() const override { return "speculative-execution"; }
+  // Hoists instructions into existing predecessors; CFG untouched.
+  PreservedAnalyses preserved() const override {
+    return PreservedAnalyses::cfg();
+  }
 
   static constexpr std::size_t kMaxHoist = 4;
 
@@ -149,12 +154,18 @@ class JumpThreadingPass : public FunctionPass {
 class CorrelatedPropagationPass : public FunctionPass {
  public:
   std::string_view name() const override { return "correlated-propagation"; }
+  // Rewrites comparison operands to constants; branches stay in place.
+  PreservedAnalyses preserved() const override {
+    return PreservedAnalyses::cfg();
+  }
 
  protected:
   bool runOnFunction(Function& f) override {
     bool changed = false;
     Module& m = *f.parent();
-    DominatorTree dt(f);
+    AnalysisManager local_am;
+    const DominatorTree& dt =
+        AnalysisManager::currentOr(local_am).dominators(f);
     for (const auto& bb : f.blocks()) {
       auto* cbr = dynCast<CondBrInst>(bb->terminator());
       if (cbr == nullptr) continue;
@@ -282,6 +293,9 @@ class TailCallElimPass : public FunctionPass {
 class Float2IntPass : public FunctionPass {
  public:
   std::string_view name() const override { return "float2int"; }
+  PreservedAnalyses preserved() const override {
+    return PreservedAnalyses::cfg();
+  }
 
  protected:
   bool runOnFunction(Function& f) override {
@@ -368,11 +382,16 @@ class Float2IntPass : public FunctionPass {
 class DivRemPairsPass : public FunctionPass {
  public:
   std::string_view name() const override { return "div-rem-pairs"; }
+  PreservedAnalyses preserved() const override {
+    return PreservedAnalyses::cfg();
+  }
 
  protected:
   bool runOnFunction(Function& f) override {
     Module& m = *f.parent();
-    DominatorTree dt(f);
+    AnalysisManager local_am;
+    const DominatorTree& dt =
+        AnalysisManager::currentOr(local_am).dominators(f);
     bool changed = false;
     // Collect divisions first.
     std::vector<Instruction*> divs;
@@ -418,6 +437,9 @@ class DivRemPairsPass : public FunctionPass {
 class LowerExpectPass : public FunctionPass {
  public:
   std::string_view name() const override { return "lower-expect"; }
+  PreservedAnalyses preserved() const override {
+    return PreservedAnalyses::cfg();
+  }
 
  protected:
   bool runOnFunction(Function& f) override {
@@ -447,6 +469,9 @@ class LowerConstantIntrinsicsPass : public FunctionPass {
  public:
   std::string_view name() const override {
     return "lower-constant-intrinsics";
+  }
+  PreservedAnalyses preserved() const override {
+    return PreservedAnalyses::cfg();
   }
 
  protected:
@@ -482,6 +507,9 @@ class AlignmentFromAssumptionsPass : public FunctionPass {
  public:
   std::string_view name() const override {
     return "alignment-from-assumptions";
+  }
+  PreservedAnalyses preserved() const override {
+    return PreservedAnalyses::cfg();
   }
 
  protected:
@@ -544,6 +572,9 @@ class AlignmentFromAssumptionsPass : public FunctionPass {
 class MemCpyOptPass : public FunctionPass {
  public:
   std::string_view name() const override { return "memcpyopt"; }
+  PreservedAnalyses preserved() const override {
+    return PreservedAnalyses::cfg();
+  }
 
   static constexpr std::size_t kMinRun = 4;
 
@@ -655,6 +686,10 @@ class MemCpyOptPass : public FunctionPass {
 class MLSMPass : public FunctionPass {
  public:
   std::string_view name() const override { return "mldst-motion"; }
+  // Sinks/hoists memory ops between existing diamond blocks.
+  PreservedAnalyses preserved() const override {
+    return PreservedAnalyses::cfg();
+  }
 
  protected:
   bool runOnFunction(Function& f) override {

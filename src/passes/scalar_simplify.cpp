@@ -265,6 +265,10 @@ class InstCombinePass : public FunctionPass {
 class ReassociatePass : public FunctionPass {
  public:
   std::string_view name() const override { return "reassociate"; }
+  // Reorders operand chains; no control-flow edits.
+  PreservedAnalyses preserved() const override {
+    return PreservedAnalyses::cfg();
+  }
 
  protected:
   bool runOnFunction(Function& f) override {

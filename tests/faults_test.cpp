@@ -166,7 +166,11 @@ TEST(SandboxTest, VerifyFailureAttributedAndRolledBack) {
   SandboxConfig cfg;
   cfg.verify = true;
   // PR 1's injected IR breaker lives in lint_test; the miscompile pass is
-  // verifier-clean, so use the oracle to catch it instead.
+  // verifier-clean, so use the oracle to catch it instead. Contracts are
+  // off here so the oracle path stays exercised — with them on, the pass's
+  // lying preserved() declaration is caught statically first (covered in
+  // dataflow_test).
+  cfg.contracts = false;
   cfg.oracle = true;
   const SandboxOutcome out =
       runActionSandboxed(m, {"fault-miscompile"}, cfg);

@@ -4,21 +4,45 @@
 # containment and serving layers. Mirrors what CI would run; exits non-zero
 # on the first failure.
 #
-# Usage: tools/check.sh [--tsan] [build-dir]   (default build dir: build)
+# Usage: tools/check.sh [--tsan] [--asan] [--ubsan] [--tidy] [--bench]
+#                       [build-dir]                (default build dir: build)
 #
 #   --tsan   additionally rebuild with -DPOSETRL_SANITIZE=thread (in
 #            <build-dir>-tsan) and rerun the concurrent serving stress under
 #            ThreadSanitizer.
+#   --asan   rebuild with -DPOSETRL_SANITIZE=address (in <build-dir>-asan)
+#            and rerun the test suite + fault-containment smoke under
+#            AddressSanitizer (rollback/ownership hand-off coverage).
+#   --ubsan  same with -DPOSETRL_SANITIZE=undefined (in <build-dir>-ubsan).
+#   --tidy   run clang-tidy (profile: .clang-tidy) over src/ using the
+#            build dir's compile_commands.json; skipped with a note when
+#            clang-tidy is not installed.
+#   --bench  run bench/perf_report and write BENCH_<commit>.json at the repo
+#            root (train steps/sec, verifier ns/instr, analysis cache hit
+#            rate, GEMM GFLOP/s); fails the gate if the default-on verifier
+#            + contract checker cost >= 10% training throughput.
 
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 TSAN=0
-if [[ "${1:-}" == "--tsan" ]]; then
-  TSAN=1
-  shift
-fi
-BUILD="${1:-$ROOT/build}"
+ASAN=0
+UBSAN=0
+TIDY=0
+BENCH=0
+BUILD=""
+for arg in "$@"; do
+  case "$arg" in
+    --tsan)  TSAN=1 ;;
+    --asan)  ASAN=1 ;;
+    --ubsan) UBSAN=1 ;;
+    --tidy)  TIDY=1 ;;
+    --bench) BENCH=1 ;;
+    --*)     echo "unknown flag: $arg" >&2; exit 2 ;;
+    *)       BUILD="$arg" ;;
+  esac
+done
+BUILD="${BUILD:-$ROOT/build}"
 
 # Reads "key=value" lines (opt_driver --kv / serve_driver --kv) and prints
 # the value for $2, or "missing" when the key is absent. A stable contract:
@@ -172,6 +196,96 @@ if [[ $TSAN -eq 1 ]]; then
     echo "FAIL tsan parallel training"
     status=1
   fi
+fi
+
+# Rebuilds with the given sanitizer (separate build dir) and reruns the unit
+# tests plus the fault-containment smoke under it. The smoke matters: the
+# sandbox's snapshot/rollback paths are exactly where ownership hand-off and
+# UB bugs would hide.
+sanitizer_stage() {
+  local pretty="$1" value="$2" suffix="$3" optvar="$4"
+  echo "== tests under ${pretty} =="
+  local SB="${BUILD}-${suffix}"
+  cmake -B "$SB" -S "$ROOT" -DPOSETRL_SANITIZE="$value" >/dev/null
+  cmake --build "$SB" -j"$(nproc)" --target posetrl_tests opt_driver
+  if env "${optvar}=halt_on_error=1" "$SB/tests/posetrl_tests" >/dev/null; then
+    echo "ok   ${suffix} unit tests"
+  else
+    echo "FAIL ${suffix} unit tests"
+    status=1
+  fi
+  if env "${optvar}=halt_on_error=1" "$SB/examples/opt_driver" \
+      --selftest --train 200 --inject-faults --quiet --kv >/dev/null; then
+    echo "ok   ${suffix} fault-containment smoke"
+  else
+    echo "FAIL ${suffix} fault-containment smoke"
+    status=1
+  fi
+}
+
+if [[ $ASAN -eq 1 ]]; then
+  sanitizer_stage "AddressSanitizer" address asan ASAN_OPTIONS
+fi
+
+if [[ $UBSAN -eq 1 ]]; then
+  sanitizer_stage "UndefinedBehaviorSanitizer" undefined ubsan UBSAN_OPTIONS
+fi
+
+if [[ $TIDY -eq 1 ]]; then
+  echo "== clang-tidy =="
+  # The container image this repo usually builds in has no clang-tidy; the
+  # stage degrades to an explicit skip so --tidy is safe to leave in CI
+  # configs and picks the linter up wherever it exists.
+  if command -v clang-tidy >/dev/null 2>&1; then
+    if [[ ! -f "$BUILD/compile_commands.json" ]]; then
+      echo "FAIL tidy: $BUILD/compile_commands.json missing"
+      status=1
+    else
+      mapfile -t TIDY_SRCS < <(find "$ROOT/src" -name '*.cpp' | sort)
+      if clang-tidy -p "$BUILD" --quiet "${TIDY_SRCS[@]}"; then
+        echo "ok   clang-tidy (${#TIDY_SRCS[@]} files, profile .clang-tidy)"
+      else
+        echo "FAIL clang-tidy reported findings"
+        status=1
+      fi
+    fi
+  else
+    echo "skip clang-tidy: not installed on this machine"
+  fi
+fi
+
+if [[ $BENCH -eq 1 ]]; then
+  echo "== bench report =="
+  PERF="$("$BUILD/bench/perf_report")"
+  echo "$PERF"
+  overhead="$(kv "$PERF" verify_overhead_pct)"
+  if [[ "$overhead" == "missing" ]]; then
+    echo "FAIL bench: perf_report did not print verify_overhead_pct"
+    status=1
+  elif awk -v o="$overhead" 'BEGIN { exit !(o < 10.0) }'; then
+    echo "ok   verifier+contract overhead ${overhead}% (< 10% budget)"
+  else
+    echo "FAIL verifier+contract overhead ${overhead}% (>= 10% budget)"
+    status=1
+  fi
+  commit="$(git -C "$ROOT" rev-parse --short HEAD 2>/dev/null || echo nogit)"
+  out="$ROOT/BENCH_${commit}.json"
+  {
+    printf '{\n'
+    printf '  "commit": "%s",\n' "$commit"
+    printf '  "train_steps_per_sec": %s,\n' "$(kv "$PERF" train_steps_per_sec)"
+    printf '  "train_steps_per_sec_unchecked": %s,\n' \
+        "$(kv "$PERF" train_steps_per_sec_unchecked)"
+    printf '  "verify_overhead_pct": %s,\n' "$(kv "$PERF" verify_overhead_pct)"
+    printf '  "analysis_cache_hit_rate": %s,\n' \
+        "$(kv "$PERF" analysis_cache_hit_rate)"
+    printf '  "contract_checks": %s,\n' "$(kv "$PERF" contract_checks)"
+    printf '  "verifier_ns_per_instr": %s,\n' \
+        "$(kv "$PERF" verifier_ns_per_instr)"
+    printf '  "gemm_gflops": %s\n' "$(kv "$PERF" gemm_gflops)"
+    printf '}\n'
+  } > "$out"
+  echo "ok   wrote $(basename "$out")"
 fi
 
 if [[ $status -eq 0 ]]; then
