@@ -110,12 +110,7 @@ struct Actor {
       ++steps;
     }
     if (config.agent.mc_returns) {
-      double g = 0.0;
-      for (auto it = episode.rbegin(); it != episode.rend(); ++it) {
-        g = it->reward + config.agent.gamma * g;
-        it->mc_return = g;
-        it->use_mc = true;
-      }
+      annotateMonteCarloReturns(episode, config.agent.gamma);
     }
     replay.pushEpisode(index, std::move(episode));
     ran_episode = true;

@@ -134,12 +134,7 @@ TrainResult runTraining(const std::vector<const Module*>& corpus,
     // Attach Monte-Carlo returns (discounted reward-to-go) when enabled,
     // then feed the episode into the replay memory.
     if (config.agent.mc_returns) {
-      double g = 0.0;
-      for (auto it = episode.rbegin(); it != episode.rend(); ++it) {
-        g = it->reward + config.agent.gamma * g;
-        it->mc_return = g;
-        it->use_mc = true;
-      }
+      annotateMonteCarloReturns(episode, config.agent.gamma);
     }
     for (Transition& t : episode) agent.observe(std::move(t));
     result.stats.episode_rewards.push_back(episode_reward);

@@ -1,0 +1,121 @@
+#include "online/batcher.h"
+
+#include <algorithm>
+
+#include "online/snapshot.h"
+#include "support/error.h"
+
+namespace posetrl {
+
+InferenceBatcher::InferenceBatcher(BatcherConfig config) : config_(config) {
+  POSETRL_CHECK(config_.max_batch > 0, "batcher needs max_batch >= 1");
+}
+
+InferenceBatcher::~InferenceBatcher() { stop(); }
+
+void InferenceBatcher::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  running_ = true;
+  stopping_ = false;
+  thread_ = std::thread([this] { batcherLoop(); });
+}
+
+void InferenceBatcher::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stopping_ = true;
+  }
+  arrival_cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+  POSETRL_CHECK(queue_.empty(), "batcher stopped with undrained entries");
+}
+
+std::size_t InferenceBatcher::actGreedy(const Mlp& net, std::uint64_t net_key,
+                                        const std::vector<double>& state,
+                                        const std::vector<bool>* blocked) {
+  Entry entry;
+  entry.net = &net;
+  entry.key = net_key;
+  entry.state = &state;
+  entry.blocked = blocked;
+  std::unique_lock<std::mutex> lock(mu_);
+  POSETRL_CHECK(running_ && !stopping_, "actGreedy on a stopped batcher");
+  queue_.push_back(&entry);
+  ++stats_.calls;
+  arrival_cv_.notify_one();
+  done_cv_.wait(lock, [&entry] { return entry.done; });
+  return entry.result;
+}
+
+std::vector<InferenceBatcher::Entry*> InferenceBatcher::takeBatchLocked() {
+  std::vector<Entry*> batch;
+  if (queue_.empty()) return batch;
+  const std::uint64_t key = queue_.front()->key;
+  // Same-key entries may interleave with other keys in the queue during a
+  // hot swap; collect matching ones anywhere in the deque (order within the
+  // batch is irrelevant — each entry gets its own result row).
+  for (auto it = queue_.begin();
+       it != queue_.end() && batch.size() < config_.max_batch;) {
+    if ((*it)->key == key) {
+      batch.push_back(*it);
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return batch;
+}
+
+void InferenceBatcher::runBatch(const std::vector<Entry*>& batch) {
+  const Mlp& net = *batch.front()->net;
+  Matrix x(batch.size(), net.inputSize());
+  for (std::size_t r = 0; r < batch.size(); ++r) {
+    const std::vector<double>& state = *batch[r]->state;
+    POSETRL_CHECK(state.size() == net.inputSize(),
+                  "batched state width must match the network input");
+    std::copy(state.begin(), state.end(), x.data() + r * net.inputSize());
+  }
+  const Matrix q = net.forwardBatch(x);
+  for (std::size_t r = 0; r < batch.size(); ++r) {
+    std::vector<double> row(q.data() + r * q.cols(),
+                            q.data() + (r + 1) * q.cols());
+    batch[r]->result = maskedArgmax(row, batch[r]->blocked);
+  }
+}
+
+void InferenceBatcher::batcherLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    arrival_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stopping and fully drained
+    if (!stopping_ && queue_.size() < config_.max_batch &&
+        config_.max_wait.count() > 0) {
+      // Linger briefly for batch-mates. Waking on every arrival would
+      // restart the clock; a single bounded wait keeps tail latency flat.
+      arrival_cv_.wait_for(lock, config_.max_wait, [this] {
+        return stopping_ || queue_.size() >= config_.max_batch;
+      });
+    }
+    const std::vector<Entry*> batch = takeBatchLocked();
+    if (batch.empty()) continue;
+    ++stats_.batches;
+    stats_.max_batch = std::max(stats_.max_batch, batch.size());
+    if (batch.size() >= 2) stats_.batched_calls += batch.size();
+    lock.unlock();
+    runBatch(batch);
+    lock.lock();
+    for (Entry* entry : batch) entry->done = true;
+    done_cv_.notify_all();
+  }
+}
+
+InferenceBatcher::Stats InferenceBatcher::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace posetrl

@@ -1,0 +1,100 @@
+#pragma once
+
+/// \file batcher.h
+/// Micro-batched greedy inference for the serving layer: concurrent request
+/// workers queue their (network, state, mask) triples and a single batcher
+/// thread runs one Mlp::forwardBatch GEMM over each gathered batch instead
+/// of N independent matVec chains — the PR-5 batch infrastructure, finally
+/// on the serving path (ROADMAP "Online continuous learning").
+///
+/// Correctness contract: results are bit-identical to unbatched inference —
+/// forwardBatch is bit-identical per row to forward(), and the masked
+/// argmax replicates DoubleDqn::actGreedy's tie-breaking. Batches never mix
+/// networks: entries are grouped by the caller-supplied net key (the policy
+/// snapshot version), so a request pinned to snapshot v keeps inferring
+/// under v mid-swap while newer requests batch under v+1.
+///
+/// Shutdown drains: stop() processes every queued entry before the thread
+/// exits, so no in-flight request is ever dropped by a batcher shutdown.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "rl/mlp.h"
+
+namespace posetrl {
+
+struct BatcherConfig {
+  /// Entries gathered per forwardBatch call, at most.
+  std::size_t max_batch = 16;
+  /// After the first entry arrives, how long the batcher waits for more
+  /// before running a partial batch. Zero runs immediately (batches still
+  /// form under bursts because the batcher drains whatever queued while the
+  /// previous GEMM ran).
+  std::chrono::microseconds max_wait{200};
+};
+
+/// Single-threaded micro-batcher over caller-owned networks. Callers must
+/// keep the network alive until their actGreedy() call returns (the serving
+/// layer holds the snapshot pin across the whole request, which covers it).
+class InferenceBatcher {
+ public:
+  explicit InferenceBatcher(BatcherConfig config = {});
+  ~InferenceBatcher();
+  InferenceBatcher(const InferenceBatcher&) = delete;
+  InferenceBatcher& operator=(const InferenceBatcher&) = delete;
+
+  /// Spawns the batcher thread (no-op when already running).
+  void start();
+  /// Drains the queue and joins the thread. Idempotent.
+  void stop();
+
+  /// Blocking greedy inference: queues the entry, wakes the batcher, and
+  /// returns argmax over unblocked actions of net.forward(state) — computed
+  /// inside a batch GEMM shared with whatever else queued. \p net_key
+  /// groups batchable entries (same key == same network). \p blocked may be
+  /// null. Must not be called before start() or after stop().
+  std::size_t actGreedy(const Mlp& net, std::uint64_t net_key,
+                        const std::vector<double>& state,
+                        const std::vector<bool>* blocked);
+
+  struct Stats {
+    std::size_t calls = 0;
+    std::size_t batches = 0;        ///< forwardBatch invocations.
+    std::size_t batched_calls = 0;  ///< Calls served in a batch of >= 2.
+    std::size_t max_batch = 0;      ///< Largest batch observed.
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    const Mlp* net = nullptr;
+    std::uint64_t key = 0;
+    const std::vector<double>* state = nullptr;
+    const std::vector<bool>* blocked = nullptr;
+    std::size_t result = 0;
+    bool done = false;
+  };
+
+  void batcherLoop();
+  /// Pops one same-key batch off the queue. Caller holds mu_.
+  std::vector<Entry*> takeBatchLocked();
+  void runBatch(const std::vector<Entry*>& batch);
+
+  BatcherConfig config_;
+  mutable std::mutex mu_;
+  std::condition_variable arrival_cv_;  ///< Wakes the batcher thread.
+  std::condition_variable done_cv_;     ///< Wakes callers whose entry ran.
+  std::deque<Entry*> queue_;
+  bool running_ = false;
+  bool stopping_ = false;
+  std::thread thread_;
+  Stats stats_;
+};
+
+}  // namespace posetrl

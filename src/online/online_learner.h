@@ -1,0 +1,192 @@
+#pragma once
+
+/// \file online_learner.h
+/// The online-learning loop behind CompileService (DESIGN.md "Online
+/// learning and policy lifecycle"): served episodes flow in, policy
+/// snapshots flow out, and every hand-off is crash-safe.
+///
+///   workers --ingest()--> WAL (durable) --> learner thread --> replay
+///   shards --> DQN updates --> candidate --> canary gate --> publish()
+///   --> watchdog --observe()--> graduate | breach --> rollback
+///
+/// Durability contract: ingest() appends the episode to the write-ahead log
+/// and enqueues it for the learner under one mutex, so WAL order equals
+/// replay-buffer push order; after a crash, the constructor replays the WAL
+/// into the sharded buffer and rebuilds the exact pre-crash contents (each
+/// record carries its shard index, so recovery is independent of the
+/// original worker threading). Promoted snapshots are persisted atomically;
+/// a restarted service resumes serving the last promoted policy.
+///
+/// Promotion contract: every published version strictly increases — a
+/// rollback does not republish an old pointer, it publishes a *new* version
+/// carrying the last-good weights and `rollback = true`, so in-flight pins
+/// and the version history stay coherent.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/environment.h"
+#include "core/oz_sequence.h"
+#include "online/canary.h"
+#include "online/snapshot.h"
+#include "online/wal.h"
+#include "online/watchdog.h"
+#include "rl/dqn.h"
+#include "rl/replay_buffer.h"
+#include "support/rng.h"
+
+namespace posetrl {
+
+class Module;
+
+struct OnlineLearnerConfig {
+  /// State root: the WAL lives in `dir + "/wal"`, the persisted snapshot in
+  /// `dir` itself. Required.
+  std::string dir;
+  /// Replay shards (ingest distributes episodes round-robin by request id).
+  std::size_t num_shards = 4;
+  std::size_t shard_capacity = 4096;
+  /// WAL tuning (see WalConfig).
+  std::size_t wal_segment_bytes = 4u << 20;
+  std::size_t wal_sync_every = 16;
+  /// Gradient steps per promotion attempt.
+  std::size_t train_batches = 8;
+  /// Ingested episodes between promotion attempts (0 disables automatic
+  /// promotion — candidates then only appear via forcePromote()).
+  std::size_t promote_every = 8;
+  /// Recent request modules cloned for shadow-mode canary evaluation.
+  std::size_t shadow_capacity = 4;
+  CanaryConfig canary;
+  WatchdogConfig watchdog;
+  /// Environment for canary rollouts (sandboxing forced on).
+  EnvConfig env;
+  std::uint64_t seed = 0x0e11a;
+};
+
+/// Monotonic counters; snapshot via OnlineLearner::stats().
+struct OnlineStats {
+  std::size_t recovered_records = 0;  ///< WAL records replayed at startup.
+  bool recovered_torn_tail = false;   ///< Startup replay hit a torn record.
+  std::size_t ingested_episodes = 0;
+  std::size_t ingested_steps = 0;
+  std::size_t trained_batches = 0;
+  std::size_t promotions = 0;   ///< Canary-accepted or forced publishes.
+  std::size_t rejections = 0;   ///< Canary-rejected candidates.
+  std::size_t rollbacks = 0;    ///< Watchdog breaches acted on.
+  std::size_t graduations = 0;  ///< Versions promoted to last-good.
+  std::uint64_t current_version = 0;
+  std::uint64_t last_good_version = 0;
+};
+
+/// Owns the durable ingest path, the background learner, and the policy
+/// lifecycle. One instance per CompileService; the service keeps it alive.
+class OnlineLearner {
+ public:
+  /// \p seed_agent provides the network architecture and the initial
+  /// weights of version 1 (unless a persisted snapshot takes precedence);
+  /// \p actions is the serving action space (canary rollouts replay it).
+  /// The constructor performs full crash recovery: replays the WAL into the
+  /// replay shards and republishes the persisted current snapshot.
+  OnlineLearner(const DoubleDqn& seed_agent, std::vector<SubSequence> actions,
+                OnlineLearnerConfig config);
+  ~OnlineLearner();
+  OnlineLearner(const OnlineLearner&) = delete;
+  OnlineLearner& operator=(const OnlineLearner&) = delete;
+
+  /// Spawns the learner thread (no-op when running).
+  void start();
+  /// Drains pending episodes into the replay shards and joins. Idempotent.
+  void stop();
+  /// Blocks until every episode ingested so far has reached the replay
+  /// shards (the learner must be running).
+  void drain();
+
+  /// Durable ingest: appends \p record to the WAL and queues it for the
+  /// learner. Called by service workers; thread-safe. The episode's
+  /// transitions must already carry Monte-Carlo annotations (the WAL stores
+  /// exactly what the replay buffer will hold).
+  void ingest(EpisodeRecord record);
+
+  /// Feeds one served request to the promotion watchdog; a breach verdict
+  /// triggers an automatic rollback to last-good, a graduation marks the
+  /// armed version last-good. Thread-safe.
+  void observe(const ServeObservation& obs);
+
+  /// Clones \p program into the pinned held-out canary set (call before
+  /// serving starts; not thread-safe against a running learner).
+  void addHoldoutModule(const Module& program);
+  /// Clones \p program into the bounded shadow set of recent real requests
+  /// (called by service workers; thread-safe).
+  void noteRequestModule(const Module& program);
+
+  /// Publishes \p net as a new version without canary gating, arming the
+  /// watchdog — the hook tests and smokes use to inject a known-bad policy
+  /// and exercise the rollback path. Returns the published version.
+  std::uint64_t forcePromote(Mlp net);
+
+  /// Snapshot registry for per-request pins (service side).
+  const SnapshotRegistry& registry() const { return registry_; }
+  std::uint64_t currentVersion() const { return registry_.currentVersion(); }
+
+  std::size_t numShards() const { return buffer_.numShards(); }
+  /// Read access for recovery-equivalence tests (sync points only).
+  const ShardedReplayBuffer& buffer() const { return buffer_; }
+
+  OnlineStats stats() const;
+  /// Last canary rejection reason (empty when none).
+  std::string lastRejectReason() const;
+  TrajectoryWal::Stats walStats() const;
+  SnapshotRegistry::Stats registryStats() const { return registry_.stats(); }
+  PromotionWatchdog::Stats watchdogStats() const { return watchdog_.stats(); }
+
+ private:
+  void learnerLoop();
+  /// Pushes \p record into its replay shard (learner thread only).
+  void applyRecord(EpisodeRecord record);
+  void trainAndMaybePromote();
+  /// Publishes \p net as currentVersion()+1. Caller holds promote_mu_.
+  std::uint64_t promoteLocked(Mlp net, bool rollback, bool arm_watchdog);
+  void rollbackToLastGood();
+
+  std::vector<SubSequence> actions_;
+  OnlineLearnerConfig config_;
+  DoubleDqn agent_;  ///< Learner-owned; trained on the learner thread only.
+  Rng rng_;
+  ShardedReplayBuffer buffer_;
+  SnapshotRegistry registry_;
+  PromotionWatchdog watchdog_;
+  std::unique_ptr<TrajectoryWal> wal_;
+
+  /// Serializes WAL appends with pending-queue pushes (the order contract).
+  mutable std::mutex ingest_mu_;
+  std::condition_variable ingest_cv_;
+  std::deque<EpisodeRecord> pending_;
+  std::condition_variable drained_cv_;
+  std::size_t applied_episodes_ = 0;  ///< Episodes moved into the shards.
+  bool running_ = false;
+  bool stopping_ = false;
+  std::thread learner_;
+
+  /// Serializes publishes, rollback state, and the armed-candidate record.
+  mutable std::mutex promote_mu_;
+  Mlp last_good_net_;
+  std::uint64_t last_good_version_ = 0;
+  Mlp armed_net_;  ///< Weights of the version the watchdog is judging.
+  std::uint64_t armed_version_ = 0;
+  std::string last_reject_reason_;
+
+  mutable std::mutex shadow_mu_;
+  std::deque<std::shared_ptr<const Module>> shadow_;
+  std::vector<std::unique_ptr<const Module>> holdout_;
+
+  mutable std::mutex stats_mu_;
+  OnlineStats stats_;
+};
+
+}  // namespace posetrl

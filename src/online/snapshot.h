@@ -1,0 +1,165 @@
+#pragma once
+
+/// \file snapshot.h
+/// Versioned, immutable policy snapshots and the lock-free hot-swap registry
+/// that serves them (DESIGN.md "Online learning and policy lifecycle").
+///
+/// A PolicySnapshot freezes one version of the policy network: the version
+/// number, a content hash of the weights, the parent snapshot's hash (so the
+/// promotion lineage is a verifiable chain), and a private copy of the Mlp.
+/// Snapshots are immutable after construction — the whole point is that a
+/// request can keep using one while the learner publishes successors.
+///
+/// SnapshotRegistry is the swap point. Readers pin() the current snapshot
+/// (wait-free apart from slot contention: claim a reader slot, stamp the
+/// global epoch, re-validate, load the pointer) and hold the returned RAII
+/// Pin for as long as they use the snapshot — an in-flight request pins once
+/// at admission and finishes on the snapshot it started with, no matter how
+/// many promotions happen meanwhile. publish() swaps the current pointer,
+/// bumps the epoch, and retires the predecessor; a retired snapshot is
+/// reclaimed only once every active reader slot has stamped an epoch at or
+/// past the retirement epoch (epoch-based reclamation — readers never take a
+/// lock, are never blocked by the writer, and never observe a torn or freed
+/// snapshot).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "rl/mlp.h"
+
+namespace posetrl {
+
+/// First-strictly-greatest argmax over \p q, skipping blocked actions when
+/// \p blocked is non-null — exactly DoubleDqn::actGreedy's tie-breaking, so
+/// snapshot-served and agent-served inference pick identical actions for
+/// identical Q-values.
+std::size_t maskedArgmax(const std::vector<double>& q,
+                         const std::vector<bool>* blocked);
+
+/// Stable content hash of a network's inference parameters (weights +
+/// biases, not Adam state): snapshots with equal weights hash equally.
+std::uint64_t hashMlpWeights(const Mlp& net);
+
+/// One immutable published policy version.
+struct PolicySnapshot {
+  std::uint64_t version = 0;
+  std::uint64_t hash = 0;         ///< hashMlpWeights(net).
+  std::uint64_t parent_hash = 0;  ///< Hash of the predecessor (0 = root).
+  bool rollback = false;          ///< Published by an automatic rollback.
+  Mlp net;
+
+  PolicySnapshot(std::uint64_t version, std::uint64_t parent_hash, Mlp net,
+                 bool rollback = false);
+
+  /// Greedy action under this snapshot (pure const, thread-safe).
+  std::size_t actGreedy(const std::vector<double>& state,
+                        const std::vector<bool>* blocked = nullptr) const;
+};
+
+/// Lock-free publication point for policy snapshots (see file comment).
+class SnapshotRegistry {
+ public:
+  /// \p reader_slots bounds the number of *concurrent* pins (not threads —
+  /// slots are claimed per pin and released on unpin).
+  explicit SnapshotRegistry(std::size_t reader_slots = 64);
+  ~SnapshotRegistry();
+  SnapshotRegistry(const SnapshotRegistry&) = delete;
+  SnapshotRegistry& operator=(const SnapshotRegistry&) = delete;
+
+  /// RAII read guard. Movable; the pinned snapshot stays valid (never
+  /// reclaimed, never mutated) until destruction. A default-constructed /
+  /// empty Pin holds nothing.
+  class Pin {
+   public:
+    Pin() = default;
+    Pin(Pin&& other) noexcept { *this = std::move(other); }
+    Pin& operator=(Pin&& other) noexcept;
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+    ~Pin() { release(); }
+
+    const PolicySnapshot* get() const { return snap_; }
+    const PolicySnapshot* operator->() const { return snap_; }
+    const PolicySnapshot& operator*() const { return *snap_; }
+    explicit operator bool() const { return snap_ != nullptr; }
+    void release();
+
+   private:
+    friend class SnapshotRegistry;
+    Pin(const SnapshotRegistry* owner, std::size_t slot,
+        const PolicySnapshot* snap)
+        : owner_(owner), slot_(slot), snap_(snap) {}
+
+    const SnapshotRegistry* owner_ = nullptr;
+    std::size_t slot_ = 0;
+    const PolicySnapshot* snap_ = nullptr;
+  };
+
+  /// Pins the current snapshot (null Pin when nothing is published yet).
+  /// Lock-free: spins only while every reader slot is simultaneously held.
+  Pin pin() const;
+
+  /// Publishes \p snap as the new current version and retires the
+  /// predecessor. Versions must be strictly increasing. Returns the
+  /// published version. Reclaims any retired snapshots that no reader can
+  /// still hold. Thread-safe against concurrent pins and publishes.
+  std::uint64_t publish(std::unique_ptr<PolicySnapshot> snap);
+
+  /// Version of the current snapshot (0 when nothing is published).
+  std::uint64_t currentVersion() const;
+
+  struct Stats {
+    std::size_t published = 0;
+    std::size_t reclaimed = 0;
+    std::size_t retired_pending = 0;  ///< Retired but not yet reclaimable.
+    double last_publish_us = 0.0;     ///< Swap + reclaim latency.
+  };
+  Stats stats() const;
+
+ private:
+  struct alignas(64) Slot {
+    /// 0 = free; otherwise epoch + 1 of the pin that holds it.
+    std::atomic<std::uint64_t> state{0};
+  };
+
+  void unpin(std::size_t slot) const;
+  /// Frees retired snapshots no active reader can reference. Caller holds
+  /// retire_mu_.
+  void reclaimLocked();
+
+  mutable std::vector<Slot> slots_;
+  std::atomic<const PolicySnapshot*> current_{nullptr};
+  std::atomic<std::uint64_t> epoch_{0};
+
+  mutable std::mutex retire_mu_;  ///< Publisher-side state below.
+  std::vector<std::pair<const PolicySnapshot*, std::uint64_t>> retired_;
+  Stats stats_;
+};
+
+// --- snapshot persistence --------------------------------------------------
+// Promoted snapshots are persisted (atomic tmp+rename) so a restarted
+// service resumes on the last promoted policy: `snapshot-current.txt` in the
+// snapshot directory holds the newest promoted version; rollbacks rewrite it
+// to the restored version.
+
+struct PersistedSnapshot {
+  std::uint64_t version = 0;
+  std::uint64_t hash = 0;
+  std::uint64_t parent_hash = 0;
+  bool rollback = false;
+  std::string net_blob;  ///< Mlp::save payload.
+};
+
+/// Atomically writes \p snap as the directory's current snapshot.
+void savePolicySnapshotFile(const std::string& dir,
+                            const PolicySnapshot& snap);
+
+/// Loads the persisted current snapshot; returns false when none exists.
+/// Raises FatalError on a corrupt file.
+bool loadPolicySnapshotFile(const std::string& dir, PersistedSnapshot* out);
+
+}  // namespace posetrl

@@ -1,0 +1,300 @@
+#include "online/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "support/error.h"
+#include "support/hashing.h"
+
+namespace posetrl {
+
+namespace {
+
+constexpr std::uint32_t kRecordMagic = 0x314c5750;  // "PWL1" little-endian
+constexpr std::size_t kFrameHeaderBytes = 4 + 4 + 8;
+constexpr std::size_t kMaxPayloadBytes = 64u << 20;
+
+// --- little binary writer/reader over std::string ------------------------
+
+template <typename T>
+void putRaw(std::string& out, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out.append(buf, sizeof(T));
+}
+
+void putU32(std::string& out, std::uint32_t v) { putRaw(out, v); }
+void putU64(std::string& out, std::uint64_t v) { putRaw(out, v); }
+void putF64(std::string& out, double v) { putRaw(out, v); }
+
+void putVec(std::string& out, const std::vector<double>& v) {
+  putU32(out, static_cast<std::uint32_t>(v.size()));
+  for (double x : v) putF64(out, x);
+}
+
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view data) : data_(data) {}
+
+  template <typename T>
+  T raw() {
+    if (pos_ + sizeof(T) > data_.size()) {
+      raiseError("WAL payload underrun while decoding an episode record");
+    }
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::uint32_t u32() { return raw<std::uint32_t>(); }
+  std::uint64_t u64() { return raw<std::uint64_t>(); }
+  double f64() { return raw<double>(); }
+
+  std::vector<double> vec() {
+    const std::uint32_t n = u32();
+    if (n > (1u << 24)) raiseError("implausible vector length in WAL record");
+    std::vector<double> v(n);
+    for (double& x : v) x = f64();
+    return v;
+  }
+
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+std::string segmentName(std::size_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%06zu.log", index);
+  return buf;
+}
+
+/// Parses the index out of a "wal-NNNNNN.log" basename; 0 when not a
+/// segment file (segment numbering starts at 1).
+std::size_t segmentIndexOf(const std::string& basename) {
+  if (basename.size() != 14 || basename.rfind("wal-", 0) != 0 ||
+      basename.substr(10) != ".log") {
+    return 0;
+  }
+  std::size_t index = 0;
+  for (std::size_t i = 4; i < 10; ++i) {
+    const char c = basename[i];
+    if (c < '0' || c > '9') return 0;
+    index = index * 10 + static_cast<std::size_t>(c - '0');
+  }
+  return index;
+}
+
+void fsyncDir(const std::string& dir) {
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd < 0) return;  // best-effort: dirent durability, not correctness
+  ::fsync(dfd);
+  ::close(dfd);
+}
+
+}  // namespace
+
+std::string encodeEpisodeRecord(const EpisodeRecord& record) {
+  std::string out;
+  putU32(out, record.shard);
+  putU64(out, record.request_id);
+  putU64(out, record.policy_version);
+  putU32(out, record.faults);
+  putU32(out, static_cast<std::uint32_t>(record.steps.size()));
+  for (const Transition& t : record.steps) {
+    putVec(out, t.state);
+    putU64(out, static_cast<std::uint64_t>(t.action));
+    putF64(out, t.reward);
+    putVec(out, t.next_state);
+    out.push_back(t.done ? 1 : 0);
+    putF64(out, t.mc_return);
+    out.push_back(t.use_mc ? 1 : 0);
+  }
+  return out;
+}
+
+EpisodeRecord decodeEpisodeRecord(std::string_view payload) {
+  PayloadReader r(payload);
+  EpisodeRecord rec;
+  rec.shard = r.u32();
+  rec.request_id = r.u64();
+  rec.policy_version = r.u64();
+  rec.faults = r.u32();
+  const std::uint32_t steps = r.u32();
+  if (steps > (1u << 22)) raiseError("implausible step count in WAL record");
+  rec.steps.resize(steps);
+  for (Transition& t : rec.steps) {
+    t.state = r.vec();
+    t.action = static_cast<std::size_t>(r.u64());
+    t.reward = r.f64();
+    t.next_state = r.vec();
+    t.done = r.raw<char>() != 0;
+    t.mc_return = r.f64();
+    t.use_mc = r.raw<char>() != 0;
+  }
+  if (!r.exhausted()) raiseError("trailing bytes in WAL episode record");
+  return rec;
+}
+
+// --- writer ----------------------------------------------------------------
+
+TrajectoryWal::TrajectoryWal(WalConfig config) : config_(std::move(config)) {
+  POSETRL_CHECK(!config_.dir.empty(), "WAL needs a directory");
+  std::error_code ec;
+  std::filesystem::create_directories(config_.dir, ec);
+  if (ec) raiseError("cannot create WAL directory " + config_.dir);
+  // Never append to an existing segment: a pre-crash segment may end in a
+  // torn frame, and replay only tolerates torn frames at the very tail of
+  // the log. Starting a fresh segment keeps that invariant across restarts.
+  std::size_t highest = 0;
+  for (const std::string& path : walSegmentFiles(config_.dir)) {
+    highest = std::max(
+        highest, segmentIndexOf(std::filesystem::path(path).filename()));
+  }
+  openSegment(highest + 1);
+}
+
+TrajectoryWal::~TrajectoryWal() {
+  sync();
+  closeSegment();
+}
+
+void TrajectoryWal::openSegment(std::size_t index) {
+  const std::string path =
+      config_.dir + "/" + segmentName(index);
+  fd_ = ::open(path.c_str(),
+               O_WRONLY | O_CREAT | O_EXCL | O_APPEND | O_CLOEXEC, 0644);
+  if (fd_ < 0) raiseError("cannot create WAL segment " + path);
+  fsyncDir(config_.dir);  // make the new dirent durable
+  segment_index_ = index;
+  segment_bytes_written_ = 0;
+  ++stats_.segments_created;
+}
+
+void TrajectoryWal::closeSegment() {
+  if (fd_ < 0) return;
+  ::close(fd_);
+  fd_ = -1;
+}
+
+void TrajectoryWal::append(const EpisodeRecord& record) {
+  POSETRL_CHECK(fd_ >= 0, "append on a closed WAL");
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::string payload = encodeEpisodeRecord(record);
+  POSETRL_CHECK(payload.size() <= kMaxPayloadBytes, "WAL record too large");
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  putU32(frame, kRecordMagic);
+  putU32(frame, static_cast<std::uint32_t>(payload.size()));
+  putU64(frame, fnv1a(payload));
+  frame.append(payload);
+  // One write(2) per frame: an interrupted append leaves a prefix of the
+  // frame (a torn tail replay detects), never interleaved garbage.
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::write(fd_, frame.data() + off, frame.size() - off);
+    if (n < 0) raiseError("WAL append failed (write)");
+    off += static_cast<std::size_t>(n);
+  }
+  segment_bytes_written_ += frame.size();
+  stats_.bytes += frame.size();
+  ++stats_.records;
+  ++unsynced_records_;
+  if (config_.sync_every_records > 0 &&
+      unsynced_records_ >= config_.sync_every_records) {
+    sync();
+  }
+  if (segment_bytes_written_ >= config_.segment_bytes) {
+    // Atomic rotation: the outgoing segment is fully durable before the
+    // next one accepts records.
+    sync();
+    closeSegment();
+    openSegment(segment_index_ + 1);
+  }
+  stats_.append_us += std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+}
+
+void TrajectoryWal::sync() {
+  if (fd_ < 0 || unsynced_records_ == 0) return;
+  if (::fdatasync(fd_) != 0) raiseError("WAL fdatasync failed");
+  unsynced_records_ = 0;
+  ++stats_.syncs;
+}
+
+// --- replay ----------------------------------------------------------------
+
+std::vector<std::string> walSegmentFiles(const std::string& dir) {
+  std::vector<std::pair<std::size_t, std::string>> indexed;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::size_t index = segmentIndexOf(entry.path().filename());
+    if (index > 0) indexed.emplace_back(index, entry.path().string());
+  }
+  std::sort(indexed.begin(), indexed.end());
+  std::vector<std::string> out;
+  out.reserve(indexed.size());
+  for (auto& [index, path] : indexed) out.push_back(std::move(path));
+  return out;
+}
+
+WalReplay replayWal(const std::string& dir) {
+  WalReplay replay;
+  const std::vector<std::string> segments = walSegmentFiles(dir);
+  for (std::size_t si = 0; si < segments.size(); ++si) {
+    const bool last_segment = si + 1 == segments.size();
+    std::ifstream is(segments[si], std::ios::binary);
+    if (!is.good()) raiseError("cannot open WAL segment " + segments[si]);
+    std::string data((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    ++replay.segments_read;
+    std::size_t pos = 0;
+    while (pos < data.size()) {
+      const std::size_t remaining = data.size() - pos;
+      bool intact = remaining >= kFrameHeaderBytes;
+      std::uint32_t magic = 0, len = 0;
+      std::uint64_t checksum = 0;
+      if (intact) {
+        std::memcpy(&magic, data.data() + pos, 4);
+        std::memcpy(&len, data.data() + pos + 4, 4);
+        std::memcpy(&checksum, data.data() + pos + 8, 8);
+        intact = magic == kRecordMagic && len <= kMaxPayloadBytes &&
+                 remaining >= kFrameHeaderBytes + len;
+      }
+      std::string_view payload;
+      if (intact) {
+        payload = std::string_view(data).substr(pos + kFrameHeaderBytes, len);
+        intact = fnv1a(payload) == checksum;
+      }
+      if (!intact) {
+        // Torn frame. Expected (and tolerated) only at the very tail of the
+        // final segment — the kill -9 signature. Anywhere else the log is
+        // corrupt and replaying past it would silently drop records.
+        if (!last_segment) {
+          raiseError("corrupt WAL frame mid-log in " + segments[si] +
+                     " at offset " + std::to_string(pos));
+        }
+        replay.torn_tail = true;
+        replay.torn_bytes = remaining;
+        break;
+      }
+      replay.episodes.push_back(decodeEpisodeRecord(payload));
+      ++replay.records_read;
+      pos += kFrameHeaderBytes + len;
+    }
+  }
+  return replay;
+}
+
+}  // namespace posetrl

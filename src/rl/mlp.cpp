@@ -201,6 +201,16 @@ void Mlp::copyParametersFrom(const Mlp& other) {
   }
 }
 
+void Mlp::setConstantOutput(const std::vector<double>& output) {
+  POSETRL_CHECK(output.size() == outputSize(),
+                "constant output width must match the output layer");
+  for (Layer& layer : layers_) {
+    layer.w.fill(0.0);
+    std::fill(layer.b.begin(), layer.b.end(), 0.0);
+  }
+  layers_.back().b = output;
+}
+
 std::size_t Mlp::parameterCount() const {
   std::size_t n = 0;
   for (const Layer& layer : layers_) n += layer.w.size() + layer.b.size();

@@ -57,6 +57,14 @@ class Mlp {
   /// Copies all parameters from \p other (target-network sync).
   void copyParametersFrom(const Mlp& other);
 
+  /// Turns the network into a constant function: zeroes every weight and
+  /// bias and sets the output-layer bias to \p output, so forward() returns
+  /// \p output for any input. A pinned policy like this is how the online
+  /// learning tests and smokes inject a known-bad candidate (one that always
+  /// greedily picks a chosen — e.g. fault-injecting — action) to exercise
+  /// the canary gate and the post-promotion rollback watchdog.
+  void setConstantOutput(const std::vector<double>& output);
+
   /// Parameter count (for tests/reporting).
   std::size_t parameterCount() const;
 

@@ -8,6 +8,15 @@
 
 namespace posetrl {
 
+void annotateMonteCarloReturns(std::vector<Transition>& episode, double gamma) {
+  double g = 0.0;
+  for (auto it = episode.rbegin(); it != episode.rend(); ++it) {
+    g = it->reward + gamma * g;
+    it->mc_return = g;
+    it->use_mc = true;
+  }
+}
+
 void ReplayBuffer::push(Transition t) {
   if (items_.size() < capacity_) {
     items_.push_back(std::move(t));
@@ -105,6 +114,11 @@ std::size_t ShardedReplayBuffer::shardSize(std::size_t shard) const {
   POSETRL_CHECK(shard < shards_.size(), "shard index out of range");
   std::lock_guard<std::mutex> lock(shards_[shard]->mu);
   return shards_[shard]->buf.size();
+}
+
+const ReplayBuffer& ShardedReplayBuffer::shard(std::size_t i) const {
+  POSETRL_CHECK(i < shards_.size(), "shard index out of range");
+  return shards_[i]->buf;
 }
 
 std::size_t ShardedReplayBuffer::size() const {

@@ -28,6 +28,13 @@ struct Transition {
   bool use_mc = false;
 };
 
+/// Walks \p episode backwards attaching discounted reward-to-go returns
+/// (Monte-Carlo targets): mc_return[i] = reward[i] + gamma * mc_return[i+1],
+/// and sets use_mc on every transition. Shared by the sequential trainer,
+/// the parallel actor–learner, and the online serving ingest path so all
+/// three produce identical replay payloads for identical episodes.
+void annotateMonteCarloReturns(std::vector<Transition>& episode, double gamma);
+
 /// Fixed-capacity ring buffer with uniform random sampling.
 class ReplayBuffer {
  public:
@@ -81,6 +88,10 @@ class ShardedReplayBuffer {
 
   /// Appends \p episode to \p shard in order, under that shard's lock.
   void pushEpisode(std::size_t shard, std::vector<Transition> episode);
+
+  /// Read access to one shard's underlying buffer (e.g. to serialize it for
+  /// a recovery-equivalence check). Sync points only, like sample().
+  const ReplayBuffer& shard(std::size_t i) const;
 
   /// Samples \p n transitions uniformly with replacement across all
   /// shards. Sync points only — see the class comment. Raises FatalError

@@ -45,7 +45,8 @@ CompileService::CompileService(const DoubleDqn& agent,
     : agent_(&agent),
       actions_(std::move(actions)),
       config_(config),
-      breakers_(actions_.size(), config.breaker) {
+      breakers_(actions_.size(), config.breaker),
+      batcher_(config.batcher) {
   POSETRL_CHECK(!actions_.empty(), "service needs a non-empty action space");
   POSETRL_CHECK(config_.workers > 0, "service needs at least one worker");
   // Serving depends on containment: an uncontained pass fault must never
@@ -60,6 +61,10 @@ void CompileService::start() {
   std::lock_guard<std::mutex> lock(mu_);
   if (started_ || !accepting_) return;
   started_ = true;
+  if (config_.batch_inference) {
+    batcher_.start();
+    batching_.store(true, std::memory_order_release);
+  }
   workers_.reserve(config_.workers);
   for (std::size_t i = 0; i < config_.workers; ++i) {
     workers_.emplace_back([this, i] { workerLoop(i); });
@@ -84,6 +89,11 @@ void CompileService::shutdown() {
     if (t.joinable()) t.join();
   }
   if (reaper.joinable()) reaper.join();
+  // Workers are gone; the batcher can stop (it drains before joining, so
+  // nothing a worker queued is dropped). Synchronous compile() callers fall
+  // back to unbatched inference from here on.
+  batching_.store(false, std::memory_order_release);
+  batcher_.stop();
   std::deque<Request> leftover;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -242,6 +252,23 @@ ServeResult CompileService::process(const Module& program, Deadline deadline,
   ServeResult r;
   r.request_id = id;
 
+  // Pin the policy for the whole request: with an online learner the
+  // request is served on the snapshot current at admission and keeps using
+  // it across any number of hot-swaps (the pin blocks its reclamation);
+  // without one, the fixed constructor agent serves with key 0.
+  SnapshotRegistry::Pin pin;
+  const Mlp* policy = &agent_->onlineNet();
+  std::uint64_t policy_key = 0;
+  if (config_.online != nullptr) {
+    pin = config_.online->registry().pin();
+    if (pin) {
+      policy = &pin->net;
+      policy_key = pin->version;
+      r.policy_version = pin->version;
+    }
+  }
+  std::vector<Transition> episode;
+
   // The rollout gets the head of the deadline; the tail is reserved for the
   // -Oz fallback rung so a slow rollout cannot starve the safety net.
   const Deadline rollout_deadline =
@@ -300,7 +327,7 @@ ServeResult CompileService::process(const Module& program, Deadline deadline,
       break;
     }
 
-    const std::size_t action = agent_->actGreedy(state, &mask);
+    const std::size_t action = selectAction(*policy, policy_key, state, mask);
     if (!breakers_.tryAcquire(action)) {
       // Raced with another worker (breaker opened or probe slot claimed
       // between mask snapshot and acquire); re-pick with a fresh mask.
@@ -320,6 +347,16 @@ ServeResult CompileService::process(const Module& program, Deadline deadline,
     for (;;) {
       sr = env.step(action);
       ++r.steps_attempted;
+      // Every attempt (faulted ones included — their penalty reward is the
+      // signal that teaches the learner to avoid the action) becomes one
+      // replay transition, mirroring the trainer's episode collection.
+      Transition t;
+      t.state = state;
+      t.action = action;
+      t.reward = sr.reward;
+      t.next_state = sr.state;
+      t.done = sr.done;
+      episode.push_back(std::move(t));
       if (!sr.faulted) break;
       onFault(sr.fault);
       if (sr.fault.kind == FaultKind::DeadlineExpired) {
@@ -438,7 +475,45 @@ ServeResult CompileService::process(const Module& program, Deadline deadline,
   r.optimized = std::move(candidate);
   r.size_bytes = candidate_size;
   r.latency_ms = millisSince(t0);
+  notifyOnline(r, program, std::move(episode));
   return r;
+}
+
+std::size_t CompileService::selectAction(const Mlp& net, std::uint64_t net_key,
+                                         const Embedding& state,
+                                         const std::vector<bool>& mask) {
+  if (batching_.load(std::memory_order_acquire)) {
+    return batcher_.actGreedy(net, net_key, state, &mask);
+  }
+  return maskedArgmax(net.forward(state), &mask);
+}
+
+void CompileService::notifyOnline(const ServeResult& r, const Module& program,
+                                  std::vector<Transition> episode) {
+  OnlineLearner* online = config_.online;
+  if (online == nullptr) return;
+  online->noteRequestModule(program);
+  if (!episode.empty()) {
+    annotateMonteCarloReturns(episode, agent_->config().gamma);
+    EpisodeRecord rec;
+    rec.shard =
+        static_cast<std::uint32_t>(r.request_id % online->numShards());
+    rec.request_id = r.request_id;
+    rec.policy_version = r.policy_version;
+    rec.faults = static_cast<std::uint32_t>(r.faults);
+    rec.steps = std::move(episode);
+    online->ingest(std::move(rec));
+  }
+  ServeObservation obs;
+  obs.policy_version = r.policy_version;
+  obs.degraded = r.level == ServiceLevel::OzPipeline ||
+                 r.level == ServiceLevel::Identity;
+  obs.faults = r.faults;
+  // By ladder construction this cannot fire — it is the invariant the
+  // watchdog enforces against regressions in the ladder itself.
+  obs.oz_violation =
+      r.oz_verified && r.size_bytes > r.oz_size_bytes * (1.0 + 1e-9);
+  online->observe(obs);
 }
 
 void CompileService::recordResult(const ServeResult& r) {

@@ -28,12 +28,21 @@
 ///    Whenever the -Oz rung completes (`oz_verified`), the response is
 ///    guaranteed no worse than stock -Oz by modeled size.
 ///
+/// With an OnlineLearner attached (ServeConfig::online), the service also
+/// closes the serve -> train loop: each request pins the current policy
+/// snapshot for its whole lifetime (hot-swaps never affect in-flight work),
+/// each served episode is appended to a write-ahead log and fed to the
+/// background learner, and each response is reported to the promotion
+/// watchdog that can roll a bad policy back. Inference is micro-batched
+/// across workers (ServeConfig::batch_inference) either way.
+///
 /// Thread-safety contract: the agent is shared by const reference and only
 /// its pure-const inference surface is used (see rl/dqn.h); all registered
 /// passes must be registered before start() (the pass registry is read-only
 /// while serving); request modules must stay alive until their future
 /// resolves.
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -48,6 +57,8 @@
 
 #include "core/environment.h"
 #include "core/oz_sequence.h"
+#include "online/batcher.h"
+#include "online/online_learner.h"
 #include "rl/dqn.h"
 #include "serve/circuit_breaker.h"
 #include "support/deadline.h"
@@ -100,6 +111,19 @@ struct ServeConfig {
   /// Spawn workers in the constructor. With false, call start() explicitly
   /// (lets tests fill the queue deterministically first).
   bool start_workers = true;
+  /// Online learning loop (wal.h / online_learner.h). Null serves the fixed
+  /// constructor agent. Non-null changes three things: requests pin the
+  /// learner's current policy snapshot at admission (and finish on it across
+  /// hot-swaps), every served episode is durably ingested for training, and
+  /// every response feeds the promotion watchdog. Must outlive the service.
+  OnlineLearner* online = nullptr;
+  /// Micro-batch greedy inference across concurrent workers: one
+  /// Mlp::forwardBatch GEMM per gathered batch instead of N matVec chains.
+  /// Bit-identical action selection either way (see online/batcher.h); only
+  /// the started worker pool batches — compile() on a stopped service falls
+  /// back to unbatched inference.
+  bool batch_inference = true;
+  BatcherConfig batcher;
 };
 
 /// Outcome of one request.
@@ -123,6 +147,9 @@ struct ServeResult {
   double queue_ms = 0.0;    ///< Time spent waiting for a worker.
   double latency_ms = 0.0;  ///< Submit-to-response wall time.
   std::uint64_t request_id = 0;
+  /// Policy snapshot version the request was served on (0 = the fixed
+  /// constructor agent, i.e. no online learner configured or no pin taken).
+  std::uint64_t policy_version = 0;
   /// Why the response is not FullRollout (empty when it is).
   std::string degraded_reason;
 };
@@ -174,6 +201,7 @@ class CompileService {
   ServiceStats stats() const;
   BreakerBank& breakers() { return breakers_; }
   const std::vector<SubSequence>& actions() const { return actions_; }
+  InferenceBatcher::Stats batcherStats() const { return batcher_.stats(); }
 
  private:
   struct Request {
@@ -193,11 +221,22 @@ class CompileService {
   ServeResult expireRequest(const Module& program, std::uint64_t id,
                             const char* where);
   void recordResult(const ServeResult& r);
+  /// Greedy action under \p net (the pinned snapshot's network, or the
+  /// fixed agent's online net) — micro-batched when the batcher runs.
+  std::size_t selectAction(const Mlp& net, std::uint64_t net_key,
+                           const Embedding& state,
+                           const std::vector<bool>& mask);
+  /// Feeds the online learner after a response: durable episode ingest plus
+  /// one watchdog observation. No-op without an online learner.
+  void notifyOnline(const ServeResult& r, const Module& program,
+                    std::vector<Transition> episode);
 
   const DoubleDqn* agent_;
   std::vector<SubSequence> actions_;
   ServeConfig config_;
   BreakerBank breakers_;
+  InferenceBatcher batcher_;
+  std::atomic<bool> batching_{false};
 
   mutable std::mutex mu_;
   std::condition_variable cv_;       ///< Wakes workers (new request/shutdown).

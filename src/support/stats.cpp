@@ -37,4 +37,16 @@ double percentReduction(double base, double now) {
   return 100.0 * (base - now) / base;
 }
 
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  POSETRL_CHECK(p >= 0.0 && p <= 100.0, "percentile out of range: ", p);
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+  if (lo == hi) return values[lo];
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
 }  // namespace posetrl

@@ -28,4 +28,11 @@ double geometricMean(const std::vector<double>& values);
 /// to \p base, i.e. 100 * (base - now) / base.
 double percentReduction(double base, double now);
 
+/// The \p p-th percentile (0 <= p <= 100) of \p values by linear
+/// interpolation between closest ranks (the common "exclusive of
+/// extrapolation" definition: p=0 is the min, p=100 the max). Copies and
+/// sorts internally; returns 0 for an empty sample. Used by the serving
+/// stress driver for p50/p99 latency reporting.
+double percentile(std::vector<double> values, double p);
+
 }  // namespace posetrl

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <set>
 
+#include "support/error.h"
 #include "support/hashing.h"
 #include "support/rng.h"
 #include "support/stats.h"
@@ -160,6 +161,24 @@ TEST(StatsTest, GeometricMean) {
 TEST(StatsTest, PercentReduction) {
   EXPECT_DOUBLE_EQ(percentReduction(100.0, 90.0), 10.0);
   EXPECT_DOUBLE_EQ(percentReduction(100.0, 110.0), -10.0);
+}
+
+TEST(StatsTest, PercentileInterpolatesBetweenRanks) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 99.0), 7.0);
+  const std::vector<double> v = {4.0, 1.0, 3.0, 2.0};  // sorts to 1..4
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 1.75);
+  EXPECT_DOUBLE_EQ(percentile(v, 99.0), 3.97);
+}
+
+TEST(StatsTest, PercentileRejectsOutOfRange) {
+  ScopedFaultTrap trap;
+  EXPECT_THROW(percentile({1.0}, -1.0), FatalError);
+  EXPECT_THROW(percentile({1.0}, 100.5), FatalError);
 }
 
 TEST(TableTest, RendersAlignedColumns) {

@@ -17,10 +17,12 @@
 #   --tidy   run clang-tidy (profile: .clang-tidy) over src/ using the
 #            build dir's compile_commands.json; skipped with a note when
 #            clang-tidy is not installed.
-#   --bench  run bench/perf_report and write BENCH_<commit>.json at the repo
-#            root (train steps/sec, verifier ns/instr, analysis cache hit
-#            rate, GEMM GFLOP/s); fails the gate if the default-on verifier
-#            + contract checker cost >= 10% training throughput.
+#   --bench  run bench/perf_report plus an online-serving bench and write
+#            BENCH_<commit>.json at the repo root (train steps/sec, verifier
+#            ns/instr, analysis cache hit rate, GEMM GFLOP/s, serve
+#            throughput + p50/p99 latency, snapshot swap latency, WAL append
+#            overhead); fails the gate if the default-on verifier + contract
+#            checker cost >= 10% training throughput.
 
 set -euo pipefail
 
@@ -164,11 +166,67 @@ else
   echo "ok   serve smoke (ok=$served violations=0 identity=0)"
 fi
 
+echo "== online learning smoke =="
+# Crash/recovery/rollback drill for the WAL-backed online learning loop
+# (DESIGN.md "Online learning and policy lifecycle"). Phase 1 serves
+# fault-injected traffic against a fresh online state dir and simulates
+# kill -9 mid-run (_Exit(137) with workers still in flight) — acknowledged
+# WAL appends survive in the page cache. Phase 2 restarts against the same
+# dir: it must replay the WAL into the replay shards, resume the persisted
+# policy snapshot, then survive a forced-bad policy promotion (canary
+# bypassed, breakers effectively off) that the post-promotion watchdog
+# rolls back automatically — all with zero invariant violations.
+ONLINE_DIR="$(mktemp -d)"
+set +e
+"$SERVE" --workers 4 --requests 24 --train 50 --inject-faults \
+    --online "$ONLINE_DIR" --kill-after 10 \
+    --min-deadline-ms 4000 --max-deadline-ms 8000 --grace-ms 2000 --kv \
+    >/dev/null 2>&1
+kill_rc=$?
+set -e
+if [[ $kill_rc -ne 137 ]]; then
+  echo "FAIL online smoke: expected simulated-crash exit 137, got $kill_rc"
+  status=1
+elif [[ -z "$(ls "$ONLINE_DIR/wal" 2>/dev/null)" ]]; then
+  echo "FAIL online smoke: crash left no WAL segments behind"
+  status=1
+else
+  ONLINE_OUT="$("$SERVE" --workers 4 --requests 24 --train 50 --inject-faults \
+      --online "$ONLINE_DIR" --force-bad-candidate 8 \
+      --breaker-threshold 100000 \
+      --min-deadline-ms 4000 --max-deadline-ms 8000 --grace-ms 2000 --kv)" || {
+    echo "FAIL online smoke: recovery run exited non-zero"
+    status=1
+  }
+  echo "$ONLINE_OUT"
+  recovered="$(kv "$ONLINE_OUT" online_recovered_records)"
+  rollbacks="$(kv "$ONLINE_OUT" online_rollbacks)"
+  online_viol="$(kv "$ONLINE_OUT" violations)"
+  online_ok="$(kv "$ONLINE_OUT" ok)"
+  if [[ "$recovered" == "missing" || "$recovered" -eq 0 ]]; then
+    echo "FAIL online smoke: expected WAL records recovered after the crash, got '$recovered'"
+    status=1
+  elif [[ "$rollbacks" == "missing" || "$rollbacks" -lt 1 ]]; then
+    echo "FAIL online smoke: expected >=1 watchdog rollback, got '$rollbacks'"
+    status=1
+  elif [[ "$online_viol" == "missing" || "$online_viol" -ne 0 ]]; then
+    echo "FAIL online smoke: expected zero violations, got '$online_viol'"
+    status=1
+  elif [[ "$online_ok" == "missing" || "$online_ok" -ne 24 ]]; then
+    echo "FAIL online smoke: expected 24 served requests, got '$online_ok'"
+    status=1
+  else
+    echo "ok   online smoke (crash exit=137, recovered=$recovered rollbacks=$rollbacks ok=$online_ok violations=0)"
+  fi
+fi
+rm -rf "$ONLINE_DIR"
+
 if [[ $TSAN -eq 1 ]]; then
   echo "== serve stress under ThreadSanitizer =="
   TSAN_BUILD="${BUILD}-tsan"
   cmake -B "$TSAN_BUILD" -S "$ROOT" -DPOSETRL_SANITIZE=thread >/dev/null
-  cmake --build "$TSAN_BUILD" -j"$(nproc)" --target serve_driver opt_driver
+  cmake --build "$TSAN_BUILD" -j"$(nproc)" \
+      --target serve_driver opt_driver posetrl_tests
   # Two profiles: tight randomized deadlines (reaper + deadline paths) and
   # generous ones (full rollout + -Oz rung), both with injected faults.
   # halt_on_error makes any reported race fail the gate via the exit code.
@@ -183,6 +241,45 @@ if [[ $TSAN -eq 1 ]]; then
       status=1
     fi
   done
+
+  echo "== online learning under ThreadSanitizer =="
+  # The full crash + recovery + rollback drill with every thread the online
+  # loop spawns (workers, reaper, batcher, learner) racing: a clean TSan run
+  # certifies the snapshot hot-swap, WAL ingest, and watchdog paths.
+  TSAN_ONLINE="$(mktemp -d)"
+  set +e
+  TSAN_OPTIONS="halt_on_error=1" "$TSAN_BUILD/examples/serve_driver" \
+      --workers 4 --requests 16 --train 40 --inject-faults \
+      --online "$TSAN_ONLINE" --kill-after 6 \
+      --min-deadline-ms 4000 --max-deadline-ms 8000 --grace-ms 2000 --kv \
+      >/dev/null 2>&1
+  tsan_kill_rc=$?
+  set -e
+  if [[ $tsan_kill_rc -ne 137 ]]; then
+    echo "FAIL tsan online smoke: expected crash exit 137, got $tsan_kill_rc"
+    status=1
+  elif TSAN_OPTIONS="halt_on_error=1" "$TSAN_BUILD/examples/serve_driver" \
+      --workers 4 --requests 16 --train 40 --inject-faults \
+      --online "$TSAN_ONLINE" --force-bad-candidate 6 \
+      --breaker-threshold 100000 \
+      --min-deadline-ms 4000 --max-deadline-ms 8000 --grace-ms 2000 --kv \
+      >/dev/null; then
+    echo "ok   tsan online smoke (crash + recovery + rollback)"
+  else
+    echo "FAIL tsan online smoke"
+    status=1
+  fi
+  rm -rf "$TSAN_ONLINE"
+  # Swap-churn and batcher unit tests: tight publish/pin/reclaim and
+  # batching races the driver cannot reach as directly.
+  if TSAN_OPTIONS="halt_on_error=1" "$TSAN_BUILD/tests/posetrl_tests" \
+      --gtest_filter='SnapshotTest.ConcurrentSwapChurn:BatcherTest.*' \
+      >/dev/null; then
+    echo "ok   tsan snapshot swap churn + batcher tests"
+  else
+    echo "FAIL tsan snapshot swap churn + batcher tests"
+    status=1
+  fi
 
   echo "== parallel training under ThreadSanitizer =="
   # Multi-actor rollouts with injected faults: actors share the policy
@@ -268,6 +365,22 @@ if [[ $BENCH -eq 1 ]]; then
     echo "FAIL verifier+contract overhead ${overhead}% (>= 10% budget)"
     status=1
   fi
+  echo "== online serving bench =="
+  # Serving-path numbers for the bench report: steady-state throughput with
+  # the online loop attached (WAL appends + watchdog feed on every request),
+  # the snapshot hot-swap publish latency, and the per-record WAL append
+  # overhead the serving path pays for durability.
+  BENCH_ONLINE="$(mktemp -d)"
+  SERVE_BENCH="$("$BUILD/examples/serve_driver" --workers 4 --requests 32 \
+      --train 50 --online "$BENCH_ONLINE" \
+      --min-deadline-ms 4000 --max-deadline-ms 8000 --grace-ms 2000 --kv)" || {
+    echo "FAIL bench: online serving bench run exited non-zero"
+    status=1
+  }
+  rm -rf "$BENCH_ONLINE"
+  echo "$SERVE_BENCH" | grep -E \
+      '^(serve_requests_per_sec|swap_latency_us|wal_append_us|latency_p50_ms|latency_p99_ms)='
+
   commit="$(git -C "$ROOT" rev-parse --short HEAD 2>/dev/null || echo nogit)"
   out="$ROOT/BENCH_${commit}.json"
   {
@@ -282,7 +395,13 @@ if [[ $BENCH -eq 1 ]]; then
     printf '  "contract_checks": %s,\n' "$(kv "$PERF" contract_checks)"
     printf '  "verifier_ns_per_instr": %s,\n' \
         "$(kv "$PERF" verifier_ns_per_instr)"
-    printf '  "gemm_gflops": %s\n' "$(kv "$PERF" gemm_gflops)"
+    printf '  "gemm_gflops": %s,\n' "$(kv "$PERF" gemm_gflops)"
+    printf '  "serve_requests_per_sec": %s,\n' \
+        "$(kv "$SERVE_BENCH" serve_requests_per_sec)"
+    printf '  "serve_latency_p50_ms": %s,\n' "$(kv "$SERVE_BENCH" latency_p50_ms)"
+    printf '  "serve_latency_p99_ms": %s,\n' "$(kv "$SERVE_BENCH" latency_p99_ms)"
+    printf '  "swap_latency_us": %s,\n' "$(kv "$SERVE_BENCH" swap_latency_us)"
+    printf '  "wal_append_us": %s\n' "$(kv "$SERVE_BENCH" wal_append_us)"
     printf '}\n'
   } > "$out"
   echo "ok   wrote $(basename "$out")"
