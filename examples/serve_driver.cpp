@@ -24,6 +24,14 @@
 ///                         broken policy (constant Q pinned to a faulting
 ///                         action, canary bypassed) and expect the watchdog
 ///                         to roll it back automatically.
+///   --io-fail-from N / --io-fail-count N / --io-fail-errno eio|enospc
+///                         chaos drill (tools/check.sh --chaos): once
+///                         serving starts, fail that window of durability
+///                         syscalls. Requests must keep succeeding while
+///                         ingestion degrades (`durability_degraded`,
+///                         `ingest_dropped` in --kv) and re-arm after the
+///                         window passes (`durability_rearms`).
+///   --durability-retry-ms N  initial re-arm backoff of the online learner.
 ///
 /// Exit status is non-zero when any invariant is violated. --kv prints a
 /// stable key=value summary for scripts (tools/check.sh serve smoke).
@@ -34,8 +42,11 @@
 ///                [--train N] [--inject-faults] [--oracle] [--seed S] [--kv]
 ///                [--online DIR] [--kill-after N] [--force-bad-candidate N]
 ///                [--breaker-threshold N] [--promote-every N]
+///                [--io-fail-from N] [--io-fail-count N]
+///                [--io-fail-errno eio|enospc] [--durability-retry-ms N]
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -52,6 +63,7 @@
 #include "lint/oracle.h"
 #include "online/online_learner.h"
 #include "serve/service.h"
+#include "support/io.h"
 #include "support/rng.h"
 #include "support/stats.h"
 #include "workloads/generator.h"
@@ -67,7 +79,10 @@ int usage(const char* prog) {
                "          [--grace-ms N] [--train N] [--inject-faults]\n"
                "          [--oracle] [--seed S] [--kv] [--online DIR]\n"
                "          [--kill-after N] [--force-bad-candidate N]\n"
-               "          [--breaker-threshold N] [--promote-every N]\n",
+               "          [--breaker-threshold N] [--promote-every N]\n"
+               "          [--io-fail-from N] [--io-fail-count N]\n"
+               "          [--io-fail-errno eio|enospc]\n"
+               "          [--durability-retry-ms N]\n",
                prog);
   return 1;
 }
@@ -91,6 +106,13 @@ int main(int argc, char** argv) {
   std::size_t force_bad_after = 0;
   std::size_t breaker_threshold = 3;
   std::size_t promote_every = 8;
+  // Chaos: fail shim ops [io_fail_from, io_fail_from + io_fail_count) with
+  // io_fail_errno once serving starts — a disk that breaks mid-run and
+  // heals. The serve path must degrade (no failed requests) and re-arm.
+  std::size_t io_fail_from = 0;
+  std::size_t io_fail_count = 0;
+  int io_fail_errno = EIO;
+  std::size_t durability_retry_ms = 100;
 
   const auto nextArg = [&](int& i) -> const char* {
     if (i + 1 >= argc) std::exit(usage(argv[0]));
@@ -130,6 +152,21 @@ int main(int argc, char** argv) {
       breaker_threshold = static_cast<std::size_t>(std::atoll(nextArg(i)));
     } else if (std::strcmp(a, "--promote-every") == 0) {
       promote_every = static_cast<std::size_t>(std::atoll(nextArg(i)));
+    } else if (std::strcmp(a, "--io-fail-from") == 0) {
+      io_fail_from = static_cast<std::size_t>(std::atoll(nextArg(i)));
+    } else if (std::strcmp(a, "--io-fail-count") == 0) {
+      io_fail_count = static_cast<std::size_t>(std::atoll(nextArg(i)));
+    } else if (std::strcmp(a, "--io-fail-errno") == 0) {
+      const char* name = nextArg(i);
+      if (std::strcmp(name, "eio") == 0) {
+        io_fail_errno = EIO;
+      } else if (std::strcmp(name, "enospc") == 0) {
+        io_fail_errno = ENOSPC;
+      } else {
+        return usage(argv[0]);
+      }
+    } else if (std::strcmp(a, "--durability-retry-ms") == 0) {
+      durability_retry_ms = static_cast<std::size_t>(std::atoll(nextArg(i)));
     } else {
       return usage(argv[0]);
     }
@@ -180,6 +217,7 @@ int main(int argc, char** argv) {
     ocfg.env = tcfg.env;
     ocfg.promote_every = promote_every;
     ocfg.seed = seed;
+    ocfg.durability_retry_initial_ms = durability_retry_ms;
     if (force_bad_after > 0) {
       // Aggressive watchdog so the forced-bad drill breaches within a short
       // run: a handful of fault-heavy responses on the bad version suffice.
@@ -211,6 +249,17 @@ int main(int argc, char** argv) {
   scfg.breaker.open_cooldown = std::chrono::milliseconds(50);
   scfg.online = online.get();
   CompileService service(*trained.agent, actions, scfg);
+
+  // --- chaos: break the disk under live traffic ---
+  // Installed only now, after setup I/O (training saves, learner recovery)
+  // has run, so the op-count window lands on serving-path appends.
+  std::unique_ptr<io::FaultWindowPolicy> chaos;
+  if (io_fail_count > 0) {
+    chaos = std::make_unique<io::FaultWindowPolicy>(io_fail_from,
+                                                    io_fail_count,
+                                                    io_fail_errno);
+    io::setPolicy(chaos.get());
+  }
 
   // --- fire requests with randomized deadlines ---
   Rng rng(seed ^ 0xdeadbeef);
@@ -334,6 +383,7 @@ int main(int argc, char** argv) {
                                     serve_t0)
           .count();
   service.shutdown();
+  if (chaos != nullptr) io::setPolicy(nullptr);
   const ServiceStats stats = service.stats();
   const InferenceBatcher::Stats bstats = service.batcherStats();
   const std::size_t trips = service.breakers().totalTrips();
@@ -391,6 +441,19 @@ int main(int argc, char** argv) {
                       ? wstats.append_us / static_cast<double>(wstats.records)
                       : 0.0);
       std::printf("swap_latency_us=%.1f\n", rstats.last_publish_us);
+      std::printf("wal_failures=%zu\n", ostats.wal_failures);
+      std::printf("ingest_dropped=%zu\n", ostats.ingest_dropped);
+      std::printf("durability_rearms=%zu\n", ostats.durability_rearms);
+      std::printf("durability_degraded=%d\n",
+                  ostats.durability_degraded ? 1 : 0);
+      std::printf("snapshot_persist_failures=%zu\n",
+                  ostats.snapshot_persist_failures);
+      std::printf("wal_gc_segments=%zu\n", wstats.gc_removed_segments);
+      std::printf("wal_repaired_bytes=%zu\n", wstats.repaired_torn_bytes);
+    }
+    if (chaos != nullptr) {
+      std::printf("io_injected_failures=%zu\n", chaos->injected());
+      std::printf("io_fault_window_healed=%d\n", chaos->healed() ? 1 : 0);
     }
     std::printf("violations=%zu\n", violations);
   } else {

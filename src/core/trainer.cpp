@@ -20,6 +20,9 @@ TrainResult runTraining(const std::vector<const Module*>& corpus,
                         const TrainConfig& config,
                         const TrainerCheckpoint* resume_from) {
   POSETRL_CHECK(!corpus.empty(), "training corpus is empty");
+  // Sweep the orphaned tmp a save interrupted mid-publish may have left —
+  // the checkpoint itself is intact (rename is atomic), only debris remains.
+  if (!config.checkpoint_path.empty()) gcCheckpointTmp(config.checkpoint_path);
   TrainResult result;
   result.agent = std::make_unique<DoubleDqn>(config.agent);
   DoubleDqn& agent = *result.agent;

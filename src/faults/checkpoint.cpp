@@ -1,26 +1,27 @@
 #include "faults/checkpoint.h"
 
-#include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "support/error.h"
+#include "support/io.h"
 
 namespace posetrl {
 
 void writeFileAtomic(const std::string& path, const std::string& content) {
+  // Delegates to the shimmed durable primitive: tmp write -> fdatasync ->
+  // rename -> dir fsync, with the orphaned tmp unlinked on any failure.
+  // Checkpoint and agent saves thereby survive machine crashes (not just
+  // process crashes) and are fault-injectable in tests.
+  io::writeFileAtomicDurable(path, content);
+}
+
+std::size_t gcCheckpointTmp(const std::string& path) {
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-    if (!os.good()) raiseError("cannot open for writing: " + tmp);
-    os << content;
-    os.flush();
-    if (!os.good()) raiseError("short write to: " + tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    raiseError("cannot rename " + tmp + " to " + path);
-  }
+  std::error_code ec;
+  if (!std::filesystem::exists(tmp, ec)) return 0;
+  return io::removeIfExists(tmp) ? 1 : 0;
 }
 
 std::string encodeCheckpoint(const TrainerCheckpoint& ckpt) {

@@ -34,9 +34,15 @@ struct TrainerCheckpoint {
   std::vector<QuarantineSnapshot> quarantines;
 };
 
-/// Writes \p content to \p path via "path.tmp" + atomic rename; raises
-/// FatalError on I/O failure.
+/// Writes \p content to \p path via "path.tmp" + fdatasync + atomic rename
+/// + directory fsync (io::writeFileAtomicDurable); raises IoError on
+/// failure, unlinking the orphaned tmp file first.
 void writeFileAtomic(const std::string& path, const std::string& content);
+
+/// Unlinks the orphaned "path.tmp" a crashed save may have left next to
+/// checkpoint \p path. Returns the number of files removed (0 or 1). Called
+/// at the start of every checkpointed training run.
+std::size_t gcCheckpointTmp(const std::string& path);
 
 /// Serializes / parses the checkpoint file format.
 std::string encodeCheckpoint(const TrainerCheckpoint& ckpt);

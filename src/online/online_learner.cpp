@@ -1,5 +1,6 @@
 #include "online/online_learner.h"
 
+#include <algorithm>
 #include <sstream>
 #include <utility>
 
@@ -13,6 +14,14 @@ namespace {
 
 std::string walDir(const OnlineLearnerConfig& config) {
   return config.dir + "/wal";
+}
+
+WalConfig makeWalConfig(const OnlineLearnerConfig& config) {
+  WalConfig wal_cfg;
+  wal_cfg.dir = walDir(config);
+  wal_cfg.segment_bytes = config.wal_segment_bytes;
+  wal_cfg.sync_every_records = config.wal_sync_every;
+  return wal_cfg;
 }
 
 /// Copies the seed agent's inference weights into a fresh learner agent
@@ -53,29 +62,56 @@ OnlineLearner::OnlineLearner(const DoubleDqn& seed_agent,
   stats_.recovered_records = replay.records_read;
   stats_.recovered_torn_tail = replay.torn_tail;
 
-  WalConfig wal_cfg;
-  wal_cfg.dir = walDir(config_);
-  wal_cfg.segment_bytes = config_.wal_segment_bytes;
-  wal_cfg.sync_every_records = config_.wal_sync_every;
-  wal_ = std::make_unique<TrajectoryWal>(wal_cfg);
+  try {
+    wal_ = std::make_unique<TrajectoryWal>(makeWalConfig(config_));
+  } catch (const FatalError&) {
+    // A disk that refuses at startup must not keep the service down:
+    // come up degraded and let ingest-time probes re-arm durability.
+    ++stats_.wal_failures;
+    enterDegradedLocked();
+  }
 
   // --- crash recovery: persisted snapshot -> registry, else seed -> v1 ---
+  stats_.startup_gc_removed = gcSnapshotDir(config_.dir);
   PersistedSnapshot persisted;
-  if (loadPolicySnapshotFile(config_.dir, &persisted)) {
-    Mlp net = agent_.onlineNet();  // right architecture; weights replaced
-    std::istringstream blob(persisted.net_blob);
-    net.load(blob);
-    auto snap = std::make_unique<PolicySnapshot>(
-        persisted.version, persisted.parent_hash, std::move(net),
-        persisted.rollback);
-    POSETRL_CHECK(snap->hash == persisted.hash,
-                  "persisted snapshot weights do not match their hash");
-    last_good_net_ = snap->net;
-    last_good_version_ = snap->version;
-    stats_.current_version = registry_.publish(std::move(snap));
-  } else {
+  bool loaded = false;
+  try {
+    loaded = loadPolicySnapshotFile(config_.dir, &persisted);
+  } catch (const FatalError&) {
+    // Snapshot files exist but no generation verifies. Total persisted-state
+    // loss: reseed below rather than refuse to serve.
+    stats_.snapshot_reseeded = true;
+  }
+  if (loaded) {
+    try {
+      ScopedFaultTrap trap;  // Mlp::load checks become FatalError.
+      Mlp net = agent_.onlineNet();  // right architecture; weights replaced
+      std::istringstream blob(persisted.net_blob);
+      net.load(blob);
+      auto snap = std::make_unique<PolicySnapshot>(
+          persisted.version, persisted.parent_hash, std::move(net),
+          persisted.rollback);
+      if (snap->hash != persisted.hash) {
+        raiseError("persisted snapshot weights do not match their hash");
+      }
+      stats_.snapshot_from_fallback = persisted.from_fallback;
+      last_good_net_ = snap->net;
+      last_good_version_ = snap->version;
+      stats_.current_version = registry_.publish(std::move(snap));
+    } catch (const FatalError&) {
+      // The blob parsed as a file but not as a network (or hashes
+      // disagree) — treat like total corruption and reseed.
+      loaded = false;
+      stats_.snapshot_reseeded = true;
+    }
+  }
+  if (!loaded) {
     auto snap = std::make_unique<PolicySnapshot>(1, 0, agent_.onlineNet());
-    savePolicySnapshotFile(config_.dir, *snap);
+    try {
+      savePolicySnapshotFile(config_.dir, *snap);
+    } catch (const FatalError&) {
+      ++stats_.snapshot_persist_failures;  // serve in-memory regardless
+    }
     last_good_net_ = snap->net;
     last_good_version_ = 1;
     stats_.current_version = registry_.publish(std::move(snap));
@@ -122,10 +158,25 @@ void OnlineLearner::ingest(EpisodeRecord record) {
   record.shard = static_cast<std::uint32_t>(record.shard %
                                             buffer_.numShards());
   std::lock_guard<std::mutex> lock(ingest_mu_);
+  if (degraded_ && !probeDurabilityLocked()) {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.ingest_dropped;
+    return;
+  }
   // Append-then-enqueue under one lock: WAL order is exactly the order the
   // learner pushes episodes into the shards, which is what makes a replay
-  // of the WAL rebuild bit-identical shard contents.
-  wal_->append(record);
+  // of the WAL rebuild bit-identical shard contents. An episode the WAL
+  // refused is dropped, NOT queued — queuing it would put an unlogged
+  // episode in the shards and break that equality.
+  try {
+    wal_->append(record);
+  } catch (const FatalError&) {
+    enterDegradedLocked();
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.wal_failures;
+    ++stats_.ingest_dropped;
+    return;
+  }
   {
     std::lock_guard<std::mutex> slock(stats_mu_);
     ++stats_.ingested_episodes;
@@ -133,6 +184,53 @@ void OnlineLearner::ingest(EpisodeRecord record) {
   }
   pending_.push_back(std::move(record));
   ingest_cv_.notify_one();
+}
+
+void OnlineLearner::retireWalLocked() {
+  if (wal_ == nullptr) return;
+  const TrajectoryWal::Stats& s = wal_->stats();
+  wal_stats_base_.records += s.records;
+  wal_stats_base_.bytes += s.bytes;
+  wal_stats_base_.segments_created += s.segments_created;
+  wal_stats_base_.syncs += s.syncs;
+  wal_stats_base_.gc_removed_segments += s.gc_removed_segments;
+  wal_stats_base_.repaired_torn_bytes += s.repaired_torn_bytes;
+  wal_stats_base_.append_us += s.append_us;
+  wal_.reset();  // best-effort final sync; destructor never throws
+}
+
+void OnlineLearner::enterDegradedLocked() {
+  retireWalLocked();
+  degraded_ = true;
+  probe_backoff_ =
+      std::chrono::milliseconds(config_.durability_retry_initial_ms);
+  next_probe_ = std::chrono::steady_clock::now() + probe_backoff_;
+  std::lock_guard<std::mutex> slock(stats_mu_);
+  stats_.durability_degraded = true;
+}
+
+bool OnlineLearner::probeDurabilityLocked() {
+  const auto now = std::chrono::steady_clock::now();
+  if (now < next_probe_) return false;
+  try {
+    // Rebuild the writer from scratch: its constructor garbage-collects
+    // empty segments and truncates any torn tail the failed appends left,
+    // so a successful probe re-arms onto a clean log.
+    wal_ = std::make_unique<TrajectoryWal>(makeWalConfig(config_));
+  } catch (const FatalError&) {
+    probe_backoff_ = std::min(
+        probe_backoff_ * 2,
+        std::chrono::milliseconds(config_.durability_retry_max_ms));
+    next_probe_ = now + probe_backoff_;
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.wal_failures;
+    return false;
+  }
+  degraded_ = false;
+  std::lock_guard<std::mutex> slock(stats_mu_);
+  ++stats_.durability_rearms;
+  stats_.durability_degraded = false;
+  return true;
 }
 
 void OnlineLearner::observe(const ServeObservation& obs) {
@@ -186,7 +284,15 @@ std::uint64_t OnlineLearner::promoteLocked(Mlp net, bool rollback,
     armed_net_ = snap->net;
     armed_version_ = version;
   }
-  savePolicySnapshotFile(config_.dir, *snap);
+  try {
+    savePolicySnapshotFile(config_.dir, *snap);
+  } catch (const FatalError&) {
+    // Publish in memory anyway: serving continuity beats durability here.
+    // A restart before the next successful save resumes from the last
+    // snapshot that reached the disk — an older but trusted policy.
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.snapshot_persist_failures;
+  }
   registry_.publish(std::move(snap));
   if (arm_watchdog) watchdog_.arm(version);
   std::lock_guard<std::mutex> slock(stats_mu_);
@@ -301,7 +407,18 @@ std::string OnlineLearner::lastRejectReason() const {
 
 TrajectoryWal::Stats OnlineLearner::walStats() const {
   std::lock_guard<std::mutex> lock(ingest_mu_);
-  return wal_->stats();
+  TrajectoryWal::Stats total = wal_stats_base_;
+  if (wal_ != nullptr) {
+    const TrajectoryWal::Stats& s = wal_->stats();
+    total.records += s.records;
+    total.bytes += s.bytes;
+    total.segments_created += s.segments_created;
+    total.syncs += s.syncs;
+    total.gc_removed_segments += s.gc_removed_segments;
+    total.repaired_torn_bytes += s.repaired_torn_bytes;
+    total.append_us += s.append_us;
+  }
+  return total;
 }
 
 }  // namespace posetrl

@@ -17,11 +17,26 @@
 /// original worker threading). Promoted snapshots are persisted atomically;
 /// a restarted service resumes serving the last promoted policy.
 ///
+/// Durability degradation: a disk fault (EIO, ENOSPC, failed fsync) on the
+/// ingest path must not take serving down. When a WAL append raises
+/// IoError, the learner enters a counted no-durability mode: requests keep
+/// being served, but episodes are DROPPED (`ingest_dropped`) rather than
+/// queued — pushing unlogged episodes would break the WAL-order ==
+/// shard-order recovery contract. Ingest attempts re-arm with exponential
+/// backoff (`durability_retry_*`): each probe rebuilds the WAL writer,
+/// whose constructor garbage-collects and repairs whatever the failed
+/// appends left on disk. On success the mode clears (`durability_rearms`)
+/// and episodes flow durably again. Snapshot-persist failures likewise
+/// degrade to in-memory publication (`snapshot_persist_failures`) — a
+/// restart then resumes from the last snapshot that did reach the disk,
+/// which is always a safe, older policy.
+///
 /// Promotion contract: every published version strictly increases — a
 /// rollback does not republish an old pointer, it publishes a *new* version
 /// carrying the last-good weights and `rollback = true`, so in-flight pins
 /// and the version history stay coherent.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -67,6 +82,11 @@ struct OnlineLearnerConfig {
   /// Environment for canary rollouts (sandboxing forced on).
   EnvConfig env;
   std::uint64_t seed = 0x0e11a;
+  /// First re-arm probe after entering durability degradation fires this
+  /// many ms after the failure; consecutive probe failures double the wait
+  /// up to `durability_retry_max_ms`.
+  std::size_t durability_retry_initial_ms = 100;
+  std::size_t durability_retry_max_ms = 5000;
 };
 
 /// Monotonic counters; snapshot via OnlineLearner::stats().
@@ -82,6 +102,16 @@ struct OnlineStats {
   std::size_t graduations = 0;  ///< Versions promoted to last-good.
   std::uint64_t current_version = 0;
   std::uint64_t last_good_version = 0;
+  // Durability degradation (see file comment).
+  std::size_t wal_failures = 0;    ///< WAL appends/rebuilds that raised.
+  std::size_t ingest_dropped = 0;  ///< Episodes dropped while degraded.
+  std::size_t durability_rearms = 0;  ///< Degraded -> durable transitions.
+  std::size_t snapshot_persist_failures = 0;
+  bool durability_degraded = false;   ///< Currently in no-durability mode.
+  // Startup recovery detail.
+  std::size_t startup_gc_removed = 0;  ///< Orphaned snapshot tmp files swept.
+  bool snapshot_from_fallback = false;  ///< Loaded snapshot-prev.txt.
+  bool snapshot_reseeded = false;  ///< No generation loadable; reseeded v1.
 };
 
 /// Owns the durable ingest path, the background learner, and the policy
@@ -110,7 +140,9 @@ class OnlineLearner {
   /// Durable ingest: appends \p record to the WAL and queues it for the
   /// learner. Called by service workers; thread-safe. The episode's
   /// transitions must already carry Monte-Carlo annotations (the WAL stores
-  /// exactly what the replay buffer will hold).
+  /// exactly what the replay buffer will hold). Never raises on disk
+  /// faults: a failed append degrades durability (the episode is dropped
+  /// and counted) instead of propagating into the serving worker.
   void ingest(EpisodeRecord record);
 
   /// Feeds one served request to the promotion watchdog; a breach verdict
@@ -141,6 +173,8 @@ class OnlineLearner {
   OnlineStats stats() const;
   /// Last canary rejection reason (empty when none).
   std::string lastRejectReason() const;
+  /// WAL counters accumulated across every writer instance this learner
+  /// created (re-arm probes replace the writer; totals do not reset).
   TrajectoryWal::Stats walStats() const;
   SnapshotRegistry::Stats registryStats() const { return registry_.stats(); }
   PromotionWatchdog::Stats watchdogStats() const { return watchdog_.stats(); }
@@ -153,6 +187,16 @@ class OnlineLearner {
   /// Publishes \p net as currentVersion()+1. Caller holds promote_mu_.
   std::uint64_t promoteLocked(Mlp net, bool rollback, bool arm_watchdog);
   void rollbackToLastGood();
+  /// Folds the live writer's counters into the accumulated totals and
+  /// destroys it. Caller holds ingest_mu_.
+  void retireWalLocked();
+  /// Enters no-durability mode and schedules the first re-arm probe.
+  /// Caller holds ingest_mu_.
+  void enterDegradedLocked();
+  /// While degraded: attempts to rebuild the WAL writer once the backoff
+  /// deadline has passed. Returns true when durable ingestion is re-armed.
+  /// Caller holds ingest_mu_.
+  bool probeDurabilityLocked();
 
   std::vector<SubSequence> actions_;
   OnlineLearnerConfig config_;
@@ -166,6 +210,11 @@ class OnlineLearner {
   /// Serializes WAL appends with pending-queue pushes (the order contract).
   mutable std::mutex ingest_mu_;
   std::condition_variable ingest_cv_;
+  /// Durability degradation state (guarded by ingest_mu_).
+  bool degraded_ = false;
+  std::chrono::milliseconds probe_backoff_{0};
+  std::chrono::steady_clock::time_point next_probe_;
+  TrajectoryWal::Stats wal_stats_base_;  ///< Totals from retired writers.
   std::deque<EpisodeRecord> pending_;
   std::condition_variable drained_cv_;
   std::size_t applied_episodes_ = 0;  ///< Episodes moved into the shards.

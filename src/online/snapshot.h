@@ -141,25 +141,50 @@ class SnapshotRegistry {
 };
 
 // --- snapshot persistence --------------------------------------------------
-// Promoted snapshots are persisted (atomic tmp+rename) so a restarted
-// service resumes on the last promoted policy: `snapshot-current.txt` in the
-// snapshot directory holds the newest promoted version; rollbacks rewrite it
-// to the restored version.
+// Promoted snapshots are persisted so a restarted service resumes on the
+// last promoted policy. Two generations live in the snapshot directory:
+// `snapshot-current.txt` (newest promoted version) and `snapshot-prev.txt`
+// (its predecessor). A save rotates current → prev, then publishes the new
+// file with write-tmp → fdatasync → rename → dir-fsync, so the directory
+// never references a half-written snapshot and always holds at least one
+// loadable generation — a crash or corruption of `current` falls back to
+// `prev`.
+//
+// File format v2: one header line
+//   policy-snapshot v2 <version> <hash> <parent_hash> <rollback>
+//                      <blob_len> <blob_fnv> <header_crc>
+// followed by the Mlp::save payload. `header_crc` is an fnv1a over the
+// preceding header fields (a flipped bit in the metadata is caught before
+// any field is trusted); `blob_len`/`blob_fnv` pin the payload's length and
+// content (truncation at any byte offset and single-bit flips both fail
+// verification instead of loading garbage weights). v1 files (no
+// checksums) remain readable.
 
 struct PersistedSnapshot {
   std::uint64_t version = 0;
   std::uint64_t hash = 0;
   std::uint64_t parent_hash = 0;
   bool rollback = false;
+  bool from_fallback = false;  ///< Loaded from snapshot-prev.txt.
   std::string net_blob;  ///< Mlp::save payload.
 };
 
-/// Atomically writes \p snap as the directory's current snapshot.
+/// Durably writes \p snap as the directory's current snapshot, rotating the
+/// previous current to `snapshot-prev.txt` first. Raises IoError when the
+/// disk refuses; the previous generation stays loadable in every failure
+/// case.
 void savePolicySnapshotFile(const std::string& dir,
                             const PolicySnapshot& snap);
 
-/// Loads the persisted current snapshot; returns false when none exists.
-/// Raises FatalError on a corrupt file.
+/// Loads the persisted current snapshot, falling back to the previous
+/// generation when `current` is missing or fails verification (sets
+/// `out->from_fallback`). Returns false when no generation exists; raises
+/// FatalError only when a snapshot file exists but no generation verifies.
 bool loadPolicySnapshotFile(const std::string& dir, PersistedSnapshot* out);
+
+/// Unlinks orphaned publication temporaries (`*.tmp`) a crashed save left
+/// in \p dir. Returns the number removed. Safe to call on a missing
+/// directory (returns 0).
+std::size_t gcSnapshotDir(const std::string& dir);
 
 }  // namespace posetrl

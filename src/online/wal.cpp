@@ -1,8 +1,5 @@
 #include "online/wal.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <algorithm>
 #include <chrono>
 #include <cstring>
@@ -11,6 +8,7 @@
 
 #include "support/error.h"
 #include "support/hashing.h"
+#include "support/io.h"
 
 namespace posetrl {
 
@@ -94,11 +92,36 @@ std::size_t segmentIndexOf(const std::string& basename) {
   return index;
 }
 
-void fsyncDir(const std::string& dir) {
-  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
-  if (dfd < 0) return;  // best-effort: dirent durability, not correctness
-  ::fsync(dfd);
-  ::close(dfd);
+/// Length of the longest prefix of \p data that is a sequence of intact
+/// frames — everything past it is a torn tail (or corruption; the caller
+/// decides which by context).
+std::size_t validFramePrefixBytes(const std::string& data) {
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    const std::size_t remaining = data.size() - pos;
+    if (remaining < kFrameHeaderBytes) break;
+    std::uint32_t magic = 0, len = 0;
+    std::uint64_t checksum = 0;
+    std::memcpy(&magic, data.data() + pos, 4);
+    std::memcpy(&len, data.data() + pos + 4, 4);
+    std::memcpy(&checksum, data.data() + pos + 8, 8);
+    if (magic != kRecordMagic || len > kMaxPayloadBytes ||
+        remaining < kFrameHeaderBytes + len) {
+      break;
+    }
+    const auto payload =
+        std::string_view(data).substr(pos + kFrameHeaderBytes, len);
+    if (fnv1a(payload) != checksum) break;
+    pos += kFrameHeaderBytes + len;
+  }
+  return pos;
+}
+
+std::string readWholeFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) raiseError("cannot open WAL segment " + path);
+  return std::string((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
 }
 
 }  // namespace
@@ -152,11 +175,37 @@ TrajectoryWal::TrajectoryWal(WalConfig config) : config_(std::move(config)) {
   std::error_code ec;
   std::filesystem::create_directories(config_.dir, ec);
   if (ec) raiseError("cannot create WAL directory " + config_.dir);
+  // Repair what a killed predecessor left behind, so the torn tail this
+  // process may eventually leave is again the only one in the log:
+  //   1. unlink zero-byte segments (a crash between segment creation and the
+  //      first append, or a failed re-arm probe that never wrote),
+  //   2. truncate a torn tail off the new highest segment.
+  std::vector<std::string> segments = walSegmentFiles(config_.dir);
+  bool removed_any = false;
+  while (!segments.empty()) {
+    std::error_code size_ec;
+    const auto size = std::filesystem::file_size(segments.back(), size_ec);
+    if (size_ec || size != 0) break;
+    io::removeIfExists(segments.back());
+    segments.pop_back();
+    ++stats_.gc_removed_segments;
+    removed_any = true;
+  }
+  if (removed_any) io::fsyncDir(config_.dir);
+  if (!segments.empty()) {
+    const std::string data = readWholeFile(segments.back());
+    const std::size_t keep = validFramePrefixBytes(data);
+    if (keep < data.size()) {
+      io::truncateFile(segments.back(), keep);
+      stats_.repaired_torn_bytes += data.size() - keep;
+    }
+  }
   // Never append to an existing segment: a pre-crash segment may end in a
-  // torn frame, and replay only tolerates torn frames at the very tail of
-  // the log. Starting a fresh segment keeps that invariant across restarts.
+  // torn frame the disk refused to repair, and replay only tolerates torn
+  // frames at the logical end of the log. Starting a fresh segment keeps
+  // that invariant across restarts.
   std::size_t highest = 0;
-  for (const std::string& path : walSegmentFiles(config_.dir)) {
+  for (const std::string& path : segments) {
     highest = std::max(
         highest, segmentIndexOf(std::filesystem::path(path).filename()));
   }
@@ -164,30 +213,28 @@ TrajectoryWal::TrajectoryWal(WalConfig config) : config_(std::move(config)) {
 }
 
 TrajectoryWal::~TrajectoryWal() {
-  sync();
-  closeSegment();
+  // Best-effort flush: the destructor runs on shutdown and on unwind from a
+  // durability failure, where a second throw would terminate the process.
+  try {
+    sync();
+  } catch (const FatalError&) {
+  }
+  // IoFile's destructor releases the descriptor without throwing.
 }
 
 void TrajectoryWal::openSegment(std::size_t index) {
-  const std::string path =
-      config_.dir + "/" + segmentName(index);
-  fd_ = ::open(path.c_str(),
-               O_WRONLY | O_CREAT | O_EXCL | O_APPEND | O_CLOEXEC, 0644);
-  if (fd_ < 0) raiseError("cannot create WAL segment " + path);
-  fsyncDir(config_.dir);  // make the new dirent durable
+  const std::string path = config_.dir + "/" + segmentName(index);
+  file_ = io::IoFile::createAppendExclusive(path);
+  io::fsyncDir(config_.dir);  // make the new dirent durable
   segment_index_ = index;
   segment_bytes_written_ = 0;
   ++stats_.segments_created;
 }
 
-void TrajectoryWal::closeSegment() {
-  if (fd_ < 0) return;
-  ::close(fd_);
-  fd_ = -1;
-}
-
 void TrajectoryWal::append(const EpisodeRecord& record) {
-  POSETRL_CHECK(fd_ >= 0, "append on a closed WAL");
+  POSETRL_CHECK(file_.isOpen(), "append on a closed WAL");
+  POSETRL_CHECK(!poisoned_,
+                "append on a poisoned WAL segment (unrepaired torn frame)");
   const auto t0 = std::chrono::steady_clock::now();
   const std::string payload = encodeEpisodeRecord(record);
   POSETRL_CHECK(payload.size() <= kMaxPayloadBytes, "WAL record too large");
@@ -197,13 +244,21 @@ void TrajectoryWal::append(const EpisodeRecord& record) {
   putU32(frame, static_cast<std::uint32_t>(payload.size()));
   putU64(frame, fnv1a(payload));
   frame.append(payload);
-  // One write(2) per frame: an interrupted append leaves a prefix of the
-  // frame (a torn tail replay detects), never interleaved garbage.
-  std::size_t off = 0;
-  while (off < frame.size()) {
-    const ssize_t n = ::write(fd_, frame.data() + off, frame.size() - off);
-    if (n < 0) raiseError("WAL append failed (write)");
-    off += static_cast<std::size_t>(n);
+  try {
+    // One logical write per frame: an interrupted append leaves a prefix of
+    // the frame (a torn tail replay detects), never interleaved garbage.
+    file_.writeAll(frame);
+  } catch (const FatalError&) {
+    // The frame may sit torn on disk. Appending past it would strand every
+    // later record behind unparseable bytes — silent loss of acked data.
+    // Truncate back to the last committed record; if even that fails, poison
+    // the writer (a fresh TrajectoryWal repairs at startup).
+    try {
+      file_.truncate(segment_bytes_written_);
+    } catch (const FatalError&) {
+      poisoned_ = true;
+    }
+    throw;
   }
   segment_bytes_written_ += frame.size();
   stats_.bytes += frame.size();
@@ -217,7 +272,7 @@ void TrajectoryWal::append(const EpisodeRecord& record) {
     // Atomic rotation: the outgoing segment is fully durable before the
     // next one accepts records.
     sync();
-    closeSegment();
+    file_.close();
     openSegment(segment_index_ + 1);
   }
   stats_.append_us += std::chrono::duration<double, std::micro>(
@@ -226,8 +281,8 @@ void TrajectoryWal::append(const EpisodeRecord& record) {
 }
 
 void TrajectoryWal::sync() {
-  if (fd_ < 0 || unsynced_records_ == 0) return;
-  if (::fdatasync(fd_) != 0) raiseError("WAL fdatasync failed");
+  if (!file_.isOpen() || unsynced_records_ == 0) return;
+  file_.dataSync();
   unsynced_records_ = 0;
   ++stats_.syncs;
 }
@@ -252,12 +307,23 @@ std::vector<std::string> walSegmentFiles(const std::string& dir) {
 WalReplay replayWal(const std::string& dir) {
   WalReplay replay;
   const std::vector<std::string> segments = walSegmentFiles(dir);
+  std::vector<std::string> contents(segments.size());
   for (std::size_t si = 0; si < segments.size(); ++si) {
-    const bool last_segment = si + 1 == segments.size();
-    std::ifstream is(segments[si], std::ios::binary);
-    if (!is.good()) raiseError("cannot open WAL segment " + segments[si]);
-    std::string data((std::istreambuf_iterator<char>(is)),
-                     std::istreambuf_iterator<char>());
+    contents[si] = readWholeFile(segments[si]);
+  }
+  for (std::size_t si = 0; si < segments.size(); ++si) {
+    // A torn frame is tolerable only at the *logical* end of the log: the
+    // last segment, or one followed exclusively by empty segments — the
+    // state a crash during rotation (segment created, nothing appended)
+    // leaves behind. Intact records after a torn frame mean real corruption.
+    bool at_logical_end = true;
+    for (std::size_t sj = si + 1; sj < segments.size(); ++sj) {
+      if (!contents[sj].empty()) {
+        at_logical_end = false;
+        break;
+      }
+    }
+    const std::string& data = contents[si];
     ++replay.segments_read;
     std::size_t pos = 0;
     while (pos < data.size()) {
@@ -278,10 +344,7 @@ WalReplay replayWal(const std::string& dir) {
         intact = fnv1a(payload) == checksum;
       }
       if (!intact) {
-        // Torn frame. Expected (and tolerated) only at the very tail of the
-        // final segment — the kill -9 signature. Anywhere else the log is
-        // corrupt and replaying past it would silently drop records.
-        if (!last_segment) {
+        if (!at_logical_end) {
           raiseError("corrupt WAL frame mid-log in " + segments[si] +
                      " at offset " + std::to_string(pos));
         }

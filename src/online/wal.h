@@ -24,10 +24,21 @@
 /// next index), so a torn tail stays confined to the pre-crash segment.
 ///
 /// replayWal() reads segments in index order, validating every frame.
-/// A truncated or checksum-corrupt tail of the *last* segment is the
-/// expected kill -9 signature and is tolerated (reported as `torn_tail`);
-/// any malformed frame earlier than that is real corruption and raises
-/// a recoverable FatalError.
+/// A truncated or checksum-corrupt tail at the *logical end of the log*
+/// (the last segment, or a segment followed only by empty segments — the
+/// signature of a crash during rotation) is the expected kill -9 outcome
+/// and is tolerated (reported as `torn_tail`); any malformed frame with
+/// intact records after it is real corruption and raises a recoverable
+/// FatalError.
+///
+/// Every syscall goes through the support/io shim (support/io.h), so disk
+/// faults — EIO, ENOSPC, short writes, failed fsyncs — surface as
+/// catchable IoError and are injectable in tests. A fresh writer repairs
+/// what a crashed predecessor left behind: zero-byte segments (a crash
+/// between segment creation and the first append, or a failed re-arm
+/// probe) are unlinked, and a torn tail on the highest surviving segment
+/// is truncated away so the next crash's torn tail is again the only one
+/// in the log.
 
 #include <cstdint>
 #include <string>
@@ -35,6 +46,7 @@
 #include <vector>
 
 #include "rl/replay_buffer.h"
+#include "support/io.h"
 
 namespace posetrl {
 
@@ -82,10 +94,15 @@ class TrajectoryWal {
   TrajectoryWal& operator=(const TrajectoryWal&) = delete;
 
   /// Frames and appends \p record; fsyncs when the batch interval is due;
-  /// rotates segments when the size threshold is crossed.
+  /// rotates segments when the size threshold is crossed. Raises IoError
+  /// when the disk refuses (EIO/ENOSPC/failed sync): a write that failed
+  /// partway leaves a torn frame, which append() repairs in place
+  /// (truncating back to the last committed record) when the disk lets it —
+  /// otherwise the writer is poisoned and every later append raises until
+  /// a fresh TrajectoryWal re-runs the startup repair.
   void append(const EpisodeRecord& record);
 
-  /// Forces an fsync of any unsynced appends.
+  /// Forces an fsync of any unsynced appends. Raises IoError on failure.
   void sync();
 
   struct Stats {
@@ -93,6 +110,10 @@ class TrajectoryWal {
     std::size_t bytes = 0;
     std::size_t segments_created = 0;
     std::size_t syncs = 0;
+    /// Zero-byte segments from a killed predecessor unlinked at startup.
+    std::size_t gc_removed_segments = 0;
+    /// Torn-tail bytes truncated off the predecessor's last segment.
+    std::size_t repaired_torn_bytes = 0;
     /// Total wall time spent inside append() (encode + write + any fsync /
     /// rotation it triggered) — append_us / records is the per-record
     /// durability overhead the serving path pays.
@@ -103,13 +124,15 @@ class TrajectoryWal {
 
  private:
   void openSegment(std::size_t index);
-  void closeSegment();
 
   WalConfig config_;
-  int fd_ = -1;
+  io::IoFile file_;
   std::size_t segment_index_ = 0;
   std::size_t segment_bytes_written_ = 0;
   std::size_t unsynced_records_ = 0;
+  /// A failed append left a torn frame the disk refused to truncate away;
+  /// appending past it would strand unparseable bytes mid-log.
+  bool poisoned_ = false;
   Stats stats_;
 };
 

@@ -1,0 +1,294 @@
+#include "support/io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstring>
+
+namespace posetrl {
+namespace io {
+
+namespace {
+
+std::atomic<IoPolicy*> g_policy{nullptr};
+
+struct AtomicStats {
+  std::atomic<std::size_t> ops[kNumOps] = {};
+  std::atomic<std::size_t> injected_failures{0};
+  std::atomic<std::size_t> short_writes{0};
+};
+AtomicStats g_stats;
+
+/// Consults the installed policy and bumps the op counter. Returns the
+/// errno to inject (0 = proceed). With no policy installed this is one
+/// atomic load and a predicted branch — the accounting rides the injection
+/// path so production appends don't pay a locked RMW per syscall (measured
+/// by bench/io_shim_bench, gated <2% in tools/check.sh --bench).
+int checkOp(Op op, const std::string& path) {
+  IoPolicy* p = g_policy.load(std::memory_order_acquire);
+  if (p == nullptr) return 0;
+  g_stats.ops[static_cast<std::size_t>(op)].fetch_add(
+      1, std::memory_order_relaxed);
+  const int injected = p->beforeOp(op, path);
+  if (injected != 0) {
+    g_stats.injected_failures.fetch_add(1, std::memory_order_relaxed);
+  }
+  return injected;
+}
+
+[[noreturn]] void raiseIo(Op op, const std::string& path, int errnum) {
+  throw IoError(std::string(opName(op)) + " failed for " + path + ": " +
+                    std::strerror(errnum),
+                errnum);
+}
+
+}  // namespace
+
+const char* opName(Op op) {
+  switch (op) {
+    case Op::CreateFile: return "create";
+    case Op::Write: return "write";
+    case Op::DataSync: return "fdatasync";
+    case Op::CloseFile: return "close";
+    case Op::SyncDir: return "fsync-dir";
+    case Op::Rename: return "rename";
+    case Op::Unlink: return "unlink";
+    case Op::Truncate: return "ftruncate";
+  }
+  return "unknown";
+}
+
+IoPolicy* setPolicy(IoPolicy* policy) {
+  return g_policy.exchange(policy, std::memory_order_acq_rel);
+}
+
+IoPolicy* policy() { return g_policy.load(std::memory_order_acquire); }
+
+Stats statsSnapshot() {
+  Stats s;
+  for (std::size_t i = 0; i < kNumOps; ++i) {
+    s.ops[i] = g_stats.ops[i].load(std::memory_order_relaxed);
+  }
+  s.injected_failures =
+      g_stats.injected_failures.load(std::memory_order_relaxed);
+  s.short_writes = g_stats.short_writes.load(std::memory_order_relaxed);
+  return s;
+}
+
+void resetStats() {
+  for (std::size_t i = 0; i < kNumOps; ++i) {
+    g_stats.ops[i].store(0, std::memory_order_relaxed);
+  }
+  g_stats.injected_failures.store(0, std::memory_order_relaxed);
+  g_stats.short_writes.store(0, std::memory_order_relaxed);
+}
+
+// --- IoFile ----------------------------------------------------------------
+
+IoFile& IoFile::operator=(IoFile&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+    other.path_.clear();
+  }
+  return *this;
+}
+
+IoFile::~IoFile() {
+  // Best-effort: the checked close() is the API; by the time the destructor
+  // runs the caller either already closed or is unwinding from a failure,
+  // and a second error has nowhere to go.
+  if (fd_ >= 0) ::close(fd_);
+}
+
+IoFile IoFile::open(const std::string& path, int flags) {
+  const int injected = checkOp(Op::CreateFile, path);
+  if (injected != 0) raiseIo(Op::CreateFile, path, injected);
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) raiseIo(Op::CreateFile, path, errno);
+  return IoFile(fd, path);
+}
+
+IoFile IoFile::createAppendExclusive(const std::string& path) {
+  return open(path, O_WRONLY | O_CREAT | O_EXCL | O_APPEND | O_CLOEXEC);
+}
+
+IoFile IoFile::createTruncate(const std::string& path) {
+  return open(path, O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC);
+}
+
+void IoFile::writeAll(const char* data, std::size_t n) {
+  POSETRL_CHECK(fd_ >= 0, "write on a closed IoFile");
+  std::size_t off = 0;
+  while (off < n) {
+    const std::size_t remaining = n - off;
+    const int injected = checkOp(Op::Write, path_);
+    if (injected != 0) raiseIo(Op::Write, path_, injected);
+    std::size_t chunk = remaining;
+    if (IoPolicy* p = g_policy.load(std::memory_order_acquire)) {
+      chunk = p->writeLimit(path_, remaining);
+      if (chunk < 1) chunk = 1;
+      if (chunk > remaining) chunk = remaining;
+      if (chunk < remaining) {
+        g_stats.short_writes.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    const ssize_t written = ::write(fd_, data + off, chunk);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      raiseIo(Op::Write, path_, errno);
+    }
+    off += static_cast<std::size_t>(written);
+  }
+}
+
+void IoFile::dataSync() {
+  POSETRL_CHECK(fd_ >= 0, "fdatasync on a closed IoFile");
+  const int injected = checkOp(Op::DataSync, path_);
+  if (injected != 0) raiseIo(Op::DataSync, path_, injected);
+  if (::fdatasync(fd_) != 0) raiseIo(Op::DataSync, path_, errno);
+}
+
+void IoFile::truncate(std::size_t length) {
+  POSETRL_CHECK(fd_ >= 0, "ftruncate on a closed IoFile");
+  const int injected = checkOp(Op::Truncate, path_);
+  if (injected != 0) raiseIo(Op::Truncate, path_, injected);
+  if (::ftruncate(fd_, static_cast<off_t>(length)) != 0) {
+    raiseIo(Op::Truncate, path_, errno);
+  }
+}
+
+void IoFile::close() {
+  if (fd_ < 0) return;
+  const int injected = checkOp(Op::CloseFile, path_);
+  // The descriptor is process state, not disk state: release it even when
+  // the (simulated or real) close fails, then report the failure.
+  const int rc = ::close(fd_);
+  const int saved = errno;
+  fd_ = -1;
+  if (injected != 0) raiseIo(Op::CloseFile, path_, injected);
+  if (rc != 0) raiseIo(Op::CloseFile, path_, saved);
+}
+
+// --- directory / path operations -------------------------------------------
+
+void fsyncDir(const std::string& dir) {
+  const int injected = checkOp(Op::SyncDir, dir);
+  if (injected != 0) raiseIo(Op::SyncDir, dir, injected);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd < 0) raiseIo(Op::SyncDir, dir, errno);
+  if (::fsync(dfd) != 0) {
+    const int saved = errno;
+    ::close(dfd);
+    raiseIo(Op::SyncDir, dir, saved);
+  }
+  if (::close(dfd) != 0) raiseIo(Op::SyncDir, dir, errno);
+}
+
+void renameFile(const std::string& from, const std::string& to) {
+  const int injected = checkOp(Op::Rename, from);
+  if (injected != 0) raiseIo(Op::Rename, from, injected);
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    raiseIo(Op::Rename, from, errno);
+  }
+}
+
+bool removeIfExists(const std::string& path) {
+  const int injected = checkOp(Op::Unlink, path);
+  if (injected != 0) raiseIo(Op::Unlink, path, injected);
+  if (::unlink(path.c_str()) != 0) {
+    if (errno == ENOENT) return false;
+    raiseIo(Op::Unlink, path, errno);
+  }
+  return true;
+}
+
+void truncateFile(const std::string& path, std::size_t length) {
+  const int injected = checkOp(Op::Truncate, path);
+  if (injected != 0) raiseIo(Op::Truncate, path, injected);
+  if (::truncate(path.c_str(), static_cast<off_t>(length)) != 0) {
+    raiseIo(Op::Truncate, path, errno);
+  }
+}
+
+void writeFileAtomicDurable(const std::string& path,
+                            const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  try {
+    IoFile f = IoFile::createTruncate(tmp);
+    f.writeAll(content);
+    // Data must be durable BEFORE the rename publishes the name: otherwise
+    // a machine crash after the rename could expose an empty or partial
+    // file under the final path.
+    f.dataSync();
+    f.close();
+    renameFile(tmp, path);
+    std::string parent = path;
+    const std::size_t slash = parent.find_last_of('/');
+    parent = slash == std::string::npos ? std::string(".")
+                                        : parent.substr(0, slash);
+    fsyncDir(parent);
+  } catch (const FatalError&) {
+    // A failed publish must leave no debris: unlink the orphaned tmp
+    // (best-effort — the disk may be refusing unlinks too; startup GC of
+    // the owning component sweeps what this misses).
+    try {
+      removeIfExists(tmp);
+    } catch (const FatalError&) {
+    }
+    throw;
+  }
+}
+
+// --- reusable fault policies ----------------------------------------------
+
+int CrashPointPolicy::beforeOp(Op op, const std::string& path) {
+  (void)path;
+  if (crashed_.load(std::memory_order_acquire)) return errnum_;
+  const std::size_t index = next_op_.fetch_add(1, std::memory_order_acq_rel);
+  if (index < crash_at_) return 0;
+  if (index == crash_at_ && op == Op::Write && partial_write_ > 0.0) {
+    // Mid-write crash: let this write through clamped (writeLimit below),
+    // then die — the disk keeps a torn prefix of the frame.
+    partial_pending_.store(true, std::memory_order_release);
+    crashed_.store(true, std::memory_order_release);
+    return 0;
+  }
+  crashed_.store(true, std::memory_order_release);
+  return errnum_;
+}
+
+std::size_t CrashPointPolicy::writeLimit(const std::string& path,
+                                         std::size_t nbytes) {
+  (void)path;
+  if (partial_pending_.exchange(false, std::memory_order_acq_rel)) {
+    const auto clamped = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(nbytes) * partial_write_));
+    return clamped < 1 ? 1 : (clamped >= nbytes ? nbytes - (nbytes > 1) : clamped);
+  }
+  return nbytes;
+}
+
+int FaultWindowPolicy::beforeOp(Op op, const std::string& path) {
+  (void)op;
+  (void)path;
+  const std::size_t index = next_op_.fetch_add(1, std::memory_order_acq_rel);
+  if (index >= fail_from_ && index < fail_until_) {
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    return errnum_;
+  }
+  return 0;
+}
+
+int TracePolicy::beforeOp(Op op, const std::string& path) {
+  (void)path;
+  std::lock_guard<std::mutex> lock(mu_);
+  trace_.push_back(op);
+  return 0;
+}
+
+}  // namespace io
+}  // namespace posetrl

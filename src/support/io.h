@@ -1,0 +1,273 @@
+#pragma once
+
+/// \file io.h
+/// Deterministic I/O fault-injection shim for the durability layer
+/// (DESIGN.md "Failure model").
+///
+/// Every write-side syscall the durability code issues — WAL appends,
+/// snapshot publishes, trainer checkpoints, agent saves — goes through this
+/// layer instead of calling open/write/fdatasync/rename directly. In
+/// production the shim is a pass-through (one atomic load plus relaxed
+/// counters per syscall; bench/io_shim_bench measures the cost). In tests a
+/// process-global IoPolicy can be installed to inject the faults a real
+/// disk produces:
+///
+///   - EIO / ENOSPC (or any errno) on any operation,
+///   - short writes (write(2) accepting fewer bytes than asked),
+///   - failed fdatasync / directory fsync / rename / close,
+///   - a seeded "crash after syscall N" trap (CrashPointPolicy) that
+///     freezes the on-disk state exactly as a process killed at that
+///     syscall would leave it — the substrate of the crash-point model
+///     checker in tests/io_fault_test.cpp.
+///
+/// Failure surface: every operation that fails (for real or by injection)
+/// raises IoError, a catchable FatalError carrying the errno. Callers on
+/// the serve path catch it and degrade (online_learner.h "durability
+/// degradation"); callers with no fallback let it propagate.
+///
+/// Crash semantics modeled: a *process* crash (kill -9, abort) keeps every
+/// write that returned — the page cache belongs to the kernel. A crashed
+/// CrashPointPolicy therefore fails all further operations without touching
+/// the disk, leaving exactly the bytes written before the trap fired.
+/// Machine crashes (losing unsynced page-cache data) are modeled separately
+/// by the torn-write truncation tests.
+
+#include <atomic>
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/error.h"
+
+namespace posetrl {
+
+/// Catchable I/O failure: a FatalError that also carries the errno of the
+/// failed operation (real or injected).
+class IoError : public FatalError {
+ public:
+  IoError(const std::string& what, int errnum)
+      : FatalError(what), errnum_(errnum) {}
+  int errnum() const { return errnum_; }
+
+ private:
+  int errnum_;
+};
+
+namespace io {
+
+/// The physical operations the shim mediates. fsyncDir() is one SyncDir op
+/// (its internal open/fsync/close of the directory fd is not separately
+/// injectable — a directory-fsync either happens or it does not).
+enum class Op {
+  CreateFile,  ///< open(O_WRONLY|O_CREAT|...)
+  Write,       ///< write(2) (possibly one of several per logical write)
+  DataSync,    ///< fdatasync(2)
+  CloseFile,   ///< close(2) of a file opened for writing
+  SyncDir,     ///< fsync of a directory fd (dirent durability)
+  Rename,      ///< rename(2)
+  Unlink,      ///< unlink(2)
+  Truncate,    ///< ftruncate(2) (torn-tail repair)
+};
+const char* opName(Op op);
+constexpr std::size_t kNumOps = 8;
+
+/// Injectable fault policy. Consulted before every physical operation;
+/// implementations must be thread-safe (serving-path I/O is concurrent).
+class IoPolicy {
+ public:
+  virtual ~IoPolicy() = default;
+  /// Return 0 to let the operation through, or an errno value to inject a
+  /// failure — the physical syscall is then NOT performed (except close,
+  /// which always releases the real descriptor; see IoFile::close).
+  virtual int beforeOp(Op op, const std::string& path) {
+    (void)op;
+    (void)path;
+    return 0;
+  }
+  /// Clamp for one physical write: return how many of \p nbytes the write
+  /// may accept (a short write). Values are clamped to [1, nbytes]; the
+  /// caller's full-write loop re-consults beforeOp for the remainder.
+  virtual std::size_t writeLimit(const std::string& path, std::size_t nbytes) {
+    (void)path;
+    return nbytes;
+  }
+};
+
+/// Installs \p policy as the process-global fault policy (nullptr restores
+/// pass-through). The policy is borrowed, not owned; the caller keeps it
+/// alive until reset. Returns the previous policy.
+IoPolicy* setPolicy(IoPolicy* policy);
+IoPolicy* policy();
+
+/// RAII policy installation for tests: installs on construction, restores
+/// the previous policy on destruction.
+class ScopedIoPolicy {
+ public:
+  explicit ScopedIoPolicy(IoPolicy* p) : previous_(setPolicy(p)) {}
+  ~ScopedIoPolicy() { setPolicy(previous_); }
+  ScopedIoPolicy(const ScopedIoPolicy&) = delete;
+  ScopedIoPolicy& operator=(const ScopedIoPolicy&) = delete;
+
+ private:
+  IoPolicy* previous_;
+};
+
+/// Process-wide shim counters (relaxed atomics; snapshot is not a
+/// linearizable cut across ops). Ops are only counted while a policy is
+/// installed: the production fast path must stay one atomic load + branch
+/// per syscall, so the accounting rides the injection path.
+struct Stats {
+  std::size_t ops[kNumOps] = {};
+  std::size_t injected_failures = 0;
+  std::size_t short_writes = 0;  ///< Physical writes clamped by a policy.
+};
+Stats statsSnapshot();
+void resetStats();
+
+/// Write-side file handle. All methods raise IoError on failure (real
+/// errno or injected); the destructor closes best-effort and never throws.
+class IoFile {
+ public:
+  /// O_WRONLY|O_CREAT|O_EXCL|O_APPEND — a fresh WAL segment: creation
+  /// fails if the file exists (single-writer protection).
+  static IoFile createAppendExclusive(const std::string& path);
+  /// O_WRONLY|O_CREAT|O_TRUNC — a tmp file for atomic publication.
+  static IoFile createTruncate(const std::string& path);
+
+  IoFile() = default;
+  IoFile(IoFile&& other) noexcept { *this = std::move(other); }
+  IoFile& operator=(IoFile&& other) noexcept;
+  IoFile(const IoFile&) = delete;
+  IoFile& operator=(const IoFile&) = delete;
+  ~IoFile();
+
+  bool isOpen() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  /// Writes all \p n bytes (looping over short writes and EINTR). An
+  /// injected or real failure partway leaves a prefix on disk — exactly a
+  /// torn write — and raises IoError.
+  void writeAll(const char* data, std::size_t n);
+  void writeAll(const std::string& data) { writeAll(data.data(), data.size()); }
+
+  /// fdatasync(2).
+  void dataSync();
+
+  /// Truncates the file to \p length bytes (torn-tail repair).
+  void truncate(std::size_t length);
+
+  /// Checked close: raises IoError when close(2) fails or the policy
+  /// injects a failure. The real descriptor is ALWAYS released — a file
+  /// descriptor is process state, not disk state, so even a simulated-dead
+  /// process must not leak it.
+  void close();
+
+ private:
+  IoFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  static IoFile open(const std::string& path, int flags);
+
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// fsyncs the directory entry list of \p dir (dirent durability after
+/// create/rename/unlink). Raises IoError on failure — callers that can
+/// degrade catch it; none silently ignore it.
+void fsyncDir(const std::string& dir);
+
+/// rename(2); raises IoError on failure.
+void renameFile(const std::string& from, const std::string& to);
+
+/// unlink(2). Returns false when the file does not exist; raises IoError
+/// on any other failure.
+bool removeIfExists(const std::string& path);
+
+/// truncate(2) by path (torn-tail repair of a closed segment); raises
+/// IoError on failure.
+void truncateFile(const std::string& path, std::size_t length);
+
+/// Atomic durable publication of \p content at \p path:
+///   write path.tmp → fdatasync → close → rename over path → fsync dir.
+/// On any failure the orphaned tmp file is unlinked (best-effort) before
+/// IoError propagates, so a failed publish leaves no debris and the
+/// previous file intact. This is the primitive behind checkpoint saves,
+/// agent saves, and snapshot publication.
+void writeFileAtomicDurable(const std::string& path,
+                            const std::string& content);
+
+// --- reusable fault policies ----------------------------------------------
+
+/// Deterministic "crash after syscall N" trap. Operations 0..crash_at-1
+/// execute normally; operation crash_at and everything after it fail with
+/// ENOSPC-style errno without touching the disk, freezing the on-disk state
+/// exactly as a process killed at that syscall boundary would leave it.
+/// With partial_write in (0,1), a Write landing on the crash point is let
+/// through clamped to ceil(nbytes * partial_write) bytes first — the
+/// mid-write (torn) crash variant.
+class CrashPointPolicy : public IoPolicy {
+ public:
+  explicit CrashPointPolicy(std::size_t crash_at, double partial_write = 0.0,
+                            int errnum = EIO)
+      : crash_at_(crash_at), partial_write_(partial_write), errnum_(errnum) {}
+
+  int beforeOp(Op op, const std::string& path) override;
+  std::size_t writeLimit(const std::string& path, std::size_t nbytes) override;
+
+  std::size_t opsSeen() const { return next_op_.load(); }
+  bool crashed() const { return crashed_.load(); }
+
+ private:
+  const std::size_t crash_at_;
+  const double partial_write_;
+  const int errnum_;
+  std::atomic<std::size_t> next_op_{0};
+  std::atomic<bool> crashed_{false};
+  std::atomic<bool> partial_pending_{false};
+};
+
+/// Injects \p errnum on every operation whose global index falls inside
+/// [fail_from, fail_from + fail_count) — a disk that breaks mid-run and
+/// heals later (the chaos serve smoke). Operations outside the window pass
+/// through untouched.
+class FaultWindowPolicy : public IoPolicy {
+ public:
+  FaultWindowPolicy(std::size_t fail_from, std::size_t fail_count, int errnum)
+      : fail_from_(fail_from), fail_until_(fail_from + fail_count),
+        errnum_(errnum) {}
+
+  int beforeOp(Op op, const std::string& path) override;
+
+  std::size_t opsSeen() const { return next_op_.load(); }
+  std::size_t injected() const { return injected_.load(); }
+  bool healed() const { return next_op_.load() >= fail_until_; }
+
+ private:
+  const std::size_t fail_from_;
+  const std::size_t fail_until_;
+  const int errnum_;
+  std::atomic<std::size_t> next_op_{0};
+  std::atomic<std::size_t> injected_{0};
+};
+
+/// Records the operation sequence (for crash-point enumeration: run once
+/// with a TracePolicy to learn how many syscalls the scenario issues and
+/// which of them are writes). Pass-through otherwise.
+class TracePolicy : public IoPolicy {
+ public:
+  int beforeOp(Op op, const std::string& path) override;
+
+  /// The recorded op kinds, in issue order. Not thread-safe against
+  /// concurrent shim traffic — use from single-threaded scenarios only.
+  const std::vector<Op>& trace() const { return trace_; }
+
+ private:
+  std::vector<Op> trace_;
+  std::mutex mu_;
+};
+
+}  // namespace io
+}  // namespace posetrl

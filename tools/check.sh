@@ -5,7 +5,7 @@
 # on the first failure.
 #
 # Usage: tools/check.sh [--tsan] [--asan] [--ubsan] [--tidy] [--bench]
-#                       [build-dir]                (default build dir: build)
+#                       [--chaos] [build-dir]      (default build dir: build)
 #
 #   --tsan   additionally rebuild with -DPOSETRL_SANITIZE=thread (in
 #            <build-dir>-tsan) and rerun the concurrent serving stress under
@@ -22,7 +22,15 @@
 #            ns/instr, analysis cache hit rate, GEMM GFLOP/s, serve
 #            throughput + p50/p99 latency, snapshot swap latency, WAL append
 #            overhead); fails the gate if the default-on verifier + contract
-#            checker cost >= 10% training throughput.
+#            checker cost >= 10% training throughput, or if the support/io
+#            fault-injection shim costs >= 2% of raw WAL append throughput
+#            (bench/io_shim_bench, io_shim_overhead_pct).
+#   --chaos  durability fault drills (DESIGN.md "Failure model"): the
+#            crash-point enumeration / snapshot-corruption / orphan-GC /
+#            degraded-mode test suites, then serve_driver with an injected
+#            ENOSPC and EIO disk-fault window — requests must keep
+#            succeeding while ingestion degrades and durability must re-arm
+#            after the window passes. Repeated under AddressSanitizer.
 
 set -euo pipefail
 
@@ -32,6 +40,7 @@ ASAN=0
 UBSAN=0
 TIDY=0
 BENCH=0
+CHAOS=0
 BUILD=""
 for arg in "$@"; do
   case "$arg" in
@@ -40,6 +49,7 @@ for arg in "$@"; do
     --ubsan) UBSAN=1 ;;
     --tidy)  TIDY=1 ;;
     --bench) BENCH=1 ;;
+    --chaos) CHAOS=1 ;;
     --*)     echo "unknown flag: $arg" >&2; exit 2 ;;
     *)       BUILD="$arg" ;;
   esac
@@ -221,6 +231,88 @@ else
 fi
 rm -rf "$ONLINE_DIR"
 
+# Serve run with a disk-fault window injected once serving starts: every
+# durability syscall in ops [from, from+count) fails with the given errno.
+# Requests must all still succeed (durability failures never reach the
+# serving path), ingestion must degrade visibly, and the learner must
+# re-arm once the window passes. $1 = serve_driver binary, $2 = label,
+# $3 = errno name (eio|enospc).
+chaos_serve() {
+  local bin="$1" label="$2" errname="$3"
+  local dir out
+  dir="$(mktemp -d)"
+  if ! out="$(ASAN_OPTIONS=halt_on_error=1 "$bin" --workers 4 --requests 24 \
+      --train 50 --online "$dir" \
+      --min-deadline-ms 4000 --max-deadline-ms 8000 --grace-ms 2000 \
+      --io-fail-from 2 --io-fail-count 4 --io-fail-errno "$errname" \
+      --durability-retry-ms 10 --kv)"; then
+    echo "FAIL chaos serve ($label): driver exited non-zero"
+    status=1
+    rm -rf "$dir"
+    return
+  fi
+  rm -rf "$dir"
+  local cok cviol cdeg crearm cinj
+  cok="$(kv "$out" ok)"
+  cviol="$(kv "$out" violations)"
+  cdeg="$(kv "$out" durability_degraded)"
+  crearm="$(kv "$out" durability_rearms)"
+  cinj="$(kv "$out" io_injected_failures)"
+  if [[ "$cok" != "24" ]]; then
+    echo "FAIL chaos serve ($label): expected 24 served requests, got '$cok'"
+    status=1
+  elif [[ "$cviol" != "0" ]]; then
+    echo "FAIL chaos serve ($label): expected zero violations, got '$cviol'"
+    status=1
+  elif [[ "$cdeg" == "missing" ]]; then
+    echo "FAIL chaos serve ($label): durability_degraded missing from --kv"
+    status=1
+  elif [[ "$cinj" == "missing" || "$cinj" -lt 1 ]]; then
+    echo "FAIL chaos serve ($label): fault window injected nothing ('$cinj')"
+    status=1
+  elif [[ "$crearm" == "missing" || "$crearm" -lt 1 ]]; then
+    echo "FAIL chaos serve ($label): durability never re-armed ('$crearm')"
+    status=1
+  else
+    echo "ok   chaos serve ($label: ok=24 injected=$cinj rearms=$crearm violations=0)"
+  fi
+}
+
+if [[ $CHAOS -eq 1 ]]; then
+  echo "== chaos: crash-point enumeration =="
+  # Exhaustive crash-consistency model check (tests/io_fault_test.cpp):
+  # every durability syscall in the WAL-append/rotation/snapshot-publish
+  # sequence is crashed once — clean and torn-write variants — and the
+  # recovery invariants re-asserted, plus the snapshot-corruption,
+  # orphan-GC, and degraded-mode suites.
+  CHAOS_FILTER='IoShimTest.*:WalRepairTest.*:CrashConsistencyTest.*'
+  CHAOS_FILTER+=':SnapshotCorruptionTest.*:OrphanGcTest.*'
+  CHAOS_FILTER+=':DegradationTest.*:ServeDegradationTest.*'
+  if "$BUILD/tests/posetrl_tests" --gtest_filter="$CHAOS_FILTER" >/dev/null; then
+    echo "ok   chaos crash-point suites"
+  else
+    echo "FAIL chaos crash-point suites"
+    status=1
+  fi
+
+  echo "== chaos: serve under injected disk faults =="
+  chaos_serve "$SERVE" enospc enospc
+  chaos_serve "$SERVE" eio eio
+
+  echo "== chaos under AddressSanitizer =="
+  CHAOS_ASAN="${BUILD}-asan"
+  cmake -B "$CHAOS_ASAN" -S "$ROOT" -DPOSETRL_SANITIZE=address >/dev/null
+  cmake --build "$CHAOS_ASAN" -j"$(nproc)" --target posetrl_tests serve_driver
+  if ASAN_OPTIONS=halt_on_error=1 "$CHAOS_ASAN/tests/posetrl_tests" \
+      --gtest_filter="$CHAOS_FILTER" >/dev/null; then
+    echo "ok   asan chaos crash-point suites"
+  else
+    echo "FAIL asan chaos crash-point suites"
+    status=1
+  fi
+  chaos_serve "$CHAOS_ASAN/examples/serve_driver" "enospc under asan" enospc
+fi
+
 if [[ $TSAN -eq 1 ]]; then
   echo "== serve stress under ThreadSanitizer =="
   TSAN_BUILD="${BUILD}-tsan"
@@ -365,6 +457,21 @@ if [[ $BENCH -eq 1 ]]; then
     echo "FAIL verifier+contract overhead ${overhead}% (>= 10% budget)"
     status=1
   fi
+  echo "== io shim overhead bench =="
+  # The fault-injection shim is compiled into production binaries: prove its
+  # pass-through cost on WAL-shaped appends stays under 2% of raw ::write.
+  IO_SHIM="$("$BUILD/bench/io_shim_bench")"
+  echo "$IO_SHIM"
+  shim_overhead="$(kv "$IO_SHIM" io_shim_overhead_pct)"
+  if [[ "$shim_overhead" == "missing" ]]; then
+    echo "FAIL bench: io_shim_bench did not print io_shim_overhead_pct"
+    status=1
+  elif awk -v o="$shim_overhead" 'BEGIN { exit !(o < 2.0) }'; then
+    echo "ok   io shim overhead ${shim_overhead}% (< 2% budget)"
+  else
+    echo "FAIL io shim overhead ${shim_overhead}% (>= 2% budget)"
+    status=1
+  fi
   echo "== online serving bench =="
   # Serving-path numbers for the bench report: steady-state throughput with
   # the online loop attached (WAL appends + watchdog feed on every request),
@@ -401,7 +508,8 @@ if [[ $BENCH -eq 1 ]]; then
     printf '  "serve_latency_p50_ms": %s,\n' "$(kv "$SERVE_BENCH" latency_p50_ms)"
     printf '  "serve_latency_p99_ms": %s,\n' "$(kv "$SERVE_BENCH" latency_p99_ms)"
     printf '  "swap_latency_us": %s,\n' "$(kv "$SERVE_BENCH" swap_latency_us)"
-    printf '  "wal_append_us": %s\n' "$(kv "$SERVE_BENCH" wal_append_us)"
+    printf '  "wal_append_us": %s,\n' "$(kv "$SERVE_BENCH" wal_append_us)"
+    printf '  "io_shim_overhead_pct": %s\n' "$(kv "$IO_SHIM" io_shim_overhead_pct)"
     printf '}\n'
   } > "$out"
   echo "ok   wrote $(basename "$out")"
