@@ -10,8 +10,15 @@
 ///                          instruction (analysis/fast_verifier.h);
 ///   analysis_cache_hit_rate fraction of dataflow-analysis queries served
 ///                          from the hash-validated cache during training;
+///   snapshot_ns_per_instr  flat ModuleSnapshot capture cost per IR
+///                          instruction, with rollback_ns_per_instr for the
+///                          in-place restore (ir/snapshot.h) — the per-step
+///                          sandbox costs the arena/snapshot PR bounds;
 ///   gemm_gflops            dense matMul throughput of the DQN's batched
-///                          update path (rl/matrix.h).
+///                          update path (rl/matrix.h), plus per-kernel
+///                          gemm_gflops_nn/_nt/_tn for the three transpose
+///                          shapes the MLP uses (forward NT, propagate NN,
+///                          gradient TN).
 ///
 /// Usage: perf_report [train_steps]   (default: 400)
 
@@ -26,6 +33,7 @@
 #include "analysis/fast_verifier.h"
 #include "core/trainer.h"
 #include "ir/module.h"
+#include "ir/snapshot.h"
 #include "rl/matrix.h"
 #include "support/rng.h"
 #include "workloads/generator.h"
@@ -128,23 +136,67 @@ int main(int argc, char** argv) {
                 seconds(t0, t1) * 1e9 / static_cast<double>(walked));
   }
 
+  // Flat snapshot capture / in-place rollback cost per instruction — the
+  // fixed overhead the sandbox pays around every training step.
+  {
+    ProgramSpec spec;
+    spec.seed = 909;
+    spec.kernels = 8;
+    auto m = generateProgram(spec);
+    std::size_t instrs = 0;
+    for (const auto& f : m->functions()) {
+      for (const auto& bb : f->blocks()) instrs += bb->insts().size();
+    }
+    const int rounds = 200;
+    ModuleSnapshot snap;  // reused: steady-state capture, like the sandbox
+    snap.capture(*m);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int round = 0; round < rounds; ++round) snap.capture(*m);
+    const auto t1 = std::chrono::steady_clock::now();
+    for (int round = 0; round < rounds; ++round) snap.restoreInto(*m);
+    const auto t2 = std::chrono::steady_clock::now();
+    const double denom = static_cast<double>(instrs) * rounds;
+    std::printf("snapshot_instructions=%zu\n", instrs);
+    std::printf("snapshot_ns_per_instr=%.1f\n",
+                seconds(t0, t1) * 1e9 / denom);
+    std::printf("rollback_ns_per_instr=%.1f\n",
+                seconds(t1, t2) * 1e9 / denom);
+  }
+
   // Dense GEMM throughput on DQN-shaped operands (batch x state_dim times
-  // state_dim x hidden).
+  // state_dim x hidden), per transpose shape: NT is the batched forward,
+  // NN the backward propagate, TN the weight-gradient accumulation. The
+  // legacy gemm_gflops key stays the NN shape for cross-commit comparison.
   {
     const std::size_t m = 256, k = 300, n = 256;
     Rng rng(99);
-    const Matrix a = Matrix::randomInit(m, k, rng);
-    const Matrix b = Matrix::randomInit(k, n, rng);
+    const Matrix a_nn = Matrix::randomInit(m, k, rng);
+    const Matrix b_nn = Matrix::randomInit(k, n, rng);
+    const Matrix b_nt = Matrix::randomInit(n, k, rng);
+    const Matrix a_tn = Matrix::randomInit(k, m, rng);
     Matrix c = Matrix::zeros(m, n);
     const int reps = 20;
-    const auto t0 = std::chrono::steady_clock::now();
-    for (int i = 0; i < reps; ++i) {
-      c.addMatMul(a, false, b, false);
-    }
-    const auto t1 = std::chrono::steady_clock::now();
     const double flops = 2.0 * static_cast<double>(m * n * k) * reps;
+    const auto timeKernel = [&](const Matrix& a, bool ta, const Matrix& b,
+                                bool tb) {
+      double best = 0.0;
+      for (int round = 0; round < 3; ++round) {
+        const auto t0 = std::chrono::steady_clock::now();
+        for (int i = 0; i < reps; ++i) c.addMatMul(a, ta, b, tb);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double gflops = flops / seconds(t0, t1) / 1e9;
+        if (gflops > best) best = gflops;
+      }
+      return best;
+    };
+    const double nn = timeKernel(a_nn, false, b_nn, false);
+    const double nt = timeKernel(a_nn, false, b_nt, true);
+    const double tn = timeKernel(a_tn, true, b_nn, false);
     std::printf("gemm_m=%zu\ngemm_k=%zu\ngemm_n=%zu\n", m, k, n);
-    std::printf("gemm_gflops=%.2f\n", flops / seconds(t0, t1) / 1e9);
+    std::printf("gemm_gflops=%.2f\n", nn);
+    std::printf("gemm_gflops_nn=%.2f\n", nn);
+    std::printf("gemm_gflops_nt=%.2f\n", nt);
+    std::printf("gemm_gflops_tn=%.2f\n", tn);
     // Keep the result alive so the loop cannot be optimized out.
     if (c.at(0, 0) == 12345.6789) std::printf("unlikely=1\n");
   }

@@ -12,6 +12,7 @@
 #include "ir/global_variable.h"
 #include "ir/instruction.h"
 #include "ir/module.h"
+#include "ir/structural_hash.h"
 #include "support/hashing.h"
 
 namespace posetrl {
@@ -31,38 +32,10 @@ const char* analysisKindName(AnalysisKind kind) {
 namespace {
 
 /// Structural type hash, independent of interning addresses (so fingerprints
-/// agree across module clones). Memoized in the Type itself — types are
-/// immutable and fingerprinting hits the same handful of types for every
-/// operand of every instruction.
-std::uint64_t hashType(const Type* t) {
-  if (t == nullptr) return 0x9e3779b97f4a7c15ull;
-  if (const std::uint64_t cached = t->analysisHashCache(); cached != 0)
-    return cached;
-  std::uint64_t h =
-      hashCombine(0x51ed2701, static_cast<std::uint64_t>(t->kind()));
-  switch (t->kind()) {
-    case Type::Kind::Ptr:
-      h = hashCombine(h, hashType(t->pointee()));
-      break;
-    case Type::Kind::Array:
-      h = hashCombine(hashCombine(h, hashType(t->arrayElement())),
-                      t->arrayCount());
-      break;
-    case Type::Kind::Struct:
-      for (const Type* field : t->structFields())
-        h = hashCombine(h, hashType(field));
-      break;
-    case Type::Kind::Func:
-      h = hashCombine(h, hashType(t->funcReturn()));
-      for (const Type* p : t->funcParams()) h = hashCombine(h, hashType(p));
-      break;
-    default:
-      break;
-  }
-  h |= 1;  // Reserve 0 as the not-yet-computed sentinel.
-  t->setAnalysisHashCache(h);
-  return h;
-}
+/// agree across module clones). The shared memoized implementation lives in
+/// ir/structural_hash.cpp — fingerprints and the module content hash must
+/// agree on the value stored in Type::analysisHashCache.
+std::uint64_t hashType(const Type* t) { return structuralTypeHash(t); }
 
 std::uint64_t bitsOfDouble(double d) {
   std::uint64_t u = 0;
@@ -81,8 +54,7 @@ FunctionFingerprint fingerprintFunction(const Function& f,
   // scratch slot on the Value itself (Value::stampFingerprintId): operand
   // resolution is then two member loads instead of a hash-map probe, which
   // dominated this walk — and it runs once per function per pass boundary.
-  thread_local std::uint64_t walk_generation = 0;
-  const std::uint64_t gen = ++walk_generation;
+  const std::uint64_t gen = Value::nextStampGeneration();
   std::uint64_t next_block = 1;
   std::uint64_t next_inst = 1;
   for (const auto& b : f.blocks()) {
@@ -239,6 +211,15 @@ struct AnalysisManager::FuncEntry {
   /// entry's fingerprint was validated inside the active freeze and later
   /// queries skip the hash walk.
   std::uint64_t freeze_stamp = 0;
+
+  /// Module::irGeneration() the cached analyses were built against. A
+  /// snapshot rollback (ModuleSnapshot::restoreInto) reverts the content —
+  /// so the fingerprint matches again — but recreates every block and
+  /// instruction at new addresses; the generation bump it performs makes
+  /// this comparison fail and forces a full clear. Without it the
+  /// fingerprint check would happily serve a DominatorTree full of dangling
+  /// block pointers.
+  std::uint64_t ir_gen = 0;
 };
 
 AnalysisManager::AnalysisManager() = default;
@@ -246,7 +227,10 @@ AnalysisManager::~AnalysisManager() = default;
 
 AnalysisManager::FuncEntry& AnalysisManager::validated(Function& f) {
   std::unique_ptr<FuncEntry>& slot = funcs_[&f];
-  if (frozen_ && slot && slot->freeze_stamp == freeze_epoch_) return *slot;
+  if (frozen_ && slot && slot->freeze_stamp == freeze_epoch_ &&
+      slot->ir_gen == f.parent()->irGeneration()) {
+    return *slot;
+  }
   noteFingerprint(f, fingerprintFunction(f));
   return *funcs_[&f];
 }
@@ -254,8 +238,15 @@ AnalysisManager::FuncEntry& AnalysisManager::validated(Function& f) {
 void AnalysisManager::noteFingerprint(Function& f,
                                       const FunctionFingerprint& fp) {
   std::unique_ptr<FuncEntry>& slot = funcs_[&f];
+  const std::uint64_t ir_gen = f.parent()->irGeneration();
   if (!slot) {
     slot = std::make_unique<FuncEntry>();
+    slot->fp = fp;
+  } else if (slot->ir_gen != ir_gen) {
+    // Snapshot rollback recreated the body objects: even a matching
+    // fingerprint (content reverted) means every cached pointer dangles.
+    if (slot->hasAny()) ++stats_.invalidations;
+    slot->clear();
     slot->fp = fp;
   } else if (!(slot->fp == fp)) {
     if (slot->hasAny()) ++stats_.invalidations;
@@ -268,6 +259,7 @@ void AnalysisManager::noteFingerprint(Function& f,
     }
     slot->fp = fp;
   }
+  slot->ir_gen = ir_gen;
   if (frozen_) slot->freeze_stamp = freeze_epoch_;
 }
 

@@ -29,29 +29,61 @@ PhaseOrderEnv::PhaseOrderEnv(const Module& program,
 PhaseOrderEnv::~PhaseOrderEnv() = default;
 
 Embedding PhaseOrderEnv::reset() {
-  working_ = cloneModule(*pristine_);
-  // The previous working module is gone; cached analyses point into it, and
-  // the verifier's skip cache is keyed by its function pointers.
-  analysis_.invalidateAll();
-  verifier_.clearCache();
+  if (working_ == nullptr) {
+    // First episode: materialize the working clone once and capture its
+    // pristine content into a flat snapshot. Every later reset() restores
+    // that snapshot in place instead of cloning — same Module object, same
+    // Function/GlobalVariable objects, same interned constants.
+    working_ = cloneModule(*pristine_);
+    pristine_snapshot_.capture(*working_);
+    analysis_.invalidateAll();
+    verifier_.clearCache();
+    embed_key_valid_ = false;
+  } else {
+    const ModuleSnapshot::RestoreResult restored =
+        pristine_snapshot_.restoreInto(*working_);
+    // Restored blocks/instructions are new objects; the analysis cache's
+    // generation-stamped entries self-invalidate lazily on their next
+    // query, but an armed contract boundary fingerprints content that no
+    // longer exists and must be disarmed now.
+    analysis_.disarmBoundary();
+    if (!restored.symbols_preserved) verifier_.clearCache();
+    // The restore reverts the content stamp along with the content, so the
+    // stamp-keyed embedding memo stays coherent — no invalidation needed.
+  }
   last_size_ = size_model_.objectBytes(*working_);
   const ThroughputEstimate est = mca_model_.moduleEstimate(*working_);
   last_cycles_ = est.weighted_cycles;
   last_throughput_ = est.throughput();
+  metrics_stamp_ = working_->contentStamp();
   steps_in_episode_ = 0;
   return embedWorking();
 }
 
 Embedding PhaseOrderEnv::embedWorking() {
-  if (config_.state_kind == StateKind::StaticFeatures) {
-    const auto compute = [this](const Module&) {
+  if (!config_.cache_embeddings) {
+    if (config_.state_kind == StateKind::StaticFeatures) {
       return extractStaticFeatures(*working_, analysis_);
-    };
-    if (!config_.cache_embeddings) return compute(*working_);
-    return embed_cache_.embedWith(*working_, compute);
+    }
+    return embedder_.embedProgram(*working_);
   }
-  if (!config_.cache_embeddings) return embedder_.embedProgram(*working_);
-  return embed_cache_.embed(*working_, embedder_);
+  // O(1) cache keys on repeats: every mutation path bumps the module's
+  // content stamp (and every rollback reverts it), so an unchanged stamp
+  // proves the structural hash is unchanged. Only stamp changes pay the
+  // O(instructions) hash walk — and nothing here ever prints the module.
+  const std::uint64_t stamp = working_->contentStamp();
+  if (!embed_key_valid_ || embed_key_stamp_ != stamp) {
+    embed_key_ = EmbedCache::moduleHash(*working_);
+    embed_key_stamp_ = stamp;
+    embed_key_valid_ = true;
+  }
+  if (config_.state_kind == StateKind::StaticFeatures) {
+    return embed_cache_.embedWithKeyed(
+        embed_key_, *working_, [this](const Module&) {
+          return extractStaticFeatures(*working_, analysis_);
+        });
+  }
+  return embed_cache_.embedKeyed(embed_key_, *working_, embedder_);
 }
 
 SandboxConfig PhaseOrderEnv::effectiveSandboxConfig() {
@@ -60,11 +92,12 @@ SandboxConfig PhaseOrderEnv::effectiveSandboxConfig() {
   sc.contracts = config_.check_contracts;
   sc.oracle = config_.oracle_actions;
   // Between-action work in this environment is read-only (state extraction,
-  // reward models) and every module swap clears the caches below, so the
-  // verifier skip cache and the armed boundary snapshot stay warm across
-  // steps.
+  // reward models) and every restore path clears or self-invalidates the
+  // affected caches, so the verifier skip cache and the armed boundary
+  // snapshot stay warm across steps.
   sc.fast_verifier = &verifier_;
   sc.trust_armed_boundary = true;
+  sc.snapshot_scratch = &step_snapshot_;
   return sc;
 }
 
@@ -83,16 +116,16 @@ PhaseOrderEnv::StepResult PhaseOrderEnv::step(std::size_t index) {
     SandboxOutcome out = runActionSandboxed(
         working_, (*actions_)[index].passes, effectiveSandboxConfig());
     if (!out.ok) {
-      // The sandbox already rolled the working module back to the pre-step
-      // snapshot — a different Module object, so the verifier's pointer-
-      // keyed skip cache must go (the analysis cache was already dropped by
-      // the rollback's invalidateAll). The episode continues with a
-      // penalized reward and the fault goes on this (program, action)
+      // The sandbox already rolled the working module back in place (same
+      // Module object, content stamp reverted) and handled cache hygiene:
+      // the armed boundary is disarmed, the analysis cache self-invalidates
+      // via generation stamps, and the verifier's pointer-keyed skip cache
+      // was cleared iff symbols were recreated. The episode continues with
+      // a penalized reward and the fault goes on this (program, action)
       // pair's quarantine record.
       // Deadline expiry is the caller's clock running out, not the action's
       // misbehaviour — it is contained like any fault but never quarantines.
       ++faults_;
-      verifier_.clearCache();
       if (out.fault.kind != FaultKind::DeadlineExpired) {
         quarantine_.recordFault(index);
       }
@@ -121,8 +154,19 @@ PhaseOrderEnv::StepResult PhaseOrderEnv::step(std::size_t index) {
                     /*verify_each=*/false);
   }
 
-  const double size = size_model_.objectBytes(*working_);
-  const ThroughputEstimate est = mca_model_.moduleEstimate(*working_);
+  // Reward-model metrics, memoized on the content stamp: an action the
+  // contract checker verified as a no-op left the module bytes untouched,
+  // so its size/cycle deltas are exactly zero — skip both model walks.
+  double size = last_size_;
+  double cycles = last_cycles_;
+  double throughput = last_throughput_;
+  if (working_->contentStamp() != metrics_stamp_) {
+    size = size_model_.objectBytes(*working_);
+    const ThroughputEstimate est = mca_model_.moduleEstimate(*working_);
+    cycles = est.weighted_cycles;
+    throughput = est.throughput();
+    metrics_stamp_ = working_->contentStamp();
+  }
 
   // Paper Eqns 2 & 3: deltas between consecutive states, normalized by the
   // unoptimized program's metrics. The throughput component is expressed as
@@ -131,15 +175,13 @@ PhaseOrderEnv::StepResult PhaseOrderEnv::step(std::size_t index) {
   // scale and the paper's α=10 > β=5 ordering genuinely weights size more.
   const double r_binsize = (last_size_ - size) / base_size_;
   const double r_throughput =
-      base_cycles_ > 0.0
-          ? (last_cycles_ - est.weighted_cycles) / base_cycles_
-          : 0.0;
+      base_cycles_ > 0.0 ? (last_cycles_ - cycles) / base_cycles_ : 0.0;
   const double reward =
       config_.alpha * r_binsize + config_.beta * r_throughput;  // Eqn 1.
 
   last_size_ = size;
-  last_cycles_ = est.weighted_cycles;
-  last_throughput_ = est.throughput();
+  last_cycles_ = cycles;
+  last_throughput_ = throughput;
   ++steps_in_episode_;
 
   StepResult result;
@@ -154,6 +196,9 @@ double PhaseOrderEnv::currentThroughput() const { return last_throughput_; }
 
 Module& PhaseOrderEnv::workingModule() {
   POSETRL_CHECK(working_ != nullptr, "no working module before reset()");
+  // Non-const access may mutate the module behind the environment's back;
+  // bump the stamp so the embedding-key memo never serves a stale hash.
+  working_->bumpContentStamp();
   return *working_;
 }
 

@@ -26,6 +26,7 @@
 #include "faults/fault.h"
 #include "faults/quarantine.h"
 #include "faults/sandbox.h"
+#include "ir/snapshot.h"
 #include "target/mca_model.h"
 #include "target/size_model.h"
 #include "target/target_info.h"
@@ -100,7 +101,7 @@ struct EnvConfig {
 class PhaseOrderEnv {
  public:
   /// \p program is the unoptimized module; the environment keeps a pristine
-  /// copy and works on clones, so episodes are independent.
+  /// copy and a flat snapshot of it, so episodes are independent.
   PhaseOrderEnv(const Module& program,
                 const std::vector<SubSequence>& actions, EnvConfig config);
   ~PhaseOrderEnv();
@@ -108,7 +109,10 @@ class PhaseOrderEnv {
   std::size_t numActions() const { return actions_->size(); }
   const EnvConfig& config() const { return config_; }
 
-  /// Starts a fresh episode on a pristine clone; returns the initial state.
+  /// Starts a fresh episode; returns the initial state. The first call
+  /// clones the pristine module; later calls restore the working module in
+  /// place from the pristine snapshot (same Module object, same symbols),
+  /// skipping the per-episode clone/destroy of the whole object graph.
   Embedding reset();
 
   struct StepResult {
@@ -167,9 +171,28 @@ class PhaseOrderEnv {
   Embedder embedder_;
   EmbedCache embed_cache_;
   AnalysisManager analysis_;
+  /// Flat snapshot of the working module in its pristine state, captured on
+  /// the first reset(); later resets restore it in place.
+  ModuleSnapshot pristine_snapshot_;
+  /// Reusable per-step snapshot buffer handed to the sandbox
+  /// (SandboxConfig::snapshot_scratch), so capture reuses flat-buffer
+  /// capacity instead of re-allocating every step.
+  ModuleSnapshot step_snapshot_;
+  /// (contentStamp -> contentHash) memo backing O(1) embedding-cache keys:
+  /// an unchanged stamp proves the structural hash is unchanged, so repeat
+  /// lookups skip even the hash walk. Invalidated when the working Module
+  /// object itself is replaced.
+  std::uint64_t embed_key_stamp_ = 0;
+  std::uint64_t embed_key_ = 0;
+  bool embed_key_valid_ = false;
+  /// Content stamp last_size_/last_cycles_/last_throughput_ were computed
+  /// at: a step whose action left the stamp unchanged (contract-verified
+  /// no-op) skips both reward-model walks — its true delta is zero.
+  std::uint64_t metrics_stamp_ = 0;
   /// Persistent fast verifier shared with every sandboxed action, so the
-  /// clean-hash skip cache survives across steps; its cache is cleared
-  /// whenever the working module object is replaced (reset, rollback).
+  /// clean-hash skip cache survives across steps; its pointer-keyed cache is
+  /// cleared whenever module symbols are recreated (restore paths report
+  /// this via RestoreResult/SandboxOutcome::symbols_preserved).
   FastVerifier verifier_;
   ActionQuarantine quarantine_;
   std::size_t faults_ = 0;

@@ -1,8 +1,7 @@
 #include "embed/embed_cache.h"
 
-#include "ir/printer.h"
+#include "ir/structural_hash.h"
 #include "support/error.h"
-#include "support/hashing.h"
 
 namespace posetrl {
 
@@ -11,12 +10,18 @@ EmbedCache::EmbedCache(EmbedCacheConfig config) : config_(config) {
 }
 
 std::uint64_t EmbedCache::moduleHash(const Module& m) {
-  return fnv1a(printModule(m));
+  return moduleContentHash(m);
 }
 
 const Embedding& EmbedCache::embed(const Module& m, const Embedder& embedder) {
   return embedWith(m,
                    [&](const Module& mm) { return embedder.embedProgram(mm); });
+}
+
+const Embedding& EmbedCache::embedKeyed(std::uint64_t key, const Module& m,
+                                        const Embedder& embedder) {
+  return embedWithKeyed(
+      key, m, [&](const Module& mm) { return embedder.embedProgram(mm); });
 }
 
 const Embedding* EmbedCache::lookup(std::uint64_t key) {

@@ -9,11 +9,14 @@
 /// pristine clone. Those repeats hash to a previously embedded state and
 /// skip embedProgram entirely.
 ///
-/// Keying: the FNV-1a hash of the module's canonical printed form. Two
-/// modules that print identically embed identically (the embedder reads
-/// only structure the printer serializes), so collisions require two
-/// *different* printed forms sharing a 64-bit hash — negligible against
-/// the few thousand states one environment visits.
+/// Keying: the structural content hash (ir/structural_hash.h), a single
+/// allocation-free walk covering everything the printer serializes — two
+/// modules that print identically embed identically, and hash identically.
+/// Collisions require two *different* contents sharing a 64-bit hash —
+/// negligible against the few thousand states one environment visits.
+/// Callers that can prove the module unchanged since the last key (the
+/// environment's content-stamp memo) can skip even that walk via the
+/// *Keyed entry points, making repeat lookups O(1).
 
 #include <cstddef>
 #include <cstdint>
@@ -46,12 +49,17 @@ class EmbedCache {
  public:
   explicit EmbedCache(EmbedCacheConfig config = {});
 
-  /// Stable content hash of \p m (FNV-1a over the canonical print).
+  /// Stable content hash of \p m (structural walk; never prints).
   static std::uint64_t moduleHash(const Module& m);
 
   /// embedProgram(m) through the cache. The returned reference stays valid
   /// until the entry is evicted or clear() is called.
   const Embedding& embed(const Module& m, const Embedder& embedder);
+
+  /// Like embed(), but with a caller-provided key (must equal
+  /// moduleHash(m); typically served from a content-stamp memo).
+  const Embedding& embedKeyed(std::uint64_t key, const Module& m,
+                              const Embedder& embedder);
 
   /// Generic variant: any deterministic state extractor (e.g. the static
   /// feature vector, analysis/static_features.h) can sit behind the same
@@ -60,7 +68,13 @@ class EmbedCache {
   /// (module, extractor) pairs.
   template <typename Compute>
   const Embedding& embedWith(const Module& m, Compute&& compute) {
-    const std::uint64_t key = moduleHash(m);
+    return embedWithKeyed(moduleHash(m), m, std::forward<Compute>(compute));
+  }
+
+  /// Keyed variant of embedWith (same key contract as embedKeyed).
+  template <typename Compute>
+  const Embedding& embedWithKeyed(std::uint64_t key, const Module& m,
+                                  Compute&& compute) {
     if (const Embedding* hit = lookup(key)) return *hit;
     return insert(key, compute(m));
   }

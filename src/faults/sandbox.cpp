@@ -4,10 +4,12 @@
 #include <exception>
 
 #include "analysis/analysis_manager.h"
-#include "ir/clone.h"
+#include "analysis/fast_verifier.h"
 #include "ir/module.h"
+#include "ir/snapshot.h"
 #include "lint/instrumentation.h"
 #include "passes/pass.h"
+#include "support/arena.h"
 #include "support/error.h"
 #include "support/fuel.h"
 
@@ -17,7 +19,17 @@ SandboxOutcome runActionSandboxed(std::unique_ptr<Module>& module,
                                   const std::vector<std::string>& pass_names,
                                   const SandboxConfig& config) {
   POSETRL_CHECK(module != nullptr, "sandbox needs a module");
-  std::unique_ptr<Module> snapshot = cloneModule(*module);
+  // All instruction/block churn below draws from the module's bump arena.
+  ArenaScope arena_scope(module->arena());
+  ModuleSnapshot local_snapshot;
+  ModuleSnapshot& snapshot = config.snapshot_scratch != nullptr
+                                 ? *config.snapshot_scratch
+                                 : local_snapshot;
+  // A reused scratch snapshot whose capture-time content stamp still
+  // matches already encodes the module's current bytes (the previous
+  // action was a contract-verified no-op or a rollback) — skip the
+  // O(instructions) re-encode.
+  if (!snapshot.matches(*module)) snapshot.capture(*module);
   const std::size_t base_instrs = module->instructionCount();
   const std::size_t growth_cap =
       config.max_ir_growth > 0.0
@@ -55,11 +67,24 @@ SandboxOutcome runActionSandboxed(std::unique_ptr<Module>& module,
     fault.detail = std::move(detail);
     fault.instructions_after = module->instructionCount();
     fault.fuel_used = fuel_used;
-    module = std::move(snapshot);  // Roll back to the pre-action state.
-    // The rollback swaps in a different Module object: every cached
-    // analysis now points into freed IR, so the ambient manager (if the
-    // caller installed one) must drop everything.
-    if (AnalysisManager* am = AnalysisManager::current()) am->invalidateAll();
+    // Roll back in place: same Module object, same symbols whenever the
+    // action left the symbol table alone. Blocks/instructions are
+    // recreated, so restoreInto bumps the module's irGeneration — the
+    // ambient manager's generation-stamped entries self-invalidate on
+    // their next query instead of being dropped wholesale here.
+    const ModuleSnapshot::RestoreResult restored =
+        snapshot.restoreInto(*module);
+    outcome.symbols_preserved = restored.symbols_preserved;
+    if (AnalysisManager* am = AnalysisManager::current()) {
+      // The armed boundary (if any) fingerprints post-pass content that no
+      // longer exists; re-arm lazily at the next recordBoundary.
+      am->disarmBoundary();
+    }
+    if (!restored.symbols_preserved && config.fast_verifier != nullptr) {
+      // A function/global was created or erased between capture and
+      // rollback: clean-cache keys may dangle or alias recycled addresses.
+      config.fast_verifier->clearCache();
+    }
     outcome.ok = false;
   };
 
@@ -149,6 +174,12 @@ SandboxOutcome runActionSandboxed(std::unique_ptr<Module>& module,
       }
     }
   }
+  // Content-stamp maintenance for O(1) embedding-cache keys: bump on any
+  // action that (possibly) mutated the IR. With the contract checker on,
+  // `changed` is trustworthy — a lying pass is caught and rolled back —
+  // so honest no-op actions keep their stamp (and their cached hash).
+  // Without contracts, bump unconditionally.
+  if (outcome.changed || !config.contracts) module->bumpContentStamp();
   return outcome;
 }
 

@@ -2,12 +2,17 @@
 
 /// \file sandbox.h
 /// Sandboxed execution of one pass sub-sequence with snapshot/rollback.
-/// The caller's module is cloned before anything runs; if any pass throws,
+/// The caller's module is encoded into a flat ModuleSnapshot before
+/// anything runs (no clone, no second object graph); if any pass throws,
 /// trips a POSETRL_CHECK, exceeds the IR-growth cap, exhausts its fuel
 /// budget, breaks the structural verifier or diverges under the miscompile
-/// oracle, the module is restored to the snapshot byte-for-byte and a
-/// FaultReport describes what happened. On success the module keeps the
-/// transformed state, exactly as an unsandboxed run would leave it.
+/// oracle, the snapshot is restored *in place* — same Module object, same
+/// interned constants and types, and (unless the action added/removed
+/// symbols) the same Function/GlobalVariable objects — byte-for-byte
+/// identical text, and a FaultReport describes what happened. On success
+/// the module keeps the transformed state, exactly as an unsandboxed run
+/// would leave it. Pass execution runs under the module's ArenaScope, so
+/// instruction/block churn stays inside the module's bump arena.
 
 #include <memory>
 #include <string>
@@ -20,6 +25,7 @@ namespace posetrl {
 
 class FastVerifier;
 class Module;
+class ModuleSnapshot;
 
 /// Budgets and checks for one sandboxed action.
 struct SandboxConfig {
@@ -65,17 +71,30 @@ struct SandboxConfig {
   /// InstrumentOptions::trust_armed_boundary). Only safe when the caller
   /// guarantees no mutation between sandboxed actions.
   bool trust_armed_boundary = false;
+  /// Optional caller-owned snapshot buffer. The sandbox captures into it
+  /// instead of a stack-local one, so a long-lived caller (the environment,
+  /// one capture per step) reuses the flat buffers' capacity instead of
+  /// re-allocating them every action.
+  ModuleSnapshot* snapshot_scratch = nullptr;
 };
 
 /// Outcome of one sandboxed action.
 struct SandboxOutcome {
   bool ok = true;        ///< False when a fault was contained.
   bool changed = false;  ///< Whether any pass changed the IR (when ok).
+  /// Meaningful after a rollback (!ok): true when every module-level
+  /// symbol object (Function/GlobalVariable) survived the in-place restore
+  /// — pointer-keyed caches over those symbols (the fast verifier's
+  /// clean-function cache) remain valid. When false the sandbox has
+  /// already cleared config.fast_verifier's cache; callers holding other
+  /// symbol-keyed state must clear theirs.
+  bool symbols_preserved = true;
   FaultReport fault;     ///< Valid when !ok.
 };
 
 /// Runs \p pass_names over \p module under \p config. \p module must be
-/// non-null; on fault it is replaced by the pre-action snapshot.
+/// non-null; on fault it is restored in place to the pre-action snapshot
+/// (the Module object itself is never replaced).
 SandboxOutcome runActionSandboxed(std::unique_ptr<Module>& module,
                                   const std::vector<std::string>& pass_names,
                                   const SandboxConfig& config);

@@ -4,8 +4,19 @@
 #include <set>
 
 #include "ir/function.h"
+#include "support/arena.h"
 
 namespace posetrl {
+
+void* BasicBlock::operator new(std::size_t bytes) {
+  return arenaAllocate(bytes);
+}
+
+void BasicBlock::operator delete(void* p) noexcept { arenaDeallocate(p); }
+
+void BasicBlock::operator delete(void* p, std::size_t) noexcept {
+  arenaDeallocate(p);
+}
 
 Instruction* BasicBlock::pushBack(std::unique_ptr<Instruction> inst) {
   Instruction* raw = inst.get();

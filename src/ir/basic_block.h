@@ -26,6 +26,12 @@ class BasicBlock : public Value {
       : Value(Kind::BasicBlock, label_type, std::move(name)),
         parent_(parent) {}
 
+  /// Arena-backed like Instruction (see instruction.h): blocks churn under
+  /// simplifycfg/loop passes, so they share the module's bump arena.
+  static void* operator new(std::size_t bytes);
+  static void operator delete(void* p) noexcept;
+  static void operator delete(void* p, std::size_t) noexcept;
+
   Function* parent() const { return parent_; }
   void setParent(Function* f) { parent_ = f; }
 

@@ -178,6 +178,8 @@ Instruction* recreateInstruction(Module& dst, const Instruction& inst) {
 
 std::unique_ptr<Module> cloneModule(const Module& src) {
   auto dst = std::make_unique<Module>(src.name());
+  // Clone bodies into the destination's own bump arena.
+  ArenaScope arena_scope(dst->arena());
   ValueMap vmap;
 
   // Pass 1: create all function shells and globals so references resolve.

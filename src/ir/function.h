@@ -116,6 +116,9 @@ class Function : public Value {
 
  private:
   friend class BasicBlock;
+  /// Snapshot restore rebuilds blocks_/args_ and reinstates the name
+  /// counters in place (ir/snapshot.cpp).
+  friend class ModuleSnapshot;
 
   Module* parent_;
   Linkage linkage_ = Linkage::External;

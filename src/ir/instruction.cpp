@@ -4,8 +4,19 @@
 
 #include "ir/basic_block.h"
 #include "ir/function.h"
+#include "support/arena.h"
 
 namespace posetrl {
+
+void* Instruction::operator new(std::size_t bytes) {
+  return arenaAllocate(bytes);
+}
+
+void Instruction::operator delete(void* p) noexcept { arenaDeallocate(p); }
+
+void Instruction::operator delete(void* p, std::size_t) noexcept {
+  arenaDeallocate(p);
+}
 
 const char* opcodeName(Opcode op) {
   switch (op) {

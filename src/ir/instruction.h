@@ -73,6 +73,16 @@ class Instruction : public Value {
  public:
   ~Instruction() override;
 
+  /// Instructions are the highest-churn IR objects (every pass creates and
+  /// erases them), so they draw storage from the active ArenaScope's bump
+  /// arena (support/arena.h) — the module's own arena on all hot paths —
+  /// with transparent heap fallback when no scope is installed. Ownership
+  /// is unchanged: unique_ptr in the block's InstList still controls
+  /// lifetime; only the memory source differs.
+  static void* operator new(std::size_t bytes);
+  static void operator delete(void* p) noexcept;
+  static void operator delete(void* p, std::size_t) noexcept;
+
   Opcode opcode() const { return opcode_; }
   BasicBlock* parent() const { return parent_; }
   Function* function() const;

@@ -15,6 +15,7 @@
 #include "ir/global_variable.h"
 #include "ir/type.h"
 #include "ir/value.h"
+#include "support/arena.h"
 
 namespace posetrl {
 
@@ -27,6 +28,30 @@ class Module {
 
   const std::string& name() const { return name_; }
   TypeContext& types() { return types_; }
+
+  /// Bump arena feeding Instruction/BasicBlock storage while an ArenaScope
+  /// for it is active (parsing, generation, cloning, pass execution,
+  /// snapshot restore). Declared first in the member list so it outlives
+  /// every IR container during destruction.
+  BumpArena& arena() { return arena_; }
+
+  /// Object-identity generation: bumped whenever IR objects of this module
+  /// are destroyed and recreated wholesale (ModuleSnapshot::restoreInto).
+  /// Pointer-holding caches (AnalysisManager results) compare their
+  /// recorded generation against this and self-invalidate on mismatch even
+  /// when the content fingerprint matches — restored blocks/instructions
+  /// are new objects at new addresses.
+  std::uint64_t irGeneration() const { return ir_generation_; }
+  void bumpIrGeneration() { ++ir_generation_; }
+
+  /// Content stamp: a cheap O(1) proxy for "has the IR changed since".
+  /// Bumped after every pass execution that may have mutated the module;
+  /// restored (not re-bumped) on snapshot rollback, so a stamp value maps
+  /// to exactly one module content for the module's lifetime (the monotonic
+  /// high-water counter is never rolled back). Consumers: the environment's
+  /// embedding-hash memo (O(1) cache hits).
+  std::uint64_t contentStamp() const { return content_stamp_; }
+  void bumpContentStamp() { content_stamp_ = ++next_content_stamp_; }
 
   // --- Constants (interned; stable for the module's lifetime) ---
   ConstantInt* constantInt(Type* type, std::int64_t value);
@@ -74,10 +99,20 @@ class Module {
   std::size_t instructionCount() const;
 
  private:
+  friend class ModuleSnapshot;
+
+  /// Restore-only: reinstates a recorded stamp after rollback. Private so
+  /// ordinary code can only move the stamp forward via bumpContentStamp().
+  void restoreContentStamp(std::uint64_t stamp) { content_stamp_ = stamp; }
+
+  BumpArena arena_;  // first: outlives all IR containers below
   std::string name_;
   TypeContext types_;
   FuncList functions_;
   GlobalList globals_;
+  std::uint64_t ir_generation_ = 0;
+  std::uint64_t content_stamp_ = 0;
+  std::uint64_t next_content_stamp_ = 0;
 
   std::map<std::pair<Type*, std::int64_t>, std::unique_ptr<ConstantInt>>
       int_constants_;

@@ -33,6 +33,7 @@ class Parser {
   std::unique_ptr<Module> run() {
     expectWord("module");
     module_ = std::make_unique<Module>(parseQuotedString());
+    ArenaScope arena_scope(module_->arena());
     skipSpace();
     while (!atEnd()) {
       const std::string word = peekWord();

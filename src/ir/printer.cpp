@@ -1,5 +1,6 @@
 #include "ir/printer.h"
 
+#include <atomic>
 #include <sstream>
 
 #include "ir/basic_block.h"
@@ -255,7 +256,16 @@ std::string printFunction(const Function& f) {
   return os.str();
 }
 
+namespace {
+std::atomic<std::uint64_t> g_print_module_calls{0};
+}  // namespace
+
+std::uint64_t printModuleCallCount() {
+  return g_print_module_calls.load(std::memory_order_relaxed);
+}
+
 std::string printModule(const Module& module) {
+  g_print_module_calls.fetch_add(1, std::memory_order_relaxed);
   std::ostringstream os;
   os << "module \"" << module.name() << "\"\n\n";
   for (const auto& g : module.globals()) printGlobal(os, *g);

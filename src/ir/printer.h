@@ -5,6 +5,7 @@
 /// the parser (see parser.h); result types are printed explicitly so the
 /// parser can pre-register forward references (phi back-edges).
 
+#include <cstdint>
 #include <string>
 
 namespace posetrl {
@@ -15,6 +16,11 @@ class Instruction;
 
 /// Prints the whole module.
 std::string printModule(const Module& module);
+
+/// Process-wide count of printModule calls. Hot paths (embedding-cache
+/// keys) must never print; regression tests assert this counter stays flat
+/// across environment steps.
+std::uint64_t printModuleCallCount();
 
 /// Prints one function (definition or declaration line).
 std::string printFunction(const Function& function);

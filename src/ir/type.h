@@ -75,10 +75,11 @@ class Type {
   /// Human-readable spelling, e.g. "i32", "ptr<i64>", "[4 x i32]".
   std::string str() const;
 
-  /// Lazily cached structural hash slot for the analysis fingerprinting
-  /// (0 = not computed yet). Types are immutable, so a computed value never
-  /// goes stale; the cache dies with the owning module. The hash function
-  /// lives in analysis/analysis_manager.cpp — this is storage only.
+  /// Lazily cached structural hash slot for analysis fingerprinting and the
+  /// module content hash (0 = not computed yet). Types are immutable, so a
+  /// computed value never goes stale; the cache dies with the owning module.
+  /// The hash function is structuralTypeHash (ir/structural_hash.h) — this
+  /// is storage only.
   std::uint64_t analysisHashCache() const { return hash_cache_; }
   void setAnalysisHashCache(std::uint64_t h) const { hash_cache_ = h; }
 

@@ -22,6 +22,14 @@ bool UserTrackingSuspender::active() {
   return g_user_tracking_suspended > 0;
 }
 
+namespace {
+
+thread_local std::uint64_t g_stamp_generation = 0;
+
+}  // namespace
+
+std::uint64_t Value::nextStampGeneration() { return ++g_stamp_generation; }
+
 void Value::replaceAllUsesWith(Value* replacement) {
   POSETRL_CHECK(replacement != this, "RAUW with self");
   // Users are mutated as operands change, so iterate over a snapshot.

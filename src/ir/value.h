@@ -98,6 +98,13 @@ class Value {
   }
   std::uint64_t fingerprintId() const { return fp_id_; }
 
+  /// Fresh generation for a stamping walk over the scratch slot above. All
+  /// walkers (analysis fingerprints, module snapshots, the structural
+  /// content hash) must draw from this single thread-local counter: two
+  /// walkers with independent counters could hand out the same generation
+  /// and silently accept each other's stale ids.
+  static std::uint64_t nextStampGeneration();
+
  protected:
   Value(Kind kind, Type* type, std::string name)
       : kind_(kind), type_(type), name_(std::move(name)) {}

@@ -133,9 +133,11 @@ std::uint64_t SnapshotRegistry::publish(std::unique_ptr<PolicySnapshot> snap) {
   POSETRL_CHECK(snap != nullptr, "publish of a null snapshot");
   const auto t0 = std::chrono::steady_clock::now();
   std::lock_guard<std::mutex> lock(retire_mu_);
-  const PolicySnapshot* incoming = snap.release();
-  POSETRL_CHECK(incoming->version > currentVersion(),
+  // Validate before taking ownership: a rejected snapshot must die with
+  // the caller's unique_ptr, not leak out of the raw-pointer hand-off.
+  POSETRL_CHECK(snap->version > currentVersion(),
                 "snapshot versions must be strictly increasing");
+  const PolicySnapshot* incoming = snap.release();
   // Swap first, then bump the epoch: a reader stamped at or past the new
   // epoch provably loaded the new pointer (or a successor), which is what
   // makes the reclamation rule below safe.

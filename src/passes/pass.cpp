@@ -144,7 +144,12 @@ std::vector<std::string> parsePassSequence(std::string_view sequence,
 bool runPassSequence(Module& module,
                      const std::vector<std::string>& pass_names,
                      bool verify_each) {
+  ArenaScope arena_scope(module.arena());
   bool changed = false;
+  // Conservative content-stamp bump: this path has no contract checker to
+  // catch a pass lying about `changed`, so any non-empty sequence may have
+  // mutated the module.
+  if (!pass_names.empty()) module.bumpContentStamp();
   for (const std::string& name : pass_names) {
     std::unique_ptr<Pass> pass = createPass(name);
     POSETRL_CHECK(pass != nullptr, "unknown pass: ", name);
@@ -175,6 +180,8 @@ bool runPassSequence(Module& module,
 
 bool runPasses(Module& module, const std::vector<Pass*>& passes,
                PassInstrumentation* instr) {
+  ArenaScope arena_scope(module.arena());
+  if (!passes.empty()) module.bumpContentStamp();
   if (instr != nullptr) instr->beginSequence(module);
   bool changed = false;
   for (Pass* pass : passes) {

@@ -1,28 +1,73 @@
 #include "rl/matrix.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "rl/matrix_simd.h"
 
 namespace posetrl {
+
+namespace simd {
+
+namespace {
+
+bool cpuHasAvx2() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+SimdMode modeFromEnv() {
+  const char* v = std::getenv("POSETRL_SIMD");
+  if (v == nullptr) return SimdMode::Auto;
+  if (std::strcmp(v, "scalar") == 0) return SimdMode::Scalar;
+  if (std::strcmp(v, "avx2") == 0) {
+    POSETRL_CHECK(cpuHasAvx2(), "POSETRL_SIMD=avx2 but CPU lacks AVX2");
+    return SimdMode::Avx2;
+  }
+  POSETRL_CHECK(std::strcmp(v, "auto") == 0,
+                "POSETRL_SIMD must be scalar|avx2|auto, got: ", v);
+  return SimdMode::Auto;
+}
+
+std::atomic<SimdMode>& modeSlot() {
+  static std::atomic<SimdMode> mode{modeFromEnv()};
+  return mode;
+}
+
+}  // namespace
+
+void setSimdMode(SimdMode mode) {
+  if (mode == SimdMode::Avx2) {
+    POSETRL_CHECK(cpuHasAvx2(), "cannot force AVX2: CPU lacks it");
+  }
+  modeSlot().store(mode, std::memory_order_relaxed);
+}
+
+SimdMode simdMode() { return modeSlot().load(std::memory_order_relaxed); }
+
+bool avx2Active() {
+  switch (simdMode()) {
+    case SimdMode::Scalar: return false;
+    case SimdMode::Avx2: return true;
+    case SimdMode::Auto: break;
+  }
+  static const bool has_avx2 = cpuHasAvx2();
+  return has_avx2;
+}
+
+}  // namespace simd
 
 Matrix Matrix::randomInit(std::size_t rows, std::size_t cols, Rng& rng) {
   Matrix m(rows, cols);
   const double scale = std::sqrt(2.0 / static_cast<double>(cols));
   for (double& x : m.data_) x = rng.nextGaussian() * scale;
   return m;
-}
-
-std::vector<double> Matrix::matVec(const std::vector<double>& v,
-                                   const std::vector<double>* bias) const {
-  POSETRL_CHECK(v.size() == cols_, "matVec dimension mismatch");
-  std::vector<double> out(rows_, 0.0);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const double* row = data_.data() + r * cols_;
-    double acc = 0.0;
-    for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * v[c];
-    out[r] = acc + (bias != nullptr ? (*bias)[r] : 0.0);
-  }
-  return out;
 }
 
 namespace {
@@ -32,7 +77,85 @@ namespace {
 constexpr std::size_t kBlockK = 64;
 constexpr std::size_t kBlockJ = 256;
 
+/// sum_k x[k]*y[k] in the canonical 16-lane interleaved order (see
+/// matrix_simd.h): lane l sums the terms with k ≡ l (mod 16) in ascending
+/// k, the tail lands on lanes 0..tail-1, lanes combine pairwise as
+/// t_j = (l_j + l_{j+4}) + (l_{j+8} + l_{j+12}), then (t0+t2)+(t1+t3).
+/// Exactly what four AVX2 accumulator registers compute, so the two
+/// dispatch paths are bit-identical.
+double dotInterleavedScalar(const double* x, const double* y,
+                            std::size_t k) {
+  const std::size_t k16 = k & ~static_cast<std::size_t>(15);
+  double lanes[16] = {0.0};
+  for (std::size_t kk = 0; kk < k16; kk += 16) {
+    for (std::size_t l = 0; l < 16; ++l) lanes[l] += x[kk + l] * y[kk + l];
+  }
+  for (std::size_t kk = k16; kk < k; ++kk) lanes[kk - k16] += x[kk] * y[kk];
+  double t[4];
+  for (int j = 0; j < 4; ++j) {
+    t[j] = (lanes[j] + lanes[j + 4]) + (lanes[j + 8] + lanes[j + 12]);
+  }
+  return (t[0] + t[2]) + (t[1] + t[3]);
+}
+
+/// y[j] += a * x[j]: one mul and one add per element in either path, so
+/// vectorizing is trivially order-preserving.
+void axpyScalar(double* y, const double* x, double a, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) y[j] += a * x[j];
+}
+
+/// Two ascending-k terms per pass over y (see simd::axpy2Avx2): same
+/// per-cell rounding sequence as two axpy calls, half the C-row traffic.
+void axpy2Scalar(double* y, const double* x0, double a0, const double* x1,
+                 double a1, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) y[j] = (y[j] + a0 * x0[j]) + a1 * x1[j];
+}
+
+inline double dotCanonical(const double* x, const double* y, std::size_t k,
+                           bool use_avx2) {
+#if defined(__x86_64__) || defined(_M_X64)
+  if (use_avx2) return simd::dotInterleavedAvx2(x, y, k);
+#else
+  (void)use_avx2;
+#endif
+  return dotInterleavedScalar(x, y, k);
+}
+
+inline void axpyCanonical(double* y, const double* x, double a,
+                          std::size_t n, bool use_avx2) {
+#if defined(__x86_64__) || defined(_M_X64)
+  if (use_avx2) return simd::axpyAvx2(y, x, a, n);
+#else
+  (void)use_avx2;
+#endif
+  axpyScalar(y, x, a, n);
+}
+
+inline void axpy2Canonical(double* y, const double* x0, double a0,
+                           const double* x1, double a1, std::size_t n,
+                           bool use_avx2) {
+#if defined(__x86_64__) || defined(_M_X64)
+  if (use_avx2) return simd::axpy2Avx2(y, x0, a0, x1, a1, n);
+#else
+  (void)use_avx2;
+#endif
+  axpy2Scalar(y, x0, a0, x1, a1, n);
+}
+
 }  // namespace
+
+std::vector<double> Matrix::matVec(const std::vector<double>& v,
+                                   const std::vector<double>* bias) const {
+  POSETRL_CHECK(v.size() == cols_, "matVec dimension mismatch");
+  const bool use_avx2 = simd::avx2Active();
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = data_.data() + r * cols_;
+    const double acc = dotCanonical(row, v.data(), cols_, use_avx2);
+    out[r] = acc + (bias != nullptr ? (*bias)[r] : 0.0);
+  }
+  return out;
+}
 
 void Matrix::addMatMul(const Matrix& a, bool transpose_a, const Matrix& b,
                        bool transpose_b) {
@@ -51,35 +174,38 @@ void Matrix::addMatMul(const Matrix& a, bool transpose_a, const Matrix& b,
   const double* pb = b.data();
   const std::size_t lda = a.cols();
   const std::size_t ldb = b.cols();
+  const bool use_avx2 = simd::avx2Active();
   if (!transpose_a && transpose_b) {
     // C[i][j] += sum_k A[i][k] * B[j][k] — rows dotted with rows; block
-    // over j so a panel of B rows is reused across every row of A.
+    // over j so a panel of B rows is reused across every row of A. Each
+    // dot reduces in the canonical interleaved order, matching matVec.
     for (std::size_t j0 = 0; j0 < n; j0 += kBlockJ) {
       const std::size_t j1 = std::min(n, j0 + kBlockJ);
       for (std::size_t i = 0; i < m; ++i) {
         const double* arow = pa + i * lda;
         double* crow = data_.data() + i * cols_;
         for (std::size_t j = j0; j < j1; ++j) {
-          const double* brow = pb + j * ldb;
-          double acc = 0.0;
-          for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-          crow[j] += acc;
+          crow[j] += dotCanonical(arow, pb + j * ldb, k, use_avx2);
         }
       }
     }
   } else if (!transpose_a && !transpose_b) {
     // C[i][j] += sum_k A[i][k] * B[k][j] — ikj order streams B and C rows;
-    // k-blocks run in ascending order so each cell still accumulates its
-    // terms in ascending k.
+    // k-blocks run in ascending order and k-steps are paired, so each cell
+    // still accumulates its terms one individually rounded mul+add at a
+    // time in ascending k, while each C-row pass covers two B rows.
     for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
       const std::size_t k1 = std::min(k, k0 + kBlockK);
       for (std::size_t i = 0; i < m; ++i) {
         const double* arow = pa + i * lda;
         double* crow = data_.data() + i * cols_;
-        for (std::size_t kk = k0; kk < k1; ++kk) {
-          const double av = arow[kk];
-          const double* brow = pb + kk * ldb;
-          for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        std::size_t kk = k0;
+        for (; kk + 1 < k1; kk += 2) {
+          axpy2Canonical(crow, pb + kk * ldb, arow[kk],
+                         pb + (kk + 1) * ldb, arow[kk + 1], n, use_avx2);
+        }
+        if (kk < k1) {
+          axpyCanonical(crow, pb + kk * ldb, arow[kk], n, use_avx2);
         }
       }
     }
@@ -92,8 +218,7 @@ void Matrix::addMatMul(const Matrix& a, bool transpose_a, const Matrix& b,
       for (std::size_t i = 0; i < m; ++i) {
         const double av = arow[i];
         if (av == 0.0) continue;  // sparse output-layer grads
-        double* crow = data_.data() + i * cols_;
-        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        axpyCanonical(data_.data() + i * cols_, brow, av, n, use_avx2);
       }
     }
   }

@@ -2,8 +2,10 @@
 
 /// \file matrix.h
 /// Minimal dense row-major matrix used by the neural-network layers. The
-/// paper's agent is a small MLP, so a straightforward implementation with
-/// no BLAS dependency is more than sufficient.
+/// paper's agent is a small MLP, so a blocked implementation with no BLAS
+/// dependency is sufficient; the hot kernels dispatch to AVX2 at runtime
+/// (rl/matrix_simd.h) with a scalar twin that reduces in the exact same
+/// order, keeping training traces bit-identical across machines.
 
 #include <cstddef>
 #include <vector>
@@ -48,12 +50,15 @@ class Matrix {
   std::vector<double> matVec(const std::vector<double>& v,
                              const std::vector<double>* bias) const;
 
-  /// C = op(A) * op(B), where op(X) is X or X^T. Cache-blocked GEMM; the
-  /// batched MLP paths use it so a minibatch costs one GEMM per layer
-  /// instead of batch_size matVec calls. Each output cell accumulates its
-  /// inner-product terms in ascending-k order, so the result is
-  /// bit-identical to the equivalent sequence of matVec calls (the
-  /// single-actor trainer's checkpoint bytes depend on this).
+  /// C = op(A) * op(B), where op(X) is X or X^T. Cache-blocked GEMM with
+  /// runtime-dispatched SIMD kernels (rl/matrix_simd.h); the batched MLP
+  /// paths use it so a minibatch costs one GEMM per layer instead of
+  /// batch_size matVec calls. Each output cell reduces its inner-product
+  /// terms in the same canonical order matVec uses (16-lane interleaved
+  /// dots for the A*B^T shape, one mul+add per ascending-k term for the
+  /// others), so the result is bit-identical to the equivalent sequence of
+  /// matVec calls under either dispatch path (the single-actor trainer's
+  /// checkpoint bytes depend on this).
   /// transpose_a and transpose_b must not both be set.
   static Matrix matMul(const Matrix& a, bool transpose_a, const Matrix& b,
                        bool transpose_b);

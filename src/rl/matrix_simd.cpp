@@ -1,0 +1,84 @@
+/// AVX2 kernel bodies (see matrix_simd.h for the bit-identity contract).
+/// This translation unit is the only one compiled with -mavx2, and it adds
+/// -mno-fma -ffp-contract=off so neither the intrinsics below nor the
+/// scalar tails can be contracted into FMA — fusion would skip the
+/// intermediate rounding the scalar twins perform.
+
+#include "rl/matrix_simd.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+namespace posetrl::simd {
+
+double dotInterleavedAvx2(const double* x, const double* y, std::size_t k) {
+  const std::size_t k16 = k & ~static_cast<std::size_t>(15);
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  __m256d acc2 = _mm256_setzero_pd();
+  __m256d acc3 = _mm256_setzero_pd();
+  for (std::size_t kk = 0; kk < k16; kk += 16) {
+    acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(_mm256_loadu_pd(x + kk),
+                                             _mm256_loadu_pd(y + kk)));
+    acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(_mm256_loadu_pd(x + kk + 4),
+                                             _mm256_loadu_pd(y + kk + 4)));
+    acc2 = _mm256_add_pd(acc2, _mm256_mul_pd(_mm256_loadu_pd(x + kk + 8),
+                                             _mm256_loadu_pd(y + kk + 8)));
+    acc3 = _mm256_add_pd(acc3, _mm256_mul_pd(_mm256_loadu_pd(x + kk + 12),
+                                             _mm256_loadu_pd(y + kk + 12)));
+  }
+  // Register acc_a lane j now holds exactly the ascending-k sum of terms
+  // with k ≡ 4a+j (mod 16) — the scalar twin's lanes[16] partials.
+  alignas(32) double lanes[16];
+  _mm256_store_pd(lanes + 0, acc0);
+  _mm256_store_pd(lanes + 4, acc1);
+  _mm256_store_pd(lanes + 8, acc2);
+  _mm256_store_pd(lanes + 12, acc3);
+  for (std::size_t kk = k16; kk < k; ++kk) lanes[kk - k16] += x[kk] * y[kk];
+  double t[4];
+  for (int j = 0; j < 4; ++j) {
+    t[j] = (lanes[j] + lanes[j + 4]) + (lanes[j + 8] + lanes[j + 12]);
+  }
+  return (t[0] + t[2]) + (t[1] + t[3]);
+}
+
+void axpyAvx2(double* y, const double* x, double a, std::size_t n) {
+  // Element-wise independent (one mul, one add per y[j]), so any unroll
+  // preserves the scalar order bit-for-bit.
+  const __m256d av = _mm256_set1_pd(a);
+  const std::size_t n8 = n & ~static_cast<std::size_t>(7);
+  std::size_t j = 0;
+  for (; j < n8; j += 8) {
+    const __m256d p0 = _mm256_mul_pd(av, _mm256_loadu_pd(x + j));
+    const __m256d p1 = _mm256_mul_pd(av, _mm256_loadu_pd(x + j + 4));
+    _mm256_storeu_pd(y + j, _mm256_add_pd(_mm256_loadu_pd(y + j), p0));
+    _mm256_storeu_pd(y + j + 4,
+                     _mm256_add_pd(_mm256_loadu_pd(y + j + 4), p1));
+  }
+  if (j + 4 <= n) {
+    const __m256d p = _mm256_mul_pd(av, _mm256_loadu_pd(x + j));
+    _mm256_storeu_pd(y + j, _mm256_add_pd(_mm256_loadu_pd(y + j), p));
+    j += 4;
+  }
+  for (; j < n; ++j) y[j] += a * x[j];
+}
+
+void axpy2Avx2(double* y, const double* x0, double a0, const double* x1,
+               double a1, std::size_t n) {
+  const __m256d av0 = _mm256_set1_pd(a0);
+  const __m256d av1 = _mm256_set1_pd(a1);
+  const std::size_t n4 = n & ~static_cast<std::size_t>(3);
+  std::size_t j = 0;
+  for (; j < n4; j += 4) {
+    const __m256d p0 = _mm256_mul_pd(av0, _mm256_loadu_pd(x0 + j));
+    const __m256d p1 = _mm256_mul_pd(av1, _mm256_loadu_pd(x1 + j));
+    const __m256d s = _mm256_add_pd(_mm256_add_pd(_mm256_loadu_pd(y + j), p0), p1);
+    _mm256_storeu_pd(y + j, s);
+  }
+  for (; j < n; ++j) y[j] = (y[j] + a0 * x0[j]) + a1 * x1[j];
+}
+
+}  // namespace posetrl::simd
+
+#endif  // x86-64

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file matrix_simd.h
+/// Runtime-dispatched SIMD kernels behind Matrix's GEMM/matVec hot loops.
+///
+/// Bit-identity contract: every kernel here computes the *canonical
+/// reduction order* its scalar twin in matrix.cpp computes — dot products
+/// reduce in sixteen interleaved lanes (lane l sums the terms with
+/// k ≡ l mod 16, in ascending k; tail terms land on lanes 0..tail-1; lanes
+/// combine as t_j = (l_j + l_{j+4}) + (l_{j+8} + l_{j+12}) for j in 0..3,
+/// then (t0+t2)+(t1+t3)), and axpy updates each element with exactly one
+/// mul and one add. Sixteen lanes = four independent AVX2 accumulator
+/// registers, enough to hide the vaddpd latency chain that a single
+/// accumulator serializes on. IEEE-754 doubles make each of those orders
+/// deterministic, so forced-scalar and forced-AVX2 runs produce
+/// byte-identical training traces. The AVX2 translation unit is compiled
+/// with -mno-fma -ffp-contract=off: a fused multiply-add would skip the
+/// intermediate rounding the scalar path performs and silently break the
+/// contract.
+///
+/// Dispatch: SimdMode::Auto (the default) uses AVX2 when the CPU supports
+/// it. The POSETRL_SIMD environment variable (scalar|avx2|auto, read once)
+/// or setSimdMode() force a path — tests use this to compare both.
+
+#include <cstddef>
+
+namespace posetrl::simd {
+
+enum class SimdMode {
+  Auto,    ///< AVX2 if the CPU has it, scalar otherwise.
+  Scalar,  ///< Force the scalar kernels.
+  Avx2,    ///< Force AVX2 (checked against CPU support).
+};
+
+/// Overrides the dispatch mode (thread-safe; affects subsequent calls).
+/// Forcing Avx2 on a CPU without it is a checked error.
+void setSimdMode(SimdMode mode);
+SimdMode simdMode();
+
+/// True when the current mode resolves to the AVX2 kernels.
+bool avx2Active();
+
+#if defined(__x86_64__) || defined(_M_X64)
+/// sum_k x[k]*y[k] in the canonical 16-lane interleaved order.
+double dotInterleavedAvx2(const double* x, const double* y, std::size_t k);
+/// y[j] += a * x[j] for j in [0, n).
+void axpyAvx2(double* y, const double* x, double a, std::size_t n);
+/// y[j] = (y[j] + a0*x0[j]) + a1*x1[j] — two ascending-k GEMM terms per
+/// pass over y, each individually rounded, so the per-cell order matches
+/// two consecutive axpy calls exactly while halving the C-row traffic.
+void axpy2Avx2(double* y, const double* x0, double a0, const double* x1,
+               double a1, std::size_t n);
+#endif
+
+}  // namespace posetrl::simd

@@ -1,0 +1,120 @@
+#include "support/arena.h"
+
+#include <cstring>
+#include <new>
+
+#include "support/error.h"
+
+namespace posetrl {
+
+namespace {
+
+std::size_t roundUp(std::size_t n, std::size_t align) {
+  return (n + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+BumpArena::BumpArena(std::size_t first_chunk_bytes) {
+  addChunk(first_chunk_bytes);
+}
+
+BumpArena::~BumpArena() = default;
+
+void BumpArena::addChunk(std::size_t min_bytes) {
+  std::size_t size = chunks_.empty() ? min_bytes : chunks_.back().size * 2;
+  if (size < min_bytes) size = min_bytes;
+  if (size < kAlign) size = kAlign;
+  Chunk c;
+  c.data = std::make_unique<std::byte[]>(size);
+  c.size = size;
+  chunks_.push_back(std::move(c));
+  used_ = 0;
+}
+
+void* BumpArena::allocate(std::size_t bytes) {
+  const std::size_t rounded = roundUp(bytes, kAlign);
+  POSETRL_CHECK(rounded <= kMaxBlock,
+                "BumpArena::allocate beyond kMaxBlock: ", bytes);
+  bytes_allocated_ += rounded;
+  const std::size_t bucket = rounded / kAlign - 1;
+  if (FreeNode* node = free_lists_[bucket]) {
+    free_lists_[bucket] = node->next;
+    bytes_recycled_ += rounded;
+    return node;
+  }
+  if (used_ + rounded > chunks_.back().size) addChunk(rounded);
+  void* p = chunks_.back().data.get() + used_;
+  used_ += rounded;
+  return p;
+}
+
+void BumpArena::deallocate(void* p, std::size_t bytes) noexcept {
+  const std::size_t rounded = roundUp(bytes, kAlign);
+  const std::size_t bucket = rounded / kAlign - 1;
+  FreeNode* node = static_cast<FreeNode*>(p);
+  node->next = free_lists_[bucket];
+  free_lists_[bucket] = node;
+}
+
+void BumpArena::rewindTo(Marker m) noexcept {
+  if (m.chunk_index + 1 < chunks_.size()) {
+    chunks_.resize(m.chunk_index + 1);
+  }
+  used_ = m.used;
+  std::memset(free_lists_, 0, sizeof(free_lists_));
+}
+
+namespace {
+thread_local BumpArena* g_current_arena = nullptr;
+}  // namespace
+
+ArenaScope::ArenaScope(BumpArena& arena) : prev_(g_current_arena) {
+  g_current_arena = &arena;
+}
+
+ArenaScope::~ArenaScope() { g_current_arena = prev_; }
+
+BumpArena* ArenaScope::current() { return g_current_arena; }
+
+namespace {
+
+/// Header preceding every arenaAllocate() block: which arena (nullptr =
+/// heap) and the total size including the header. 16 bytes keeps the
+/// payload 16-aligned.
+struct AllocHeader {
+  BumpArena* arena;
+  std::uint64_t total_size;
+};
+static_assert(sizeof(AllocHeader) == 16);
+
+}  // namespace
+
+void* arenaAllocate(std::size_t bytes) {
+  const std::size_t total = bytes + sizeof(AllocHeader);
+  BumpArena* arena = ArenaScope::current();
+  void* base;
+  if (arena != nullptr && total <= BumpArena::kMaxBlock) {
+    base = arena->allocate(total);
+  } else {
+    base = ::operator new(total);
+    arena = nullptr;
+  }
+  auto* header = static_cast<AllocHeader*>(base);
+  header->arena = arena;
+  header->total_size = total;
+  return static_cast<std::byte*>(base) + sizeof(AllocHeader);
+}
+
+void arenaDeallocate(void* p) noexcept {
+  if (p == nullptr) return;
+  auto* base = reinterpret_cast<AllocHeader*>(static_cast<std::byte*>(p) -
+                                              sizeof(AllocHeader));
+  if (base->arena != nullptr) {
+    base->arena->deallocate(base, static_cast<std::size_t>(base->total_size));
+  } else {
+    ::operator delete(base);
+  }
+}
+
+}  // namespace posetrl

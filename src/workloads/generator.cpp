@@ -24,6 +24,7 @@ class ProgramBuilder {
         b_(module_.get()) {}
 
   std::unique_ptr<Module> build() {
+    ArenaScope arena_scope(module_->arena());
     tc_ = &module_->types();
     input_fn_ = module_->getIntrinsic(IntrinsicId::Input);
     sink_fn_ = module_->getIntrinsic(IntrinsicId::Sink);

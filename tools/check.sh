@@ -19,12 +19,18 @@
 #            clang-tidy is not installed.
 #   --bench  run bench/perf_report plus an online-serving bench and write
 #            BENCH_<commit>.json at the repo root (train steps/sec, verifier
-#            ns/instr, analysis cache hit rate, GEMM GFLOP/s, serve
-#            throughput + p50/p99 latency, snapshot swap latency, WAL append
-#            overhead); fails the gate if the default-on verifier + contract
-#            checker cost >= 10% training throughput, or if the support/io
-#            fault-injection shim costs >= 2% of raw WAL append throughput
-#            (bench/io_shim_bench, io_shim_overhead_pct).
+#            ns/instr, snapshot capture/rollback ns/instr, analysis cache
+#            hit rate, per-kernel GEMM GFLOP/s, serve throughput + p50/p99
+#            latency, snapshot swap latency, WAL append overhead). The
+#            commit stamp gains a "-dirty" suffix when the working tree has
+#            uncommitted changes, so a dirty-tree bench can never be
+#            mistaken for the commit's numbers. Fails the gate if any
+#            expected bench key is missing from a producer's output, if the
+#            default-on verifier + contract checker cost >= 10% training
+#            throughput, if the support/io fault-injection shim costs >= 2%
+#            of raw WAL append throughput (bench/io_shim_bench,
+#            io_shim_overhead_pct), or if train_steps_per_sec regressed
+#            more than 15% against the most recent committed BENCH_*.json.
 #   --chaos  durability fault drills (DESIGN.md "Failure model"): the
 #            crash-point enumeration / snapshot-corruption / orphan-GC /
 #            degraded-mode test suites, then serve_driver with an injected
@@ -362,14 +368,16 @@ if [[ $TSAN -eq 1 ]]; then
     status=1
   fi
   rm -rf "$TSAN_ONLINE"
-  # Swap-churn and batcher unit tests: tight publish/pin/reclaim and
-  # batching races the driver cannot reach as directly.
+  # Swap-churn and batcher unit tests (tight publish/pin/reclaim and
+  # batching races the driver cannot reach as directly), plus the GEMM
+  # bit-identity suite: its forced-mode dispatch pokes the atomic SIMD-mode
+  # slot the parallel trainer's actors read concurrently.
   if TSAN_OPTIONS="halt_on_error=1" "$TSAN_BUILD/tests/posetrl_tests" \
-      --gtest_filter='SnapshotTest.ConcurrentSwapChurn:BatcherTest.*' \
+      --gtest_filter='SnapshotTest.ConcurrentSwapChurn:BatcherTest.*:SimdTest.*' \
       >/dev/null; then
-    echo "ok   tsan snapshot swap churn + batcher tests"
+    echo "ok   tsan snapshot swap churn + batcher + simd tests"
   else
-    echo "FAIL tsan snapshot swap churn + batcher tests"
+    echo "FAIL tsan snapshot swap churn + batcher + simd tests"
     status=1
   fi
 
@@ -488,31 +496,89 @@ if [[ $BENCH -eq 1 ]]; then
   echo "$SERVE_BENCH" | grep -E \
       '^(serve_requests_per_sec|swap_latency_us|wal_append_us|latency_p50_ms|latency_p99_ms)='
 
+  # Every value that lands in the JSON must exist in its producer's output:
+  # a silently-missing key would write the literal string "missing" into the
+  # report and poison later regression comparisons. req() is kv() plus
+  # bookkeeping of what was absent.
+  bench_missing=""
+  req() {
+    local v
+    v="$(kv "$1" "$2")"
+    if [[ "$v" == "missing" ]]; then bench_missing+=" $2"; fi
+    echo "$v"
+  }
+
   commit="$(git -C "$ROOT" rev-parse --short HEAD 2>/dev/null || echo nogit)"
+  # A bench taken on a dirty tree measures code HEAD does not contain; the
+  # stamp must say so or the numbers masquerade as the commit's.
+  if [[ "$commit" != "nogit" ]] && \
+      [[ -n "$(git -C "$ROOT" status --porcelain 2>/dev/null)" ]]; then
+    commit="${commit}-dirty"
+  fi
   out="$ROOT/BENCH_${commit}.json"
   {
     printf '{\n'
     printf '  "commit": "%s",\n' "$commit"
-    printf '  "train_steps_per_sec": %s,\n' "$(kv "$PERF" train_steps_per_sec)"
+    printf '  "train_steps_per_sec": %s,\n' "$(req "$PERF" train_steps_per_sec)"
     printf '  "train_steps_per_sec_unchecked": %s,\n' \
-        "$(kv "$PERF" train_steps_per_sec_unchecked)"
-    printf '  "verify_overhead_pct": %s,\n' "$(kv "$PERF" verify_overhead_pct)"
+        "$(req "$PERF" train_steps_per_sec_unchecked)"
+    printf '  "verify_overhead_pct": %s,\n' "$(req "$PERF" verify_overhead_pct)"
     printf '  "analysis_cache_hit_rate": %s,\n' \
-        "$(kv "$PERF" analysis_cache_hit_rate)"
-    printf '  "contract_checks": %s,\n' "$(kv "$PERF" contract_checks)"
+        "$(req "$PERF" analysis_cache_hit_rate)"
+    printf '  "contract_checks": %s,\n' "$(req "$PERF" contract_checks)"
     printf '  "verifier_ns_per_instr": %s,\n' \
-        "$(kv "$PERF" verifier_ns_per_instr)"
-    printf '  "gemm_gflops": %s,\n' "$(kv "$PERF" gemm_gflops)"
+        "$(req "$PERF" verifier_ns_per_instr)"
+    printf '  "snapshot_ns_per_instr": %s,\n' \
+        "$(req "$PERF" snapshot_ns_per_instr)"
+    printf '  "rollback_ns_per_instr": %s,\n' \
+        "$(req "$PERF" rollback_ns_per_instr)"
+    printf '  "gemm_gflops": %s,\n' "$(req "$PERF" gemm_gflops)"
+    printf '  "gemm_gflops_nn": %s,\n' "$(req "$PERF" gemm_gflops_nn)"
+    printf '  "gemm_gflops_nt": %s,\n' "$(req "$PERF" gemm_gflops_nt)"
+    printf '  "gemm_gflops_tn": %s,\n' "$(req "$PERF" gemm_gflops_tn)"
     printf '  "serve_requests_per_sec": %s,\n' \
-        "$(kv "$SERVE_BENCH" serve_requests_per_sec)"
-    printf '  "serve_latency_p50_ms": %s,\n' "$(kv "$SERVE_BENCH" latency_p50_ms)"
-    printf '  "serve_latency_p99_ms": %s,\n' "$(kv "$SERVE_BENCH" latency_p99_ms)"
-    printf '  "swap_latency_us": %s,\n' "$(kv "$SERVE_BENCH" swap_latency_us)"
-    printf '  "wal_append_us": %s,\n' "$(kv "$SERVE_BENCH" wal_append_us)"
-    printf '  "io_shim_overhead_pct": %s\n' "$(kv "$IO_SHIM" io_shim_overhead_pct)"
+        "$(req "$SERVE_BENCH" serve_requests_per_sec)"
+    printf '  "serve_latency_p50_ms": %s,\n' "$(req "$SERVE_BENCH" latency_p50_ms)"
+    printf '  "serve_latency_p99_ms": %s,\n' "$(req "$SERVE_BENCH" latency_p99_ms)"
+    printf '  "swap_latency_us": %s,\n' "$(req "$SERVE_BENCH" swap_latency_us)"
+    printf '  "wal_append_us": %s,\n' "$(req "$SERVE_BENCH" wal_append_us)"
+    printf '  "io_shim_overhead_pct": %s\n' "$(req "$IO_SHIM" io_shim_overhead_pct)"
     printf '}\n'
   } > "$out"
-  echo "ok   wrote $(basename "$out")"
+  if [[ -n "$bench_missing" ]]; then
+    echo "FAIL bench: expected keys missing from producer output:$bench_missing"
+    status=1
+  else
+    echo "ok   wrote $(basename "$out") (all expected keys present)"
+  fi
+
+  echo "== bench regression gate =="
+  # Compare train_steps_per_sec against the most recently committed
+  # BENCH_*.json (the newest one added to git history): a >15% drop fails.
+  # First-ever bench (no committed baseline) passes with a note.
+  prev_bench="$(git -C "$ROOT" log --format= --diff-filter=A --name-only \
+      -- 'BENCH_*.json' 2>/dev/null | grep -m1 '^BENCH_' || true)"
+  if [[ -z "$prev_bench" ]]; then
+    echo "skip regression gate: no committed BENCH_*.json baseline"
+  else
+    # Read the baseline from git, not the worktree: the committed numbers
+    # are the contract, even if someone edited or deleted the file locally.
+    prev_commit="$(git -C "$ROOT" log --format=%H --diff-filter=A -1 \
+        -- "$prev_bench")"
+    old_sps="$(git -C "$ROOT" show "${prev_commit}:${prev_bench}" 2>/dev/null \
+        | grep -m1 '"train_steps_per_sec":' \
+        | sed 's/.*: *\([0-9.][0-9.]*\).*/\1/')"
+    new_sps="$(kv "$PERF" train_steps_per_sec)"
+    if [[ -z "$old_sps" || "$new_sps" == "missing" ]]; then
+      echo "FAIL regression gate: could not read steps/sec (old='$old_sps' new='$new_sps')"
+      status=1
+    elif awk -v n="$new_sps" -v o="$old_sps" 'BEGIN { exit !(n >= 0.85 * o) }'; then
+      echo "ok   train throughput $new_sps vs baseline $old_sps ($prev_bench, >15% drop fails)"
+    else
+      echo "FAIL train throughput regressed >15%: $new_sps vs baseline $old_sps ($prev_bench)"
+      status=1
+    fi
+  fi
 fi
 
 if [[ $status -eq 0 ]]; then
