@@ -4,8 +4,9 @@
 /// successive commits carry comparable numbers. Four headline metrics:
 ///   train_steps_per_sec    RL training throughput with the default-on
 ///                          per-pass verifier + contract checker (plus the
-///                          unchecked rate and the overhead percentage, the
-///                          <10% regression budget of the analysis PR);
+///                          unchecked rate, the overhead percentage and the
+///                          absolute us/step cost; check.sh --bench gates
+///                          on "<10% relative OR <250us absolute");
 ///   verifier_ns_per_instr  cold structural-verification cost per IR
 ///                          instruction (analysis/fast_verifier.h);
 ///   analysis_cache_hit_rate fraction of dataflow-analysis queries served
@@ -103,9 +104,19 @@ int main(int argc, char** argv) {
       unchecked_sps > 0.0
           ? 100.0 * (unchecked_sps - checked_sps) / unchecked_sps
           : 0.0;
+  // Absolute verifier+contract cost per step, in microseconds. The relative
+  // overhead_pct shrinks or grows with everything *else* in the step
+  // (Amdahl), so regression gates also need the absolute number: a PR that
+  // doubles raw step throughput doubles the percentage without the verifier
+  // getting one nanosecond slower.
+  const double verify_cost_us =
+      (checked_sps > 0.0 && unchecked_sps > 0.0)
+          ? (1.0 / checked_sps - 1.0 / unchecked_sps) * 1e6
+          : 0.0;
   std::printf("train_steps_per_sec=%.2f\n", checked_sps);
   std::printf("train_steps_per_sec_unchecked=%.2f\n", unchecked_sps);
   std::printf("verify_overhead_pct=%.2f\n", overhead_pct);
+  std::printf("verify_cost_us_per_step=%.1f\n", verify_cost_us);
   std::printf("analysis_cache_hit_rate=%.4f\n", analysis.hitRate());
   std::printf("analysis_queries=%zu\n", analysis.hits + analysis.misses);
   std::printf("contract_checks=%zu\n", analysis.contract_checks);

@@ -39,6 +39,16 @@ Embedding PhaseOrderEnv::reset() {
     analysis_.invalidateAll();
     verifier_.clearCache();
     embed_key_valid_ = false;
+    pristine_embed_key_valid_ = false;
+    // Reward-model metrics of the pristine state, computed once: every
+    // later reset() restores bit-identical content (stamp reverts to
+    // pristine_stamp_ as the proof), so these two O(instructions) walks
+    // never run again on the reset path.
+    pristine_stamp_ = working_->contentStamp();
+    pristine_size_ = size_model_.objectBytes(*working_);
+    const ThroughputEstimate est = mca_model_.moduleEstimate(*working_);
+    pristine_cycles_ = est.weighted_cycles;
+    pristine_throughput_ = est.throughput();
   } else {
     const ModuleSnapshot::RestoreResult restored =
         pristine_snapshot_.restoreInto(*working_);
@@ -51,10 +61,9 @@ Embedding PhaseOrderEnv::reset() {
     // The restore reverts the content stamp along with the content, so the
     // stamp-keyed embedding memo stays coherent — no invalidation needed.
   }
-  last_size_ = size_model_.objectBytes(*working_);
-  const ThroughputEstimate est = mca_model_.moduleEstimate(*working_);
-  last_cycles_ = est.weighted_cycles;
-  last_throughput_ = est.throughput();
+  last_size_ = pristine_size_;
+  last_cycles_ = pristine_cycles_;
+  last_throughput_ = pristine_throughput_;
   metrics_stamp_ = working_->contentStamp();
   steps_in_episode_ = 0;
   return embedWorking();
@@ -73,7 +82,16 @@ Embedding PhaseOrderEnv::embedWorking() {
   // O(instructions) hash walk — and nothing here ever prints the module.
   const std::uint64_t stamp = working_->contentStamp();
   if (!embed_key_valid_ || embed_key_stamp_ != stamp) {
-    embed_key_ = EmbedCache::moduleHash(*working_);
+    if (pristine_embed_key_valid_ && stamp == pristine_stamp_) {
+      // reset() reverted to pristine content; its key is already known.
+      embed_key_ = pristine_embed_key_;
+    } else {
+      embed_key_ = EmbedCache::moduleHash(*working_);
+      if (stamp == pristine_stamp_) {
+        pristine_embed_key_ = embed_key_;
+        pristine_embed_key_valid_ = true;
+      }
+    }
     embed_key_stamp_ = stamp;
     embed_key_valid_ = true;
   }

@@ -189,6 +189,16 @@ class PhaseOrderEnv {
   /// at: a step whose action left the stamp unchanged (contract-verified
   /// no-op) skips both reward-model walks — its true delta is zero.
   std::uint64_t metrics_stamp_ = 0;
+  /// Pristine-state memos: every reset() restores the identical content, so
+  /// its reward-model metrics and embedding key are computed once on the
+  /// first episode and reused for free afterwards (the restored content
+  /// stamp equals pristine_stamp_, proving content equality).
+  std::uint64_t pristine_stamp_ = 0;
+  double pristine_size_ = 0.0;
+  double pristine_cycles_ = 0.0;
+  double pristine_throughput_ = 0.0;
+  std::uint64_t pristine_embed_key_ = 0;
+  bool pristine_embed_key_valid_ = false;
   /// Persistent fast verifier shared with every sandboxed action, so the
   /// clean-hash skip cache survives across steps; its pointer-keyed cache is
   /// cleared whenever module symbols are recreated (restore paths report
