@@ -10,6 +10,8 @@
 
 #include <immintrin.h>
 
+#include <cmath>
+
 namespace posetrl::simd {
 
 double dotInterleavedAvx2(const double* x, const double* y, std::size_t k) {
@@ -62,6 +64,48 @@ void axpyAvx2(double* y, const double* x, double a, std::size_t n) {
     j += 4;
   }
   for (; j < n; ++j) y[j] += a * x[j];
+}
+
+void adamUpdateAvx2(double* w, double* g, double* m, double* v, std::size_t n,
+                    double lr, double inv_batch, double bc1, double bc2) {
+  const __m256d vinv = _mm256_set1_pd(inv_batch);
+  const __m256d vb1 = _mm256_set1_pd(kAdamBeta1);
+  const __m256d vb1c = _mm256_set1_pd(1.0 - kAdamBeta1);
+  const __m256d vb2 = _mm256_set1_pd(kAdamBeta2);
+  const __m256d vb2c = _mm256_set1_pd(1.0 - kAdamBeta2);
+  const __m256d vbc1 = _mm256_set1_pd(bc1);
+  const __m256d vbc2 = _mm256_set1_pd(bc2);
+  const __m256d vlr = _mm256_set1_pd(lr);
+  const __m256d veps = _mm256_set1_pd(kAdamEps);
+  const __m256d vzero = _mm256_setzero_pd();
+  const std::size_t n4 = n & ~static_cast<std::size_t>(3);
+  std::size_t j = 0;
+  for (; j < n4; j += 4) {
+    const __m256d grad = _mm256_mul_pd(_mm256_loadu_pd(g + j), vinv);
+    const __m256d mj =
+        _mm256_add_pd(_mm256_mul_pd(vb1, _mm256_loadu_pd(m + j)),
+                      _mm256_mul_pd(vb1c, grad));
+    const __m256d vj =
+        _mm256_add_pd(_mm256_mul_pd(vb2, _mm256_loadu_pd(v + j)),
+                      _mm256_mul_pd(_mm256_mul_pd(vb2c, grad), grad));
+    const __m256d mh = _mm256_div_pd(mj, vbc1);
+    const __m256d vh = _mm256_div_pd(vj, vbc2);
+    const __m256d upd = _mm256_div_pd(
+        _mm256_mul_pd(vlr, mh), _mm256_add_pd(_mm256_sqrt_pd(vh), veps));
+    _mm256_storeu_pd(w + j, _mm256_sub_pd(_mm256_loadu_pd(w + j), upd));
+    _mm256_storeu_pd(m + j, mj);
+    _mm256_storeu_pd(v + j, vj);
+    _mm256_storeu_pd(g + j, vzero);
+  }
+  for (; j < n; ++j) {
+    const double grad = g[j] * inv_batch;
+    m[j] = kAdamBeta1 * m[j] + (1.0 - kAdamBeta1) * grad;
+    v[j] = kAdamBeta2 * v[j] + (1.0 - kAdamBeta2) * grad * grad;
+    const double mh = m[j] / bc1;
+    const double vh = v[j] / bc2;
+    w[j] -= lr * mh / (std::sqrt(vh) + kAdamEps);
+    g[j] = 0.0;
+  }
 }
 
 void axpy2Avx2(double* y, const double* x0, double a0, const double* x1,

@@ -40,9 +40,24 @@ SimdMode simdMode();
 /// True when the current mode resolves to the AVX2 kernels.
 bool avx2Active();
 
+/// Adam hyper-parameters shared by the scalar twin (mlp.cpp) and the AVX2
+/// kernel below; defined once so the twins cannot drift apart.
+inline constexpr double kAdamBeta1 = 0.9;
+inline constexpr double kAdamBeta2 = 0.999;
+inline constexpr double kAdamEps = 1e-8;
+
 #if defined(__x86_64__) || defined(_M_X64)
 /// sum_k x[k]*y[k] in the canonical 16-lane interleaved order.
 double dotInterleavedAvx2(const double* x, const double* y, std::size_t k);
+/// One Adam update over n parameters: per element j,
+///   grad = g[j]*inv_batch;  m = β1·m + (1-β1)·grad;
+///   v = β2·v + ((1-β2)·grad)·grad;  w -= (lr·(m/bc1)) / (sqrt(v/bc2)+ε);
+///   g[j] = 0.
+/// Purely elementwise — no reductions — and every step (mul, add, div,
+/// sqrt) is an individually rounded IEEE operation in the same order as
+/// the scalar twin in mlp.cpp, so both paths update bit-identically.
+void adamUpdateAvx2(double* w, double* g, double* m, double* v, std::size_t n,
+                    double lr, double inv_batch, double bc1, double bc2);
 /// y[j] += a * x[j] for j in [0, n).
 void axpyAvx2(double* y, const double* x, double a, std::size_t n);
 /// y[j] = (y[j] + a0*x0[j]) + a1*x1[j] — two ascending-k GEMM terms per

@@ -5,6 +5,8 @@
 #include <istream>
 #include <ostream>
 
+#include "rl/matrix_simd.h"
+
 namespace posetrl {
 
 Mlp::Mlp(const std::vector<std::size_t>& sizes, Rng& rng) : sizes_(sizes) {
@@ -164,32 +166,57 @@ double Mlp::accumulateGradient(const std::vector<double>& x,
   return std::abs(td);
 }
 
+namespace {
+
+/// Scalar twin of simd::adamUpdateAvx2 — identical per-element expression
+/// order, so both dispatch paths update the parameters bit-identically
+/// (every step is elementwise; there is no reduction to re-order).
+void adamUpdateScalar(double* w, double* g, double* m, double* v,
+                      std::size_t n, double lr, double inv_batch, double bc1,
+                      double bc2) {
+  for (std::size_t j = 0; j < n; ++j) {
+    const double grad = g[j] * inv_batch;
+    m[j] = simd::kAdamBeta1 * m[j] + (1.0 - simd::kAdamBeta1) * grad;
+    v[j] = simd::kAdamBeta2 * v[j] + (1.0 - simd::kAdamBeta2) * grad * grad;
+    const double mh = m[j] / bc1;
+    const double vh = v[j] / bc2;
+    w[j] -= lr * mh / (std::sqrt(vh) + simd::kAdamEps);
+    g[j] = 0.0;
+  }
+}
+
+void adamUpdate(double* w, double* g, double* m, double* v, std::size_t n,
+                double lr, double inv_batch, double bc1, double bc2,
+                bool use_avx2) {
+#if defined(__x86_64__) || defined(_M_X64)
+  if (use_avx2) {
+    simd::adamUpdateAvx2(w, g, m, v, n, lr, inv_batch, bc1, bc2);
+    return;
+  }
+#else
+  (void)use_avx2;
+#endif
+  adamUpdateScalar(w, g, m, v, n, lr, inv_batch, bc1, bc2);
+}
+
+}  // namespace
+
 void Mlp::adamStep(double lr, std::size_t batch_size) {
-  constexpr double kBeta1 = 0.9;
-  constexpr double kBeta2 = 0.999;
-  constexpr double kEps = 1e-8;
   ++adam_t_;
-  const double bc1 = 1.0 - std::pow(kBeta1, static_cast<double>(adam_t_));
-  const double bc2 = 1.0 - std::pow(kBeta2, static_cast<double>(adam_t_));
+  const double bc1 =
+      1.0 - std::pow(simd::kAdamBeta1, static_cast<double>(adam_t_));
+  const double bc2 =
+      1.0 - std::pow(simd::kAdamBeta2, static_cast<double>(adam_t_));
   const double inv_batch =
       1.0 / static_cast<double>(std::max<std::size_t>(1, batch_size));
+  const bool use_avx2 = simd::avx2Active();
   for (Layer& layer : layers_) {
-    auto update = [&](double& w, double& g, double& m, double& v) {
-      const double grad = g * inv_batch;
-      m = kBeta1 * m + (1.0 - kBeta1) * grad;
-      v = kBeta2 * v + (1.0 - kBeta2) * grad * grad;
-      const double mh = m / bc1;
-      const double vh = v / bc2;
-      w -= lr * mh / (std::sqrt(vh) + kEps);
-      g = 0.0;
-    };
-    for (std::size_t i = 0; i < layer.w.size(); ++i) {
-      update(layer.w.raw()[i], layer.gw.raw()[i], layer.mw.raw()[i],
-             layer.vw.raw()[i]);
-    }
-    for (std::size_t i = 0; i < layer.b.size(); ++i) {
-      update(layer.b[i], layer.gb[i], layer.mb[i], layer.vb[i]);
-    }
+    adamUpdate(layer.w.raw().data(), layer.gw.raw().data(),
+               layer.mw.raw().data(), layer.vw.raw().data(), layer.w.size(),
+               lr, inv_batch, bc1, bc2, use_avx2);
+    adamUpdate(layer.b.data(), layer.gb.data(), layer.mb.data(),
+               layer.vb.data(), layer.b.size(), lr, inv_batch, bc1, bc2,
+               use_avx2);
   }
 }
 

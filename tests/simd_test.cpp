@@ -10,10 +10,13 @@
 
 #include <cmath>
 #include <cstddef>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "rl/matrix.h"
 #include "rl/matrix_simd.h"
+#include "rl/mlp.h"
 #include "support/rng.h"
 
 namespace posetrl {
@@ -159,6 +162,73 @@ TEST_F(SimdTest, TnSkipsZeroRowsIdenticallyInBothPaths) {
     c_vec.addMatMul(a, true, b, false);
     EXPECT_EQ(c_vec.raw(), ref.raw());
   }
+}
+
+TEST_F(SimdTest, AdamKernelBitIdenticalAcrossDispatch) {
+  if (!haveAvx2()) GTEST_SKIP() << "CPU lacks AVX2";
+  Rng rng(1337);
+  const double lr = 1e-3, inv_batch = 1.0 / 32.0;
+  const double bc1 = 1.0 - 0.9, bc2 = 1.0 - 0.999;
+  for (std::size_t n : {std::size_t{1}, std::size_t{3}, std::size_t{4},
+                        std::size_t{5}, std::size_t{7}, std::size_t{17},
+                        std::size_t{300}}) {
+    std::vector<double> w(n), g(n), m(n), v(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      w[j] = rng.nextGaussian();
+      g[j] = rng.nextGaussian();
+      m[j] = rng.nextGaussian() * 0.1;
+      v[j] = std::abs(rng.nextGaussian()) * 0.1;
+    }
+    // Reference: the documented per-element expression order, each step an
+    // individually rounded IEEE operation (the scalar twin's contract).
+    std::vector<double> rw = w, rg = g, rm = m, rv = v;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double grad = rg[j] * inv_batch;
+      rm[j] = simd::kAdamBeta1 * rm[j] + (1.0 - simd::kAdamBeta1) * grad;
+      rv[j] =
+          simd::kAdamBeta2 * rv[j] + (1.0 - simd::kAdamBeta2) * grad * grad;
+      rw[j] -= lr * (rm[j] / bc1) /
+               (std::sqrt(rv[j] / bc2) + simd::kAdamEps);
+      rg[j] = 0.0;
+    }
+    simd::adamUpdateAvx2(w.data(), g.data(), m.data(), v.data(), n, lr,
+                         inv_batch, bc1, bc2);
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(w[j], rw[j]) << "n=" << n << " j=" << j;
+      EXPECT_EQ(m[j], rm[j]) << "n=" << n << " j=" << j;
+      EXPECT_EQ(v[j], rv[j]) << "n=" << n << " j=" << j;
+      EXPECT_EQ(g[j], 0.0) << "n=" << n << " j=" << j;
+    }
+  }
+}
+
+TEST_F(SimdTest, MlpAdamTrainingBitIdenticalAcrossDispatch) {
+  if (!haveAvx2()) GTEST_SKIP() << "CPU lacks AVX2";
+  // End-to-end guard on Mlp::adamStep's dispatch: the same gradient/update
+  // cycle under forced-scalar and forced-AVX2 must leave byte-identical
+  // parameters AND optimizer state (saveState round-trips every double).
+  const std::vector<std::size_t> sizes = {13, 17, 5};
+  auto run = [&](simd::SimdMode mode) {
+    simd::setSimdMode(mode);
+    Rng rng(99);
+    Mlp net(sizes, rng);
+    Rng data(7);
+    for (int it = 0; it < 5; ++it) {
+      for (int s = 0; s < 4; ++s) {
+        std::vector<double> x(sizes.front());
+        for (double& xv : x) xv = data.nextGaussian();
+        net.accumulateGradient(x, data.nextBelow(sizes.back()),
+                               data.nextGaussian());
+      }
+      net.adamStep(1e-3, 4);
+    }
+    std::ostringstream os;
+    net.saveState(os);
+    return os.str();
+  };
+  const std::string scalar_state = run(simd::SimdMode::Scalar);
+  const std::string avx2_state = run(simd::SimdMode::Avx2);
+  EXPECT_EQ(scalar_state, avx2_state);
 }
 
 TEST_F(SimdTest, ResultsStayCloseToNaiveReference) {
