@@ -99,7 +99,10 @@ int main(int argc, char** argv) {
   std::size_t frames_per_round = 8192;
   if (argc > 1) frames_per_round = std::strtoul(argv[1], nullptr, 10);
   constexpr std::size_t kPayloadBytes = 256;
-  constexpr int kRounds = 9;
+  // Each round is only a few ms of syscalls, so the per-variant minimum
+  // needs many samples before scheduler and writeback noise (several
+  // percent of a ~3.4us syscall) stops leaking into a ~1% ratio.
+  constexpr int kRounds = 21;
 
   const std::vector<std::string> frames =
       makeFrames(frames_per_round, kPayloadBytes);
